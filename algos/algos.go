@@ -1,0 +1,165 @@
+// Package algos builds the graph algorithms the paper motivates BFS
+// with — "graph traversal is a key component in graph algorithms such as
+// reachability and graph matching" (§Abstract) — on top of the fastbfs
+// engine: s-t reachability, hop paths, k-hop neighborhoods, connected
+// components, bipartiteness, pseudo-diameter, and Hopcroft–Karp maximum
+// bipartite matching.
+package algos
+
+import (
+	"errors"
+	"fmt"
+
+	"fastbfs/bfs"
+	"fastbfs/graph"
+)
+
+// ErrUnreachable reports that no path exists between the queried
+// vertices.
+var ErrUnreachable = errors.New("algos: target unreachable from source")
+
+// Reachable reports whether t is reachable from s, and at how many hops.
+func Reachable(g *graph.Graph, s, t uint32, o bfs.Options) (bool, int32, error) {
+	res, err := bfs.Run(g, s, o)
+	if err != nil {
+		return false, -1, err
+	}
+	d := res.Depth(t)
+	return d >= 0, d, nil
+}
+
+// HopPath returns one shortest (by hop count) path from res.Source to t,
+// reconstructed from the BFS parents, inclusive of both endpoints.
+func HopPath(res *bfs.Result, t uint32) ([]uint32, error) {
+	if res.Depth(t) < 0 {
+		return nil, ErrUnreachable
+	}
+	path := make([]uint32, 0, res.Depth(t)+1)
+	for v := t; ; {
+		path = append(path, v)
+		if v == res.Source {
+			break
+		}
+		p := res.Parent(v)
+		if p < 0 {
+			return nil, fmt.Errorf("algos: broken parent chain at %d", v)
+		}
+		v = uint32(p)
+	}
+	// Reverse into source-to-target order.
+	for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
+		path[i], path[j] = path[j], path[i]
+	}
+	return path, nil
+}
+
+// KHopCounts returns the number of vertices at each hop distance
+// 0..maxHop from source (the degrees-of-separation histogram).
+func KHopCounts(g *graph.Graph, source uint32, maxHop int, o bfs.Options) ([]int64, error) {
+	if maxHop < 0 {
+		return nil, fmt.Errorf("algos: negative maxHop %d", maxHop)
+	}
+	res, err := bfs.Run(g, source, o)
+	if err != nil {
+		return nil, err
+	}
+	counts := make([]int64, maxHop+1)
+	for v := 0; v < g.NumVertices(); v++ {
+		if d := res.Depth(uint32(v)); d >= 0 && int(d) <= maxHop {
+			counts[d]++
+		}
+	}
+	return counts, nil
+}
+
+// ConnectedComponents labels the connected components of a symmetric
+// (undirected) graph: labels[v] is the component id in [0, count), with
+// component ids assigned in order of their smallest vertex. Directed
+// inputs should be Symmetrize()d first (the result is then the weakly
+// connected components).
+func ConnectedComponents(g *graph.Graph) (labels []uint32, count int) {
+	n := g.NumVertices()
+	labels = make([]uint32, n)
+	for i := range labels {
+		labels[i] = ^uint32(0)
+	}
+	queue := make([]uint32, 0, 1024)
+	for v := 0; v < n; v++ {
+		if labels[v] != ^uint32(0) {
+			continue
+		}
+		id := uint32(count)
+		count++
+		labels[v] = id
+		queue = append(queue[:0], uint32(v))
+		for head := 0; head < len(queue); head++ {
+			u := queue[head]
+			for _, w := range g.Neighbors1(u) {
+				if labels[w] == ^uint32(0) {
+					labels[w] = id
+					queue = append(queue, w)
+				}
+			}
+		}
+	}
+	return labels, count
+}
+
+// IsBipartite two-colors a symmetric graph by BFS; ok reports success
+// and sides holds 0/1 colors for visited vertices (-1 for isolated
+// pieces are colored as encountered — every vertex gets a side).
+func IsBipartite(g *graph.Graph) (ok bool, sides []int8) {
+	n := g.NumVertices()
+	sides = make([]int8, n)
+	for i := range sides {
+		sides[i] = -1
+	}
+	queue := make([]uint32, 0, 1024)
+	for v := 0; v < n; v++ {
+		if sides[v] != -1 {
+			continue
+		}
+		sides[v] = 0
+		queue = append(queue[:0], uint32(v))
+		for head := 0; head < len(queue); head++ {
+			u := queue[head]
+			su := sides[u]
+			for _, w := range g.Neighbors1(u) {
+				if sides[w] == -1 {
+					sides[w] = 1 - su
+					queue = append(queue, w)
+				} else if sides[w] == su {
+					return false, sides
+				}
+			}
+		}
+	}
+	return true, sides
+}
+
+// PseudoDiameter estimates the graph diameter by the classic double
+// sweep: BFS from start, then BFS from the farthest vertex found. The
+// result is a lower bound on the true diameter, exact on trees.
+func PseudoDiameter(g *graph.Graph, start uint32, o bfs.Options) (int32, error) {
+	res, err := bfs.Run(g, start, o)
+	if err != nil {
+		return 0, err
+	}
+	far, maxD := start, int32(0)
+	for v := 0; v < g.NumVertices(); v++ {
+		if d := res.Depth(uint32(v)); d > maxD {
+			maxD, far = d, uint32(v)
+		}
+	}
+	res, err = bfs.Run(g, far, o)
+	if err != nil {
+		return 0, err
+	}
+	maxD = 0
+	for v := 0; v < g.NumVertices(); v++ {
+		if d := res.Depth(uint32(v)); d > maxD {
+			maxD = d
+		}
+	}
+	return maxD, nil
+}

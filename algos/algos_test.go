@@ -1,0 +1,288 @@
+package algos
+
+import (
+	"testing"
+
+	"fastbfs/bfs"
+	"fastbfs/graph"
+	"fastbfs/graph/gen"
+)
+
+func mustGraph(t *testing.T, n int, edges []graph.Edge) *graph.Graph {
+	t.Helper()
+	g, err := graph.FromEdges(n, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestReachable(t *testing.T) {
+	g := mustGraph(t, 5, []graph.Edge{{U: 0, V: 1}, {U: 1, V: 2}, {U: 3, V: 4}})
+	ok, d, err := Reachable(g, 0, 2, bfs.Options{Workers: 2})
+	if err != nil || !ok || d != 2 {
+		t.Fatalf("Reachable(0,2) = %v,%d,%v", ok, d, err)
+	}
+	ok, d, err = Reachable(g, 0, 4, bfs.Options{Workers: 2})
+	if err != nil || ok || d != -1 {
+		t.Fatalf("Reachable(0,4) = %v,%d,%v", ok, d, err)
+	}
+}
+
+func TestHopPath(t *testing.T) {
+	// A grid has many shortest paths; any one returned must be valid.
+	g, _ := gen.Grid2D(12, 12, 0, 1)
+	res, err := bfs.Run(g, 0, bfs.Default(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	target := uint32(12*12 - 1)
+	path, err := HopPath(res, target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if path[0] != 0 || path[len(path)-1] != target {
+		t.Fatalf("endpoints wrong: %v", path)
+	}
+	if len(path) != int(res.Depth(target))+1 {
+		t.Fatalf("path length %d, depth %d", len(path), res.Depth(target))
+	}
+	for i := 1; i < len(path); i++ {
+		if !g.HasEdge(path[i-1], path[i]) {
+			t.Fatalf("non-edge (%d,%d) in path", path[i-1], path[i])
+		}
+	}
+	// Unreachable target.
+	iso := mustGraph(t, 3, []graph.Edge{{U: 0, V: 1}})
+	res2, _ := bfs.Run(iso, 0, bfs.Options{Workers: 1})
+	if _, err := HopPath(res2, 2); err != ErrUnreachable {
+		t.Errorf("want ErrUnreachable, got %v", err)
+	}
+}
+
+func TestKHopCounts(t *testing.T) {
+	g := mustGraph(t, 4, []graph.Edge{{U: 0, V: 1}, {U: 1, V: 2}, {U: 2, V: 3}})
+	counts, err := KHopCounts(g, 0, 2, bfs.Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int64{1, 1, 1}
+	for i, c := range counts {
+		if c != want[i] {
+			t.Fatalf("counts = %v, want %v", counts, want)
+		}
+	}
+	if _, err := KHopCounts(g, 0, -1, bfs.Options{}); err == nil {
+		t.Error("negative maxHop accepted")
+	}
+}
+
+func TestConnectedComponents(t *testing.T) {
+	// Two triangles and an isolated vertex, symmetric.
+	edges := []graph.Edge{{U: 0, V: 1}, {U: 1, V: 2}, {U: 2, V: 0}, {U: 3, V: 4}, {U: 4, V: 5}, {U: 5, V: 3}}
+	g := mustGraph(t, 7, edges).Symmetrize()
+	labels, count := ConnectedComponents(g)
+	if count != 3 {
+		t.Fatalf("count = %d, want 3", count)
+	}
+	if labels[0] != labels[1] || labels[1] != labels[2] {
+		t.Error("first triangle split")
+	}
+	if labels[3] != labels[4] || labels[4] != labels[5] {
+		t.Error("second triangle split")
+	}
+	if labels[0] == labels[3] || labels[6] == labels[0] || labels[6] == labels[3] {
+		t.Error("components merged")
+	}
+	// Ids are assigned by smallest vertex: 0, then 3, then 6.
+	if labels[0] != 0 || labels[3] != 1 || labels[6] != 2 {
+		t.Errorf("label order: %v", labels)
+	}
+}
+
+func TestConnectedComponentsGrid(t *testing.T) {
+	g, _ := gen.Grid2D(20, 20, 0, 1)
+	_, count := ConnectedComponents(g)
+	if count != 1 {
+		t.Fatalf("grid components = %d", count)
+	}
+}
+
+func TestIsBipartite(t *testing.T) {
+	// Even cycle: bipartite.
+	even := mustGraph(t, 4, []graph.Edge{{U: 0, V: 1}, {U: 1, V: 2}, {U: 2, V: 3}, {U: 3, V: 0}}).Symmetrize()
+	if ok, sides := IsBipartite(even); !ok {
+		t.Error("even cycle not bipartite")
+	} else if sides[0] == sides[1] || sides[0] != sides[2] {
+		t.Errorf("coloring wrong: %v", sides)
+	}
+	// Odd cycle: not bipartite.
+	odd := mustGraph(t, 3, []graph.Edge{{U: 0, V: 1}, {U: 1, V: 2}, {U: 2, V: 0}}).Symmetrize()
+	if ok, _ := IsBipartite(odd); ok {
+		t.Error("odd cycle reported bipartite")
+	}
+	// The generator's stress graph is bipartite by construction.
+	stress, _ := gen.StressBipartite(1000, 4, 2)
+	if ok, _ := IsBipartite(stress.Symmetrize()); !ok {
+		t.Error("stress graph not bipartite")
+	}
+	// Grids are bipartite (checkerboard).
+	grid, _ := gen.Grid2D(9, 9, 0, 1)
+	if ok, _ := IsBipartite(grid); !ok {
+		t.Error("grid not bipartite")
+	}
+}
+
+func TestPseudoDiameter(t *testing.T) {
+	// Path graph: double sweep is exact.
+	g, _ := gen.Grid2D(1, 50, 0, 0)
+	d, err := PseudoDiameter(g, 25, bfs.Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != 49 {
+		t.Fatalf("path pseudo-diameter = %d, want 49", d)
+	}
+	// Grid: exact too (corner to corner).
+	grid, _ := gen.Grid2D(10, 15, 0, 0)
+	d, err = PseudoDiameter(grid, 7*15+8, bfs.Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != 9+14 {
+		t.Fatalf("grid pseudo-diameter = %d, want 23", d)
+	}
+}
+
+// bipartiteEdges builds a bipartite graph for matching tests: left
+// [0,nL), right [nL, nL+nR).
+func bipartiteEdges(t *testing.T, nL, nR int, pairs [][2]int) *graph.Graph {
+	t.Helper()
+	var edges []graph.Edge
+	for _, p := range pairs {
+		edges = append(edges, graph.Edge{U: uint32(p[0]), V: uint32(nL + p[1])})
+	}
+	return mustGraph(t, nL+nR, edges)
+}
+
+func TestMatchingPerfect(t *testing.T) {
+	// 3x3 with a perfect matching.
+	g := bipartiteEdges(t, 3, 3, [][2]int{{0, 0}, {0, 1}, {1, 1}, {1, 2}, {2, 2}})
+	m, err := MaximumBipartiteMatching(g, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Size != 3 {
+		t.Fatalf("size = %d, want 3", m.Size)
+	}
+	if err := VerifyMatching(g, 3, m); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMatchingNeedsAugmentation(t *testing.T) {
+	// The greedy matching (0-0, 1-1) blocks vertex 2; Hopcroft-Karp must
+	// find the augmenting path 2 -> 1 -> 1 -> 0 -> 0 -> ... rearranged.
+	g := bipartiteEdges(t, 3, 3, [][2]int{{0, 0}, {1, 0}, {1, 1}, {2, 1}, {2, 2}})
+	m, err := MaximumBipartiteMatching(g, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Size != 3 {
+		t.Fatalf("size = %d, want 3", m.Size)
+	}
+	if err := VerifyMatching(g, 3, m); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMatchingDeficient(t *testing.T) {
+	// Koenig-style deficiency: three left vertices share two right ones.
+	g := bipartiteEdges(t, 3, 2, [][2]int{{0, 0}, {1, 0}, {2, 0}, {1, 1}})
+	m, err := MaximumBipartiteMatching(g, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Size != 2 {
+		t.Fatalf("size = %d, want 2", m.Size)
+	}
+	if err := VerifyMatching(g, 3, m); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMatchingEmptyAndErrors(t *testing.T) {
+	g := mustGraph(t, 4, nil)
+	m, err := MaximumBipartiteMatching(g, 2)
+	if err != nil || m.Size != 0 {
+		t.Fatalf("empty graph: %v, size %d", err, m.Size)
+	}
+	if _, err := MaximumBipartiteMatching(g, 9); err == nil {
+		t.Error("nLeft > n accepted")
+	}
+	bad := mustGraph(t, 4, []graph.Edge{{U: 0, V: 1}})
+	if _, err := MaximumBipartiteMatching(bad, 2); err == nil {
+		t.Error("left-to-left edge accepted")
+	}
+}
+
+// TestMatchingRandomAgainstBound: on random bipartite graphs, the
+// matching size must match a simple exhaustive augmenting-path
+// reference.
+func TestMatchingRandomAgainstBound(t *testing.T) {
+	for seed := uint64(1); seed <= 8; seed++ {
+		const nL, nR = 24, 20
+		g, err := gen.UniformRandom(nL, 3, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Rebuild as bipartite: left u -> right (u's neighbors mod nR).
+		var edges []graph.Edge
+		for u := 0; u < nL; u++ {
+			for _, v := range g.Neighbors1(uint32(u)) {
+				edges = append(edges, graph.Edge{U: uint32(u), V: uint32(nL + int(v)%nR)})
+			}
+		}
+		bg := mustGraph(t, nL+nR, edges)
+		m, err := MaximumBipartiteMatching(bg, nL)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := VerifyMatching(bg, nL, m); err != nil {
+			t.Fatal(err)
+		}
+		if want := slowMatching(bg, nL, nR); m.Size != want {
+			t.Fatalf("seed %d: HK size %d, reference %d", seed, m.Size, want)
+		}
+	}
+}
+
+// slowMatching is the O(V*E) Hungarian-augmentation reference.
+func slowMatching(g *graph.Graph, nL, nR int) int {
+	matchR := make([]int, nR)
+	for i := range matchR {
+		matchR[i] = -1
+	}
+	var try func(u int, seen []bool) bool
+	try = func(u int, seen []bool) bool {
+		for _, v := range g.Neighbors1(uint32(u)) {
+			r := int(v) - nL
+			if seen[r] {
+				continue
+			}
+			seen[r] = true
+			if matchR[r] == -1 || try(matchR[r], seen) {
+				matchR[r] = u
+				return true
+			}
+		}
+		return false
+	}
+	size := 0
+	for u := 0; u < nL; u++ {
+		if try(u, make([]bool, nR)) {
+			size++
+		}
+	}
+	return size
+}

@@ -1,0 +1,65 @@
+package algos
+
+import (
+	"testing"
+
+	"fastbfs/graph"
+	"fastbfs/graph/gen"
+)
+
+// BenchmarkMatching measures Hopcroft-Karp on a random bipartite graph
+// — the "graph matching" application of the paper's abstract, whose
+// inner loop is BFS layering.
+func BenchmarkMatching(b *testing.B) {
+	const nL, nR, deg = 1 << 12, 1 << 12, 4
+	src, err := gen.UniformRandom(nL, deg, 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var edges []graph.Edge
+	for u := 0; u < nL; u++ {
+		for _, v := range src.Neighbors1(uint32(u)) {
+			edges = append(edges, graph.Edge{U: uint32(u), V: uint32(nL + int(v)%nR)})
+		}
+	}
+	g, err := graph.FromEdges(nL+nR, edges)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m, err := MaximumBipartiteMatching(g, nL)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if m.Size == 0 {
+			b.Fatal("empty matching")
+		}
+	}
+}
+
+func BenchmarkConnectedComponents(b *testing.B) {
+	g, err := gen.Grid2D(256, 256, 0, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, count := ConnectedComponents(g); count != 1 {
+			b.Fatal("grid split")
+		}
+	}
+}
+
+func BenchmarkIsBipartite(b *testing.B) {
+	g, err := gen.Grid2D(256, 256, 0, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if ok, _ := IsBipartite(g); !ok {
+			b.Fatal("grid not bipartite")
+		}
+	}
+}

@@ -1,0 +1,37 @@
+package algos_test
+
+import (
+	"fmt"
+
+	"fastbfs/algos"
+	"fastbfs/bfs"
+	"fastbfs/graph"
+)
+
+// ExampleReachable answers an s-t reachability query.
+func ExampleReachable() {
+	g, _ := graph.FromEdges(4, []graph.Edge{{U: 0, V: 1}, {U: 1, V: 2}})
+	ok, hops, _ := algos.Reachable(g, 0, 2, bfs.Options{Workers: 1})
+	fmt.Println(ok, hops)
+	// Output: true 2
+}
+
+// ExampleMaximumBipartiteMatching matches workers (left) to tasks
+// (right) with Hopcroft–Karp.
+func ExampleMaximumBipartiteMatching() {
+	// Workers 0..2, tasks 3..5; edges are qualifications.
+	g, _ := graph.FromEdges(6, []graph.Edge{
+		{U: 0, V: 3}, {U: 1, V: 3}, {U: 1, V: 4}, {U: 2, V: 4}, {U: 2, V: 5},
+	})
+	m, _ := algos.MaximumBipartiteMatching(g, 3)
+	fmt.Println("matched pairs:", m.Size)
+	// Output: matched pairs: 3
+}
+
+// ExampleConnectedComponents labels an undirected graph's components.
+func ExampleConnectedComponents() {
+	g, _ := graph.FromEdges(5, []graph.Edge{{U: 0, V: 1}, {U: 3, V: 4}})
+	labels, count := algos.ConnectedComponents(g.Symmetrize())
+	fmt.Println(count, labels)
+	// Output: 3 [0 0 1 2 2]
+}

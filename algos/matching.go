@@ -1,0 +1,144 @@
+package algos
+
+import (
+	"fmt"
+
+	"fastbfs/graph"
+)
+
+// unmatched marks a free vertex in the matching arrays.
+const unmatched = ^uint32(0)
+
+// Matching is a maximum bipartite matching: MatchL[u] is the right
+// vertex matched to left vertex u (or ^0 when free), and symmetrically
+// for MatchR.
+type Matching struct {
+	MatchL, MatchR []uint32
+	Size           int
+}
+
+// MaximumBipartiteMatching computes a maximum matching of a bipartite
+// graph with the Hopcroft–Karp algorithm — the "graph matching" workload
+// of the paper's abstract, whose inner loop is exactly the layered BFS
+// this library optimizes. Vertices [0, nLeft) form the left side; every
+// edge must go from a left vertex to a right vertex (ids >= nLeft).
+//
+// Complexity: O(E * sqrt(V)) — each phase runs one BFS layering over the
+// free left vertices followed by layered DFS augmentation, and at most
+// O(sqrt(V)) phases occur.
+func MaximumBipartiteMatching(g *graph.Graph, nLeft int) (*Matching, error) {
+	n := g.NumVertices()
+	if nLeft < 0 || nLeft > n {
+		return nil, fmt.Errorf("algos: nLeft %d outside [0, %d]", nLeft, n)
+	}
+	for u := 0; u < nLeft; u++ {
+		for _, v := range g.Neighbors1(uint32(u)) {
+			if int(v) < nLeft {
+				return nil, fmt.Errorf("algos: edge (%d,%d) stays on the left side", u, v)
+			}
+		}
+	}
+	nRight := n - nLeft
+	m := &Matching{
+		MatchL: make([]uint32, nLeft),
+		MatchR: make([]uint32, nRight),
+	}
+	for i := range m.MatchL {
+		m.MatchL[i] = unmatched
+	}
+	for i := range m.MatchR {
+		m.MatchR[i] = unmatched
+	}
+
+	const infDist = ^uint32(0)
+	dist := make([]uint32, nLeft)
+	queue := make([]uint32, 0, nLeft)
+
+	// bfsLayer builds the alternating-path level graph from the free
+	// left vertices and reports whether any augmenting path exists.
+	bfsLayer := func() bool {
+		queue = queue[:0]
+		for u := 0; u < nLeft; u++ {
+			if m.MatchL[u] == unmatched {
+				dist[u] = 0
+				queue = append(queue, uint32(u))
+			} else {
+				dist[u] = infDist
+			}
+		}
+		found := false
+		for head := 0; head < len(queue); head++ {
+			u := queue[head]
+			for _, v := range g.Neighbors1(u) {
+				w := m.MatchR[v-uint32(nLeft)]
+				if w == unmatched {
+					found = true
+					continue
+				}
+				if dist[w] == infDist {
+					dist[w] = dist[u] + 1
+					queue = append(queue, w)
+				}
+			}
+		}
+		return found
+	}
+
+	// dfsAugment extends one augmenting path along the level graph.
+	var dfsAugment func(u uint32) bool
+	dfsAugment = func(u uint32) bool {
+		for _, v := range g.Neighbors1(u) {
+			r := v - uint32(nLeft)
+			w := m.MatchR[r]
+			if w == unmatched || (dist[w] == dist[u]+1 && dfsAugment(w)) {
+				m.MatchL[u] = v
+				m.MatchR[r] = u
+				return true
+			}
+		}
+		dist[u] = infDist // dead end: prune for this phase
+		return false
+	}
+
+	for bfsLayer() {
+		for u := 0; u < nLeft; u++ {
+			if m.MatchL[u] == unmatched && dist[u] == 0 {
+				if dfsAugment(uint32(u)) {
+					m.Size++
+				}
+			}
+		}
+	}
+	return m, nil
+}
+
+// VerifyMatching checks structural validity: mutual consistency of the
+// two arrays, every matched pair connected by a graph edge, and the
+// size field accurate. It does not check maximality.
+func VerifyMatching(g *graph.Graph, nLeft int, m *Matching) error {
+	size := 0
+	for u, v := range m.MatchL {
+		if v == unmatched {
+			continue
+		}
+		size++
+		if int(v) < nLeft || int(v) >= g.NumVertices() {
+			return fmt.Errorf("algos: match %d->%d leaves the right side", u, v)
+		}
+		if m.MatchR[int(v)-nLeft] != uint32(u) {
+			return fmt.Errorf("algos: match %d->%d not mutual", u, v)
+		}
+		if !g.HasEdge(uint32(u), v) {
+			return fmt.Errorf("algos: matched pair (%d,%d) is not an edge", u, v)
+		}
+	}
+	if size != m.Size {
+		return fmt.Errorf("algos: size field %d, actual %d", m.Size, size)
+	}
+	for r, u := range m.MatchR {
+		if u != unmatched && m.MatchL[u] != uint32(r+nLeft) {
+			return fmt.Errorf("algos: right match %d->%d not mutual", r+nLeft, u)
+		}
+	}
+	return nil
+}

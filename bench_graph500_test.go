@@ -1,0 +1,50 @@
+package fastbfs
+
+import (
+	"testing"
+
+	"fastbfs/bfs"
+	"fastbfs/graph"
+	"fastbfs/graph/gen"
+	"fastbfs/graph500"
+)
+
+// BenchmarkGraph500Kernel2 times one validated-workload BFS (kernel 2)
+// on a scale-16 Kronecker graph — the unit of the benchmark the paper
+// targets (validation excluded from timing, as the spec prescribes).
+func BenchmarkGraph500Kernel2(b *testing.B) {
+	g := cachedGraph(b, "g500/16", func() (*graph.Graph, error) {
+		return kroneckerForBench(16, 16)
+	})
+	roots := graph500.SampleRoots(g, 4, 7)
+	e, err := bfs.NewEngine(g, bfs.Default(2))
+	if err != nil {
+		b.Fatal(err)
+	}
+	var edges int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := e.Run(roots[i%len(roots)])
+		if err != nil {
+			b.Fatal(err)
+		}
+		edges += res.EdgesTraversed
+	}
+	b.StopTimer()
+	if sec := b.Elapsed().Seconds(); sec > 0 {
+		b.ReportMetric(float64(edges)/sec/1e6, "MTEPS")
+	}
+}
+
+// BenchmarkGraph500Kernel1 times Kronecker construction.
+func BenchmarkGraph500Kernel1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := kroneckerForBench(15, 16); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func kroneckerForBench(scale, ef int) (*graph.Graph, error) {
+	return gen.Kronecker(scale, ef, 20100521)
+}

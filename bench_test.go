@@ -1,0 +1,313 @@
+// Package fastbfs holds the repository-level benchmark harness: one
+// benchmark family per table/figure of the paper's evaluation (§V), each
+// reporting MTEPS alongside ns/op. The full parameter sweeps (paper-
+// shaped tables) are produced by cmd/bfsbench; these benches pin one
+// representative configuration per series so `go test -bench=.` tracks
+// the same comparisons continuously.
+package fastbfs
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"fastbfs/bfs"
+	"fastbfs/experiments"
+	"fastbfs/graph"
+	"fastbfs/graph/gen"
+	"fastbfs/model"
+)
+
+// graphCache builds each benchmark graph once per process.
+var graphCache sync.Map
+
+func cachedGraph(b *testing.B, key string, build func() (*graph.Graph, error)) *graph.Graph {
+	b.Helper()
+	if g, ok := graphCache.Load(key); ok {
+		return g.(*graph.Graph)
+	}
+	g, err := build()
+	if err != nil {
+		b.Fatal(err)
+	}
+	graphCache.Store(key, g)
+	return g
+}
+
+func urGraph(b *testing.B, n, deg int) *graph.Graph {
+	return cachedGraph(b, fmt.Sprintf("ur/%d/%d", n, deg), func() (*graph.Graph, error) {
+		return gen.UniformRandom(n, deg, 1)
+	})
+}
+
+func rmatGraph(b *testing.B, scale, ef int) *graph.Graph {
+	return cachedGraph(b, fmt.Sprintf("rmat/%d/%d", scale, ef), func() (*graph.Graph, error) {
+		return gen.RMAT(gen.Graph500Params(scale, ef), 2)
+	})
+}
+
+func stressGraph(b *testing.B, n, deg int) *graph.Graph {
+	return cachedGraph(b, fmt.Sprintf("stress/%d/%d", n, deg), func() (*graph.Graph, error) {
+		return gen.StressBipartite(n, deg, 3)
+	})
+}
+
+// benchBFS runs repeated traversals of g under o, reporting MTEPS.
+func benchBFS(b *testing.B, g *graph.Graph, o bfs.Options, source uint32) {
+	b.Helper()
+	e, err := bfs.NewEngine(g, o)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var edges int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := e.Run(source)
+		if err != nil {
+			b.Fatal(err)
+		}
+		edges += res.EdgesTraversed
+	}
+	b.StopTimer()
+	sec := b.Elapsed().Seconds()
+	if sec > 0 {
+		b.ReportMetric(float64(edges)/sec/1e6, "MTEPS")
+	}
+	b.ReportMetric(float64(edges)/float64(b.N), "edges/op")
+}
+
+// smallLLC mirrors the experiment harness's scaled cache (8 MiB / 64).
+const smallLLC = 128 << 10
+
+func paperOptions(vis bfs.VISKind, scheme bfs.Scheme) bfs.Options {
+	o := bfs.Default(2)
+	o.VIS = vis
+	o.Scheme = scheme
+	o.CacheBytes = smallLLC
+	o.L2Bytes = smallLLC / 32
+	return o
+}
+
+// BenchmarkFig4VIS compares the visited-structure variants of Figure 4
+// on a UR graph sized so the bit structure no longer fits the (scaled)
+// cache.
+func BenchmarkFig4VIS(b *testing.B) {
+	g := urGraph(b, 1<<20, 8)
+	for _, vis := range []bfs.VISKind{
+		bfs.VISNone, bfs.VISAtomicBit, bfs.VISByte, bfs.VISBit, bfs.VISPartitioned,
+	} {
+		b.Run(vis.String(), func(b *testing.B) {
+			benchBFS(b, g, paperOptions(vis, bfs.SchemeLoadBalanced), 0)
+		})
+	}
+}
+
+// BenchmarkFig5Scheme compares the multi-socket schemes of Figure 5 on
+// the three workload families at |V| = 256K (16M / 64).
+func BenchmarkFig5Scheme(b *testing.B) {
+	families := map[string]*graph.Graph{
+		"UR":     urGraph(b, 1<<18, 8),
+		"RMAT":   rmatGraph(b, 18, 8),
+		"Stress": stressGraph(b, 1<<18, 8),
+	}
+	for _, name := range []string{"UR", "RMAT", "Stress"} {
+		g := families[name]
+		for _, scheme := range []bfs.Scheme{
+			bfs.SchemeSinglePhase, bfs.SchemeSocketAware, bfs.SchemeLoadBalanced,
+		} {
+			b.Run(name+"/"+scheme.String(), func(b *testing.B) {
+				benchBFS(b, g, paperOptions(bfs.VISPartitioned, scheme), 0)
+			})
+		}
+	}
+}
+
+// BenchmarkFig6Comparison pits the paper's full configuration against
+// the atomic-bitmap single-phase baseline (Figure 6).
+func BenchmarkFig6Comparison(b *testing.B) {
+	for _, fam := range []struct {
+		name string
+		g    *graph.Graph
+	}{
+		{"UR", urGraph(b, 1<<18, 16)},
+		{"RMAT", rmatGraph(b, 18, 16)},
+	} {
+		b.Run(fam.name+"/baseline-atomic", func(b *testing.B) {
+			o := paperOptions(bfs.VISAtomicBit, bfs.SchemeSinglePhase)
+			o.Rearrange, o.BatchBinning, o.PrefetchDist = false, false, 0
+			benchBFS(b, fam.g, o, 0)
+		})
+		b.Run(fam.name+"/ours", func(b *testing.B) {
+			benchBFS(b, fam.g, paperOptions(bfs.VISPartitioned, bfs.SchemeLoadBalanced), 0)
+		})
+	}
+}
+
+// BenchmarkFig7Analogues traverses each Table II analogue at bench scale
+// (Figure 7). Generation happens once and is excluded from timing.
+func BenchmarkFig7Analogues(b *testing.B) {
+	type entry struct {
+		name string
+		g    *graph.Graph
+	}
+	cached, _ := graphCache.Load("analogues")
+	var list []entry
+	if cached == nil {
+		analogues, err := experiments.BuildAnalogues(experiments.Config{Scale: 1024, Seed: 5})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, a := range analogues {
+			list = append(list, entry{a.Name, a.G})
+		}
+		graphCache.Store("analogues", list)
+	} else {
+		list = cached.([]entry)
+	}
+	for _, a := range list {
+		b.Run(a.name, func(b *testing.B) {
+			root, _ := graph.LargestReach(a.g, 4)
+			benchBFS(b, a.g, paperOptions(bfs.VISPartitioned, bfs.SchemeLoadBalanced), root)
+		})
+	}
+}
+
+// BenchmarkFig8Instrumented measures the cost of the per-step metric and
+// traffic accounting used for Figure 8's model validation.
+func BenchmarkFig8Instrumented(b *testing.B) {
+	g := rmatGraph(b, 18, 8)
+	for _, instr := range []bool{false, true} {
+		name := "plain"
+		if instr {
+			name = "instrumented"
+		}
+		b.Run(name, func(b *testing.B) {
+			o := paperOptions(bfs.VISPartitioned, bfs.SchemeLoadBalanced)
+			o.Instrument = instr
+			benchBFS(b, g, o, 0)
+		})
+	}
+}
+
+// BenchmarkTable1Model measures one full model evaluation (all of
+// Eqns IV.1–IV.4) — the per-configuration cost of Table I-based
+// predictions.
+func BenchmarkTable1Model(b *testing.B) {
+	p := model.NehalemX5570()
+	w := model.WorkedExampleWorkload()
+	for i := 0; i < b.N; i++ {
+		if _, err := model.Predict(p, w, 2); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable2Generation measures synthetic graph construction rates
+// for the main generator families backing Table II.
+func BenchmarkTable2Generation(b *testing.B) {
+	b.Run("UR", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := gen.UniformRandom(1<<17, 16, uint64(i)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("RMAT", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := gen.RMAT(gen.Graph500Params(17, 16), uint64(i)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("Grid", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := gen.Grid2D(360, 360, 0, uint64(i)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkAblations measures the latency-hiding features of §V-A:
+// rearrangement, batched binning, prefetch distance and PBV encoding.
+func BenchmarkAblations(b *testing.B) {
+	g := rmatGraph(b, 18, 16)
+	full := paperOptions(bfs.VISPartitioned, bfs.SchemeLoadBalanced)
+	variants := []struct {
+		name string
+		mod  func(bfs.Options) bfs.Options
+	}{
+		{"full", func(o bfs.Options) bfs.Options { return o }},
+		{"no-rearrange", func(o bfs.Options) bfs.Options { o.Rearrange = false; return o }},
+		{"no-batch", func(o bfs.Options) bfs.Options { o.BatchBinning = false; return o }},
+		{"no-prefetch", func(o bfs.Options) bfs.Options { o.PrefetchDist = 0; return o }},
+		{"pair-encoding", func(o bfs.Options) bfs.Options { o.Encoding = bfs.EncodingPair; return o }},
+		{"marker-encoding", func(o bfs.Options) bfs.Options { o.Encoding = bfs.EncodingMarker; return o }},
+	}
+	for _, v := range variants {
+		b.Run(v.name, func(b *testing.B) {
+			benchBFS(b, g, v.mod(full), 0)
+		})
+	}
+}
+
+// BenchmarkSyncVsAsync compares the synchronous engine against the
+// asynchronous (label-correcting) class the paper contrasts in §I, on a
+// low-diameter power-law graph and a high-diameter road grid.
+func BenchmarkSyncVsAsync(b *testing.B) {
+	lowDiam := rmatGraph(b, 17, 16)
+	highDiam := cachedGraph(b, "grid/360", func() (*graph.Graph, error) {
+		return gen.Grid2D(360, 360, 0, 9)
+	})
+	for _, w := range []struct {
+		name string
+		g    *graph.Graph
+	}{{"rmat", lowDiam}, {"grid", highDiam}} {
+		b.Run(w.name+"/sync", func(b *testing.B) {
+			benchBFS(b, w.g, paperOptions(bfs.VISPartitioned, bfs.SchemeLoadBalanced), 0)
+		})
+		b.Run(w.name+"/async", func(b *testing.B) {
+			var edges int64
+			for i := 0; i < b.N; i++ {
+				res, err := bfs.RunAsync(w.g, 0, 4)
+				if err != nil {
+					b.Fatal(err)
+				}
+				edges += res.EdgesTraversed
+			}
+			if sec := b.Elapsed().Seconds(); sec > 0 {
+				b.ReportMetric(float64(edges)/sec/1e6, "MTEPS")
+			}
+		})
+		b.Run(w.name+"/worksteal", func(b *testing.B) {
+			var edges int64
+			for i := 0; i < b.N; i++ {
+				res, err := bfs.RunWorkStealing(w.g, 0, 4)
+				if err != nil {
+					b.Fatal(err)
+				}
+				edges += res.EdgesTraversed
+			}
+			if sec := b.Elapsed().Seconds(); sec > 0 {
+				b.ReportMetric(float64(edges)/sec/1e6, "MTEPS")
+			}
+		})
+	}
+}
+
+// BenchmarkSerialReference is the Figure 1 baseline: the plain queue BFS.
+func BenchmarkSerialReference(b *testing.B) {
+	g := urGraph(b, 1<<18, 16)
+	var edges int64
+	for i := 0; i < b.N; i++ {
+		res, err := bfs.RunSerial(g, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		edges += res.EdgesTraversed
+	}
+	sec := b.Elapsed().Seconds()
+	if sec > 0 {
+		b.ReportMetric(float64(edges)/sec/1e6, "MTEPS")
+	}
+}

@@ -1,0 +1,191 @@
+// Package bfs is the public API of fastbfs: a multi-core, (simulated)
+// multi-socket breadth-first search engine reproducing Chhugani et al.,
+// "Fast and Efficient Graph Traversal Algorithm for CPUs: Maximizing
+// Single-Node Efficiency" (IPDPS 2012).
+//
+// Quick use:
+//
+//	g, _ := gen.UniformRandom(1<<20, 16, 1)
+//	res, _ := bfs.Run(g, 0, bfs.Options{})
+//	fmt.Println(res.MTEPS(), res.Steps)
+//
+// The engine implements the paper's atomic-free cache-resident VIS
+// protocol, two-phase socket-aware traversal with load-balanced bin
+// division, and TLB-friendly frontier rearrangement — plus every
+// baseline the paper compares against, selected through Options.
+package bfs
+
+import (
+	"fastbfs/graph"
+	"fastbfs/internal/core"
+	"fastbfs/internal/pbv"
+	"fastbfs/internal/validate"
+)
+
+// VISKind selects the visited-structure variant (paper Figure 4).
+type VISKind = core.VISKind
+
+// VIS variants, from the paper's Figure 4 legend.
+const (
+	// VISNone checks the depth array directly per neighbor.
+	VISNone = core.VISNone
+	// VISAtomicBit is the CAS bitmap (Agarwal et al. baseline).
+	VISAtomicBit = core.VISAtomicBit
+	// VISByte is the atomic-free byte-per-vertex structure.
+	VISByte = core.VISByte
+	// VISBit is the atomic-free bit-per-vertex structure.
+	VISBit = core.VISBit
+	// VISPartitioned is the paper's cache-resident partitioned bitmap.
+	VISPartitioned = core.VISPartitioned
+)
+
+// Scheme selects the multi-socket work distribution (paper Figure 5).
+type Scheme = core.Scheme
+
+// Work-distribution schemes, from the paper's Figure 5 legend.
+const (
+	// SchemeSinglePhase has no multi-socket optimization.
+	SchemeSinglePhase = core.SchemeSinglePhase
+	// SchemeSocketAware statically assigns each socket its own bins.
+	SchemeSocketAware = core.SchemeSocketAware
+	// SchemeLoadBalanced is the paper's balanced bin division.
+	SchemeLoadBalanced = core.SchemeLoadBalanced
+)
+
+// Encoding selects the Potential-Boundary-Vertex entry encoding.
+type Encoding = pbv.Encoding
+
+// PBV encodings (paper footnote 4). Auto applies the paper's heuristic.
+const (
+	EncodingAuto   = pbv.EncodingAuto
+	EncodingMarker = pbv.EncodingMarker
+	EncodingPair   = pbv.EncodingPair
+)
+
+// Options configures a traversal. The zero value requests the paper's
+// best single-socket configuration on all available cores.
+type Options struct {
+	// Workers is the goroutine pool size; 0 means GOMAXPROCS.
+	Workers int
+	// Sockets is the simulated socket count (power of two); 0 means 1.
+	Sockets int
+	// VIS selects the visited structure; the zero value is VISNone, so
+	// set it explicitly (Default() selects VISPartitioned).
+	VIS VISKind
+	// Scheme selects the work distribution; zero is SchemeSinglePhase.
+	Scheme Scheme
+	// Rearrange enables TLB-friendly frontier rearrangement.
+	Rearrange bool
+	// BatchBinning computes bin indices in blocks (SIMD analogue).
+	BatchBinning bool
+	// Encoding selects the PBV encoding.
+	Encoding Encoding
+	// PrefetchDist is the adjacency-prefetch lookahead; 0 disables.
+	PrefetchDist int
+	// CacheBytes is the simulated LLC size driving VIS partitioning;
+	// 0 means 8 MiB (the paper's Nehalem).
+	CacheBytes int64
+	// L2Bytes is the per-core L2 size; 0 means 256 KiB.
+	L2Bytes int64
+	// PageBytes and TLBEntries size the rearrangement regions;
+	// 0 means 4096 and 64.
+	PageBytes  int64
+	TLBEntries int
+	// Instrument collects per-step metrics and socket-traffic α values.
+	Instrument bool
+	// MaxSteps bounds the step loop as a safety net; 0 means |V|+1.
+	MaxSteps int
+}
+
+// Default returns the paper's best configuration for the given simulated
+// socket count.
+func Default(sockets int) Options {
+	return Options{
+		Sockets:      sockets,
+		VIS:          VISPartitioned,
+		Scheme:       SchemeLoadBalanced,
+		Rearrange:    true,
+		BatchBinning: true,
+		PrefetchDist: 8,
+	}
+}
+
+func (o Options) config() core.Config {
+	return core.Config{
+		Workers:      o.Workers,
+		Sockets:      o.Sockets,
+		VIS:          o.VIS,
+		Scheme:       o.Scheme,
+		Rearrange:    o.Rearrange,
+		BatchBinning: o.BatchBinning,
+		Encoding:     o.Encoding,
+		PrefetchDist: o.PrefetchDist,
+		CacheBytes:   o.CacheBytes,
+		L2Bytes:      o.L2Bytes,
+		PageBytes:    o.PageBytes,
+		TLBEntries:   o.TLBEntries,
+		Instrument:   o.Instrument,
+		MaxSteps:     o.MaxSteps,
+	}
+}
+
+// Result is a traversal outcome; see core.Result for field semantics.
+type Result = core.Result
+
+// Engine runs repeated traversals over one graph without reallocating;
+// create one with NewEngine when running many roots (the Graph500 and
+// benchmark pattern).
+type Engine struct {
+	e *core.Engine
+}
+
+// NewEngine prepares an engine for g with the given options.
+func NewEngine(g *graph.Graph, o Options) (*Engine, error) {
+	e, err := core.New(g, o.config())
+	if err != nil {
+		return nil, err
+	}
+	return &Engine{e: e}, nil
+}
+
+// Run traverses from source. The Result's DP slice aliases engine
+// storage and is overwritten by the next Run.
+func (e *Engine) Run(source uint32) (*Result, error) { return e.e.Run(source) }
+
+// Geometry reports the derived cache-partition and bin counts
+// (N_VIS, N_PBV).
+func (e *Engine) Geometry() (nVIS, nPBV int) { return e.e.Geometry() }
+
+// Run is the one-shot convenience: build an engine and traverse once.
+func Run(g *graph.Graph, source uint32, o Options) (*Result, error) {
+	e, err := NewEngine(g, o)
+	if err != nil {
+		return nil, err
+	}
+	return e.Run(source)
+}
+
+// RunSerial performs the reference single-threaded traversal.
+func RunSerial(g *graph.Graph, source uint32) (*Result, error) {
+	return core.SerialBFS(g, source)
+}
+
+// RunAsync performs an asynchronous (label-correcting) traversal — the
+// barrier-free alternative class the paper contrasts in §I. Depths are
+// exact; Result.Appends/Result.Visited measures the redundant-work
+// penalty asynchronous schemes pay. workers <= 0 means one.
+func RunAsync(g *graph.Graph, source uint32, workers int) (*Result, error) {
+	return core.AsyncBFS(g, source, workers)
+}
+
+// RunWorkStealing performs a simplified Leiserson-&-Schardl-style
+// traversal (dynamic chunk claiming, CAS vertex claims, no VIS filter or
+// locality optimization) — the Figure 7 comparator. workers <= 0 means
+// one.
+func RunWorkStealing(g *graph.Graph, source uint32, workers int) (*Result, error) {
+	return core.WorkStealingBFS(g, source, workers)
+}
+
+// Validate checks that r is a correct BFS tree for g (Graph500-style
+// checks plus exact depth equality with the serial reference).
+func Validate(g *graph.Graph, r *Result) error { return validate.Result(g, r) }

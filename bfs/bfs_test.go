@@ -1,0 +1,182 @@
+package bfs_test
+
+import (
+	"testing"
+	"testing/quick"
+
+	"fastbfs/bfs"
+	"fastbfs/graph"
+	"fastbfs/graph/gen"
+)
+
+func TestRunDefaultMatchesSerial(t *testing.T) {
+	g, err := gen.RMAT(gen.Graph500Params(12, 8), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := bfs.RunSerial(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := bfs.Run(g, 0, bfs.Default(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Visited != ref.Visited || res.Steps != ref.Steps {
+		t.Fatalf("visited/steps = %d/%d, want %d/%d",
+			res.Visited, res.Steps, ref.Visited, ref.Steps)
+	}
+	if err := bfs.Validate(g, res); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestZeroOptionsWork(t *testing.T) {
+	g, _ := gen.UniformRandom(2000, 8, 5)
+	res, err := bfs.Run(g, 0, bfs.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := bfs.Validate(g, res); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInstrumentedRun(t *testing.T) {
+	g, _ := gen.RMAT(gen.Graph500Params(11, 8), 2)
+	o := bfs.Default(2)
+	o.Instrument = true
+	res, err := bfs.Run(g, 0, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Trace == nil {
+		t.Fatal("instrumented run produced no trace")
+	}
+	if res.Trace.TotalEdges != res.EdgesTraversed {
+		t.Errorf("trace edges %d != result edges %d", res.Trace.TotalEdges, res.EdgesTraversed)
+	}
+	if res.Trace.Depth() < res.Steps {
+		t.Errorf("trace depth %d < steps %d", res.Trace.Depth(), res.Steps)
+	}
+	if res.Trace.Traffic == nil {
+		t.Error("no traffic accounting")
+	}
+}
+
+func TestDuplicateWorkBounded(t *testing.T) {
+	// The paper reports <=0.2% duplicate updates from the benign races;
+	// on this host contention is lower, but duplicates must stay rare.
+	g, _ := gen.UniformRandom(50000, 16, 4)
+	o := bfs.Default(2)
+	o.Workers = 8
+	res, err := bfs.Run(g, 0, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dups := res.Appends - res.Visited
+	if dups < 0 {
+		t.Fatalf("appends %d < visited %d", res.Appends, res.Visited)
+	}
+	if float64(dups) > 0.01*float64(res.Visited) {
+		t.Errorf("duplicate rate %d/%d exceeds 1%%", dups, res.Visited)
+	}
+}
+
+func TestResultAccessors(t *testing.T) {
+	g, _ := graph.FromEdges(3, []graph.Edge{{U: 0, V: 1}})
+	res, err := bfs.Run(g, 0, bfs.Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Depth(0) != 0 || res.Parent(0) != 0 {
+		t.Error("source accessors wrong")
+	}
+	if res.Depth(1) != 1 || res.Parent(1) != 0 {
+		t.Error("child accessors wrong")
+	}
+	if res.Depth(2) != -1 || res.Parent(2) != -1 {
+		t.Error("unreached accessors wrong")
+	}
+	if res.MTEPS() < 0 {
+		t.Error("negative MTEPS")
+	}
+}
+
+func TestBadInputs(t *testing.T) {
+	g, _ := gen.UniformRandom(100, 4, 1)
+	if _, err := bfs.Run(g, 100, bfs.Options{}); err == nil {
+		t.Error("out-of-range source accepted")
+	}
+	if _, err := bfs.Run(g, 0, bfs.Options{Sockets: 3}); err == nil {
+		t.Error("non-power-of-two sockets accepted")
+	}
+	if _, err := bfs.NewEngine(&graph.Graph{}, bfs.Options{}); err == nil {
+		t.Error("empty graph accepted")
+	}
+}
+
+// TestPropertyRandomGraphs: for arbitrary random graphs, every option
+// combination yields exactly the serial depths. This is the engine-level
+// BFS invariant under testing/quick.
+func TestPropertyRandomGraphs(t *testing.T) {
+	f := func(seed uint64, degree8 uint8, scheme8, vis8 uint8) bool {
+		n := 1500
+		degree := int(degree8%12) + 1
+		g, err := gen.UniformRandom(n, degree, seed)
+		if err != nil {
+			return false
+		}
+		o := bfs.Options{
+			Workers: 4,
+			Sockets: 2,
+			VIS:     bfs.VISKind(vis8 % 5),
+			Scheme:  bfs.Scheme(scheme8 % 3),
+			// Small LLC to exercise partitioning paths.
+			CacheBytes: 4096,
+			Rearrange:  seed%2 == 0,
+		}
+		res, err := bfs.Run(g, uint32(seed%uint64(n)), o)
+		if err != nil {
+			return false
+		}
+		ref, err := bfs.RunSerial(g, uint32(seed%uint64(n)))
+		if err != nil {
+			return false
+		}
+		for v := 0; v < n; v++ {
+			if res.Depth(uint32(v)) != ref.Depth(uint32(v)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestGeometryScalesWithCache: shrinking the simulated LLC must increase
+// the number of VIS partitions and PBV bins (paper §III-A).
+func TestGeometryScalesWithCache(t *testing.T) {
+	g, _ := gen.UniformRandom(1<<16, 4, 1)
+	big, err := bfs.NewEngine(g, bfs.Default(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	small := bfs.Default(2)
+	small.CacheBytes = 1 << 10 // 1 KiB: |VIS| = 8 KiB => 16 partitions
+	tiny, err := bfs.NewEngine(g, small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bigVIS, bigPBV := big.Geometry()
+	smallVIS, smallPBV := tiny.Geometry()
+	if bigVIS != 1 {
+		t.Errorf("big-cache N_VIS = %d, want 1", bigVIS)
+	}
+	if smallVIS <= bigVIS || smallPBV <= bigPBV {
+		t.Errorf("shrinking cache did not add partitions: N_VIS %d->%d, N_PBV %d->%d",
+			bigVIS, smallVIS, bigPBV, smallPBV)
+	}
+}

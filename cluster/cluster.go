@@ -1,0 +1,172 @@
+// Package cluster projects multi-node BFS performance from single-node
+// traversal rates — the analysis behind the paper's headline comparison
+// ("our single-node BFS ... matches that of a 256-node system ... ranked
+// in the November 2010 Graph500 list") and its cost argument for
+// maximizing single-node efficiency (§I: powering clusters costs up to
+// 50% of total cost of ownership).
+//
+// The model is the standard 1-D partitioned level-synchronous BFS the
+// paper cites ([8], [11]): vertices are range-partitioned over nodes,
+// each step expands the local frontier slice and ships every discovered
+// remote neighbor to its owner, so per traversed edge a (1 - 1/N)
+// fraction crosses the network. Per-step all-to-all latency adds a
+// diameter-proportional term.
+package cluster
+
+import (
+	"fmt"
+	"math"
+)
+
+// Config describes a cluster of identical nodes.
+type Config struct {
+	// Nodes is the node count.
+	Nodes int
+	// NodeTEPS is one node's local traversal rate (traversed edges per
+	// second) when working from memory, e.g. a measured or modeled
+	// single-node figure.
+	NodeTEPS float64
+	// LinkBandwidth is each node's usable network bandwidth in bytes/s
+	// (e.g. ~1e9 for DDR InfiniBand of the paper's era).
+	LinkBandwidth float64
+	// StepLatency is one all-to-all exchange latency in seconds
+	// (software + switch; ~50-200 µs for 2010-era MPI collectives).
+	StepLatency float64
+	// BytesPerEdge is the wire cost of one remote discovery
+	// (vertex id + parent id + framing; 12 by default).
+	BytesPerEdge float64
+	// Efficiency derates the per-node rate for the overheads the paper
+	// lists for distributed BFS (serialization, buffer packing, work
+	// imbalance across nodes); 1 = none, typical published values are
+	// 0.3-0.7. Default 0.5.
+	Efficiency float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.BytesPerEdge == 0 {
+		c.BytesPerEdge = 12
+	}
+	if c.Efficiency == 0 {
+		c.Efficiency = 0.5
+	}
+	return c
+}
+
+func (c Config) validate() error {
+	c = c.withDefaults()
+	if c.Nodes < 1 {
+		return fmt.Errorf("cluster: nodes %d < 1", c.Nodes)
+	}
+	if c.NodeTEPS <= 0 {
+		return fmt.Errorf("cluster: NodeTEPS must be positive")
+	}
+	if c.LinkBandwidth <= 0 {
+		return fmt.Errorf("cluster: LinkBandwidth must be positive")
+	}
+	if c.Efficiency < 0 || c.Efficiency > 1 {
+		return fmt.Errorf("cluster: Efficiency %v outside [0,1]", c.Efficiency)
+	}
+	return nil
+}
+
+// Workload describes the traversal being projected.
+type Workload struct {
+	// Edges is |E'|, the traversed edge count.
+	Edges int64
+	// Depth is the number of level-synchronous steps.
+	Depth int
+}
+
+// Prediction is the projected cluster performance.
+type Prediction struct {
+	Nodes int
+	// TEPS is the projected aggregate traversal rate.
+	TEPS float64
+	// ComputeSeconds, NetworkSeconds and LatencySeconds are the three
+	// cost components; the bottleneck is their max + the latency term.
+	ComputeSeconds float64
+	NetworkSeconds float64
+	LatencySeconds float64
+	// NetworkBound reports whether the interconnect, not compute, limits
+	// the run.
+	NetworkBound bool
+}
+
+// Predict projects the traversal rate of w on cluster c.
+func Predict(c Config, w Workload) (Prediction, error) {
+	c = c.withDefaults()
+	if err := c.validate(); err != nil {
+		return Prediction{}, err
+	}
+	if w.Edges <= 0 || w.Depth <= 0 {
+		return Prediction{}, fmt.Errorf("cluster: workload needs positive edges and depth")
+	}
+	n := float64(c.Nodes)
+	e := float64(w.Edges)
+
+	compute := e / (n * c.NodeTEPS * c.Efficiency)
+	remoteFrac := 1 - 1/n
+	network := e * remoteFrac * c.BytesPerEdge / (n * c.LinkBandwidth)
+	latency := float64(w.Depth) * c.StepLatency
+
+	total := math.Max(compute, network) + latency
+	return Prediction{
+		Nodes:          c.Nodes,
+		TEPS:           e / total,
+		ComputeSeconds: compute,
+		NetworkSeconds: network,
+		LatencySeconds: latency,
+		NetworkBound:   network > compute,
+	}, nil
+}
+
+// NodesToMatch returns the smallest node count at which cluster c
+// (its Nodes field is ignored) reaches targetTEPS on workload w, or an
+// error if even maxNodes cannot (the network/latency terms put a ceiling
+// on achievable rates).
+func NodesToMatch(c Config, w Workload, targetTEPS float64, maxNodes int) (int, error) {
+	if targetTEPS <= 0 {
+		return 0, fmt.Errorf("cluster: target must be positive")
+	}
+	for n := 1; n <= maxNodes; n *= 2 {
+		c.Nodes = n
+		pr, err := Predict(c, w)
+		if err != nil {
+			return 0, err
+		}
+		if pr.TEPS >= targetTEPS {
+			// Binary-search the exact count in (n/2, n].
+			lo, hi := n/2+1, n
+			for lo < hi {
+				mid := (lo + hi) / 2
+				c.Nodes = mid
+				pm, err := Predict(c, w)
+				if err != nil {
+					return 0, err
+				}
+				if pm.TEPS >= targetTEPS {
+					hi = mid
+				} else {
+					lo = mid + 1
+				}
+			}
+			return lo, nil
+		}
+	}
+	return 0, fmt.Errorf("cluster: target %.3g TEPS unreachable within %d nodes", targetTEPS, maxNodes)
+}
+
+// Era2010Cluster returns parameters representative of the commodity
+// clusters on the November 2010 Graph500 list the paper compares
+// against: DDR InfiniBand (~1 GB/s usable per node), ~100 µs collective
+// latency, and the modest per-node BFS rates of pre-optimization
+// distributed codes.
+func Era2010Cluster(nodeTEPS float64) Config {
+	return Config{
+		NodeTEPS:      nodeTEPS,
+		LinkBandwidth: 1e9,
+		StepLatency:   100e-6,
+		BytesPerEdge:  12,
+		Efficiency:    0.5,
+	}
+}

@@ -1,0 +1,146 @@
+package cluster
+
+import (
+	"testing"
+)
+
+// toyWorkload approximates the Graph500 Toy+ class runs of the Nov 2010
+// list: ~1B traversed edges, small diameter.
+func toyWorkload() Workload {
+	return Workload{Edges: 1 << 30, Depth: 8}
+}
+
+func TestPredictSingleNode(t *testing.T) {
+	c := Era2010Cluster(100e6)
+	c.Nodes = 1
+	pr, err := Predict(c, toyWorkload())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One node: no network term, rate = NodeTEPS * Efficiency.
+	if pr.NetworkSeconds != 0 {
+		t.Errorf("single node has network time %v", pr.NetworkSeconds)
+	}
+	want := 100e6 * 0.5
+	if ratio := pr.TEPS / want; ratio < 0.95 || ratio > 1.05 {
+		t.Errorf("single-node TEPS = %g, want ~%g", pr.TEPS, want)
+	}
+}
+
+func TestPredictScalesThenSaturates(t *testing.T) {
+	w := toyWorkload()
+	prev := 0.0
+	for _, n := range []int{1, 2, 4, 8, 16, 32} {
+		c := Era2010Cluster(50e6)
+		c.Nodes = n
+		pr, err := Predict(c, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pr.TEPS < prev*0.99 {
+			t.Errorf("TEPS fell from %g to %g at %d nodes", prev, pr.TEPS, n)
+		}
+		prev = pr.TEPS
+	}
+	// With fast nodes the interconnect binds and scaling turns
+	// sublinear: 32 fast nodes deliver well under 32x one node.
+	c := Era2010Cluster(500e6)
+	c.Nodes = 1
+	one, _ := Predict(c, w)
+	c.Nodes = 32
+	many, _ := Predict(c, w)
+	if !many.NetworkBound {
+		t.Error("fast nodes at 32x should be network-bound")
+	}
+	if many.TEPS > 20*one.TEPS {
+		t.Errorf("implausible scaling for network-bound run: %g vs %g", many.TEPS, one.TEPS)
+	}
+}
+
+// TestHeadlineClaim reproduces the paper's flagship comparison: a single
+// node at the paper's optimized ~850 MTEPS rate requires a large cluster
+// of nodes running era-typical per-node rates (tens of MTEPS after
+// distribution overheads) to match — the paper cites 256 nodes on the
+// Nov 2010 Graph500 list.
+func TestHeadlineClaim(t *testing.T) {
+	const paperSingleNode = 850e6 // the paper's dual-socket Nehalem rate
+	// Era-typical distributed per-node traversal rate before this
+	// paper's optimizations: tens of MTEPS (Agarwal et al. report
+	// ~300-600 MTEPS *after* optimization on 4 sockets; cluster codes of
+	// the Nov 2010 list averaged far less per node).
+	c := Era2010Cluster(20e6)
+	nodes, err := NodesToMatch(c, toyWorkload(), paperSingleNode, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nodes < 64 || nodes > 1024 {
+		t.Errorf("nodes to match single node = %d, want order hundreds (paper: 256)", nodes)
+	}
+}
+
+func TestNetworkBound(t *testing.T) {
+	// Fast nodes + slow network: the interconnect must be the limit.
+	c := Config{Nodes: 64, NodeTEPS: 1e9, LinkBandwidth: 1e8, StepLatency: 1e-4, Efficiency: 1}
+	pr, err := Predict(c, toyWorkload())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pr.NetworkBound {
+		t.Error("expected a network-bound prediction")
+	}
+	// And a latency floor: huge depth with tiny work.
+	deep := Workload{Edges: 1 << 10, Depth: 10000}
+	pr, err = Predict(c, deep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pr.LatencySeconds < 1.0 {
+		t.Errorf("latency term %v, want >= 1s for 10000 steps at 100us", pr.LatencySeconds)
+	}
+}
+
+func TestNodesToMatchExact(t *testing.T) {
+	c := Era2010Cluster(100e6)
+	w := toyWorkload()
+	n, err := NodesToMatch(c, w, 400e6, 1<<16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The found count reaches the target...
+	c.Nodes = n
+	pr, _ := Predict(c, w)
+	if pr.TEPS < 400e6 {
+		t.Errorf("%d nodes give only %g TEPS", n, pr.TEPS)
+	}
+	// ...and one fewer does not.
+	if n > 1 {
+		c.Nodes = n - 1
+		pr, _ = Predict(c, w)
+		if pr.TEPS >= 400e6 {
+			t.Errorf("%d nodes already reach the target; NodesToMatch overshot", n-1)
+		}
+	}
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := Predict(Config{}, toyWorkload()); err == nil {
+		t.Error("zero config accepted")
+	}
+	c := Era2010Cluster(1e8)
+	c.Nodes = 1
+	if _, err := Predict(c, Workload{}); err == nil {
+		t.Error("empty workload accepted")
+	}
+	if _, err := NodesToMatch(c, toyWorkload(), -1, 10); err == nil {
+		t.Error("negative target accepted")
+	}
+	if _, err := NodesToMatch(Era2010Cluster(1), toyWorkload(), 1e12, 4); err == nil {
+		t.Error("unreachable target did not error")
+	}
+	bad := Era2010Cluster(1e8)
+	bad.Efficiency = 2
+	bad.Nodes = 1
+	if _, err := Predict(bad, toyWorkload()); err == nil {
+		t.Error("efficiency > 1 accepted")
+	}
+}

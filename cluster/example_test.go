@@ -1,0 +1,21 @@
+package cluster_test
+
+import (
+	"fmt"
+
+	"fastbfs/cluster"
+)
+
+// ExampleNodesToMatch reproduces the paper's cluster-equivalence
+// analysis: how many era-2010 cluster nodes match one optimized
+// single-node rate.
+func ExampleNodesToMatch() {
+	c := cluster.Era2010Cluster(20e6) // 20 MTEPS per node after overheads
+	w := cluster.Workload{Edges: 1 << 30, Depth: 8}
+	nodes, err := cluster.NodesToMatch(c, w, 850e6, 1<<20)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(nodes >= 64 && nodes <= 512)
+	// Output: true
+}

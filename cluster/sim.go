@@ -1,0 +1,194 @@
+package cluster
+
+import (
+	"fmt"
+	"sync"
+
+	"fastbfs/graph"
+)
+
+// Sim executes a real (in-process) distributed BFS: the 1-D partitioned
+// level-synchronous algorithm of the multi-node systems the paper cites
+// ([8] BlueGene/L, [11] Buluç & Madduri) and positions its single-node
+// engine as a building block for. Vertices are range-partitioned across
+// simulated nodes; each step every node expands its owned slice of the
+// frontier and ships discovered neighbors to their owners, who claim
+// unvisited vertices and build the next frontier.
+//
+// Besides serving as an executable model of the paper's §I scaling
+// argument, the simulation measures the communication volume that
+// cluster.Predict assumes analytically (the (1 - 1/N) remote fraction).
+type Sim struct {
+	g      *graph.Graph
+	nodes  int
+	shift  uint // owner(v) = v >> shift
+	depths []int32
+}
+
+// NewSim partitions g across nodes (power of two) for simulation.
+func NewSim(g *graph.Graph, nodes int) (*Sim, error) {
+	if nodes < 1 || nodes&(nodes-1) != 0 {
+		return nil, fmt.Errorf("cluster: nodes must be a power of two, got %d", nodes)
+	}
+	n := g.NumVertices()
+	if n == 0 {
+		return nil, fmt.Errorf("cluster: empty graph")
+	}
+	per := (n + nodes - 1) / nodes
+	shift := uint(0)
+	for (1 << shift) < per {
+		shift++
+	}
+	return &Sim{g: g, nodes: nodes, shift: shift}, nil
+}
+
+// Owner returns the node owning vertex v.
+func (s *Sim) Owner(v uint32) int {
+	o := int(v >> s.shift)
+	if o >= s.nodes {
+		o = s.nodes - 1
+	}
+	return o
+}
+
+// message is one discovered (vertex, parent) pair in flight.
+type message struct {
+	vertex, parent uint32
+}
+
+// SimResult reports a simulated distributed traversal.
+type SimResult struct {
+	Source  uint32
+	Depth   []int32 // -1 = unreached
+	Parent  []int64 // -1 = unreached
+	Steps   int
+	Visited int64
+	// EdgesTraversed counts adjacency entries examined across nodes.
+	EdgesTraversed int64
+	// LocalMsgs/RemoteMsgs count discovered pairs that stayed on the
+	// expanding node versus crossing to another owner.
+	LocalMsgs, RemoteMsgs int64
+	// BytesOnWire is RemoteMsgs x 8 (vertex + parent ids).
+	BytesOnWire int64
+	// PerStepRemote holds the remote message count per step.
+	PerStepRemote []int64
+}
+
+// RemoteFraction returns the fraction of discoveries that crossed nodes
+// (the model assumes 1 - 1/N for uniformly spread neighbors).
+func (r *SimResult) RemoteFraction() float64 {
+	t := r.LocalMsgs + r.RemoteMsgs
+	if t == 0 {
+		return 0
+	}
+	return float64(r.RemoteMsgs) / float64(t)
+}
+
+// Run performs the distributed traversal from source. Each node runs as
+// a goroutine per step; exchanges are all-to-all message slices.
+func (s *Sim) Run(source uint32) (*SimResult, error) {
+	n := s.g.NumVertices()
+	if int(source) >= n {
+		return nil, fmt.Errorf("cluster: source %d out of range", source)
+	}
+	depth := make([]int32, n)
+	parent := make([]int64, n)
+	for i := range depth {
+		depth[i] = -1
+		parent[i] = -1
+	}
+	depth[source] = 0
+	parent[source] = int64(source)
+
+	res := &SimResult{Source: source, Depth: depth, Parent: parent}
+
+	// frontiers[node] is the node's owned slice of the current frontier.
+	frontiers := make([][]uint32, s.nodes)
+	frontiers[s.Owner(source)] = []uint32{source}
+	// outboxes[from][to] carries discoveries between steps.
+	outboxes := make([][][]message, s.nodes)
+	for i := range outboxes {
+		outboxes[i] = make([][]message, s.nodes)
+	}
+	edges := make([]int64, s.nodes)
+
+	for step := int32(1); ; step++ {
+		total := 0
+		for _, f := range frontiers {
+			total += len(f)
+		}
+		if total == 0 {
+			break
+		}
+		res.Steps = int(step)
+
+		// Expand: every node scans its owned frontier concurrently and
+		// fills its outboxes (no shared writes: one goroutine per node).
+		var wg sync.WaitGroup
+		wg.Add(s.nodes)
+		for node := 0; node < s.nodes; node++ {
+			go func(node int) {
+				defer wg.Done()
+				out := outboxes[node]
+				for i := range out {
+					out[i] = out[i][:0]
+				}
+				for _, u := range frontiers[node] {
+					adj := s.g.Neighbors[s.g.Offsets[u]:s.g.Offsets[u+1]]
+					edges[node] += int64(len(adj))
+					for _, v := range adj {
+						out[s.Owner(v)] = append(out[s.Owner(v)], message{v, u})
+					}
+				}
+			}(node)
+		}
+		wg.Wait()
+
+		// Exchange accounting.
+		var stepRemote int64
+		for from := 0; from < s.nodes; from++ {
+			for to := 0; to < s.nodes; to++ {
+				c := int64(len(outboxes[from][to]))
+				if from == to {
+					res.LocalMsgs += c
+				} else {
+					res.RemoteMsgs += c
+					stepRemote += c
+				}
+			}
+		}
+		res.PerStepRemote = append(res.PerStepRemote, stepRemote)
+
+		// Claim: each owner processes its inbox concurrently; owners have
+		// exclusive write access to their vertex range, so no locks.
+		wg.Add(s.nodes)
+		for node := 0; node < s.nodes; node++ {
+			go func(node int) {
+				defer wg.Done()
+				next := frontiers[node][:0]
+				for from := 0; from < s.nodes; from++ {
+					for _, m := range outboxes[from][node] {
+						if depth[m.vertex] == -1 {
+							depth[m.vertex] = step
+							parent[m.vertex] = int64(m.parent)
+							next = append(next, m.vertex)
+						}
+					}
+				}
+				frontiers[node] = next
+			}(node)
+		}
+		wg.Wait()
+	}
+
+	for _, e := range edges {
+		res.EdgesTraversed += e
+	}
+	for _, d := range depth {
+		if d >= 0 {
+			res.Visited++
+		}
+	}
+	res.BytesOnWire = res.RemoteMsgs * 8
+	return res, nil
+}

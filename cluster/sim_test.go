@@ -1,0 +1,134 @@
+package cluster
+
+import (
+	"math"
+	"testing"
+
+	"fastbfs/bfs"
+	"fastbfs/graph"
+	"fastbfs/graph/gen"
+)
+
+// TestSimMatchesSerial: the distributed traversal must produce exactly
+// the single-node depths on every graph family, at every node count.
+func TestSimMatchesSerial(t *testing.T) {
+	for name, build := range map[string]func() (*graph.Graph, error){
+		"ur":     func() (*graph.Graph, error) { return gen.UniformRandom(4000, 8, 1) },
+		"rmat":   func() (*graph.Graph, error) { return gen.RMAT(gen.Graph500Params(11, 8), 2) },
+		"grid":   func() (*graph.Graph, error) { return gen.Grid2D(50, 50, 0, 3) },
+		"stress": func() (*graph.Graph, error) { return gen.StressBipartite(2048, 6, 4) },
+	} {
+		g, err := build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref, err := bfs.RunSerial(g, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, nodes := range []int{1, 2, 4, 8} {
+			sim, err := NewSim(g, nodes)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := sim.Run(0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for v := 0; v < g.NumVertices(); v++ {
+				if res.Depth[v] != ref.Depth(uint32(v)) {
+					t.Fatalf("%s nodes=%d: vertex %d depth %d, want %d",
+						name, nodes, v, res.Depth[v], ref.Depth(uint32(v)))
+				}
+			}
+			if res.Visited != ref.Visited {
+				t.Fatalf("%s nodes=%d: visited %d, want %d", name, nodes, res.Visited, ref.Visited)
+			}
+			if res.EdgesTraversed != ref.EdgesTraversed {
+				t.Fatalf("%s nodes=%d: edges %d, want %d",
+					name, nodes, res.EdgesTraversed, ref.EdgesTraversed)
+			}
+		}
+	}
+}
+
+// TestSimRemoteFraction: for uniformly spread neighbors the remote
+// message fraction approaches the model's (1 - 1/N) assumption.
+func TestSimRemoteFraction(t *testing.T) {
+	g, err := gen.UniformRandom(1<<14, 16, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, nodes := range []int{2, 4, 8} {
+		sim, err := NewSim(g, nodes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := sim.Run(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := 1 - 1/float64(nodes)
+		if got := res.RemoteFraction(); math.Abs(got-want) > 0.02 {
+			t.Errorf("nodes=%d: remote fraction %.3f, model assumes %.3f", nodes, got, want)
+		}
+		if res.BytesOnWire != res.RemoteMsgs*8 {
+			t.Errorf("wire bytes inconsistent")
+		}
+		if len(res.PerStepRemote) != res.Steps {
+			t.Errorf("per-step series length %d, steps %d", len(res.PerStepRemote), res.Steps)
+		}
+	}
+}
+
+// TestSimSingleNodeNoTraffic: with one node everything is local.
+func TestSimSingleNodeNoTraffic(t *testing.T) {
+	g, _ := gen.UniformRandom(1000, 8, 1)
+	sim, err := NewSim(g, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.Run(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RemoteMsgs != 0 || res.BytesOnWire != 0 {
+		t.Errorf("single node produced remote traffic: %d msgs", res.RemoteMsgs)
+	}
+}
+
+// TestSimParentsAreEdges: every assigned parent must be a real edge
+// endpoint one level up.
+func TestSimParentsAreEdges(t *testing.T) {
+	g, _ := gen.RMAT(gen.Graph500Params(10, 8), 5)
+	sim, _ := NewSim(g, 4)
+	res, err := sim.Run(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < g.NumVertices(); v++ {
+		d := res.Depth[v]
+		if d <= 0 {
+			continue
+		}
+		p := uint32(res.Parent[v])
+		if res.Depth[p] != d-1 {
+			t.Fatalf("vertex %d parent %d at depth %d, want %d", v, p, res.Depth[p], d-1)
+		}
+		if !g.HasEdge(p, uint32(v)) {
+			t.Fatalf("parent edge (%d,%d) missing", p, v)
+		}
+	}
+}
+
+// TestSimValidation rejects bad inputs.
+func TestSimValidation(t *testing.T) {
+	g, _ := gen.UniformRandom(100, 4, 1)
+	if _, err := NewSim(g, 3); err == nil {
+		t.Error("non-power-of-two nodes accepted")
+	}
+	sim, _ := NewSim(g, 2)
+	if _, err := sim.Run(1000); err == nil {
+		t.Error("out-of-range source accepted")
+	}
+}

@@ -1,0 +1,103 @@
+// Command bfsbench regenerates the paper's evaluation tables and figures
+// on scaled-down synthetic workloads.
+//
+// Usage:
+//
+//	bfsbench [flags] <experiment>...
+//
+// Experiments: table1 table2 fig4 fig5 fig6 fig7 fig8 modelcheck ablate
+// all
+//
+// Flags:
+//
+//	-scale N    divide the paper's graph sizes (and simulated LLC) by N
+//	            (default 64; 1 reproduces paper sizes and needs ~100 GB)
+//	-workers N  traversal goroutines (default GOMAXPROCS)
+//	-roots N    starting vertices averaged per graph (default 5)
+//	-seed N     workload seed
+//	-v          log progress
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"fastbfs/experiments"
+	"fastbfs/internal/stats"
+)
+
+func main() {
+	scale := flag.Int("scale", 64, "divide the paper's graph sizes by this factor")
+	workers := flag.Int("workers", 0, "traversal goroutines (0 = GOMAXPROCS)")
+	roots := flag.Int("roots", 5, "starting vertices averaged per graph")
+	seed := flag.Uint64("seed", 20120521, "workload seed")
+	verbose := flag.Bool("v", false, "log progress")
+	flag.Parse()
+
+	var logw io.Writer
+	if *verbose {
+		logw = os.Stderr
+	}
+	cfg := experiments.Config{
+		Scale: *scale, Workers: *workers, Roots: *roots, Seed: *seed, Log: logw,
+	}
+
+	args := flag.Args()
+	if len(args) == 0 {
+		fmt.Fprintln(os.Stderr, "usage: bfsbench [flags] <table1|table2|fig4|fig5|fig6|fig7|fig8|modelcheck|scaling|ablate|all>...")
+		os.Exit(2)
+	}
+	if len(args) == 1 && args[0] == "all" {
+		args = []string{"table1", "modelcheck", "table2", "fig4", "fig5", "fig6", "fig7", "fig8", "scaling", "ablate"}
+	}
+
+	type runner func() (*stats.Table, error)
+	runners := map[string]runner{
+		"table1":     func() (*stats.Table, error) { return experiments.Table1(), nil },
+		"table2":     func() (*stats.Table, error) { return experiments.Table2(cfg) },
+		"fig4":       func() (*stats.Table, error) { return experiments.Fig4(cfg) },
+		"fig5":       func() (*stats.Table, error) { return experiments.Fig5(cfg) },
+		"fig6":       func() (*stats.Table, error) { return experiments.Fig6(cfg) },
+		"fig7":       func() (*stats.Table, error) { return experiments.Fig7(cfg) },
+		"fig8":       func() (*stats.Table, error) { return experiments.Fig8(cfg) },
+		"modelcheck": experiments.ModelCheck,
+		"scaling":    func() (*stats.Table, error) { return experiments.Scaling(cfg) },
+		"ablate":     func() (*stats.Table, error) { return experiments.Ablate(cfg) },
+	}
+	titles := map[string]string{
+		"table1":     "Table I — platform characteristics (modeled machine)",
+		"table2":     "Table II — real-world graph analogues",
+		"fig4":       "Figure 4 — VIS representations vs no-VIS baseline (UR graphs)",
+		"fig5":       "Figure 5 — multi-socket schemes, measured and model-projected",
+		"fig6":       "Figure 6 — ours vs atomic-bitmap baseline (UR, R-MAT)",
+		"fig7":       "Figure 7 — real-world analogues, ours vs baseline",
+		"fig8":       "Figure 8 — cycles/edge per phase, measured vs model",
+		"modelcheck": "Section V-C / Appendix D — worked model example",
+		"scaling":    "Section V-B — socket scaling, measured and projected",
+		"ablate":     "Section V-A — latency-hiding ablations",
+	}
+
+	for _, name := range args {
+		run, ok := runners[name]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "bfsbench: unknown experiment %q\n", name)
+			os.Exit(2)
+		}
+		start := time.Now()
+		tab, err := run()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bfsbench: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Printf("== %s ==\n", titles[name])
+		if name != "table1" && name != "modelcheck" {
+			fmt.Printf("(scale 1/%d, %d roots, seed %d; elapsed %v)\n",
+				cfg.Scale, cfg.Roots, cfg.Seed, time.Since(start).Round(time.Millisecond))
+		}
+		tab.Render(os.Stdout)
+		fmt.Println()
+	}
+}

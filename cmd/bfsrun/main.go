@@ -1,0 +1,141 @@
+// Command bfsrun traverses a graph (loaded from a CSR file written by
+// graphgen, or generated on the fly) and reports traversal rate,
+// per-step metrics and validation status.
+//
+// Usage:
+//
+//	bfsrun -graph rmat.csr -source 0 -sockets 2
+//	bfsrun -gen rmat -scale 18 -edgefactor 16 -trace
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"fastbfs/bfs"
+	"fastbfs/graph"
+	"fastbfs/graph/gen"
+	"fastbfs/internal/stats"
+)
+
+func main() {
+	path := flag.String("graph", "", "CSR graph file (from graphgen)")
+	genKind := flag.String("gen", "", "generate instead: ur | rmat")
+	n := flag.Int("n", 1<<18, "vertices for -gen ur")
+	degree := flag.Int("degree", 16, "degree for -gen ur")
+	scale := flag.Int("scale", 18, "log2 vertices for -gen rmat")
+	edgeFactor := flag.Int("edgefactor", 16, "edge factor for -gen rmat")
+	seed := flag.Uint64("seed", 1, "generator seed")
+	source := flag.Int("source", -1, "starting vertex (-1 = best of 8 probes)")
+	sockets := flag.Int("sockets", 2, "simulated sockets (power of two)")
+	workers := flag.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS)")
+	visFlag := flag.String("vis", "partitioned", "none | atomic | byte | bit | partitioned")
+	schemeFlag := flag.String("scheme", "lb", "single | aware | lb")
+	serial := flag.Bool("serial", false, "also run the serial reference")
+	doValidate := flag.Bool("validate", true, "validate the BFS tree")
+	doTrace := flag.Bool("trace", false, "print per-step metrics")
+	csvPath := flag.String("csv", "", "write per-step metrics as CSV to this file (implies -trace)")
+	flag.Parse()
+	if *csvPath != "" {
+		*doTrace = true
+	}
+
+	g, err := loadOrGen(*path, *genKind, *n, *degree, *scale, *edgeFactor, *seed)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bfsrun: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("graph: %s\n", graph.ComputeStats(g))
+
+	src := uint32(0)
+	if *source >= 0 {
+		src = uint32(*source)
+	} else {
+		src, _ = graph.LargestReach(g, 8)
+	}
+
+	vis := map[string]bfs.VISKind{
+		"none": bfs.VISNone, "atomic": bfs.VISAtomicBit, "byte": bfs.VISByte,
+		"bit": bfs.VISBit, "partitioned": bfs.VISPartitioned,
+	}[*visFlag]
+	scheme := map[string]bfs.Scheme{
+		"single": bfs.SchemeSinglePhase, "aware": bfs.SchemeSocketAware,
+		"lb": bfs.SchemeLoadBalanced,
+	}[*schemeFlag]
+
+	o := bfs.Default(*sockets)
+	o.VIS = vis
+	o.Scheme = scheme
+	o.Workers = *workers
+	o.Instrument = *doTrace
+
+	res, err := bfs.Run(g, src, o)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bfsrun: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("source %d: visited %s vertices, traversed %s edges in %d steps\n",
+		src, stats.HumanCount(res.Visited), stats.HumanCount(res.EdgesTraversed), res.Steps)
+	fmt.Printf("elapsed %v  =>  %.1f MTEPS (duplicate work: %d appends)\n",
+		res.Elapsed, res.MTEPS(), res.Appends-res.Visited)
+
+	if *doTrace && res.Trace != nil {
+		t := stats.NewTable("step", "frontier", "edges", "new", "pbv", "shared", "maxShare", "t1", "t2", "tR")
+		for _, s := range res.Trace.Steps {
+			t.AddRow(s.Step, s.Frontier, s.Edges, s.NewVertices, s.PBVEntries,
+				s.SharedBins, s.MaxSocketShare, s.Phase1.String(), s.Phase2.String(), s.Rearr.String())
+		}
+		t.Render(os.Stdout)
+	}
+
+	if *csvPath != "" && res.Trace != nil {
+		f, err := os.Create(*csvPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bfsrun: %v\n", err)
+			os.Exit(1)
+		}
+		if err := res.Trace.WriteCSV(f); err != nil {
+			fmt.Fprintf(os.Stderr, "bfsrun: writing CSV: %v\n", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "bfsrun: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("per-step metrics written to %s\n", *csvPath)
+	}
+
+	if *serial {
+		ref, err := bfs.RunSerial(g, src)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bfsrun: serial: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("serial: %v => %.1f MTEPS (parallel speedup %.2fx)\n",
+			ref.Elapsed, ref.MTEPS(), res.MTEPS()/ref.MTEPS())
+	}
+
+	if *doValidate {
+		if err := bfs.Validate(g, res); err != nil {
+			fmt.Fprintf(os.Stderr, "bfsrun: VALIDATION FAILED: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println("validation: OK (valid BFS tree, depths match serial reference)")
+	}
+}
+
+func loadOrGen(path, kind string, n, degree, scale, edgeFactor int, seed uint64) (*graph.Graph, error) {
+	switch {
+	case path != "":
+		return graph.Load(path)
+	case kind == "ur":
+		return gen.UniformRandom(n, degree, seed)
+	case kind == "rmat":
+		return gen.RMAT(gen.Graph500Params(scale, edgeFactor), seed)
+	case kind == "":
+		return nil, fmt.Errorf("either -graph or -gen is required")
+	default:
+		return nil, fmt.Errorf("unknown -gen kind %q", kind)
+	}
+}

@@ -1,0 +1,76 @@
+// Command graph500 runs the Graph500-style benchmark (the methodology
+// behind the paper's Toy++ row and its cluster comparison): Kronecker
+// construction, repeated validated BFS, harmonic-mean TEPS — plus an
+// optional cluster-equivalence projection reproducing the paper's
+// "matches a 256-node system" analysis.
+//
+// Usage:
+//
+//	graph500 -scale 20 -edgefactor 16 -roots 8 -sockets 2
+//	graph500 -scale 18 -cluster-node-mteps 20
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"fastbfs/bfs"
+	"fastbfs/cluster"
+	"fastbfs/graph500"
+	"fastbfs/internal/stats"
+)
+
+func main() {
+	scale := flag.Int("scale", 18, "log2 vertex count")
+	edgeFactor := flag.Int("edgefactor", 16, "edges per vertex")
+	roots := flag.Int("roots", 8, "BFS roots")
+	sockets := flag.Int("sockets", 2, "simulated sockets")
+	workers := flag.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS)")
+	seed := flag.Uint64("seed", 0, "graph seed (0 = default)")
+	skipValidate := flag.Bool("skip-validation", false, "skip per-root validation")
+	clusterNode := flag.Float64("cluster-node-mteps", 0,
+		"if > 0, also report how many era-2010 cluster nodes at this per-node MTEPS match the measured rate")
+	flag.Parse()
+
+	o := bfs.Default(*sockets)
+	o.Workers = *workers
+	rep, err := graph500.Run(graph500.Spec{
+		Scale: *scale, EdgeFactor: *edgeFactor, Roots: *roots,
+		Seed: *seed, SkipValidation: *skipValidate,
+	}, o)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "graph500: %v\n", err)
+		os.Exit(1)
+	}
+
+	t := stats.NewTable("root", "visited", "levels", "MTEPS", "validated")
+	for _, rr := range rep.Roots {
+		t.AddRow(rr.Root, rr.Visited, rr.Levels, rr.TEPS/1e6, rr.Validated)
+	}
+	t.Render(os.Stdout)
+	fmt.Printf("\n%s\n", rep)
+
+	if *clusterNode > 0 {
+		c := cluster.Era2010Cluster(*clusterNode * 1e6)
+		w := cluster.Workload{Edges: rep.Edges, Depth: maxLevels(rep)}
+		nodes, err := cluster.NodesToMatch(c, w, rep.HarmonicMeanTEPS, 1<<20)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "graph500: cluster projection: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("cluster equivalence: ~%d era-2010 nodes at %.0f MTEPS/node "+
+			"match this single-node rate (the paper cites 256 nodes)\n",
+			nodes, *clusterNode)
+	}
+}
+
+func maxLevels(rep *graph500.Report) int {
+	m := 1
+	for _, rr := range rep.Roots {
+		if rr.Levels > m {
+			m = rr.Levels
+		}
+	}
+	return m
+}

@@ -1,0 +1,80 @@
+// Command graphgen generates a synthetic graph and writes it in the
+// fastbfs binary CSR format.
+//
+// Usage:
+//
+//	graphgen -kind ur -n 1048576 -degree 16 -o ur.csr
+//	graphgen -kind rmat -scale 20 -edgefactor 16 -o rmat.csr
+//	graphgen -kind grid -rows 1024 -cols 1024 -o road.csr
+//	graphgen -kind pa -n 100000 -degree 8 -o social.csr
+//	graphgen -kind stress -n 65536 -degree 8 -o stress.csr
+//	graphgen -kind kron -scale 20 -edgefactor 16 -o toy.csr
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"fastbfs/graph"
+	"fastbfs/graph/gen"
+)
+
+func main() {
+	kind := flag.String("kind", "ur", "ur | random | rmat | kron | grid | pa | stress | mesh | smallworld")
+	n := flag.Int("n", 1<<20, "vertices (ur/random/pa/stress/smallworld)")
+	degree := flag.Int("degree", 16, "degree / edge factor / attachment count")
+	scale := flag.Int("scale", 20, "log2 vertices (rmat/kron)")
+	edgeFactor := flag.Int("edgefactor", 16, "edges per vertex (rmat/kron)")
+	rows := flag.Int("rows", 1024, "grid rows")
+	cols := flag.Int("cols", 1024, "grid cols")
+	shortcuts := flag.Int("shortcuts", 0, "grid shortcut edges per 1000 vertices")
+	rewire := flag.Float64("rewire", 0.1, "small-world rewiring probability")
+	seed := flag.Uint64("seed", 1, "generator seed")
+	out := flag.String("o", "", "output path (required)")
+	flag.Parse()
+
+	if *out == "" {
+		fmt.Fprintln(os.Stderr, "graphgen: -o output path is required")
+		os.Exit(2)
+	}
+
+	var g *graph.Graph
+	var err error
+	switch *kind {
+	case "ur":
+		g, err = gen.UniformRandom(*n, *degree, *seed)
+	case "random":
+		g, err = gen.RandomEdges(*n, int64(*n)*int64(*degree), *seed)
+	case "rmat":
+		g, err = gen.RMAT(gen.Graph500Params(*scale, *edgeFactor), *seed)
+	case "kron":
+		g, err = gen.Kronecker(*scale, *edgeFactor, *seed)
+	case "grid":
+		g, err = gen.Grid2D(*rows, *cols, *shortcuts, *seed)
+	case "pa":
+		g, err = gen.PreferentialAttachment(*n, *degree, *seed)
+	case "stress":
+		g, err = gen.StressBipartite(*n, *degree, *seed)
+	case "mesh":
+		d := 1
+		for d*d*d < *n {
+			d++
+		}
+		g, err = gen.BandedMesh(d, d, d)
+	case "smallworld":
+		g, err = gen.SmallWorld(*n, *degree, *rewire, *seed)
+	default:
+		fmt.Fprintf(os.Stderr, "graphgen: unknown kind %q\n", *kind)
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "graphgen: %v\n", err)
+		os.Exit(1)
+	}
+	if err := g.Save(*out); err != nil {
+		fmt.Fprintf(os.Stderr, "graphgen: saving: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s: %s\n", *out, graph.ComputeStats(g))
+}

@@ -1,0 +1,60 @@
+// Command membench measures this host's memory characteristics the way
+// the paper's Table I was produced (Molka-style streaming and
+// pointer-chase microbenchmarks) and prints a model.Platform snippet so
+// the analytical model can be calibrated to machines other than the
+// paper's Nehalem.
+//
+// Usage:
+//
+//	membench [-mb 256] [-workers 0]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"runtime"
+	"time"
+
+	"fastbfs/internal/membw"
+	"fastbfs/internal/stats"
+)
+
+func main() {
+	mb := flag.Int("mb", 256, "DRAM working-set size in MiB")
+	workers := flag.Int("workers", 0, "parallel streams (0 = GOMAXPROCS)")
+	dur := flag.Duration("dur", 200*time.Millisecond, "minimum time per measurement")
+	flag.Parse()
+
+	fmt.Printf("measuring on %d logical CPUs (GOMAXPROCS %d)...\n",
+		runtime.NumCPU(), runtime.GOMAXPROCS(0))
+	r := membw.Measure(membw.Options{
+		BufferBytes: *mb << 20,
+		Workers:     *workers,
+		MinDuration: *dur,
+	})
+
+	t := stats.NewTable("measurement", "value")
+	t.AddRow("streaming read (DRAM)", fmt.Sprintf("%.2f GB/s", r.SeqReadGBs))
+	t.AddRow("streaming write (DRAM)", fmt.Sprintf("%.2f GB/s", r.SeqWriteGBs))
+	t.AddRow("streaming read (cache-resident)", fmt.Sprintf("%.2f GB/s", r.CachedReadGBs))
+	t.AddRow("dependent random read", fmt.Sprintf("%.1f ns", r.RandomReadNS))
+	t.Render(flag.CommandLine.Output())
+
+	fmt.Printf(`
+calibrated platform snippet (single socket; edit cache sizes to match):
+
+	p := model.Platform{
+		Name:      "this host (membench)",
+		Sockets:   1,
+		FreqGHz:   2.5, // set your nominal frequency
+		BMem:      %.1f,
+		BMemMax:   %.1f,
+		BLLCToL2:  %.1f,
+		BL2ToLLC:  %.1f,
+		BQPI:      %.1f, // single socket: unused
+		LLCBytes:  32 << 20,
+		L2Bytes:   1 << 20,
+		CacheLine: 64,
+	}
+`, r.SeqReadGBs, r.SeqReadGBs*1.4, r.CachedReadGBs, r.SeqWriteGBs, r.SeqReadGBs/2)
+}

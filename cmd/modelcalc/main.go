@@ -1,0 +1,56 @@
+// Command modelcalc evaluates the paper's analytical performance model
+// (§IV) for arbitrary workload parameters, printing the per-phase byte
+// volumes and cycle counts for 1..N sockets.
+//
+// Usage:
+//
+//	modelcalc -v 8388608 -vprime 4194304 -eprime 64000000 -depth 6 \
+//	          -npbv 2 -nvis 1 -alpha-adj 0.6 -sockets 4
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"fastbfs/internal/stats"
+	"fastbfs/model"
+)
+
+func main() {
+	v := flag.Int64("v", 8<<20, "|V| total vertices")
+	vp := flag.Int64("vprime", 4<<20, "|V'| visited vertices")
+	ep := flag.Int64("eprime", 64172851, "|E'| traversed edges")
+	depth := flag.Int("depth", 6, "graph depth D")
+	npbv := flag.Int("npbv", 2, "N_PBV bins")
+	nvis := flag.Int("nvis", 1, "N_VIS partitions")
+	aAdj := flag.Float64("alpha-adj", 0, "alpha_Adj (0 = balanced)")
+	aDP := flag.Float64("alpha-dp", 0, "alpha_DP (0 = balanced)")
+	sockets := flag.Int("sockets", 2, "max sockets to project")
+	flag.Parse()
+
+	w := model.Workload{
+		Vertices: *v, Visited: *vp, Edges: *ep, Depth: *depth,
+		NPBV: *npbv, NVIS: *nvis, AlphaAdj: *aAdj, AlphaDP: *aDP,
+	}
+	p := model.NehalemX5570()
+	fmt.Printf("platform: %s\nworkload: |V|=%s |V'|=%s |E'|=%s rho'=%.2f D=%d N_PBV=%d N_VIS=%d\n\n",
+		p.Name, stats.HumanCount(w.Vertices), stats.HumanCount(w.Visited),
+		stats.HumanCount(w.Edges), w.RhoPrime(), w.Depth, w.NPBV, w.NVIS)
+
+	tr := model.DataTransfers(p, w)
+	fmt.Printf("bytes/edge: Phase-I %.2f (IV.1a)  Phase-II %.2f (IV.1b)  LLC %.2f (IV.1c, pre-fit)  rearr %.2f (IV.1d)\n\n",
+		tr.Phase1DDR(), tr.Phase2DDR(), tr.Phase2LLC(), tr.Rearrange)
+
+	t := stats.NewTable("sockets", "fit", "P1 cyc/e", "P2 cyc/e", "rearr", "total", "MTEPS")
+	for ns := 1; ns <= *sockets; ns *= 2 {
+		pr, err := model.Predict(p, w, ns)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "modelcalc: %v\n", err)
+			os.Exit(1)
+		}
+		t.AddRow(ns, pr.L2Fit, pr.CyclesPhase1, pr.CyclesPhase2,
+			pr.CyclesRearrange, pr.CyclesPerEdge, pr.MTEPS)
+	}
+	t.Render(os.Stdout)
+}

@@ -1,0 +1,78 @@
+// Graph500-style benchmark run: generate a Kronecker graph at the given
+// scale, run BFS from several sampled roots, validate every tree, and
+// report harmonic-mean TEPS — the methodology of the benchmark the paper
+// targets (its Toy++ row is Graph500 scale 28).
+//
+// Usage:
+//
+//	go run ./examples/graph500 [-scale 20] [-edgefactor 16] [-roots 8]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"fastbfs/bfs"
+	"fastbfs/graph/gen"
+)
+
+func main() {
+	scale := flag.Int("scale", 20, "log2 of the vertex count")
+	edgeFactor := flag.Int("edgefactor", 16, "edges per vertex")
+	roots := flag.Int("roots", 8, "BFS roots to sample")
+	sockets := flag.Int("sockets", 2, "simulated sockets")
+	flag.Parse()
+
+	fmt.Printf("Graph500-style run: scale %d, edgefactor %d\n", *scale, *edgeFactor)
+
+	genStart := time.Now()
+	g, err := gen.Kronecker(*scale, *edgeFactor, 20100521)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("kernel 1 (construction): %d vertices, %d edges in %v\n",
+		g.NumVertices(), g.NumEdges(), time.Since(genStart).Round(time.Millisecond))
+
+	e, err := bfs.NewEngine(g, bfs.Default(*sockets))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Sample roots with nonzero degree, evenly spaced, as the reference
+	// implementation does.
+	var sources []uint32
+	step := g.NumVertices() / (*roots * 4)
+	if step == 0 {
+		step = 1
+	}
+	for v := 0; v < g.NumVertices() && len(sources) < *roots; v += step {
+		if g.Degree(uint32(v)) > 0 {
+			sources = append(sources, uint32(v))
+		}
+	}
+
+	var teps []float64
+	for i, src := range sources {
+		res, err := e.Run(src)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := bfs.Validate(g, res); err != nil {
+			log.Fatalf("root %d: validation failed: %v", src, err)
+		}
+		rate := res.MTEPS() * 1e6
+		teps = append(teps, rate)
+		fmt.Printf("kernel 2, root %2d (vertex %8d): %7d visited, %2d levels, %6.1f MTEPS  [validated]\n",
+			i, src, res.Visited, res.Steps, rate/1e6)
+	}
+
+	// Graph500 reports the harmonic mean of TEPS across roots.
+	var invSum float64
+	for _, r := range teps {
+		invSum += 1 / r
+	}
+	hm := float64(len(teps)) / invSum
+	fmt.Printf("\nharmonic-mean TEPS over %d validated roots: %.1f MTEPS\n", len(teps), hm/1e6)
+}

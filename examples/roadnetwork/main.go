@@ -1,0 +1,75 @@
+// Road-network reachability: hop-distance queries on a high-diameter
+// grid road graph — the USA-road workload class of the paper's Table II
+// (degree ≈ 4, diameter in the thousands), which stresses the
+// level-synchronous engine with thousands of tiny frontiers.
+//
+// The example measures BFS over a plain city grid and over the same grid
+// with a sparse highway overlay, showing how shortcuts collapse the hop
+// diameter, and times service-area queries (how many intersections are
+// within K hops of a depot).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"fastbfs/bfs"
+	"fastbfs/graph"
+	"fastbfs/graph/gen"
+)
+
+func main() {
+	const rows, cols = 700, 700 // ~half a million intersections
+
+	city, err := gen.Grid2D(rows, cols, 0, 11)
+	if err != nil {
+		log.Fatal(err)
+	}
+	highway, err := gen.Grid2D(rows, cols, 5, 11) // 5 shortcuts per 1000
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Depot at the map center.
+	depot := uint32(rows/2*cols + cols/2)
+
+	run := func(label string, g *graph.Graph) *bfs.Result {
+		res, err := bfs.Run(g, depot, bfs.Default(2))
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-22s %8d intersections, %8d roads, hop diameter %4d, %.1f MTEPS\n",
+			label, g.NumVertices(), g.NumEdges(), res.Steps-1, res.MTEPS())
+		return res
+	}
+
+	fmt.Println("BFS from the central depot:")
+	plain := run("city grid", city)
+	fast := run("city grid + highways", highway)
+
+	// Service areas: intersections reachable within K hops.
+	fmt.Println("\nservice area from the depot (reachable intersections):")
+	for _, k := range []int32{10, 50, 200} {
+		var plainN, fastN int
+		for v := 0; v < city.NumVertices(); v++ {
+			if d := plain.Depth(uint32(v)); d >= 0 && d <= k {
+				plainN++
+			}
+			if d := fast.Depth(uint32(v)); d >= 0 && d <= k {
+				fastN++
+			}
+		}
+		fmt.Printf("  within %3d hops: %7d (grid)  %7d (with highways, %.1fx)\n",
+			k, plainN, fastN, float64(fastN)/float64(plainN))
+	}
+
+	// Farthest intersection: the practical meaning of the hop diameter.
+	far := uint32(0)
+	for v := 0; v < city.NumVertices(); v++ {
+		if plain.Depth(uint32(v)) > plain.Depth(far) {
+			far = uint32(v)
+		}
+	}
+	fmt.Printf("\nfarthest intersection from the depot: (%d,%d) at %d hops\n",
+		far/cols, far%cols, plain.Depth(far))
+}

@@ -1,0 +1,75 @@
+// Social-network analysis: degrees of separation on a heavy-tailed
+// friendship graph — the workload class (Orkut/Facebook/Twitter rows of
+// the paper's Table II) that motivates single-node BFS throughput.
+//
+// The example builds a preferential-attachment graph, finds the
+// distribution of shortest-path hop counts from a "celebrity" (highest
+// degree) and from an average member, and reports how much of the
+// network lies within three hops of each.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"fastbfs/bfs"
+	"fastbfs/graph"
+	"fastbfs/graph/gen"
+)
+
+func main() {
+	const members = 200_000
+	const friendsPerJoin = 8
+	g, err := gen.PreferentialAttachment(members, friendsPerJoin, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	st := graph.ComputeStats(g)
+	fmt.Printf("network: %d members, %d friendship edges, max degree %d\n",
+		st.Vertices, st.Edges, st.MaxDegree)
+
+	// The celebrity: the member with the most friends.
+	celebrity := uint32(0)
+	for v := 1; v < members; v++ {
+		if g.Degree(uint32(v)) > g.Degree(celebrity) {
+			celebrity = uint32(v)
+		}
+	}
+
+	e, err := bfs.NewEngine(g, bfs.Default(2))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	report := func(label string, src uint32) {
+		res, err := e.Run(src)
+		if err != nil {
+			log.Fatal(err)
+		}
+		// Hop-count histogram.
+		hist := make([]int, res.Steps+1)
+		var within3 int
+		for v := 0; v < members; v++ {
+			d := res.Depth(uint32(v))
+			if d < 0 {
+				continue
+			}
+			hist[d]++
+			if d <= 3 {
+				within3++
+			}
+		}
+		fmt.Printf("\n%s (member %d, %d friends) at %.1f MTEPS:\n",
+			label, src, g.Degree(src), res.MTEPS())
+		for d, c := range hist {
+			if c > 0 {
+				fmt.Printf("  %d hops: %6d members (%.1f%%)\n",
+					d, c, 100*float64(c)/members)
+			}
+		}
+		fmt.Printf("  within 3 hops: %.1f%% of the network\n", 100*float64(within3)/members)
+	}
+
+	report("celebrity", celebrity)
+	report("average member", members/2)
+}

@@ -1,0 +1,206 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation section (§V) on scaled-down synthetic workloads. Each
+// Fig*/Table* function returns a rendered table whose rows mirror the
+// paper's series; cmd/bfsbench prints them and EXPERIMENTS.md records
+// paper-versus-measured values.
+//
+// Scaling: the paper's graphs reach 256M vertices on a 96 GB dual-socket
+// Nehalem. Config.Scale divides all vertex counts and the simulated LLC
+// size by the same factor (default 64), which preserves the position of
+// every cache-pressure crossover relative to graph size. Multi-socket
+// behaviour is emulated (worker groups + traffic accounting); wall-clock
+// numbers reflect the host, while the analytical model — validated
+// against the paper's worked example — carries the socket-scaling shape.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"fastbfs/bfs"
+	"fastbfs/graph"
+	"fastbfs/model"
+)
+
+// Config controls the experiment harness.
+type Config struct {
+	// Scale divides the paper's graph sizes (and the simulated LLC).
+	// 1 reproduces paper-size graphs (needs ~100 GB); the default 64
+	// fits laptop-class hosts.
+	Scale int
+	// Workers is the traversal pool size; 0 means GOMAXPROCS.
+	Workers int
+	// Roots is the number of starting vertices averaged per graph
+	// (the paper uses five).
+	Roots int
+	// Seed makes every generated workload reproducible.
+	Seed uint64
+	// Log receives progress lines; nil silences them.
+	Log io.Writer
+}
+
+// withDefaults fills unset fields.
+func (c Config) withDefaults() Config {
+	if c.Scale <= 0 {
+		c.Scale = 64
+	}
+	if c.Roots <= 0 {
+		c.Roots = 5
+	}
+	if c.Seed == 0 {
+		c.Seed = 20120521 // IPDPS 2012 started May 21
+	}
+	return c
+}
+
+func (c Config) logf(format string, args ...interface{}) {
+	if c.Log != nil {
+		fmt.Fprintf(c.Log, format+"\n", args...)
+	}
+}
+
+// scaled divides a paper-sized vertex count by the scale factor,
+// keeping at least 1024 vertices.
+func (c Config) scaled(paperVertices int64) int {
+	v := paperVertices / int64(c.Scale)
+	if v < 1024 {
+		v = 1024
+	}
+	return int(v)
+}
+
+// cacheBytes returns the simulated LLC size: the paper's 8 MiB divided
+// by the scale factor, floored at 4 KiB.
+func (c Config) cacheBytes() int64 {
+	b := int64(8<<20) / int64(c.Scale)
+	if b < 4<<10 {
+		b = 4 << 10
+	}
+	return b
+}
+
+// options returns the engine options for a named scheme at the given
+// socket count, with the scaled cache geometry applied.
+func (c Config) options(vis bfs.VISKind, scheme bfs.Scheme, sockets int) bfs.Options {
+	o := bfs.Default(sockets)
+	o.VIS = vis
+	o.Scheme = scheme
+	o.Workers = c.Workers
+	o.CacheBytes = c.cacheBytes()
+	o.L2Bytes = maxI64(c.cacheBytes()/32, 1<<10) // keep the paper's LLC:L2 ratio
+	return o
+}
+
+func maxI64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// pickRoots returns up to n starting vertices with above-average degree
+// (R-MAT graphs have isolated vertices; the paper traverses >98% of
+// edges per run, which needs roots inside the giant component).
+func pickRoots(g *graph.Graph, n int) []uint32 {
+	if n < 1 {
+		n = 1
+	}
+	avg := float64(g.NumEdges()) / float64(g.NumVertices())
+	roots := make([]uint32, 0, n)
+	step := g.NumVertices()/(n*8) + 1
+	for v := 0; v < g.NumVertices() && len(roots) < n; v += step {
+		if float64(g.Degree(uint32(v))) >= avg {
+			roots = append(roots, uint32(v))
+		}
+	}
+	for v := 0; v < g.NumVertices() && len(roots) < n; v++ {
+		if g.Degree(uint32(v)) > 0 {
+			roots = append(roots, uint32(v))
+		}
+	}
+	if len(roots) == 0 {
+		roots = append(roots, 0)
+	}
+	return roots
+}
+
+// RunStats aggregates repeated traversals of one configuration.
+type RunStats struct {
+	MTEPS   float64 // average over roots, work-based as in the paper
+	Steps   int     // max depth observed
+	Edges   int64   // average traversed edges
+	Visited int64   // average visited vertices
+	Elapsed time.Duration
+	LastRun *bfs.Result
+}
+
+// measure builds an engine once and averages MTEPS over the roots —
+// the paper's methodology (five starting vertices, mean performance).
+// One untimed warmup run faults in the engine's buffers so the first
+// timed root is not charged for page faults.
+func measure(g *graph.Graph, o bfs.Options, roots []uint32) (RunStats, error) {
+	e, err := bfs.NewEngine(g, o)
+	if err != nil {
+		return RunStats{}, err
+	}
+	if _, err := e.Run(roots[0]); err != nil {
+		return RunStats{}, err
+	}
+	var rs RunStats
+	var mtepsSum float64
+	for _, r := range roots {
+		res, err := e.Run(r)
+		if err != nil {
+			return RunStats{}, err
+		}
+		mtepsSum += res.MTEPS()
+		rs.Edges += res.EdgesTraversed
+		rs.Visited += res.Visited
+		rs.Elapsed += res.Elapsed
+		if res.Steps > rs.Steps {
+			rs.Steps = res.Steps
+		}
+		rs.LastRun = res
+	}
+	n := int64(len(roots))
+	rs.MTEPS = mtepsSum / float64(n)
+	rs.Edges /= n
+	rs.Visited /= n
+	return rs, nil
+}
+
+// paperScale projects a measured (scaled-down) workload back to paper
+// size: counts multiply by the scale factor (depth and α are size-class
+// properties and stay), and N_VIS/N_PBV are recomputed against the real
+// 8 MiB Nehalem LLC so the model sees the paper's cache pressure.
+func (c Config) paperScale(w model.Workload) model.Workload {
+	s := int64(c.Scale)
+	w.Vertices *= s
+	w.Visited *= s
+	w.Edges *= s
+	nvis := int((w.Vertices/8 + (4 << 20) - 1) / (4 << 20))
+	if nvis < 1 {
+		nvis = 1
+	}
+	w.NVIS = nvis
+	w.NPBV = 2 * nvis
+	return w
+}
+
+// instrumented runs one traced traversal and extracts the model
+// workload (measured |V'|, |E'|, D, α values).
+func instrumented(g *graph.Graph, o bfs.Options, root uint32, sockets int) (model.Workload, *bfs.Result, error) {
+	o.Instrument = true
+	e, err := bfs.NewEngine(g, o)
+	if err != nil {
+		return model.Workload{}, nil, err
+	}
+	res, err := e.Run(root)
+	if err != nil {
+		return model.Workload{}, nil, err
+	}
+	nVIS, nPBV := e.Geometry()
+	w := model.WorkloadFromTrace(g.NumVertices(), res.Trace, nPBV, nVIS, sockets)
+	return w, res, nil
+}

@@ -1,0 +1,138 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// tiny returns a config that shrinks every workload to smoke-test size.
+func tiny() Config {
+	return Config{Scale: 4096, Roots: 2, Seed: 1}
+}
+
+func TestTable1(t *testing.T) {
+	tab := Table1()
+	s := tab.String()
+	if !strings.Contains(s, "QPI") || !strings.Contains(s, "GBps") {
+		t.Errorf("Table1 missing expected rows:\n%s", s)
+	}
+}
+
+func TestModelCheckMatchesPaper(t *testing.T) {
+	tab, err := ModelCheck()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.NumRows() != 9 {
+		t.Fatalf("ModelCheck rows = %d, want 9", tab.NumRows())
+	}
+	// Every model/paper ratio sits in the row's last column; spot-check
+	// the rendering contains no zeros.
+	if strings.Contains(tab.String(), " 0.000") {
+		t.Errorf("ModelCheck has a zero ratio:\n%s", tab.String())
+	}
+}
+
+func TestFig4Smoke(t *testing.T) {
+	tab, err := Fig4(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.NumRows() != 8 { // 4 sizes x 2 degrees
+		t.Fatalf("Fig4 rows = %d, want 8", tab.NumRows())
+	}
+}
+
+func TestFig5Smoke(t *testing.T) {
+	tab, err := Fig5(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.NumRows() != 6 { // 3 families x 2 degrees
+		t.Fatalf("Fig5 rows = %d, want 6", tab.NumRows())
+	}
+}
+
+func TestFig6Smoke(t *testing.T) {
+	tab, err := Fig6(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.NumRows() != 12 { // 2 families x 2 degrees x 3 sizes
+		t.Fatalf("Fig6 rows = %d, want 12", tab.NumRows())
+	}
+}
+
+func TestFig7AndTable2Smoke(t *testing.T) {
+	tab, err := Table2(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.NumRows() != 10 {
+		t.Fatalf("Table2 rows = %d, want 10", tab.NumRows())
+	}
+	f7, err := Fig7(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f7.NumRows() != 10 {
+		t.Fatalf("Fig7 rows = %d, want 10", f7.NumRows())
+	}
+}
+
+func TestFig8Smoke(t *testing.T) {
+	tab, err := Fig8(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.NumRows() != 8 { // 2 families x 2 degrees x 2 sizes
+		t.Fatalf("Fig8 rows = %d, want 8", tab.NumRows())
+	}
+}
+
+func TestAblateSmoke(t *testing.T) {
+	tab, err := Ablate(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.NumRows() != 13 { // 9 variants + serial + async + work-stealing + reorder
+		t.Fatalf("Ablate rows = %d, want 13", tab.NumRows())
+	}
+}
+
+func TestScaledFloors(t *testing.T) {
+	c := Config{Scale: 1 << 30}.withDefaults()
+	if got := c.scaled(2 << 20); got != 1024 {
+		t.Errorf("scaled floor = %d, want 1024", got)
+	}
+	if got := c.cacheBytes(); got != 4<<10 {
+		t.Errorf("cacheBytes floor = %d, want 4096", got)
+	}
+}
+
+func TestPickRootsNonEmpty(t *testing.T) {
+	cfg := tiny()
+	g, err := fig5Graph(cfg.withDefaults(), "RMAT", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	roots := pickRoots(g, 5)
+	if len(roots) == 0 {
+		t.Fatal("no roots picked")
+	}
+	for _, r := range roots {
+		if g.Degree(r) == 0 {
+			t.Errorf("root %d has degree 0", r)
+		}
+	}
+}
+
+func TestScalingSmoke(t *testing.T) {
+	tab, err := Scaling(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.NumRows() != 2 {
+		t.Fatalf("Scaling rows = %d, want 2", tab.NumRows())
+	}
+}

@@ -1,0 +1,350 @@
+package experiments
+
+import (
+	"fmt"
+
+	"fastbfs/bfs"
+	"fastbfs/graph"
+	"fastbfs/graph/gen"
+	"fastbfs/internal/stats"
+	"fastbfs/model"
+)
+
+// visVariants lists the Figure 4 series in legend order.
+var visVariants = []bfs.VISKind{
+	bfs.VISNone, bfs.VISAtomicBit, bfs.VISByte, bfs.VISBit, bfs.VISPartitioned,
+}
+
+// Fig4 reproduces Figure 4: relative performance of the VIS
+// representations versus the no-VIS baseline on Uniformly Random graphs
+// of increasing size. Paper shape: the atomic bitmap barely beats no-VIS
+// (≤1.1×); the atomic-free byte map wins until it outgrows the LLC; the
+// bit map wins 1.4–1.9× on large graphs; partitioning adds ≈1.3× at the
+// largest size.
+func Fig4(cfg Config) (*stats.Table, error) {
+	cfg = cfg.withDefaults()
+	paperSizes := []int64{2 << 20, 8 << 20, 64 << 20, 256 << 20}
+	degrees := []int{8, 32}
+	t := stats.NewTable("graph", "noVIS MTEPS",
+		"atomic-bit", "AF-byte", "AF-bit", "AF-part",
+		"mdl:atomic", "mdl:byte", "mdl:bit", "mdl:part", "N_VIS")
+	for _, deg := range degrees {
+		for _, paperV := range paperSizes {
+			n := cfg.scaled(paperV)
+			label := fmt.Sprintf("UR |V|=%s deg=%d", stats.HumanCount(int64(n)), deg)
+			cfg.logf("fig4: generating %s", label)
+			g, err := gen.UniformRandom(n, deg, cfg.Seed+uint64(paperV)+int64ToU64(deg))
+			if err != nil {
+				return nil, err
+			}
+			roots := pickRoots(g, cfg.Roots)
+			row := make([]float64, 0, len(visVariants))
+			nVIS := 1
+			for _, vis := range visVariants {
+				o := cfg.options(vis, bfs.SchemeLoadBalanced, 2)
+				rs, err := measure(g, o, roots)
+				if err != nil {
+					return nil, err
+				}
+				row = append(row, rs.MTEPS)
+				if vis == bfs.VISPartitioned {
+					e, err := bfs.NewEngine(g, o)
+					if err != nil {
+						return nil, err
+					}
+					nVIS, _ = e.Geometry()
+				}
+				cfg.logf("fig4: %s %v: %.1f MTEPS", label, vis, rs.MTEPS)
+			}
+
+			// Model projection at the PAPER's size (the measured columns
+			// are the scaled graphs on this host; the model carries the
+			// paper-scale cache crossovers). N_VIS at paper size follows
+			// §III-A against the real 8 MiB LLC.
+			paperNVIS := int((paperV/8 + (4 << 20) - 1) / (4 << 20))
+			if paperNVIS < 1 {
+				paperNVIS = 1
+			}
+			w := model.Workload{
+				Vertices: paperV,
+				Visited:  paperV, // UR graphs are fully reachable
+				Edges:    paperV * int64(deg),
+				Depth:    9,
+				NVIS:     paperNVIS,
+				NPBV:     2 * paperNVIS,
+			}
+			mrel := make([]float64, 0, 4)
+			var mBase float64
+			for i, variant := range []model.VISVariant{
+				model.VariantNone, model.VariantAtomicBit, model.VariantByte,
+				model.VariantBit, model.VariantPartitioned,
+			} {
+				pr, err := model.PredictVIS(model.NehalemX5570(), w, 2, variant)
+				if err != nil {
+					return nil, err
+				}
+				if i == 0 {
+					mBase = pr.MTEPS
+					continue
+				}
+				mrel = append(mrel, stats.Ratio(pr.MTEPS, mBase))
+			}
+
+			base := row[0]
+			t.AddRow(label, base,
+				stats.Ratio(row[1], base), stats.Ratio(row[2], base),
+				stats.Ratio(row[3], base), stats.Ratio(row[4], base),
+				mrel[0], mrel[1], mrel[2], mrel[3], nVIS)
+		}
+	}
+	return t, nil
+}
+
+func int64ToU64(d int) uint64 { return uint64(d) * 1000003 }
+
+// fig5Graph builds one of the Figure 5 workloads.
+func fig5Graph(cfg Config, family string, deg int) (*graph.Graph, error) {
+	n := cfg.scaled(16 << 20) // the paper uses |V| = 16M for this figure
+	seed := cfg.Seed + int64ToU64(deg)
+	switch family {
+	case "UR":
+		return gen.UniformRandom(n, deg, seed)
+	case "RMAT":
+		scale := log2ceil(n)
+		return gen.RMAT(gen.RMATParams{A: 0.57, B: 0.19, C: 0.19,
+			Scale: scale, EdgeFactor: deg}, seed)
+	case "Stress":
+		return gen.StressBipartite(n, deg, seed)
+	}
+	return nil, fmt.Errorf("experiments: unknown family %q", family)
+}
+
+func log2ceil(n int) int {
+	s := 0
+	for (1 << s) < n {
+		s++
+	}
+	return s
+}
+
+// Fig5 reproduces Figure 5: the three multi-socket schemes on UR, R-MAT
+// and stress-case graphs, normalized to the unoptimized scheme, with the
+// analytical model's projection beside the measurement. Paper shape: the
+// unoptimized scheme is always worst; UR shows no load-balancing gain;
+// R-MAT gains ≈5–10%; the stress case gains up to 30%.
+func Fig5(cfg Config) (*stats.Table, error) {
+	cfg = cfg.withDefaults()
+	const sockets = 2
+	t := stats.NewTable("graph", "no-opt", "ms-aware", "ms-lb",
+		"model:no-opt", "model:ms-aware", "model:ms-lb", "alphaAdj")
+	for _, family := range []string{"UR", "RMAT", "Stress"} {
+		for _, deg := range []int{8, 32} {
+			g, err := fig5Graph(cfg, family, deg)
+			if err != nil {
+				return nil, err
+			}
+			label := fmt.Sprintf("%s deg=%d", family, deg)
+			cfg.logf("fig5: %s (V=%d E=%d)", label, g.NumVertices(), g.NumEdges())
+			roots := pickRoots(g, cfg.Roots)
+
+			meas := make([]float64, 3)
+			for i, scheme := range []bfs.Scheme{
+				bfs.SchemeSinglePhase, bfs.SchemeSocketAware, bfs.SchemeLoadBalanced,
+			} {
+				rs, err := measure(g, cfg.options(bfs.VISPartitioned, scheme, sockets), roots)
+				if err != nil {
+					return nil, err
+				}
+				meas[i] = rs.MTEPS
+			}
+
+			// Model projection from one instrumented run.
+			w, _, err := instrumented(g, cfg.options(bfs.VISPartitioned, bfs.SchemeLoadBalanced, sockets),
+				roots[0], sockets)
+			if err != nil {
+				return nil, err
+			}
+			w = cfg.paperScale(w)
+			plat := model.NehalemX5570()
+			pSP, err := model.PredictSinglePhase(plat, w, sockets)
+			if err != nil {
+				return nil, err
+			}
+			pST, err := model.PredictStatic(plat, w, sockets)
+			if err != nil {
+				return nil, err
+			}
+			pLB, err := model.Predict(plat, w, sockets)
+			if err != nil {
+				return nil, err
+			}
+			t.AddRow(label,
+				1.0, stats.Ratio(meas[1], meas[0]), stats.Ratio(meas[2], meas[0]),
+				1.0, stats.Ratio(pST.MTEPS, pSP.MTEPS), stats.Ratio(pLB.MTEPS, pSP.MTEPS),
+				w.AlphaAdj)
+		}
+	}
+	return t, nil
+}
+
+// baselineOptions returns the Agarwal-et-al-style configuration the
+// paper compares against in Figure 6: atomic bitmap updates, no
+// two-phase binning, no rearrangement, prefetch or SIMD binning.
+func (c Config) baselineOptions(sockets int) bfs.Options {
+	o := c.options(bfs.VISAtomicBit, bfs.SchemeSinglePhase, sockets)
+	o.Rearrange = false
+	o.BatchBinning = false
+	o.PrefetchDist = 0
+	return o
+}
+
+// Fig6 reproduces Figure 6: our full scheme versus the previous-best
+// baseline on UR and R-MAT graphs across sizes and degrees. Paper
+// shape: 1.5–3× on the same platform.
+func Fig6(cfg Config) (*stats.Table, error) {
+	cfg = cfg.withDefaults()
+	const sockets = 2
+	t := stats.NewTable("graph", "baseline MTEPS", "ours MTEPS", "speedup", "model MTEPS")
+	for _, family := range []string{"UR", "RMAT"} {
+		for _, deg := range []int{8, 32} {
+			for _, paperV := range []int64{4 << 20, 16 << 20, 64 << 20} {
+				n := cfg.scaled(paperV)
+				seed := cfg.Seed + uint64(paperV) + int64ToU64(deg)
+				var g *graph.Graph
+				var err error
+				if family == "UR" {
+					g, err = gen.UniformRandom(n, deg, seed)
+				} else {
+					g, err = gen.RMAT(gen.RMATParams{A: 0.57, B: 0.19, C: 0.19,
+						Scale: log2ceil(n), EdgeFactor: deg}, seed)
+				}
+				if err != nil {
+					return nil, err
+				}
+				label := fmt.Sprintf("%s |V|=%s deg=%d", family, stats.HumanCount(int64(n)), deg)
+				roots := pickRoots(g, cfg.Roots)
+				base, err := measure(g, cfg.baselineOptions(sockets), roots)
+				if err != nil {
+					return nil, err
+				}
+				ours, err := measure(g, cfg.options(bfs.VISPartitioned, bfs.SchemeLoadBalanced, sockets), roots)
+				if err != nil {
+					return nil, err
+				}
+				w, _, err := instrumented(g,
+					cfg.options(bfs.VISPartitioned, bfs.SchemeLoadBalanced, sockets), roots[0], sockets)
+				if err != nil {
+					return nil, err
+				}
+				pred, err := model.Predict(model.NehalemX5570(), cfg.paperScale(w), sockets)
+				if err != nil {
+					return nil, err
+				}
+				cfg.logf("fig6: %s base=%.1f ours=%.1f", label, base.MTEPS, ours.MTEPS)
+				t.AddRow(label, base.MTEPS, ours.MTEPS,
+					stats.Ratio(ours.MTEPS, base.MTEPS), pred.MTEPS)
+			}
+		}
+	}
+	return t, nil
+}
+
+// Fig7 reproduces Figure 7: traversal rates on the real-world-graph
+// analogues of Table II, ours versus the re-implemented previous-best
+// baseline (as the paper does for graphs with no published numbers).
+func Fig7(cfg Config) (*stats.Table, error) {
+	cfg = cfg.withDefaults()
+	const sockets = 2
+	analogues, err := BuildAnalogues(cfg)
+	if err != nil {
+		return nil, err
+	}
+	t := stats.NewTable("graph", "V", "E", "depth",
+		"baseline MTEPS", "ours MTEPS", "speedup", "model MTEPS")
+	for _, a := range analogues {
+		roots := pickRoots(a.G, cfg.Roots)
+		cfg.logf("fig7: %s (V=%d E=%d)", a.Name, a.G.NumVertices(), a.G.NumEdges())
+		base, err := measure(a.G, cfg.baselineOptions(sockets), roots)
+		if err != nil {
+			return nil, err
+		}
+		ours, err := measure(a.G, cfg.options(bfs.VISPartitioned, bfs.SchemeLoadBalanced, sockets), roots)
+		if err != nil {
+			return nil, err
+		}
+		w, res, err := instrumented(a.G,
+			cfg.options(bfs.VISPartitioned, bfs.SchemeLoadBalanced, sockets), roots[0], sockets)
+		if err != nil {
+			return nil, err
+		}
+		pred, err := model.Predict(model.NehalemX5570(), cfg.paperScale(w), sockets)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(a.Name,
+			stats.HumanCount(int64(a.G.NumVertices())),
+			stats.HumanCount(a.G.NumEdges()),
+			res.Steps-1,
+			base.MTEPS, ours.MTEPS, stats.Ratio(ours.MTEPS, base.MTEPS), pred.MTEPS)
+	}
+	return t, nil
+}
+
+// Fig8 reproduces Figure 8: cycles per traversed edge in Phase-I and
+// Phase-II, measured versus the analytical model, on UR and R-MAT graphs
+// across sizes and degrees. Measured cycles use the host wall time at
+// the paper's nominal 2.93 GHz; the paper matched to 5–10% on the target
+// hardware — here the *shape* across graphs is the reproduction target.
+func Fig8(cfg Config) (*stats.Table, error) {
+	cfg = cfg.withDefaults()
+	const sockets = 2
+	plat := model.NehalemX5570()
+	host := HostPlatform()
+	t := stats.NewTable("graph", "meas P1", "model P1", "meas P2", "model P2",
+		"meas total", "model total", "cal total", "meas/cal")
+	for _, family := range []string{"UR", "RMAT"} {
+		for _, deg := range []int{8, 16} {
+			for _, paperV := range []int64{8 << 20, 64 << 20} {
+				n := cfg.scaled(paperV)
+				seed := cfg.Seed + uint64(paperV) + int64ToU64(deg)
+				var g *graph.Graph
+				var err error
+				if family == "UR" {
+					g, err = gen.UniformRandom(n, deg, seed)
+				} else {
+					g, err = gen.RMAT(gen.RMATParams{A: 0.57, B: 0.19, C: 0.19,
+						Scale: log2ceil(n), EdgeFactor: deg}, seed)
+				}
+				if err != nil {
+					return nil, err
+				}
+				label := fmt.Sprintf("%s |V|=%s deg=%d", family, stats.HumanCount(int64(n)), deg)
+				roots := pickRoots(g, 1)
+				w, res, err := instrumented(g,
+					cfg.options(bfs.VISPartitioned, bfs.SchemeLoadBalanced, sockets), roots[0], sockets)
+				if err != nil {
+					return nil, err
+				}
+				mp1, mp2, mr := res.Trace.PhaseCyclesPerEdge(plat.FreqGHz)
+				pred, err := model.Predict(plat, w, sockets)
+				if err != nil {
+					return nil, err
+				}
+				// Calibrated column: the same model evaluated with this
+				// host's measured bandwidths (one socket, since the
+				// sockets here are simulated).
+				cal, err := model.Predict(host, w, 1)
+				if err != nil {
+					return nil, err
+				}
+				measTotal := mp1 + mp2 + mr
+				cfg.logf("fig8: %s meas=%.2f model=%.2f cal=%.2f cyc/edge",
+					label, measTotal, pred.CyclesPerEdge, cal.CyclesPerEdge)
+				t.AddRow(label, mp1, pred.CyclesPhase1, mp2, pred.CyclesPhase2,
+					measTotal, pred.CyclesPerEdge, cal.CyclesPerEdge,
+					stats.Ratio(measTotal, cal.CyclesPerEdge))
+			}
+		}
+	}
+	return t, nil
+}

@@ -1,0 +1,47 @@
+package experiments
+
+import "testing"
+
+func TestHostPlatform(t *testing.T) {
+	p := HostPlatform()
+	if p.BMem <= 0 || p.BLLCToL2 <= 0 || p.BL2ToLLC <= 0 {
+		t.Fatalf("uncalibrated bandwidths: %+v", p)
+	}
+	if p.Sockets != 1 || p.FreqGHz != 2.93 {
+		t.Errorf("fixed fields wrong: %+v", p)
+	}
+	if p.LLCBytes <= 0 || p.L2Bytes <= 0 {
+		t.Errorf("cache sizes: %+v", p)
+	}
+	// Second call returns the cached measurement.
+	q := HostPlatform()
+	if q.BMem != p.BMem {
+		t.Error("HostPlatform not cached")
+	}
+}
+
+func TestReadCacheBytes(t *testing.T) {
+	if got := readCacheBytes("/nonexistent", 42); got != 42 {
+		t.Errorf("fallback = %d", got)
+	}
+	dir := t.TempDir()
+	write := func(name, content string) string {
+		p := dir + "/" + name
+		if err := writeFile(p, content); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	if got := readCacheBytes(write("k", "512K\n"), 1); got != 512<<10 {
+		t.Errorf("512K parsed as %d", got)
+	}
+	if got := readCacheBytes(write("m", "16M"), 1); got != 16<<20 {
+		t.Errorf("16M parsed as %d", got)
+	}
+	if got := readCacheBytes(write("plain", "12345"), 1); got != 12345 {
+		t.Errorf("plain parsed as %d", got)
+	}
+	if got := readCacheBytes(write("junk", "not-a-size"), 7); got != 7 {
+		t.Errorf("junk fallback = %d", got)
+	}
+}

@@ -1,0 +1,78 @@
+package experiments
+
+import (
+	"fmt"
+
+	"fastbfs/bfs"
+	"fastbfs/graph"
+	"fastbfs/graph/gen"
+	"fastbfs/internal/stats"
+	"fastbfs/model"
+)
+
+// Scaling reproduces the paper's §V-B socket-scaling claims: measured
+// near-linear 2-socket scaling (1.98x on UR, 1.93x on R-MAT) and the
+// projected further 1.8x on a 4-socket Nehalem-EX. Host wall-clock
+// columns sweep the worker count (bounded by real cores); the model
+// columns carry the socket scaling, including the cross-platform EX
+// projection in wall time per edge.
+func Scaling(cfg Config) (*stats.Table, error) {
+	cfg = cfg.withDefaults()
+	ep := model.NehalemX5570()
+	ex := model.NehalemEX7560()
+	t := stats.NewTable("graph",
+		"meas w1 MTEPS", "meas w2", "meas w4",
+		"model 1S cyc/e", "model 2S", "2S scaling", "EX-4S scaling")
+	for _, family := range []string{"UR", "RMAT"} {
+		n := cfg.scaled(16 << 20)
+		var g *graph.Graph
+		var err error
+		if family == "UR" {
+			g, err = gen.UniformRandom(n, 16, cfg.Seed+11)
+		} else {
+			g, err = gen.RMAT(gen.RMATParams{A: 0.57, B: 0.19, C: 0.19,
+				Scale: log2ceil(n), EdgeFactor: 16}, cfg.Seed+12)
+		}
+		if err != nil {
+			return nil, err
+		}
+		roots := pickRoots(g, cfg.Roots)
+
+		meas := make([]float64, 3)
+		for i, w := range []int{1, 2, 4} {
+			o := cfg.options(bfs.VISPartitioned, bfs.SchemeLoadBalanced, 1)
+			o.Workers = w
+			rs, err := measure(g, o, roots)
+			if err != nil {
+				return nil, err
+			}
+			meas[i] = rs.MTEPS
+			cfg.logf("scaling: %s w=%d: %.1f MTEPS", family, w, rs.MTEPS)
+		}
+
+		wl, _, err := instrumented(g,
+			cfg.options(bfs.VISPartitioned, bfs.SchemeLoadBalanced, 2), roots[0], 2)
+		if err != nil {
+			return nil, err
+		}
+		wl = cfg.paperScale(wl)
+		p1, err := model.Predict(ep, wl, 1)
+		if err != nil {
+			return nil, err
+		}
+		p2, err := model.Predict(ep, wl, 2)
+		if err != nil {
+			return nil, err
+		}
+		p4, err := model.Predict(ex, wl, 4)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(fmt.Sprintf("%s |V|=%s deg=16", family, stats.HumanCount(int64(n))),
+			meas[0], meas[1], meas[2],
+			p1.CyclesPerEdge, p2.CyclesPerEdge,
+			stats.Ratio(p1.CyclesPerEdge, p2.CyclesPerEdge),
+			stats.Ratio(p2.TimePerEdgeNS(ep), p4.TimePerEdgeNS(ex)))
+	}
+	return t, nil
+}

@@ -1,0 +1,3 @@
+module fastbfs
+
+go 1.22

@@ -1,0 +1,69 @@
+package graph
+
+import (
+	"testing"
+
+	"fastbfs/internal/xrand"
+)
+
+func randomEdges(n int, m int) []Edge {
+	g := xrand.New(7)
+	edges := make([]Edge, m)
+	for i := range edges {
+		edges[i] = Edge{
+			U: uint32(g.Uint64n(uint64(n))),
+			V: uint32(g.Uint64n(uint64(n))),
+		}
+	}
+	return edges
+}
+
+// BenchmarkFromEdges measures CSR construction (the Graph500 kernel-1
+// analogue inside this package).
+func BenchmarkFromEdges(b *testing.B) {
+	const n, m = 1 << 16, 1 << 20
+	edges := randomEdges(n, m)
+	b.SetBytes(int64(m) * 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := FromEdges(n, edges); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSymmetrize(b *testing.B) {
+	const n, m = 1 << 16, 1 << 19
+	g, err := FromEdges(n, randomEdges(n, m))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Symmetrize()
+	}
+}
+
+func BenchmarkTranspose(b *testing.B) {
+	const n, m = 1 << 16, 1 << 19
+	g, err := FromEdges(n, randomEdges(n, m))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Transpose()
+	}
+}
+
+func BenchmarkBFSDepth(b *testing.B) {
+	const n, m = 1 << 16, 1 << 19
+	g, err := FromEdges(n, randomEdges(n, m))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		BFSDepth(g, 0)
+	}
+}

@@ -1,0 +1,317 @@
+package gen
+
+import (
+	"fmt"
+
+	"fastbfs/graph"
+	"fastbfs/internal/par"
+	"fastbfs/internal/xrand"
+)
+
+// Grid2D generates a rows×cols 4-connected grid (each interior vertex has
+// edges to its N/S/E/W neighbors, both directions). With extraPerMile
+// long-range shortcut edges per 1000 vertices it approximates a road
+// network: very low degree (≈4 like the USA graphs' 2.4) and a diameter
+// of about rows+cols. Vertex id = r*cols + c.
+func Grid2D(rows, cols int, extraPerMile int, seed uint64) (*graph.Graph, error) {
+	if rows <= 0 || cols <= 0 {
+		return nil, fmt.Errorf("gen: invalid grid %dx%d", rows, cols)
+	}
+	n := rows * cols
+	if n > graph.MaxVertices {
+		return nil, fmt.Errorf("gen: grid %dx%d too large", rows, cols)
+	}
+	deg := make([]int32, n)
+	par.For(par.DefaultWorkers(), n, func(lo, hi int) {
+		for v := lo; v < hi; v++ {
+			r, c := v/cols, v%cols
+			d := int32(0)
+			if r > 0 {
+				d++
+			}
+			if r < rows-1 {
+				d++
+			}
+			if c > 0 {
+				d++
+			}
+			if c < cols-1 {
+				d++
+			}
+			deg[v] = d
+		}
+	})
+	g, err := graph.FromDegrees(deg, func(v uint32, adj []uint32) {
+		r, c := int(v)/cols, int(v)%cols
+		i := 0
+		if r > 0 {
+			adj[i] = v - uint32(cols)
+			i++
+		}
+		if r < rows-1 {
+			adj[i] = v + uint32(cols)
+			i++
+		}
+		if c > 0 {
+			adj[i] = v - 1
+			i++
+		}
+		if c < cols-1 {
+			adj[i] = v + 1
+			i++
+		}
+	})
+	if err != nil || extraPerMile <= 0 {
+		return g, err
+	}
+	// Shortcut edges (highways): sparse random symmetric pairs.
+	extra := int64(n) * int64(extraPerMile) / 1000
+	edges := make([]graph.Edge, 0, 2*extra)
+	rng := xrand.New(seed ^ 0x0ad0)
+	for i := int64(0); i < extra; i++ {
+		u := uint32(rng.Uint64n(uint64(n)))
+		v := uint32(rng.Uint64n(uint64(n)))
+		edges = append(edges, graph.Edge{U: u, V: v}, graph.Edge{U: v, V: u})
+	}
+	h, err := graph.FromEdges(n, edges)
+	if err != nil {
+		return nil, err
+	}
+	return merge(g, h), nil
+}
+
+// merge concatenates the adjacency lists of two graphs over the same
+// vertex set.
+func merge(a, b *graph.Graph) *graph.Graph {
+	n := a.NumVertices()
+	deg := make([]int32, n)
+	for v := 0; v < n; v++ {
+		deg[v] = int32(a.Degree(uint32(v)) + b.Degree(uint32(v)))
+	}
+	g, _ := graph.FromDegrees(deg, func(v uint32, adj []uint32) {
+		k := copy(adj, a.Neighbors1(v))
+		copy(adj[k:], b.Neighbors1(v))
+	})
+	return g
+}
+
+// PreferentialAttachment generates a Barabási–Albert-style social-network
+// analogue: vertices arrive in order and attach m undirected edges to
+// endpoints sampled proportionally to current degree (implemented with
+// the standard "repeated endpoints list" trick, subsampled to bound
+// memory). Degrees are heavy-tailed; diameter is O(log n) like the
+// Orkut/Facebook rows of Table II.
+func PreferentialAttachment(n, m int, seed uint64) (*graph.Graph, error) {
+	if n <= 0 || m <= 0 {
+		return nil, fmt.Errorf("gen: invalid PA parameters n=%d m=%d", n, m)
+	}
+	if m >= n {
+		return nil, fmt.Errorf("gen: PA m=%d must be < n=%d", m, n)
+	}
+	rng := xrand.New(seed ^ 0x50c1a1)
+	// targets holds one entry per edge endpoint, so sampling uniformly
+	// from it is degree-proportional sampling.
+	targets := make([]uint32, 0, 2*int64(n)*int64(m))
+	edges := make([]graph.Edge, 0, 2*int64(n)*int64(m))
+	// Seed clique over the first m+1 vertices.
+	for u := 0; u <= m; u++ {
+		for v := 0; v <= m; v++ {
+			if u == v {
+				continue
+			}
+			edges = append(edges, graph.Edge{U: uint32(u), V: uint32(v)})
+		}
+		for i := 0; i < m; i++ {
+			targets = append(targets, uint32(u))
+		}
+	}
+	for v := m + 1; v < n; v++ {
+		for i := 0; i < m; i++ {
+			t := targets[rng.Intn(len(targets))]
+			edges = append(edges,
+				graph.Edge{U: uint32(v), V: t},
+				graph.Edge{U: t, V: uint32(v)})
+			targets = append(targets, t)
+		}
+		for i := 0; i < m; i++ {
+			targets = append(targets, uint32(v))
+		}
+	}
+	return graph.FromEdgesParallel(n, edges, 0)
+}
+
+// StressBipartite generates the paper's worst-case load-balancing graph:
+// a bipartite graph in which every frontier alternates between vertices
+// that all live in the low half of the id range and vertices that all
+// live in the high half — so under a static socket partition the entire
+// frontier lands on one socket at every step.
+//
+// Side A is ids [0, n/2); side B is ids [n/2, n). Every A vertex has
+// `degree` random neighbors in B and vice versa.
+func StressBipartite(n, degree int, seed uint64) (*graph.Graph, error) {
+	if n < 2 || degree < 1 {
+		return nil, fmt.Errorf("gen: invalid stress parameters n=%d degree=%d", n, degree)
+	}
+	half := uint64(n / 2)
+	deg := make([]int32, n)
+	for i := range deg {
+		deg[i] = int32(degree)
+	}
+	return graph.FromDegrees(deg, func(v uint32, adj []uint32) {
+		g := xrand.New(seed ^ xrand.SplitMix64(uint64(v)+0x57e55))
+		if uint64(v) < half { // A -> B
+			for i := range adj {
+				adj[i] = uint32(half + g.Uint64n(uint64(n)-half))
+			}
+		} else { // B -> A
+			for i := range adj {
+				adj[i] = uint32(g.Uint64n(half))
+			}
+		}
+	})
+}
+
+// BandedMesh generates an Nlpkkt160-style analogue: a 3-D 7-point mesh
+// (banded sparse matrix structure) whose frontier sweeps through the id
+// space as a wave, exercising the same socket imbalance the paper
+// observed on Nlpkkt160. dims are the mesh dimensions.
+func BandedMesh(nx, ny, nz int) (*graph.Graph, error) {
+	if nx <= 0 || ny <= 0 || nz <= 0 {
+		return nil, fmt.Errorf("gen: invalid mesh %dx%dx%d", nx, ny, nz)
+	}
+	n := nx * ny * nz
+	if n > graph.MaxVertices {
+		return nil, fmt.Errorf("gen: mesh %dx%dx%d too large", nx, ny, nz)
+	}
+	idx := func(x, y, z int) uint32 { return uint32((z*ny+y)*nx + x) }
+	deg := make([]int32, n)
+	par.For(par.DefaultWorkers(), n, func(lo, hi int) {
+		for v := lo; v < hi; v++ {
+			x := v % nx
+			y := (v / nx) % ny
+			z := v / (nx * ny)
+			d := int32(0)
+			if x > 0 {
+				d++
+			}
+			if x < nx-1 {
+				d++
+			}
+			if y > 0 {
+				d++
+			}
+			if y < ny-1 {
+				d++
+			}
+			if z > 0 {
+				d++
+			}
+			if z < nz-1 {
+				d++
+			}
+			deg[v] = d
+		}
+	})
+	return graph.FromDegrees(deg, func(v uint32, adj []uint32) {
+		x := int(v) % nx
+		y := (int(v) / nx) % ny
+		z := int(v) / (nx * ny)
+		i := 0
+		if x > 0 {
+			adj[i] = idx(x-1, y, z)
+			i++
+		}
+		if x < nx-1 {
+			adj[i] = idx(x+1, y, z)
+			i++
+		}
+		if y > 0 {
+			adj[i] = idx(x, y-1, z)
+			i++
+		}
+		if y < ny-1 {
+			adj[i] = idx(x, y+1, z)
+			i++
+		}
+		if z > 0 {
+			adj[i] = idx(x, y, z-1)
+			i++
+		}
+		if z < nz-1 {
+			adj[i] = idx(x, y, z+1)
+			i++
+		}
+	})
+}
+
+// WithPathTail grafts a simple path of pathLen fresh vertices onto vertex
+// anchor of g, returning a new graph with NumVertices+pathLen vertices.
+// It manufactures the long-diameter tails of graphs like Wikipedia
+// (depth 460 despite social-like structure).
+func WithPathTail(g *graph.Graph, anchor uint32, pathLen int) (*graph.Graph, error) {
+	n := g.NumVertices()
+	if int(anchor) >= n {
+		return nil, fmt.Errorf("gen: anchor %d out of range", anchor)
+	}
+	if pathLen < 1 {
+		return nil, fmt.Errorf("gen: pathLen %d < 1", pathLen)
+	}
+	total := n + pathLen
+	deg := make([]int32, total)
+	for v := 0; v < n; v++ {
+		deg[v] = int32(g.Degree(uint32(v)))
+	}
+	deg[anchor]++ // edge to first path vertex
+	for i := 0; i < pathLen; i++ {
+		deg[n+i] = 2 // back + forward
+	}
+	deg[total-1] = 1 // last path vertex: back only
+	return graph.FromDegrees(deg, func(v uint32, adj []uint32) {
+		switch {
+		case int(v) < n:
+			k := copy(adj, g.Neighbors1(v))
+			if v == anchor {
+				adj[k] = uint32(n)
+			}
+		case int(v) == total-1:
+			adj[0] = v - 1
+		default:
+			if int(v) == n {
+				adj[0] = anchor
+			} else {
+				adj[0] = v - 1
+			}
+			adj[1] = v + 1
+		}
+	})
+}
+
+// SmallWorld generates a Watts–Strogatz-style ring lattice over n
+// vertices where each vertex links to its k nearest ring neighbors and
+// each link is rewired to a uniform random endpoint with probability p.
+func SmallWorld(n, k int, p float64, seed uint64) (*graph.Graph, error) {
+	if n <= 0 || k <= 0 || k >= n || p < 0 || p > 1 {
+		return nil, fmt.Errorf("gen: invalid small-world parameters n=%d k=%d p=%v", n, k, p)
+	}
+	deg := make([]int32, n)
+	for i := range deg {
+		deg[i] = int32(k)
+	}
+	return graph.FromDegrees(deg, func(v uint32, adj []uint32) {
+		g := xrand.New(seed ^ xrand.SplitMix64(uint64(v)+0x3a11))
+		for i := 0; i < k; i++ {
+			// Neighbors alternate ahead/behind on the ring.
+			off := i/2 + 1
+			var w int
+			if i%2 == 0 {
+				w = (int(v) + off) % n
+			} else {
+				w = (int(v) - off + n) % n
+			}
+			if g.Float64() < p {
+				w = g.Intn(n)
+			}
+			adj[i] = uint32(w)
+		}
+	})
+}

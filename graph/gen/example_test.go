@@ -1,0 +1,38 @@
+package gen_test
+
+import (
+	"fmt"
+
+	"fastbfs/graph/gen"
+)
+
+// ExampleUniformRandom builds the paper's UR workload class.
+func ExampleUniformRandom() {
+	g, err := gen.UniformRandom(1000, 8, 42)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(g.NumVertices(), g.NumEdges(), g.Degree(0))
+	// Output: 1000 8000 8
+}
+
+// ExampleRMAT builds a Graph500-parameter power-law graph.
+func ExampleRMAT() {
+	g, err := gen.RMAT(gen.Graph500Params(10, 16), 1)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(g.NumVertices(), g.NumEdges())
+	// Output: 1024 16384
+}
+
+// ExampleGrid2D builds a road-network analogue.
+func ExampleGrid2D() {
+	g, err := gen.Grid2D(3, 3, 0, 0)
+	if err != nil {
+		panic(err)
+	}
+	// The center of a 3x3 grid has all four neighbors.
+	fmt.Println(g.Degree(4))
+	// Output: 4
+}

@@ -1,0 +1,167 @@
+// Package gen provides deterministic synthetic graph generators matching
+// the families the paper evaluates: Uniformly Random graphs, random-edge
+// graphs, R-MAT / Graph500 Kronecker graphs, and the real-world analogue
+// families used to stand in for the (non-redistributable) Table II inputs
+// — road grids, preferential-attachment social graphs, bipartite stress
+// cases, banded meshes and long-diameter variants.
+//
+// Every generator is a pure function of its parameters and seed, so all
+// experiments in this repository are exactly reproducible.
+package gen
+
+import (
+	"fmt"
+
+	"fastbfs/graph"
+	"fastbfs/internal/par"
+	"fastbfs/internal/xrand"
+)
+
+// UniformRandom generates a "UR" graph in the paper's sense: every one of
+// the n vertices has exactly degree out-neighbors, each chosen uniformly
+// at random (self-loops and duplicates allowed, as in GTgraph).
+func UniformRandom(n, degree int, seed uint64) (*graph.Graph, error) {
+	if n <= 0 || degree < 0 {
+		return nil, fmt.Errorf("gen: invalid UR parameters n=%d degree=%d", n, degree)
+	}
+	deg := make([]int32, n)
+	for i := range deg {
+		deg[i] = int32(degree)
+	}
+	return graph.FromDegrees(deg, func(v uint32, adj []uint32) {
+		g := xrand.New(seed ^ xrand.SplitMix64(uint64(v)+1))
+		for i := range adj {
+			adj[i] = uint32(g.Uint64n(uint64(n)))
+		}
+	})
+}
+
+// RandomEdges generates a graph with m directed edges whose endpoints are
+// both uniform (the "random graphs where both source and destination ...
+// are chosen randomly" variant the paper footnotes). Vertex degrees are
+// Binomial(m, 1/n).
+func RandomEdges(n int, m int64, seed uint64) (*graph.Graph, error) {
+	if n <= 0 || m < 0 {
+		return nil, fmt.Errorf("gen: invalid random-edge parameters n=%d m=%d", n, m)
+	}
+	edges := make([]graph.Edge, m)
+	workers := par.DefaultWorkers()
+	par.For(workers, int(m), func(lo, hi int) {
+		g := xrand.New(seed ^ xrand.SplitMix64(uint64(lo)+0x9e37))
+		for i := lo; i < hi; i++ {
+			edges[i] = graph.Edge{
+				U: uint32(g.Uint64n(uint64(n))),
+				V: uint32(g.Uint64n(uint64(n))),
+			}
+		}
+	})
+	return graph.FromEdgesParallel(n, edges, workers)
+}
+
+// RMATParams are the recursive-matrix quadrant probabilities. The
+// paper's (and Graph500's) parameters are A=0.57, B=C=0.19, D=0.05.
+type RMATParams struct {
+	A, B, C float64 // D is implied: 1-A-B-C
+	// Scale is log2 of the vertex count.
+	Scale int
+	// EdgeFactor is edges per vertex; the generator emits
+	// EdgeFactor << Scale directed edges.
+	EdgeFactor int
+	// Noise perturbs the quadrant probabilities per recursion level as in
+	// GTgraph ("smooth" R-MAT); 0 disables.
+	Noise float64
+	// Undirected, when set, also emits the reverse of every edge
+	// (Graph500 kernels treat the graph as undirected).
+	Undirected bool
+}
+
+// Graph500Params returns the standard Graph500/paper R-MAT parameters at
+// the given scale and edge factor.
+func Graph500Params(scale, edgeFactor int) RMATParams {
+	return RMATParams{A: 0.57, B: 0.19, C: 0.19, Scale: scale, EdgeFactor: edgeFactor}
+}
+
+// RMAT generates a power-law graph by the recursive matrix method of
+// Chakrabarti, Zhan and Faloutsos (SDM 2004). Duplicate edges and
+// self-loops are kept, as the paper's evaluation does.
+func RMAT(p RMATParams, seed uint64) (*graph.Graph, error) {
+	if p.Scale < 1 || p.Scale > 30 {
+		return nil, fmt.Errorf("gen: RMAT scale %d out of range [1,30]", p.Scale)
+	}
+	if p.EdgeFactor < 1 {
+		return nil, fmt.Errorf("gen: RMAT edge factor %d < 1", p.EdgeFactor)
+	}
+	d := 1 - p.A - p.B - p.C
+	if p.A < 0 || p.B < 0 || p.C < 0 || d < 0 {
+		return nil, fmt.Errorf("gen: RMAT probabilities invalid (a=%v b=%v c=%v)", p.A, p.B, p.C)
+	}
+	n := 1 << p.Scale
+	m := int64(p.EdgeFactor) << p.Scale
+	total := m
+	if p.Undirected {
+		total *= 2
+	}
+	edges := make([]graph.Edge, total)
+	par.For(par.DefaultWorkers(), int(m), func(lo, hi int) {
+		g := xrand.New(seed ^ xrand.SplitMix64(uint64(lo)+0xabcd))
+		for i := lo; i < hi; i++ {
+			u, v := rmatEdge(g, p)
+			edges[i] = graph.Edge{U: u, V: v}
+			if p.Undirected {
+				edges[int64(i)+m] = graph.Edge{U: v, V: u}
+			}
+		}
+	})
+	return graph.FromEdgesParallel(n, edges, 0)
+}
+
+// rmatEdge draws one edge by descending the recursive matrix.
+func rmatEdge(g *xrand.Gen, p RMATParams) (u, v uint32) {
+	a, b, c := p.A, p.B, p.C
+	for level := 0; level < p.Scale; level++ {
+		aa, bb, cc := a, b, c
+		if p.Noise > 0 {
+			// Symmetric multiplicative noise, renormalized.
+			f := 1 + p.Noise*(2*g.Float64()-1)
+			aa *= f
+			f = 1 + p.Noise*(2*g.Float64()-1)
+			bb *= f
+			f = 1 + p.Noise*(2*g.Float64()-1)
+			cc *= f
+			sum := aa + bb + cc + (1 - a - b - c)
+			aa /= sum
+			bb /= sum
+			cc /= sum
+		}
+		r := g.Float64()
+		u <<= 1
+		v <<= 1
+		switch {
+		case r < aa:
+			// top-left: no bits set
+		case r < aa+bb:
+			v |= 1
+		case r < aa+bb+cc:
+			u |= 1
+		default:
+			u |= 1
+			v |= 1
+		}
+	}
+	return u, v
+}
+
+// Kronecker generates a Graph500-reference-style graph: R-MAT with the
+// standard parameters, emitted undirected, with vertex labels scrambled
+// by a deterministic permutation the way the reference code does to
+// destroy locality. This is the "Toy++" analogue generator.
+func Kronecker(scale, edgeFactor int, seed uint64) (*graph.Graph, error) {
+	p := Graph500Params(scale, edgeFactor)
+	p.Undirected = true
+	g, err := RMAT(p, seed)
+	if err != nil {
+		return nil, err
+	}
+	perm := xrand.New(seed ^ 0x5ca1ab1e).Perm(g.NumVertices())
+	return g.Relabel(perm)
+}

@@ -1,0 +1,329 @@
+package gen
+
+import (
+	"math"
+	"testing"
+
+	"fastbfs/graph"
+)
+
+func TestUniformRandomShape(t *testing.T) {
+	g, err := UniformRandom(1000, 8, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 1000 || g.NumEdges() != 8000 {
+		t.Fatalf("shape: V=%d E=%d", g.NumVertices(), g.NumEdges())
+	}
+	for v := 0; v < 1000; v++ {
+		if g.Degree(uint32(v)) != 8 {
+			t.Fatalf("vertex %d degree %d, want 8", v, g.Degree(uint32(v)))
+		}
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUniformRandomDeterministic(t *testing.T) {
+	a, _ := UniformRandom(500, 4, 7)
+	b, _ := UniformRandom(500, 4, 7)
+	for i := range a.Neighbors {
+		if a.Neighbors[i] != b.Neighbors[i] {
+			t.Fatal("same seed produced different graphs")
+		}
+	}
+	c, _ := UniformRandom(500, 4, 8)
+	same := 0
+	for i := range a.Neighbors {
+		if a.Neighbors[i] == c.Neighbors[i] {
+			same++
+		}
+	}
+	if same == len(a.Neighbors) {
+		t.Error("different seeds produced identical graphs")
+	}
+}
+
+func TestUniformRandomNeighborSpread(t *testing.T) {
+	// Neighbors should cover the id range roughly uniformly.
+	g, _ := UniformRandom(4096, 16, 3)
+	var lowHalf int
+	for _, v := range g.Neighbors {
+		if v < 2048 {
+			lowHalf++
+		}
+	}
+	frac := float64(lowHalf) / float64(len(g.Neighbors))
+	if math.Abs(frac-0.5) > 0.02 {
+		t.Errorf("low-half fraction %.3f, want ~0.5", frac)
+	}
+}
+
+func TestRandomEdges(t *testing.T) {
+	g, err := RandomEdges(1000, 5000, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() != 5000 {
+		t.Fatalf("E = %d", g.NumEdges())
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRMATShape(t *testing.T) {
+	p := Graph500Params(12, 8)
+	g, err := RMAT(p, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 1<<12 {
+		t.Fatalf("V = %d", g.NumVertices())
+	}
+	if g.NumEdges() != 8<<12 {
+		t.Fatalf("E = %d", g.NumEdges())
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRMATSkew: R-MAT with a=0.57 concentrates edges on low vertex ids
+// — the power-law skew the paper's load-balancing targets. The top
+// sixteenth of the id space must receive far fewer endpoints than the
+// bottom sixteenth, and the max degree must dwarf the average.
+func TestRMATSkew(t *testing.T) {
+	g, err := RMAT(Graph500Params(14, 8), 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := g.NumVertices()
+	var low, high int
+	for _, v := range g.Neighbors {
+		if int(v) < n/16 {
+			low++
+		} else if int(v) >= n-n/16 {
+			high++
+		}
+	}
+	if low < 4*high {
+		t.Errorf("R-MAT skew weak: low=%d high=%d", low, high)
+	}
+	s := graph.ComputeStats(g)
+	if float64(s.MaxDegree) < 10*s.MeanDegree {
+		t.Errorf("max degree %d not heavy-tailed vs mean %.1f", s.MaxDegree, s.MeanDegree)
+	}
+	if s.Isolated == 0 {
+		t.Error("R-MAT should leave isolated vertices (paper: 'a number of isolated vertices')")
+	}
+}
+
+func TestRMATUndirected(t *testing.T) {
+	p := Graph500Params(10, 4)
+	p.Undirected = true
+	g, err := RMAT(p, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() != 2*4<<10 {
+		t.Fatalf("E = %d, want both directions", g.NumEdges())
+	}
+}
+
+func TestRMATValidation(t *testing.T) {
+	if _, err := RMAT(RMATParams{A: 0.6, B: 0.3, C: 0.3, Scale: 10, EdgeFactor: 4}, 1); err == nil {
+		t.Error("probabilities > 1 accepted")
+	}
+	if _, err := RMAT(Graph500Params(0, 4), 1); err == nil {
+		t.Error("scale 0 accepted")
+	}
+	if _, err := RMAT(Graph500Params(10, 0), 1); err == nil {
+		t.Error("edge factor 0 accepted")
+	}
+}
+
+func TestKronecker(t *testing.T) {
+	g, err := Kronecker(10, 8, 77)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 1024 || g.NumEdges() != 2*8*1024 {
+		t.Fatalf("shape V=%d E=%d", g.NumVertices(), g.NumEdges())
+	}
+	// Scrambled labels: the hub should NOT be vertex 0 systematically;
+	// check that low ids no longer dominate.
+	n := g.NumVertices()
+	var low int
+	for _, v := range g.Neighbors {
+		if int(v) < n/16 {
+			low++
+		}
+	}
+	frac := float64(low) / float64(len(g.Neighbors))
+	if frac > 0.3 {
+		t.Errorf("Kronecker labels look unscrambled: low fraction %.2f", frac)
+	}
+}
+
+func TestGrid2DStructure(t *testing.T) {
+	g, err := Grid2D(10, 7, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 70 {
+		t.Fatalf("V = %d", g.NumVertices())
+	}
+	// Interior degree 4, corner degree 2.
+	if g.Degree(0) != 2 {
+		t.Errorf("corner degree %d", g.Degree(0))
+	}
+	if g.Degree(uint32(3*7+3)) != 4 {
+		t.Errorf("interior degree %d", g.Degree(uint32(3*7+3)))
+	}
+	// Symmetric by construction.
+	for u := uint32(0); u < 70; u++ {
+		for _, v := range g.Neighbors1(u) {
+			if !g.HasEdge(v, u) {
+				t.Fatalf("grid edge (%d,%d) not symmetric", u, v)
+			}
+		}
+	}
+	// Diameter of a grid ≈ rows+cols.
+	depth, reached := graph.BFSDepth(g, 0)
+	if reached != 70 {
+		t.Fatalf("grid not connected: %d", reached)
+	}
+	if depth != 9+6 {
+		t.Errorf("grid depth %d, want 15", depth)
+	}
+}
+
+func TestGrid2DShortcuts(t *testing.T) {
+	base, _ := Grid2D(50, 50, 0, 1)
+	fast, err := Grid2D(50, 50, 20, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fast.NumEdges() <= base.NumEdges() {
+		t.Error("shortcuts added no edges")
+	}
+	d0, _ := graph.BFSDepth(base, 0)
+	d1, _ := graph.BFSDepth(fast, 0)
+	if d1 >= d0 {
+		t.Errorf("shortcuts did not reduce depth: %d -> %d", d0, d1)
+	}
+}
+
+func TestPreferentialAttachment(t *testing.T) {
+	g, err := PreferentialAttachment(2000, 4, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	s := graph.ComputeStats(g)
+	// Heavy tail: max degree far above the mean.
+	if float64(s.MaxDegree) < 5*s.MeanDegree {
+		t.Errorf("PA max degree %d vs mean %.1f: not heavy-tailed", s.MaxDegree, s.MeanDegree)
+	}
+	// Social graphs have tiny diameters.
+	depth, reached := graph.BFSDepth(g, 0)
+	if reached != 2000 {
+		t.Errorf("PA graph disconnected: reached %d", reached)
+	}
+	if depth > 10 {
+		t.Errorf("PA depth %d, want small-world", depth)
+	}
+	if _, err := PreferentialAttachment(10, 10, 1); err == nil {
+		t.Error("m >= n accepted")
+	}
+}
+
+func TestStressBipartite(t *testing.T) {
+	g, err := StressBipartite(1000, 5, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	half := uint32(500)
+	for u := uint32(0); u < 1000; u++ {
+		for _, v := range g.Neighbors1(u) {
+			if (u < half) == (v < half) {
+				t.Fatalf("edge (%d,%d) stays within one side", u, v)
+			}
+		}
+	}
+}
+
+func TestBandedMesh(t *testing.T) {
+	g, err := BandedMesh(5, 6, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 210 {
+		t.Fatalf("V = %d", g.NumVertices())
+	}
+	// 7-point stencil: interior degree 6, corner degree 3, symmetric,
+	// connected with depth = sum of dims - 3.
+	for u := uint32(0); u < 210; u++ {
+		for _, v := range g.Neighbors1(u) {
+			if !g.HasEdge(v, u) {
+				t.Fatalf("mesh edge (%d,%d) not symmetric", u, v)
+			}
+		}
+	}
+	depth, reached := graph.BFSDepth(g, 0)
+	if reached != 210 {
+		t.Fatalf("mesh disconnected: %d", reached)
+	}
+	if depth != 4+5+6 {
+		t.Errorf("mesh depth %d, want 15", depth)
+	}
+}
+
+func TestWithPathTail(t *testing.T) {
+	base, _ := UniformRandom(100, 4, 1)
+	g, err := WithPathTail(base, 0, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 150 {
+		t.Fatalf("V = %d", g.NumVertices())
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	depth, _ := graph.BFSDepth(g, 0)
+	if depth < 50 {
+		t.Errorf("path tail did not extend depth: %d", depth)
+	}
+	// The tail is bidirectional: from the far end we can get back.
+	_, reached := graph.BFSDepth(g, 149)
+	if reached < 100 {
+		t.Errorf("tail not attached bidirectionally: reached %d", reached)
+	}
+}
+
+func TestSmallWorld(t *testing.T) {
+	g, err := SmallWorld(1000, 6, 0.1, 31)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < 1000; v++ {
+		if g.Degree(uint32(v)) != 6 {
+			t.Fatalf("degree %d at %d", g.Degree(uint32(v)), v)
+		}
+	}
+	// Rewiring shrinks diameter versus the pure ring lattice.
+	ring, _ := SmallWorld(1000, 6, 0, 31)
+	dRing, _ := graph.BFSDepth(ring, 0)
+	dSW, _ := graph.BFSDepth(g, 0)
+	if dSW >= dRing {
+		t.Errorf("rewiring did not shrink depth: ring %d, sw %d", dRing, dSW)
+	}
+	if _, err := SmallWorld(10, 20, 0.1, 1); err == nil {
+		t.Error("k >= n accepted")
+	}
+}

@@ -1,0 +1,121 @@
+package graph
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+)
+
+// Binary format: a small header followed by the raw CSR arrays in
+// little-endian order. The format is versioned so cmd/graphgen outputs
+// stay loadable.
+//
+//	magic   [8]byte  "FBFSCSR1"
+//	V       uint64
+//	E       uint64
+//	offsets V+1 × int64
+//	adj     E   × uint32
+const csrMagic = "FBFSCSR1"
+
+// WriteTo serializes the graph to w in the binary CSR format and returns
+// the number of bytes written.
+func (g *Graph) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	n := int64(0)
+	put := func(p []byte) error {
+		k, err := bw.Write(p)
+		n += int64(k)
+		return err
+	}
+	if err := put([]byte(csrMagic)); err != nil {
+		return n, err
+	}
+	var hdr [16]byte
+	binary.LittleEndian.PutUint64(hdr[0:], uint64(g.NumVertices()))
+	binary.LittleEndian.PutUint64(hdr[8:], uint64(g.NumEdges()))
+	if err := put(hdr[:]); err != nil {
+		return n, err
+	}
+	var buf [8]byte
+	for _, o := range g.Offsets {
+		binary.LittleEndian.PutUint64(buf[:], uint64(o))
+		if err := put(buf[:8]); err != nil {
+			return n, err
+		}
+	}
+	for _, v := range g.Neighbors {
+		binary.LittleEndian.PutUint32(buf[:4], v)
+		if err := put(buf[:4]); err != nil {
+			return n, err
+		}
+	}
+	return n, bw.Flush()
+}
+
+// ReadFrom deserializes a graph in the binary CSR format.
+func ReadFrom(r io.Reader) (*Graph, error) {
+	br := bufio.NewReaderSize(r, 1<<20)
+	magic := make([]byte, len(csrMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("graph: reading magic: %w", err)
+	}
+	if string(magic) != csrMagic {
+		return nil, fmt.Errorf("graph: bad magic %q", magic)
+	}
+	var hdr [16]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, fmt.Errorf("graph: reading header: %w", err)
+	}
+	v := binary.LittleEndian.Uint64(hdr[0:])
+	e := binary.LittleEndian.Uint64(hdr[8:])
+	if v > MaxVertices {
+		return nil, fmt.Errorf("graph: vertex count %d exceeds MaxVertices", v)
+	}
+	g := &Graph{
+		Offsets:   make([]int64, v+1),
+		Neighbors: make([]uint32, e),
+	}
+	raw := make([]byte, 8*(v+1))
+	if _, err := io.ReadFull(br, raw); err != nil {
+		return nil, fmt.Errorf("graph: reading offsets: %w", err)
+	}
+	for i := range g.Offsets {
+		g.Offsets[i] = int64(binary.LittleEndian.Uint64(raw[8*i:]))
+	}
+	raw = make([]byte, 4*e)
+	if _, err := io.ReadFull(br, raw); err != nil {
+		return nil, fmt.Errorf("graph: reading neighbors: %w", err)
+	}
+	for i := range g.Neighbors {
+		g.Neighbors[i] = binary.LittleEndian.Uint32(raw[4*i:])
+	}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// Save writes the graph to the named file.
+func (g *Graph) Save(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := g.WriteTo(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// Load reads a graph from the named file.
+func Load(path string) (*Graph, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadFrom(f)
+}

@@ -1,0 +1,69 @@
+package graph
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+)
+
+// serialize returns the canonical bytes of a small test graph.
+func serialize(t *testing.T) []byte {
+	t.Helper()
+	g := mustFromEdges(t, 4, []Edge{{0, 1}, {1, 2}, {2, 3}, {3, 0}})
+	var buf bytes.Buffer
+	if _, err := g.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestReadFromTruncations: every strict prefix of a valid stream must be
+// rejected, never crash, and never yield a graph.
+func TestReadFromTruncations(t *testing.T) {
+	full := serialize(t)
+	for cut := 0; cut < len(full); cut++ {
+		if g, err := ReadFrom(bytes.NewReader(full[:cut])); err == nil {
+			t.Fatalf("truncation at %d of %d accepted: %v", cut, len(full), g)
+		}
+	}
+	// The full stream still parses.
+	if _, err := ReadFrom(bytes.NewReader(full)); err != nil {
+		t.Fatalf("full stream rejected: %v", err)
+	}
+}
+
+// TestReadFromHugeHeader: an absurd vertex count must fail fast (no
+// multi-GB allocation from attacker-controlled headers is attempted for
+// counts beyond MaxVertices).
+func TestReadFromHugeHeader(t *testing.T) {
+	full := serialize(t)
+	bad := append([]byte(nil), full...)
+	binary.LittleEndian.PutUint64(bad[8:], 1<<40) // V
+	if _, err := ReadFrom(bytes.NewReader(bad)); err == nil {
+		t.Error("absurd vertex count accepted")
+	}
+}
+
+// TestReadFromCorruptNeighbor: out-of-range neighbor ids must fail
+// validation on load.
+func TestReadFromCorruptNeighbor(t *testing.T) {
+	full := serialize(t)
+	bad := append([]byte(nil), full...)
+	// The last 4 bytes are the final neighbor id; point it out of range.
+	binary.LittleEndian.PutUint32(bad[len(bad)-4:], 999)
+	if _, err := ReadFrom(bytes.NewReader(bad)); err == nil {
+		t.Error("out-of-range neighbor accepted")
+	}
+}
+
+// TestReadFromInconsistentOffsets: a non-monotone offset array must be
+// rejected.
+func TestReadFromInconsistentOffsets(t *testing.T) {
+	full := serialize(t)
+	bad := append([]byte(nil), full...)
+	// Offsets start at byte 24 (8 magic + 16 header); corrupt the second.
+	binary.LittleEndian.PutUint64(bad[24+8:], 1<<30)
+	if _, err := ReadFrom(bytes.NewReader(bad)); err == nil {
+		t.Error("inconsistent offsets accepted")
+	}
+}

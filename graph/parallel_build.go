@@ -1,0 +1,112 @@
+package graph
+
+import (
+	"fmt"
+
+	"fastbfs/internal/par"
+)
+
+// FromEdgesParallel builds the same CSR as FromEdges using a two-level
+// parallel bucket sort: edges are first partitioned by source-vertex
+// range across workers, then each range runs an independent counting
+// sort. The output is byte-identical to FromEdges (stable within each
+// adjacency list), so the two are interchangeable; this one is the
+// kernel-1 path for large edge lists on multi-core hosts.
+func FromEdgesParallel(numVertices int, edges []Edge, workers int) (*Graph, error) {
+	if numVertices < 0 || numVertices > MaxVertices {
+		return nil, fmt.Errorf("graph: invalid vertex count %d", numVertices)
+	}
+	if workers < 1 {
+		workers = par.DefaultWorkers()
+	}
+	if workers > numVertices {
+		workers = numVertices
+	}
+	if len(edges) < 4096 || workers == 1 {
+		return FromEdges(numVertices, edges)
+	}
+
+	// Vertex ranges, one per worker: range(v) via the balanced block map.
+	rangeOf := func(v uint32) int {
+		q, r := numVertices/workers, numVertices%workers
+		// Invert par.Range: ranges [0,r) have size q+1.
+		if int(v) < r*(q+1) {
+			return int(v) / (q + 1)
+		}
+		return r + (int(v)-r*(q+1))/q
+	}
+
+	// Pass 1: per-chunk histograms over ranges, with validation.
+	counts := make([][]int64, workers)
+	var badEdge error
+	par.Run(workers, func(c int) {
+		lo, hi := par.Range(len(edges), c, workers)
+		h := make([]int64, workers)
+		for _, e := range edges[lo:hi] {
+			if int(e.U) >= numVertices || int(e.V) >= numVertices {
+				badEdge = fmt.Errorf("graph: edge (%d,%d) out of range", e.U, e.V)
+				return
+			}
+			h[rangeOf(e.U)]++
+		}
+		counts[c] = h
+	})
+	if badEdge != nil {
+		return nil, badEdge
+	}
+
+	// Prefix: staging cursor per (range, chunk), range-major so each
+	// range's edges are contiguous and in original chunk order (keeps
+	// the build stable and identical to FromEdges).
+	cursor := make([][]int64, workers) // [chunk][range]
+	for c := range cursor {
+		cursor[c] = make([]int64, workers)
+	}
+	pos := int64(0)
+	rangeStart := make([]int64, workers+1)
+	for r := 0; r < workers; r++ {
+		rangeStart[r] = pos
+		for c := 0; c < workers; c++ {
+			cursor[c][r] = pos
+			pos += counts[c][r]
+		}
+	}
+	rangeStart[workers] = pos
+
+	// Pass 2: scatter edges into the range-grouped staging area.
+	staged := make([]Edge, len(edges))
+	par.Run(workers, func(c int) {
+		lo, hi := par.Range(len(edges), c, workers)
+		cur := cursor[c]
+		for _, e := range edges[lo:hi] {
+			r := rangeOf(e.U)
+			staged[cur[r]] = e
+			cur[r]++
+		}
+	})
+
+	// Pass 3: per-range counting sort into the final CSR. Ranges own
+	// disjoint vertices, so offset/neighbor writes never conflict.
+	offsets := make([]int64, numVertices+1)
+	par.Run(workers, func(r int) {
+		for _, e := range staged[rangeStart[r]:rangeStart[r+1]] {
+			offsets[e.U+1]++
+		}
+	})
+	for i := 0; i < numVertices; i++ {
+		offsets[i+1] += offsets[i]
+	}
+	neighbors := make([]uint32, len(edges))
+	par.Run(workers, func(r int) {
+		vLo, vHi := par.Range(numVertices, r, workers)
+		cur := make([]int64, vHi-vLo)
+		for v := vLo; v < vHi; v++ {
+			cur[v-vLo] = offsets[v]
+		}
+		for _, e := range staged[rangeStart[r]:rangeStart[r+1]] {
+			neighbors[cur[e.U-uint32(vLo)]] = e.V
+			cur[e.U-uint32(vLo)]++
+		}
+	})
+	return &Graph{Offsets: offsets, Neighbors: neighbors}, nil
+}

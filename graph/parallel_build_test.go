@@ -1,0 +1,101 @@
+package graph
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// TestFromEdgesParallelMatchesSerial: both builders must produce
+// byte-identical CSR output (stability included).
+func TestFromEdgesParallelMatchesSerial(t *testing.T) {
+	for _, n := range []int{1, 7, 100, 5000} {
+		for _, m := range []int{0, 1, 100, 20000} {
+			edges := randomEdges(n, m)
+			want, err := FromEdges(n, edges)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, workers := range []int{1, 2, 3, 8} {
+				got, err := FromEdgesParallel(n, edges, workers)
+				if err != nil {
+					t.Fatalf("n=%d m=%d w=%d: %v", n, m, workers, err)
+				}
+				if len(got.Offsets) != len(want.Offsets) {
+					t.Fatalf("offsets length mismatch")
+				}
+				for i := range want.Offsets {
+					if got.Offsets[i] != want.Offsets[i] {
+						t.Fatalf("n=%d m=%d w=%d: offset %d differs", n, m, workers, i)
+					}
+				}
+				for i := range want.Neighbors {
+					if got.Neighbors[i] != want.Neighbors[i] {
+						t.Fatalf("n=%d m=%d w=%d: neighbor %d differs (stability broken)",
+							n, m, workers, i)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestFromEdgesParallelValidation(t *testing.T) {
+	if _, err := FromEdgesParallel(2, make([]Edge, 5000), 4); err != nil {
+		t.Fatalf("valid zero edges rejected: %v", err)
+	}
+	bad := make([]Edge, 5000)
+	bad[4321] = Edge{U: 9, V: 0}
+	if _, err := FromEdgesParallel(2, bad, 4); err == nil {
+		t.Error("out-of-range edge accepted")
+	}
+	if _, err := FromEdgesParallel(-1, nil, 4); err == nil {
+		t.Error("negative vertex count accepted")
+	}
+}
+
+// TestFromEdgesParallelProperty: random inputs, random worker counts —
+// always equal to the serial builder.
+func TestFromEdgesParallelProperty(t *testing.T) {
+	f := func(raw []uint32, w8 uint8) bool {
+		const n = 128
+		edges := make([]Edge, len(raw))
+		for i, x := range raw {
+			edges[i] = Edge{U: x % n, V: (x >> 16) % n}
+		}
+		workers := int(w8)%8 + 1
+		a, err := FromEdges(n, edges)
+		if err != nil {
+			return false
+		}
+		b, err := FromEdgesParallel(n, edges, workers)
+		if err != nil {
+			return false
+		}
+		for i := range a.Offsets {
+			if a.Offsets[i] != b.Offsets[i] {
+				return false
+			}
+		}
+		for i := range a.Neighbors {
+			if a.Neighbors[i] != b.Neighbors[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkFromEdgesParallel(b *testing.B) {
+	const n, m = 1 << 16, 1 << 20
+	edges := randomEdges(n, m)
+	b.SetBytes(int64(m) * 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := FromEdgesParallel(n, edges, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,146 @@
+package graph
+
+import (
+	"fmt"
+	"math"
+)
+
+// Stats summarizes the structure of a graph. Depth statistics refer to a
+// BFS from vertex 0 (or the first non-isolated vertex) and approximate
+// the paper's "Depth" column of Table II.
+type Stats struct {
+	Vertices     int
+	Edges        int64
+	MinDegree    int
+	MaxDegree    int
+	MeanDegree   float64
+	DegreeStdDev float64
+	Isolated     int // vertices with no out-edges
+}
+
+// ComputeStats scans the graph once and returns degree statistics.
+func ComputeStats(g *Graph) Stats {
+	n := g.NumVertices()
+	s := Stats{Vertices: n, Edges: g.NumEdges(), MinDegree: math.MaxInt}
+	if n == 0 {
+		s.MinDegree = 0
+		return s
+	}
+	var sum, sumSq float64
+	for v := 0; v < n; v++ {
+		d := g.Degree(uint32(v))
+		if d == 0 {
+			s.Isolated++
+		}
+		if d < s.MinDegree {
+			s.MinDegree = d
+		}
+		if d > s.MaxDegree {
+			s.MaxDegree = d
+		}
+		sum += float64(d)
+		sumSq += float64(d) * float64(d)
+	}
+	s.MeanDegree = sum / float64(n)
+	variance := sumSq/float64(n) - s.MeanDegree*s.MeanDegree
+	if variance > 0 {
+		s.DegreeStdDev = math.Sqrt(variance)
+	}
+	return s
+}
+
+// String renders the stats in one line.
+func (s Stats) String() string {
+	return fmt.Sprintf("V=%d E=%d deg[min=%d mean=%.2f max=%d sd=%.2f] isolated=%d",
+		s.Vertices, s.Edges, s.MinDegree, s.MeanDegree, s.MaxDegree, s.DegreeStdDev, s.Isolated)
+}
+
+// DegreeHistogram returns counts of vertices per power-of-two degree
+// bucket: bucket k counts degrees in [2^k, 2^(k+1)), with bucket 0 also
+// counting degree 0 separately in the returned zero count.
+func DegreeHistogram(g *Graph) (zero int, buckets []int64) {
+	n := g.NumVertices()
+	buckets = make([]int64, 33)
+	for v := 0; v < n; v++ {
+		d := g.Degree(uint32(v))
+		if d == 0 {
+			zero++
+			continue
+		}
+		b := 0
+		for x := d; x > 1; x >>= 1 {
+			b++
+		}
+		buckets[b]++
+	}
+	// Trim trailing empty buckets.
+	last := len(buckets)
+	for last > 0 && buckets[last-1] == 0 {
+		last--
+	}
+	return zero, buckets[:last]
+}
+
+// BFSDepth runs a serial BFS from source and returns the eccentricity
+// (maximum finite depth) and the number of reached vertices. It is the
+// reference used to report the "Depth" column of Table II analogues.
+func BFSDepth(g *Graph, source uint32) (depth int, reached int) {
+	n := g.NumVertices()
+	if n == 0 {
+		return 0, 0
+	}
+	dist := make([]int32, n)
+	for i := range dist {
+		dist[i] = -1
+	}
+	queue := make([]uint32, 0, 1024)
+	queue = append(queue, source)
+	dist[source] = 0
+	reached = 1
+	for head := 0; head < len(queue); head++ {
+		u := queue[head]
+		du := dist[u]
+		if int(du) > depth {
+			depth = int(du)
+		}
+		for _, v := range g.Neighbors1(u) {
+			if dist[v] < 0 {
+				dist[v] = du + 1
+				reached++
+				queue = append(queue, v)
+			}
+		}
+	}
+	return depth, reached
+}
+
+// LargestReach returns a source vertex whose BFS reaches the most
+// vertices among `tries` deterministic candidates, along with the reach.
+// Generators with isolated vertices (R-MAT) use it to pick good roots.
+func LargestReach(g *Graph, tries int) (source uint32, reached int) {
+	n := g.NumVertices()
+	if n == 0 {
+		return 0, 0
+	}
+	if tries < 1 {
+		tries = 1
+	}
+	step := n / tries
+	if step == 0 {
+		step = 1
+	}
+	for c := 0; c < n && tries > 0; c += step {
+		if g.Degree(uint32(c)) == 0 {
+			continue
+		}
+		tries--
+		_, r := BFSDepth(g, uint32(c))
+		if r > reached {
+			reached, source = r, uint32(c)
+		}
+		if reached > n/2 {
+			break
+		}
+	}
+	return source, reached
+}

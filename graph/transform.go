@@ -1,0 +1,142 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+
+	"fastbfs/internal/par"
+)
+
+// Transpose returns the graph with every edge reversed. For symmetric
+// graphs the result equals the input (up to adjacency order).
+func (g *Graph) Transpose() *Graph {
+	n := g.NumVertices()
+	deg := make([]int64, n+1)
+	for _, w := range g.Neighbors {
+		deg[w+1]++
+	}
+	offsets := make([]int64, n+1)
+	for i := 0; i < n; i++ {
+		offsets[i+1] = offsets[i] + deg[i+1]
+	}
+	neighbors := make([]uint32, len(g.Neighbors))
+	cursor := make([]int64, n)
+	copy(cursor, offsets[:n])
+	for v := 0; v < n; v++ {
+		for _, w := range g.Neighbors1(uint32(v)) {
+			neighbors[cursor[w]] = uint32(v)
+			cursor[w]++
+		}
+	}
+	return &Graph{Offsets: offsets, Neighbors: neighbors}
+}
+
+// InducedSubgraph returns the subgraph induced by the given vertices,
+// relabeled to [0, len(vertices)) in the given order, plus the mapping
+// from new ids back to original ids. Duplicate vertices are rejected.
+func (g *Graph) InducedSubgraph(vertices []uint32) (*Graph, []uint32, error) {
+	n := g.NumVertices()
+	newID := make(map[uint32]uint32, len(vertices))
+	for i, v := range vertices {
+		if int(v) >= n {
+			return nil, nil, fmt.Errorf("graph: vertex %d out of range", v)
+		}
+		if _, dup := newID[v]; dup {
+			return nil, nil, fmt.Errorf("graph: duplicate vertex %d", v)
+		}
+		newID[v] = uint32(i)
+	}
+	deg := make([]int32, len(vertices))
+	adjacency := make([][]uint32, len(vertices))
+	for i, v := range vertices {
+		for _, w := range g.Neighbors1(v) {
+			if nw, ok := newID[w]; ok {
+				adjacency[i] = append(adjacency[i], nw)
+			}
+		}
+		deg[i] = int32(len(adjacency[i]))
+	}
+	sub, err := FromDegrees(deg, func(v uint32, adj []uint32) {
+		copy(adj, adjacency[v])
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	back := append([]uint32(nil), vertices...)
+	return sub, back, nil
+}
+
+// DegreeOrderPermutation returns a permutation that relabels vertices in
+// descending degree order (perm[v] = new id of v). Applying it with
+// Relabel clusters hubs at low ids — the locality-improving reordering
+// the paper deliberately does NOT apply to its inputs ("we take in the
+// input graphs as given, and do not reorder the vertices"), provided
+// here for the reordering ablation.
+func DegreeOrderPermutation(g *Graph) []uint32 {
+	n := g.NumVertices()
+	order := make([]uint32, n)
+	for i := range order {
+		order[i] = uint32(i)
+	}
+	sort.SliceStable(order, func(i, j int) bool {
+		return g.Degree(order[i]) > g.Degree(order[j])
+	})
+	perm := make([]uint32, n)
+	for rank, v := range order {
+		perm[v] = uint32(rank)
+	}
+	return perm
+}
+
+// ScramblePermutation returns a deterministic pseudo-random permutation
+// derived from seed, used to destroy locality (the inverse ablation).
+func ScramblePermutation(n int, seed uint64) []uint32 {
+	perm := make([]uint32, n)
+	for i := range perm {
+		perm[i] = uint32(i)
+	}
+	// SplitMix-driven Fisher-Yates, inlined to avoid an xrand dependency
+	// cycle concern — graph already depends only on par.
+	s := seed
+	next := func() uint64 {
+		s += 0x9e3779b97f4a7c15
+		z := s
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		return z ^ (z >> 31)
+	}
+	for i := n - 1; i > 0; i-- {
+		j := int(next() % uint64(i+1))
+		perm[i], perm[j] = perm[j], perm[i]
+	}
+	return perm
+}
+
+// CountCrossRange counts edges whose endpoints fall in different blocks
+// of size blockSize — a locality metric used by the reordering ablation
+// (fewer cross-block edges = better page locality).
+func (g *Graph) CountCrossRange(blockSize int) int64 {
+	if blockSize <= 0 {
+		return 0
+	}
+	n := g.NumVertices()
+	counts := make([]int64, par.DefaultWorkers())
+	par.Run(len(counts), func(w int) {
+		lo, hi := par.Range(n, w, len(counts))
+		var c int64
+		for v := lo; v < hi; v++ {
+			bv := v / blockSize
+			for _, u := range g.Neighbors1(uint32(v)) {
+				if int(u)/blockSize != bv {
+					c++
+				}
+			}
+		}
+		counts[w] = c
+	})
+	var total int64
+	for _, c := range counts {
+		total += c
+	}
+	return total
+}

@@ -1,0 +1,166 @@
+// Package graph500 implements the benchmark methodology the paper
+// targets (its Toy++ row is Graph500 scale 28, and §I motivates the
+// whole work with the benchmark's single-node rankings): Kronecker graph
+// construction (kernel 1), repeated validated BFS from sampled roots
+// (kernel 2), and TEPS statistics including the official harmonic mean.
+package graph500
+
+import (
+	"fmt"
+	"time"
+
+	"fastbfs/bfs"
+	"fastbfs/graph"
+	"fastbfs/graph/gen"
+	"fastbfs/internal/stats"
+)
+
+// Spec describes one benchmark problem.
+type Spec struct {
+	// Scale is log2 of the vertex count (Graph500 "SCALE").
+	Scale int
+	// EdgeFactor is edges per vertex; the official value is 16.
+	EdgeFactor int
+	// Roots is how many BFS roots to sample (officially 64; default 8
+	// here to keep laptop runs short).
+	Roots int
+	// Seed fixes the generated graph and root sample.
+	Seed uint64
+	// SkipValidation skips per-root validation (for timing-only runs).
+	SkipValidation bool
+}
+
+func (s Spec) withDefaults() Spec {
+	if s.EdgeFactor == 0 {
+		s.EdgeFactor = 16
+	}
+	if s.Roots == 0 {
+		s.Roots = 8
+	}
+	if s.Seed == 0 {
+		s.Seed = 20100521
+	}
+	return s
+}
+
+// RootResult records one kernel-2 invocation.
+type RootResult struct {
+	Root      uint32
+	TEPS      float64
+	Visited   int64
+	Levels    int
+	Elapsed   time.Duration
+	Validated bool
+}
+
+// Report is a full benchmark outcome.
+type Report struct {
+	Spec         Spec
+	Vertices     int
+	Edges        int64
+	Construction time.Duration
+	Roots        []RootResult
+
+	// HarmonicMeanTEPS is the official Graph500 statistic.
+	HarmonicMeanTEPS float64
+	// Mean/Min/Max summarize the per-root TEPS sample.
+	MeanTEPS, MinTEPS, MaxTEPS float64
+}
+
+// Run executes kernels 1 and 2 with the given traversal options.
+func Run(spec Spec, o bfs.Options) (*Report, error) {
+	spec = spec.withDefaults()
+	if spec.Scale < 1 || spec.Scale > 30 {
+		return nil, fmt.Errorf("graph500: scale %d out of range [1,30]", spec.Scale)
+	}
+	t0 := time.Now()
+	g, err := gen.Kronecker(spec.Scale, spec.EdgeFactor, spec.Seed)
+	if err != nil {
+		return nil, err
+	}
+	rep := &Report{
+		Spec:         spec,
+		Vertices:     g.NumVertices(),
+		Edges:        g.NumEdges(),
+		Construction: time.Since(t0),
+	}
+
+	e, err := bfs.NewEngine(g, o)
+	if err != nil {
+		return nil, err
+	}
+	for _, root := range SampleRoots(g, spec.Roots, spec.Seed) {
+		res, err := e.Run(root)
+		if err != nil {
+			return nil, err
+		}
+		rr := RootResult{
+			Root:    root,
+			TEPS:    res.MTEPS() * 1e6,
+			Visited: res.Visited,
+			Levels:  res.Steps,
+			Elapsed: res.Elapsed,
+		}
+		if !spec.SkipValidation {
+			if err := bfs.Validate(g, res); err != nil {
+				return nil, fmt.Errorf("graph500: root %d failed validation: %w", root, err)
+			}
+			rr.Validated = true
+		}
+		rep.Roots = append(rep.Roots, rr)
+	}
+	rep.finish()
+	return rep, nil
+}
+
+// SampleRoots returns up to n deterministic roots with nonzero degree,
+// spread across the vertex range the way the reference code samples.
+func SampleRoots(g *graph.Graph, n int, seed uint64) []uint32 {
+	if n < 1 {
+		n = 1
+	}
+	var roots []uint32
+	step := g.NumVertices()/(n*4) + 1
+	offset := int(seed % uint64(step+1))
+	for v := offset; v < g.NumVertices() && len(roots) < n; v += step {
+		if g.Degree(uint32(v)) > 0 {
+			roots = append(roots, uint32(v))
+		}
+	}
+	for v := 0; v < g.NumVertices() && len(roots) < n; v++ {
+		if g.Degree(uint32(v)) > 0 {
+			roots = append(roots, uint32(v))
+		}
+	}
+	return roots
+}
+
+// finish computes the summary statistics.
+func (r *Report) finish() {
+	if len(r.Roots) == 0 {
+		return
+	}
+	var invSum float64
+	teps := make([]float64, len(r.Roots))
+	for i, rr := range r.Roots {
+		teps[i] = rr.TEPS
+		if rr.TEPS > 0 {
+			invSum += 1 / rr.TEPS
+		}
+	}
+	if invSum > 0 {
+		r.HarmonicMeanTEPS = float64(len(r.Roots)) / invSum
+	}
+	s := stats.Summarize(teps)
+	r.MeanTEPS, r.MinTEPS, r.MaxTEPS = s.Mean, s.Min, s.Max
+}
+
+// String renders the report in the style of the official output.
+func (r *Report) String() string {
+	return fmt.Sprintf(
+		"SCALE %d edgefactor %d: %d vertices, %d edges, construction %v; "+
+			"%d roots: harmonic_mean_TEPS %.3e (mean %.3e, min %.3e, max %.3e)",
+		r.Spec.Scale, r.Spec.EdgeFactor, r.Vertices, r.Edges,
+		r.Construction.Round(time.Millisecond), len(r.Roots),
+		r.HarmonicMeanTEPS, r.MeanTEPS, r.MinTEPS, r.MaxTEPS)
+}

@@ -1,0 +1,102 @@
+package graph500
+
+import (
+	"strings"
+	"testing"
+
+	"fastbfs/bfs"
+	"fastbfs/graph/gen"
+)
+
+func TestRunSmall(t *testing.T) {
+	rep, err := Run(Spec{Scale: 12, EdgeFactor: 8, Roots: 4, Seed: 3}, bfs.Default(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Vertices != 1<<12 {
+		t.Errorf("vertices = %d", rep.Vertices)
+	}
+	if rep.Edges != 2*8<<12 {
+		t.Errorf("edges = %d", rep.Edges)
+	}
+	if len(rep.Roots) != 4 {
+		t.Fatalf("roots = %d", len(rep.Roots))
+	}
+	for _, rr := range rep.Roots {
+		if !rr.Validated {
+			t.Errorf("root %d not validated", rr.Root)
+		}
+		if rr.TEPS <= 0 || rr.Visited <= 0 || rr.Levels <= 0 {
+			t.Errorf("degenerate root result: %+v", rr)
+		}
+	}
+	if rep.HarmonicMeanTEPS <= 0 {
+		t.Error("no harmonic mean")
+	}
+	// The harmonic mean never exceeds the arithmetic mean.
+	if rep.HarmonicMeanTEPS > rep.MeanTEPS+1e-9 {
+		t.Errorf("harmonic %v > mean %v", rep.HarmonicMeanTEPS, rep.MeanTEPS)
+	}
+	if rep.MinTEPS > rep.MaxTEPS {
+		t.Error("min > max")
+	}
+	if !strings.Contains(rep.String(), "harmonic_mean_TEPS") {
+		t.Errorf("report rendering: %s", rep.String())
+	}
+}
+
+func TestRunSkipValidation(t *testing.T) {
+	rep, err := Run(Spec{Scale: 10, EdgeFactor: 4, Roots: 2, Seed: 5, SkipValidation: true}, bfs.Default(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rr := range rep.Roots {
+		if rr.Validated {
+			t.Error("validation ran despite SkipValidation")
+		}
+	}
+}
+
+func TestSpecValidation(t *testing.T) {
+	if _, err := Run(Spec{Scale: 0}, bfs.Default(1)); err == nil {
+		t.Error("scale 0 accepted")
+	}
+	if _, err := Run(Spec{Scale: 99}, bfs.Default(1)); err == nil {
+		t.Error("scale 99 accepted")
+	}
+}
+
+func TestSampleRoots(t *testing.T) {
+	g, err := gen.Kronecker(12, 8, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	roots := SampleRoots(g, 8, 7)
+	if len(roots) != 8 {
+		t.Fatalf("sampled %d roots", len(roots))
+	}
+	seen := map[uint32]bool{}
+	for _, r := range roots {
+		if g.Degree(r) == 0 {
+			t.Errorf("root %d has no edges", r)
+		}
+		if seen[r] {
+			t.Errorf("duplicate root %d", r)
+		}
+		seen[r] = true
+	}
+	// Deterministic for a fixed seed.
+	again := SampleRoots(g, 8, 7)
+	for i := range roots {
+		if roots[i] != again[i] {
+			t.Fatal("sampling not deterministic")
+		}
+	}
+}
+
+func TestDefaults(t *testing.T) {
+	s := Spec{Scale: 10}.withDefaults()
+	if s.EdgeFactor != 16 || s.Roots != 8 || s.Seed == 0 {
+		t.Errorf("defaults wrong: %+v", s)
+	}
+}

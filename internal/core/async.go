@@ -1,0 +1,172 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"fastbfs/graph"
+)
+
+// asyncQueue is an unbounded multi-producer multi-consumer chunk queue
+// with quiescence detection: pending counts chunks queued or being
+// processed, and when it reaches zero every waiter is released.
+// An unbounded queue is essential — with a bounded one, all workers can
+// block producing while nobody consumes.
+type asyncQueue struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	chunks  [][]uint32
+	pending int
+	done    bool
+}
+
+func newAsyncQueue() *asyncQueue {
+	q := &asyncQueue{}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+// push enqueues a chunk; the matching finish must be called when the
+// chunk has been fully processed.
+func (q *asyncQueue) push(chunk []uint32) {
+	q.mu.Lock()
+	q.chunks = append(q.chunks, chunk)
+	q.pending++
+	q.mu.Unlock()
+	q.cond.Signal()
+}
+
+// pop dequeues a chunk, blocking until one is available or the traversal
+// has quiesced (ok == false).
+func (q *asyncQueue) pop() (chunk []uint32, ok bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for len(q.chunks) == 0 && !q.done {
+		q.cond.Wait()
+	}
+	if q.done && len(q.chunks) == 0 {
+		return nil, false
+	}
+	chunk = q.chunks[len(q.chunks)-1]
+	q.chunks = q.chunks[:len(q.chunks)-1]
+	return chunk, true
+}
+
+// finish marks one popped chunk (and all pushes it caused) complete.
+func (q *asyncQueue) finish() {
+	q.mu.Lock()
+	q.pending--
+	quiesced := q.pending == 0
+	if quiesced {
+		q.done = true
+	}
+	q.mu.Unlock()
+	if quiesced {
+		q.cond.Broadcast()
+	}
+}
+
+// AsyncBFS is the asynchronous (label-correcting) traversal the paper
+// contrasts with synchronous approaches in §I: no barriers or steps —
+// workers relax vertices from a shared work pool as they arrive, so a
+// vertex's depth can be lowered several times and its out-edges
+// re-examined ("this may result in multiple updates for a single vertex
+// and consequent work inefficiency"). The result is a correct BFS depth
+// assignment; parents are whichever relaxation won.
+//
+// The paper cites this class as the historical approach for very
+// high-diameter graphs; BenchmarkAsyncVsSync quantifies the trade-off,
+// and Result.Appends/Result.Visited is the work-inefficiency ratio.
+func AsyncBFS(g *graph.Graph, source uint32, workers int) (*Result, error) {
+	n := g.NumVertices()
+	if int(source) >= n {
+		return nil, fmt.Errorf("core: source %d out of range", source)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	dp := make([]uint64, n)
+	for i := range dp {
+		dp[i] = INF
+	}
+	start := time.Now()
+	dp[source] = PackDP(source, 0)
+
+	const chunkCap = 256
+	q := newAsyncQueue()
+	q.push([]uint32{source})
+	var edges, relaxations int64
+
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			var out []uint32
+			var localEdges, localRelax int64
+			for {
+				chunk, ok := q.pop()
+				if !ok {
+					break
+				}
+				for _, u := range chunk {
+					// Re-read the current depth: it may have improved
+					// since u was enqueued.
+					du := uint32(atomic.LoadUint64(&dp[u]))
+					adj := g.Neighbors[g.Offsets[u]:g.Offsets[u+1]]
+					localEdges += int64(len(adj))
+					for _, v := range adj {
+						nd := du + 1
+						for {
+							cur := atomic.LoadUint64(&dp[v])
+							if uint32(cur) <= nd {
+								break
+							}
+							if atomic.CompareAndSwapUint64(&dp[v], cur, PackDP(u, nd)) {
+								localRelax++
+								out = append(out, v)
+								if len(out) == chunkCap {
+									q.push(out)
+									out = nil
+								}
+								break
+							}
+						}
+					}
+				}
+				if len(out) > 0 {
+					q.push(out)
+					out = nil
+				}
+				q.finish()
+			}
+			atomic.AddInt64(&edges, localEdges)
+			atomic.AddInt64(&relaxations, localRelax)
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	var visited int64
+	maxDepth := 0
+	for _, d := range dp {
+		if d == INF {
+			continue
+		}
+		visited++
+		if int(uint32(d)) > maxDepth {
+			maxDepth = int(uint32(d))
+		}
+	}
+	return &Result{
+		Source:         source,
+		DP:             dp,
+		Steps:          maxDepth,
+		EdgesTraversed: edges,
+		Visited:        visited,
+		Appends:        relaxations + 1, // +1: the source
+		Elapsed:        elapsed,
+	}, nil
+}

@@ -1,0 +1,113 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestAsyncMatchesSerial: the label-correcting traversal must converge
+// to exactly the serial depths on every graph family, at any worker
+// count.
+func TestAsyncMatchesSerial(t *testing.T) {
+	for name, g := range testGraphs(t) {
+		ref, err := SerialBFS(g, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{1, 2, 7} {
+			res, err := AsyncBFS(g, 0, workers)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sameDepths(t, g, ref, res, fmt.Sprintf("async/%s/w%d", name, workers))
+			if res.Visited != ref.Visited {
+				t.Fatalf("async/%s/w%d: visited %d, want %d", name, workers, res.Visited, ref.Visited)
+			}
+			if res.Steps != ref.Steps-1 && res.Steps != ref.Steps {
+				// Steps for async is the max depth; serial counts levels.
+				t.Fatalf("async/%s/w%d: steps %d vs serial %d", name, workers, res.Steps, ref.Steps)
+			}
+		}
+	}
+}
+
+// TestAsyncWorkInefficiency: relaxation counts are at least the visited
+// count (each visited vertex is relaxed at least once) — and the excess
+// is the work inefficiency the paper attributes to asynchronous schemes.
+func TestAsyncWorkInefficiency(t *testing.T) {
+	g := testGraphs(t)["rmat"]
+	res, err := AsyncBFS(g, 0, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Appends < res.Visited {
+		t.Errorf("relaxations %d < visited %d", res.Appends, res.Visited)
+	}
+	// Edges examined is at least the synchronous traversal's count.
+	ref, _ := SerialBFS(g, 0)
+	if res.EdgesTraversed < ref.EdgesTraversed {
+		t.Errorf("async examined %d edges, serial %d", res.EdgesTraversed, ref.EdgesTraversed)
+	}
+}
+
+// TestWorkStealingMatchesSerial: the Leiserson-style comparator must be
+// exactly correct too (its CAS claims admit no duplicate work).
+func TestWorkStealingMatchesSerial(t *testing.T) {
+	for name, g := range testGraphs(t) {
+		ref, err := SerialBFS(g, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{1, 4} {
+			res, err := WorkStealingBFS(g, 0, workers)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sameDepths(t, g, ref, res, fmt.Sprintf("ws/%s/w%d", name, workers))
+			if res.Appends != res.Visited {
+				t.Fatalf("ws/%s: CAS claims must be exact: appends %d visited %d",
+					name, res.Appends, res.Visited)
+			}
+		}
+	}
+}
+
+func TestBaselineSourceValidation(t *testing.T) {
+	g := testGraphs(t)["ur"]
+	if _, err := AsyncBFS(g, 1<<30, 2); err == nil {
+		t.Error("async accepted out-of-range source")
+	}
+	if _, err := WorkStealingBFS(g, 1<<30, 2); err == nil {
+		t.Error("work-stealing accepted out-of-range source")
+	}
+	if _, err := SerialBFS(g, 1<<30); err == nil {
+		t.Error("serial accepted out-of-range source")
+	}
+	// workers < 1 is clamped, not an error.
+	if _, err := AsyncBFS(g, 0, 0); err != nil {
+		t.Errorf("async rejected workers=0: %v", err)
+	}
+	if _, err := WorkStealingBFS(g, 0, -1); err != nil {
+		t.Errorf("work-stealing rejected workers=-1: %v", err)
+	}
+}
+
+// TestAsyncIsolatedSource: a source with no outgoing edges terminates
+// immediately with one visited vertex.
+func TestAsyncIsolatedSource(t *testing.T) {
+	g := testGraphs(t)["rmat"]
+	// Find an isolated vertex (R-MAT has them).
+	for v := 0; v < g.NumVertices(); v++ {
+		if g.Degree(uint32(v)) == 0 {
+			res, err := AsyncBFS(g, uint32(v), 4)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Visited != 1 || res.Steps != 0 {
+				t.Fatalf("isolated source: visited=%d steps=%d", res.Visited, res.Steps)
+			}
+			return
+		}
+	}
+	t.Skip("no isolated vertex found")
+}

@@ -1,0 +1,203 @@
+package core
+
+import (
+	"testing"
+
+	"fastbfs/graph"
+	"fastbfs/graph/gen"
+)
+
+// TestSingleVertex: a one-vertex graph terminates in one step.
+func TestSingleVertex(t *testing.T) {
+	g, err := graph.FromEdges(1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, run := range []func() (*Result, error){
+		func() (*Result, error) { e, _ := New(g, DefaultConfig(1)); return e.Run(0) },
+		func() (*Result, error) { return SerialBFS(g, 0) },
+		func() (*Result, error) { return AsyncBFS(g, 0, 2) },
+		func() (*Result, error) { return WorkStealingBFS(g, 0, 2) },
+	} {
+		res, err := run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Visited != 1 || res.Depth(0) != 0 {
+			t.Fatalf("single vertex: visited=%d depth=%d", res.Visited, res.Depth(0))
+		}
+	}
+}
+
+// TestSelfLoops: self-loops are traversed but never revisit.
+func TestSelfLoops(t *testing.T) {
+	g, err := graph.FromEdges(3, []graph.Edge{
+		{U: 0, V: 0}, {U: 0, V: 1}, {U: 1, V: 1}, {U: 1, V: 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := New(g, DefaultConfig(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Run(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Visited != 3 {
+		t.Fatalf("visited = %d", res.Visited)
+	}
+	if res.Depth(0) != 0 || res.Depth(1) != 1 || res.Depth(2) != 2 {
+		t.Fatalf("depths: %d %d %d", res.Depth(0), res.Depth(1), res.Depth(2))
+	}
+}
+
+// TestDuplicateEdges: parallel edges (kept by the generators, as in the
+// paper) must not duplicate visits, and the traversed-edge count counts
+// each adjacency entry.
+func TestDuplicateEdges(t *testing.T) {
+	g, err := graph.FromEdges(2, []graph.Edge{
+		{U: 0, V: 1}, {U: 0, V: 1}, {U: 0, V: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := New(g, DefaultConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Run(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Visited != 2 || res.EdgesTraversed != 3 {
+		t.Fatalf("visited=%d edges=%d", res.Visited, res.EdgesTraversed)
+	}
+}
+
+// TestDisconnectedSource: a source in a small component must not leak
+// into others, across all schemes.
+func TestDisconnectedSource(t *testing.T) {
+	// Component A: vertices 0..9 ring; component B: 10..99 UR island.
+	edges := make([]graph.Edge, 0, 600)
+	for i := 0; i < 10; i++ {
+		edges = append(edges, graph.Edge{U: uint32(i), V: uint32((i + 1) % 10)})
+	}
+	island, _ := gen.UniformRandom(90, 5, 3)
+	for u := 0; u < 90; u++ {
+		for _, v := range island.Neighbors1(uint32(u)) {
+			edges = append(edges, graph.Edge{U: uint32(u + 10), V: v + 10})
+		}
+	}
+	g, err := graph.FromEdges(100, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, scheme := range []Scheme{SchemeSinglePhase, SchemeSocketAware, SchemeLoadBalanced} {
+		cfg := DefaultConfig(2)
+		cfg.Scheme = scheme
+		e, err := New(g, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := e.Run(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Visited != 10 {
+			t.Fatalf("%v: visited %d, want 10", scheme, res.Visited)
+		}
+		for v := 10; v < 100; v++ {
+			if res.Depth(uint32(v)) != -1 {
+				t.Fatalf("%v: leaked into island at %d", scheme, v)
+			}
+		}
+	}
+}
+
+// TestHighDiameterAllSchemes: a pure path (diameter = V-1) exercises
+// thousands of near-empty frontiers — the regime where synchronous
+// schemes pay maximal barrier overhead but must stay correct.
+func TestHighDiameterAllSchemes(t *testing.T) {
+	g, err := gen.Grid2D(1, 3000, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, scheme := range []Scheme{SchemeSinglePhase, SchemeLoadBalanced} {
+		cfg := DefaultConfig(2)
+		cfg.Scheme = scheme
+		cfg.Workers = 4
+		e, err := New(g, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := e.Run(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Visited != 3000 || res.Depth(2999) != 2999 {
+			t.Fatalf("%v: visited=%d farDepth=%d", scheme, res.Visited, res.Depth(2999))
+		}
+	}
+}
+
+// TestNamesAreStable: the String methods feed table legends.
+func TestNamesAreStable(t *testing.T) {
+	wantVIS := map[VISKind]string{
+		VISNone: "no-VIS", VISAtomicBit: "atomic-bit", VISByte: "AF-byte",
+		VISBit: "AF-bit", VISPartitioned: "AF-partitioned",
+	}
+	for k, want := range wantVIS {
+		if k.String() != want {
+			t.Errorf("VIS %d = %q, want %q", k, k.String(), want)
+		}
+	}
+	wantScheme := map[Scheme]string{
+		SchemeSinglePhase: "no-ms-opt", SchemeSocketAware: "ms-aware",
+		SchemeLoadBalanced: "ms-load-balanced",
+	}
+	for s, want := range wantScheme {
+		if s.String() != want {
+			t.Errorf("scheme %d = %q, want %q", s, s.String(), want)
+		}
+	}
+	if VISKind(99).String() != "?" || Scheme(99).String() != "?" {
+		t.Error("unknown ids must render as ?")
+	}
+}
+
+// TestAwkwardWorkerCounts is the engine-level regression for the
+// empty-socket bug: worker counts that do not divide the socket count
+// evenly (5 or 6 workers on 4 sockets) must still traverse completely
+// under every scheme.
+func TestAwkwardWorkerCounts(t *testing.T) {
+	g, err := gen.RMAT(gen.Graph500Params(11, 8), 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := SerialBFS(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{5, 6, 7, 9} {
+		for _, scheme := range []Scheme{SchemeSinglePhase, SchemeSocketAware, SchemeLoadBalanced} {
+			cfg := DefaultConfig(4)
+			cfg.Workers = workers
+			cfg.Scheme = scheme
+			e, err := New(g, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := e.Run(0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Visited != ref.Visited {
+				t.Fatalf("workers=%d %v: visited %d, want %d",
+					workers, scheme, res.Visited, ref.Visited)
+			}
+			sameDepths(t, g, ref, res, "awkward")
+		}
+	}
+}

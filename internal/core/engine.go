@@ -1,0 +1,407 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"fastbfs/graph"
+	"fastbfs/internal/bitmap"
+	"fastbfs/internal/frontier"
+	"fastbfs/internal/numa"
+	"fastbfs/internal/par"
+	"fastbfs/internal/pbv"
+	"fastbfs/internal/trace"
+)
+
+// INF is the depth/parent word of an unvisited vertex.
+const INF = ^uint64(0)
+
+// PackDP packs a parent id and depth into one DP word (parent high,
+// depth low) — the paper stores depth and parent together so one store
+// claims the vertex.
+func PackDP(parent, depth uint32) uint64 { return uint64(parent)<<32 | uint64(depth) }
+
+// UnpackDP splits a DP word.
+func UnpackDP(dp uint64) (parent, depth uint32) {
+	return uint32(dp >> 32), uint32(dp)
+}
+
+// workerState is the per-worker slice of the traversal state. Fields are
+// only touched by the owning worker during a phase; worker 0 aggregates
+// the metric fields between barriers.
+type workerState struct {
+	id     int
+	socket int
+
+	bins       *pbv.Set
+	lastParent []uint32 // per bin: last parent written (marker encoding)
+	rearr      *frontier.Rearranger
+
+	fsegs []frontier.Segment
+	psegs []pbv.Segment
+
+	// Step-local metrics.
+	edges   int64
+	appends int64
+	traffic *numa.Traffic
+
+	sink uint64 // prefetch sink; defeats dead-code elimination
+}
+
+// Engine runs BFS traversals over one graph with one configuration.
+// It retains all large buffers across Run calls so repeated traversals
+// (the benchmark pattern: five roots per graph) do not reallocate.
+// An Engine must not be used from multiple goroutines at once, and the
+// Result of a Run aliases engine storage that the next Run overwrites.
+type Engine struct {
+	g    *graph.Graph
+	cfg  Config
+	topo *numa.Topology
+	geo  geometry
+	enc  pbv.Encoding // resolved from cfg.Encoding for this graph
+
+	dp        []uint64
+	visBit    *bitmap.Bitmap
+	visByte   *bitmap.ByteMap
+	visAtomic *bitmap.AtomicBitmap
+
+	cur, nxt *frontier.Frontier
+	ws       []*workerState
+	bar      *par.Barrier
+
+	// Shared step state, written by worker 0 between barriers; the
+	// mutex-based barrier provides the happens-before edges.
+	curLayout   *frontier.Layout
+	p2Layout    *pbv.Layout
+	stop        bool
+	err         error
+	steps       int
+	totEdges    int64
+	totApps     int64
+	runTrace    *trace.RunTrace
+	stepTraffic *numa.Traffic
+	stepMark    time.Time
+}
+
+// New builds an Engine for g with cfg (defaults applied).
+func New(g *graph.Graph, cfg Config) (*Engine, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(g); err != nil {
+		return nil, err
+	}
+	n := g.NumVertices()
+	topo, err := numa.NewTopology(n, cfg.Sockets, cfg.Workers)
+	if err != nil {
+		return nil, err
+	}
+	e := &Engine{
+		g:    g,
+		cfg:  cfg,
+		topo: topo,
+		geo:  deriveGeometry(n, cfg, topo.VNSShift()),
+		dp:   make([]uint64, n),
+		cur:  frontier.New(cfg.Workers),
+		nxt:  frontier.New(cfg.Workers),
+		bar:  par.NewBarrier(cfg.Workers),
+	}
+	switch cfg.VIS {
+	case VISAtomicBit:
+		e.visAtomic = bitmap.NewAtomicBitmap(n)
+	case VISByte:
+		e.visByte = bitmap.NewByteMap(n)
+	case VISBit, VISPartitioned:
+		e.visBit = bitmap.NewBitmap(n)
+	}
+	avgDeg := 0.0
+	if n > 0 {
+		avgDeg = float64(g.NumEdges()) / float64(n)
+	}
+	e.enc = cfg.Encoding.Choose(e.geo.nPBV, avgDeg)
+
+	shift, regions := frontier.RegionShift(n, 4*g.NumEdges(), cfg.PageBytes, cfg.TLBEntries)
+	e.ws = make([]*workerState, cfg.Workers)
+	for w := range e.ws {
+		st := &workerState{
+			id:         w,
+			socket:     topo.SocketOf(w),
+			bins:       pbv.NewSet(e.geo.nPBV),
+			lastParent: make([]uint32, e.geo.nPBV),
+		}
+		if cfg.Rearrange {
+			st.rearr = frontier.NewRearranger(shift, regions)
+		}
+		if cfg.Instrument {
+			st.traffic = numa.NewTraffic(cfg.Sockets)
+		}
+		e.ws[w] = st
+	}
+	return e, nil
+}
+
+// Config returns the effective configuration (defaults resolved).
+func (e *Engine) Config() Config { return e.cfg }
+
+// Geometry exposes the derived bin/partition parameters for reporting:
+// N_VIS cache partitions and N_PBV bins.
+func (e *Engine) Geometry() (nVIS, nPBV int) { return e.geo.nVIS, e.geo.nPBV }
+
+// Encoding returns the resolved PBV encoding.
+func (e *Engine) Encoding() pbv.Encoding { return e.enc }
+
+// Result reports one traversal. DP aliases engine storage valid until
+// the next Run.
+type Result struct {
+	Source uint32
+	// DP holds the packed parent/depth word per vertex; INF = unvisited.
+	DP []uint64
+	// Steps is the number of frontier expansions (the graph depth D).
+	Steps int
+	// EdgesTraversed counts adjacency entries examined (the TEPS
+	// numerator, work-based as in the paper).
+	EdgesTraversed int64
+	// Visited is the number of vertices assigned a depth (|V'|).
+	Visited int64
+	// Appends counts next-frontier insertions; Appends-Visited is the
+	// benign-race duplicate work (paper: <=0.2%).
+	Appends int64
+	Elapsed time.Duration
+	// Trace is non-nil when the engine was configured with Instrument.
+	Trace *trace.RunTrace
+}
+
+// Depth returns the BFS depth of v, or -1 if unreached.
+func (r *Result) Depth(v uint32) int32 {
+	dp := r.DP[v]
+	if dp == INF {
+		return -1
+	}
+	return int32(uint32(dp))
+}
+
+// Parent returns the BFS parent of v, or -1 if unreached.
+func (r *Result) Parent(v uint32) int64 {
+	dp := r.DP[v]
+	if dp == INF {
+		return -1
+	}
+	return int64(dp >> 32)
+}
+
+// MTEPS returns the traversal rate in millions of traversed edges per
+// second.
+func (r *Result) MTEPS() float64 {
+	s := r.Elapsed.Seconds()
+	if s <= 0 {
+		return 0
+	}
+	return float64(r.EdgesTraversed) / s / 1e6
+}
+
+// Run performs a BFS from source.
+func (e *Engine) Run(source uint32) (*Result, error) {
+	n := e.g.NumVertices()
+	if int(source) >= n {
+		return nil, fmt.Errorf("core: source %d out of range", source)
+	}
+	// Reset the traversal state.
+	par.For(e.cfg.Workers, n, func(lo, hi int) {
+		dp := e.dp[lo:hi]
+		for i := range dp {
+			dp[i] = INF
+		}
+	})
+	switch {
+	case e.visAtomic != nil:
+		e.visAtomic.Reset()
+	case e.visByte != nil:
+		e.visByte.Reset()
+	case e.visBit != nil:
+		e.visBit.Reset()
+	}
+	e.cur.Reset()
+	e.nxt.Reset()
+	e.stop, e.err, e.steps, e.totEdges, e.totApps = false, nil, 0, 0, 0
+	e.runTrace = nil
+	if e.cfg.Instrument {
+		e.runTrace = &trace.RunTrace{Traffic: numa.NewTraffic(e.cfg.Sockets)}
+		if e.stepTraffic == nil {
+			e.stepTraffic = numa.NewTraffic(e.cfg.Sockets)
+		}
+		for _, st := range e.ws {
+			st.traffic.Reset()
+		}
+	}
+
+	e.dp[source] = PackDP(source, 0)
+	switch {
+	case e.visAtomic != nil:
+		e.visAtomic.TrySet(source)
+	case e.visByte != nil:
+		e.visByte.TrySet(source)
+	case e.visBit != nil:
+		e.visBit.TrySet(source)
+	}
+	e.cur.Arrays[0] = append(e.cur.Arrays[0][:0], source)
+	e.totApps = 1 // the seeded source counts as visited work
+
+	start := time.Now()
+	par.Run(e.cfg.Workers, e.worker)
+	elapsed := time.Since(start)
+	if e.err != nil {
+		return nil, e.err
+	}
+
+	var visited int64
+	var vparts = make([]int64, e.cfg.Workers)
+	par.Run(e.cfg.Workers, func(w int) {
+		lo, hi := par.Range(n, w, e.cfg.Workers)
+		var c int64
+		for _, dp := range e.dp[lo:hi] {
+			if dp != INF {
+				c++
+			}
+		}
+		vparts[w] = c
+	})
+	for _, c := range vparts {
+		visited += c
+	}
+	if e.runTrace != nil {
+		e.runTrace.Finish()
+	}
+	return &Result{
+		Source:         source,
+		DP:             e.dp,
+		Steps:          e.steps,
+		EdgesTraversed: e.totEdges,
+		Visited:        visited,
+		Appends:        e.totApps,
+		Elapsed:        elapsed,
+		Trace:          e.runTrace,
+	}, nil
+}
+
+// worker is the per-goroutine step loop (paper Figure 3).
+func (e *Engine) worker(w int) {
+	st := e.ws[w]
+	maxSteps := e.cfg.MaxSteps
+	if maxSteps == 0 {
+		maxSteps = e.g.NumVertices() + 1
+	}
+	twoPhase := e.cfg.Scheme != SchemeSinglePhase
+
+	for step := uint32(1); ; step++ {
+		if w == 0 {
+			e.curLayout = frontier.BuildLayout(e.cur)
+			e.stepMark = time.Now()
+		}
+		e.bar.Wait()
+
+		var m trace.StepMetrics
+		var tPhase1, tPhase2 time.Duration
+		if twoPhase {
+			e.phase1(st, step)
+			e.bar.Wait()
+			if w == 0 {
+				tPhase1 = time.Since(e.stepMark)
+				e.p2Layout = pbv.BuildLayout(e.cfg.Workers, e.geo.nPBV, func(wk, b int) int {
+					return len(e.ws[wk].bins.Bins[b])
+				})
+				e.stepMark = time.Now()
+			}
+			e.bar.Wait()
+			e.phase2(st, step)
+		} else {
+			e.direct(st, step)
+		}
+		e.bar.Wait()
+
+		var tRearr time.Duration
+		if e.cfg.Rearrange {
+			if w == 0 {
+				tPhase2 = time.Since(e.stepMark)
+				e.stepMark = time.Now()
+			}
+			e.bar.Wait()
+			if st.rearr != nil {
+				st.rearr.Rearrange(e.nxt.Arrays[w])
+			}
+			e.bar.Wait()
+			if w == 0 {
+				tRearr = time.Since(e.stepMark)
+			}
+		} else if w == 0 {
+			tPhase2 = time.Since(e.stepMark)
+		}
+
+		if w == 0 {
+			if !twoPhase {
+				tPhase1, tPhase2 = tPhase2, 0
+			}
+			m.Step = int(step)
+			m.Frontier = e.curLayout.Total()
+			m.Phase1, m.Phase2, m.Rearr = tPhase1, tPhase2, tRearr
+			e.finishStep(step, maxSteps, &m)
+		}
+		e.bar.Wait()
+		if e.stop {
+			return
+		}
+	}
+}
+
+// finishStep aggregates metrics, swaps frontiers and decides termination.
+// Runs on worker 0 between barriers.
+func (e *Engine) finishStep(step uint32, maxSteps int, m *trace.StepMetrics) {
+	for _, st := range e.ws {
+		m.Edges += st.edges
+		m.NewVertices += st.appends
+		if e.cfg.Scheme != SchemeSinglePhase {
+			m.PBVEntries += st.bins.Entries()
+		}
+		st.edges, st.appends = 0, 0
+	}
+	e.totEdges += m.Edges
+	e.totApps += m.NewVertices
+	e.steps = int(step)
+
+	if e.runTrace != nil {
+		if e.p2Layout != nil && e.cfg.Scheme != SchemeSinglePhase {
+			if e.cfg.Scheme == SchemeLoadBalanced {
+				m.SharedBins = e.p2Layout.SharedBins(e.cfg.Sockets)
+			}
+			if total := e.p2Layout.Total(); total > 0 {
+				var widest int64
+				for s := 0; s < e.cfg.Sockets; s++ {
+					lo, hi := e.socketSpan(s)
+					if hi-lo > widest {
+						widest = hi - lo
+					}
+				}
+				m.MaxSocketShare = float64(widest) / float64(total)
+			}
+		}
+		// Aggregate this step's traffic first: α is per step (the hot
+		// socket can alternate between steps, as on the stress graph).
+		e.stepTraffic.Reset()
+		for _, st := range e.ws {
+			e.stepTraffic.Merge(st.traffic)
+			st.traffic.Reset()
+		}
+		m.AlphaAdj = e.stepTraffic.Alpha(numa.StructAdj)
+		m.AlphaPBV = e.stepTraffic.Alpha(numa.StructPBV)
+		m.AlphaDP = e.stepTraffic.Alpha(numa.StructDP)
+		e.runTrace.Traffic.Merge(e.stepTraffic)
+		e.runTrace.Add(*m)
+	}
+
+	total := e.nxt.Total()
+	e.cur, e.nxt = e.nxt, e.cur
+	e.nxt.Reset()
+	if total == 0 {
+		e.stop = true
+	} else if int(step) >= maxSteps {
+		e.stop = true
+		e.err = fmt.Errorf("core: step limit %d exceeded (cycle in step accounting?)", maxSteps)
+	}
+}

@@ -1,0 +1,294 @@
+package core
+
+import (
+	"sync/atomic"
+
+	"fastbfs/internal/numa"
+	"fastbfs/internal/par"
+	"fastbfs/internal/pbv"
+)
+
+const cacheLine = 64
+
+// phase1Range computes the global frontier range [lo, hi) a worker must
+// expand this step, per the configured scheme.
+func (e *Engine) phase1Range(st *workerState) (lo, hi int64) {
+	total := e.curLayout.Total()
+	if e.cfg.Scheme == SchemeSocketAware {
+		// Threads divide the frontier enqueued by their own socket
+		// (paper §III-B3(a), non-load-balanced variant).
+		wl, wh := e.topo.WorkersOf(st.socket)
+		base := e.curLayout.Start(wl)
+		span := e.curLayout.Start(wh) - base
+		il, ih := par.Range64(span, st.id-wl, wh-wl)
+		return base + il, base + ih
+	}
+	// Load-balanced (and single-phase): even global division.
+	return par.Range64(total, st.id, e.cfg.Workers)
+}
+
+// phase1 expands the assigned frontier slice, binning each neighbor into
+// the Potential Boundary Vertex arrays by vertex range (paper Phase-I).
+func (e *Engine) phase1(st *workerState, step uint32) {
+	st.bins.Reset()
+	for i := range st.lastParent {
+		st.lastParent[i] = ^uint32(0)
+	}
+	lo, hi := e.phase1Range(st)
+	st.fsegs = e.curLayout.Slice(lo, hi, st.fsegs[:0])
+
+	pair := e.enc == pbv.EncodingPair
+	for _, sg := range st.fsegs {
+		arr := e.cur.Arrays[sg.Worker][sg.Lo:sg.Hi]
+		if e.cfg.Instrument {
+			st.traffic.Add(numa.StructBV, e.topo.SocketOf(sg.Worker), st.socket, 4*int64(len(arr)))
+		}
+		for k, u := range arr {
+			if pf := k + e.cfg.PrefetchDist; e.cfg.PrefetchDist > 0 && pf < len(arr) {
+				// Software prefetch stand-in: touch the offset entry of a
+				// vertex a fixed distance ahead so its cache line is in
+				// flight before the dependent adjacency load.
+				st.sink += uint64(e.g.Offsets[arr[pf]])
+			}
+			adj := e.g.Neighbors[e.g.Offsets[u]:e.g.Offsets[u+1]]
+			st.edges += int64(len(adj))
+			if e.cfg.Instrument {
+				st.traffic.Add(numa.StructAdj, e.topo.HomeSocket(u), st.socket,
+					2*cacheLine+4*int64(len(adj)))
+			}
+			if pair {
+				e.binPair(st, u, adj)
+			} else if e.cfg.BatchBinning {
+				e.binMarkerBatch(st, u, adj)
+			} else {
+				e.binMarker(st, u, adj)
+			}
+		}
+	}
+	if e.cfg.Instrument {
+		// PBV writes land in the worker's local allocation; write
+		// traffic doubles for the read-for-ownership (paper item 1.4).
+		st.traffic.Add(numa.StructPBV, st.socket, st.socket, 8*st.bins.Entries())
+	}
+}
+
+// binMarker appends the neighbors of u to their bins in the marker
+// encoding: a parent marker precedes the first neighbor that lands in a
+// bin after another vertex last wrote to it.
+func (e *Engine) binMarker(st *workerState, u uint32, adj []uint32) {
+	shift := e.geo.binShift
+	bins := st.bins.Bins
+	for _, v := range adj {
+		b := v >> shift
+		bb := bins[b]
+		if st.lastParent[b] != u {
+			bb = append(bb, pbv.EncodeMarker(u))
+			st.lastParent[b] = u
+		}
+		bins[b] = append(bb, v)
+	}
+}
+
+// binMarkerBatch is binMarker with bin indices computed in blocks of
+// eight — the scalar analogue of the paper's SSE binning (§III-C(4)).
+func (e *Engine) binMarkerBatch(st *workerState, u uint32, adj []uint32) {
+	shift := e.geo.binShift
+	bins := st.bins.Bins
+	var bidx [8]uint32
+	j := 0
+	for ; j+8 <= len(adj); j += 8 {
+		blk := adj[j : j+8 : j+8]
+		for k := 0; k < 8; k++ {
+			bidx[k] = blk[k] >> shift
+		}
+		for k := 0; k < 8; k++ {
+			b := bidx[k]
+			bb := bins[b]
+			if st.lastParent[b] != u {
+				bb = append(bb, pbv.EncodeMarker(u))
+				st.lastParent[b] = u
+			}
+			bins[b] = append(bb, blk[k])
+		}
+	}
+	for ; j < len(adj); j++ {
+		v := adj[j]
+		b := v >> shift
+		bb := bins[b]
+		if st.lastParent[b] != u {
+			bb = append(bb, pbv.EncodeMarker(u))
+			st.lastParent[b] = u
+		}
+		bins[b] = append(bb, v)
+	}
+}
+
+// binPair appends (parent, vertex) pairs — the footnote-4 encoding,
+// chosen when N_PBV >= the average degree.
+func (e *Engine) binPair(st *workerState, u uint32, adj []uint32) {
+	shift := e.geo.binShift
+	bins := st.bins.Bins
+	for _, v := range adj {
+		b := v >> shift
+		bins[b] = append(bins[b], u, v)
+	}
+}
+
+// socketSpan returns the global PBV range assigned to a socket this
+// step under the configured scheme.
+func (e *Engine) socketSpan(socket int) (lo, hi int64) {
+	total := e.p2Layout.Total()
+	if e.cfg.Scheme == SchemeSocketAware {
+		// Static: socket owns exactly its own bins (vertex range).
+		binLo := socket << e.geo.extraBits
+		binHi := binLo + 1<<e.geo.extraBits
+		lo = e.p2Layout.BinStart(binLo)
+		if binHi >= e.geo.nPBV {
+			hi = total
+		} else {
+			hi = e.p2Layout.BinStart(binHi)
+		}
+		return lo, hi
+	}
+	// Load-balanced: equal entry counts per socket (paper's scheme;
+	// at most two bins shared across a boundary).
+	return par.Range64(total, socket, e.cfg.Sockets)
+}
+
+// phase2Range computes the global PBV range a worker scans this step.
+func (e *Engine) phase2Range(st *workerState) (lo, hi int64) {
+	sl, sh := e.socketSpan(st.socket)
+	wl, wh := e.topo.WorkersOf(st.socket)
+	il, ih := par.Range64(sh-sl, st.id-wl, wh-wl)
+	lo, hi = sl+il, sl+ih
+	if e.enc == pbv.EncodingPair {
+		// Pair entries occupy two words; all segment lengths are even,
+		// so rounding both bounds down keeps the division exact.
+		lo &^= 1
+		hi &^= 1
+	}
+	return lo, hi
+}
+
+// phase2 scans the assigned PBV entries, performs the atomic-free
+// VIS/DP update, and emits the next frontier (paper Phase-II).
+func (e *Engine) phase2(st *workerState, step uint32) {
+	lo, hi := e.phase2Range(st)
+	st.psegs = e.p2Layout.Slice(lo, hi, st.psegs[:0])
+	next := e.nxt.Arrays[st.id]
+
+	for _, sg := range st.psegs {
+		arr := e.ws[sg.Worker].bins.Bins[sg.Bin]
+		if e.cfg.Instrument {
+			st.traffic.Add(numa.StructPBV, e.topo.SocketOf(sg.Worker), st.socket,
+				4*int64(sg.Hi-sg.Lo))
+		}
+		if e.enc == pbv.EncodingPair {
+			for i := sg.Lo; i < sg.Hi; i += 2 {
+				next = e.visit(st, arr[i+1], arr[i], step, next)
+			}
+			continue
+		}
+		parent := uint32(0)
+		if sg.Lo > 0 {
+			// The segment is split mid-stream: recover the parent in
+			// effect by scanning back to the nearest marker.
+			if p, ok := pbv.RecoverParent(arr, sg.Lo-1); ok {
+				parent = p
+			}
+		}
+		for i := sg.Lo; i < sg.Hi; i++ {
+			x := arr[i]
+			if pbv.IsMarker(x) {
+				parent = pbv.DecodeMarker(x)
+				continue
+			}
+			next = e.visit(st, x, parent, step, next)
+		}
+	}
+	e.nxt.Arrays[st.id] = next
+}
+
+// direct is the single-phase baseline (no multi-socket optimization):
+// expand and update in one pass, exactly Figure 1 of the paper but with
+// the configured VIS structure and atomic-free updates.
+func (e *Engine) direct(st *workerState, step uint32) {
+	lo, hi := e.phase1Range(st)
+	st.fsegs = e.curLayout.Slice(lo, hi, st.fsegs[:0])
+	next := e.nxt.Arrays[st.id]
+	for _, sg := range st.fsegs {
+		arr := e.cur.Arrays[sg.Worker][sg.Lo:sg.Hi]
+		if e.cfg.Instrument {
+			st.traffic.Add(numa.StructBV, e.topo.SocketOf(sg.Worker), st.socket, 4*int64(len(arr)))
+		}
+		for k, u := range arr {
+			if pf := k + e.cfg.PrefetchDist; e.cfg.PrefetchDist > 0 && pf < len(arr) {
+				st.sink += uint64(e.g.Offsets[arr[pf]])
+			}
+			adj := e.g.Neighbors[e.g.Offsets[u]:e.g.Offsets[u+1]]
+			st.edges += int64(len(adj))
+			if e.cfg.Instrument {
+				st.traffic.Add(numa.StructAdj, e.topo.HomeSocket(u), st.socket,
+					2*cacheLine+4*int64(len(adj)))
+			}
+			for _, v := range adj {
+				next = e.visit(st, v, u, step, next)
+			}
+		}
+	}
+	e.nxt.Arrays[st.id] = next
+}
+
+// visit applies the configured visited protocol to neighbor v with the
+// given parent and depth, appending v to next on success.
+//
+// Atomic-free kinds follow paper Figure 2(b): the VIS probe may race
+// (a plain store can drop a sibling bit, and two threads can pass the
+// probe for the same vertex); the DP load repairs the first case and
+// bounds the second to duplicate same-depth work.
+func (e *Engine) visit(st *workerState, v, parent, depth uint32, next []uint32) []uint32 {
+	switch e.cfg.VIS {
+	case VISNone:
+		// Direct DP check per neighbor (baseline: full DP traffic).
+	case VISAtomicBit:
+		// Exact claim via LOCK CMPXCHG; no DP re-check needed.
+		if !e.visAtomic.TrySet(v) {
+			return next
+		}
+		atomic.StoreUint64(&e.dp[v], PackDP(parent, depth))
+		st.appends++
+		if e.cfg.Instrument {
+			e.chargeVisit(st, v)
+		}
+		return append(next, v)
+	case VISByte:
+		if !e.visByte.TrySet(v) {
+			return next
+		}
+	default: // VISBit, VISPartitioned
+		if !e.visBit.TrySet(v) {
+			return next
+		}
+	}
+	if e.cfg.Instrument {
+		st.traffic.Add(numa.StructVIS, e.topo.HomeSocket(v), st.socket, 1)
+	}
+	if atomic.LoadUint64(&e.dp[v]) != INF {
+		return next
+	}
+	atomic.StoreUint64(&e.dp[v], PackDP(parent, depth))
+	st.appends++
+	if e.cfg.Instrument {
+		e.chargeVisit(st, v)
+	}
+	return append(next, v)
+}
+
+// chargeVisit accounts the DP update and next-frontier append of a newly
+// visited vertex.
+func (e *Engine) chargeVisit(st *workerState, v uint32) {
+	// DP update: read-modify-write of a full cache line (paper item 2.3).
+	st.traffic.Add(numa.StructDP, e.topo.HomeSocket(v), st.socket, 2*cacheLine)
+	// BV^N append is local (paper item 2.4: write + RFO).
+	st.traffic.Add(numa.StructBV, st.socket, st.socket, 8)
+}

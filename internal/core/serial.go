@@ -1,0 +1,52 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"fastbfs/graph"
+)
+
+// SerialBFS is the textbook queue-based traversal (paper Figure 1,
+// sequential). It is the correctness reference for the parallel engine
+// and the single-thread baseline of the benchmark harness.
+func SerialBFS(g *graph.Graph, source uint32) (*Result, error) {
+	n := g.NumVertices()
+	if int(source) >= n {
+		return nil, fmt.Errorf("core: source %d out of range", source)
+	}
+	dp := make([]uint64, n)
+	for i := range dp {
+		dp[i] = INF
+	}
+	start := time.Now()
+	dp[source] = PackDP(source, 0)
+	queue := make([]uint32, 0, 1024)
+	queue = append(queue, source)
+	var edges int64
+	steps := 0
+	for head := 0; head < len(queue); head++ {
+		u := queue[head]
+		du := uint32(dp[u])
+		if int(du)+1 > steps {
+			steps = int(du) + 1
+		}
+		adj := g.Neighbors[g.Offsets[u]:g.Offsets[u+1]]
+		edges += int64(len(adj))
+		for _, v := range adj {
+			if dp[v] == INF {
+				dp[v] = PackDP(u, du+1)
+				queue = append(queue, v)
+			}
+		}
+	}
+	return &Result{
+		Source:         source,
+		DP:             dp,
+		Steps:          steps,
+		EdgesTraversed: edges,
+		Visited:        int64(len(queue)),
+		Appends:        int64(len(queue)),
+		Elapsed:        time.Since(start),
+	}, nil
+}

@@ -1,0 +1,148 @@
+// Package membw measures this host's achievable memory bandwidths with
+// Molka-style streaming microbenchmarks — the methodology behind the
+// paper's Table I ("Benchmarking efforts such as the work by Molka et
+// al. have indicated the read and write bandwidths..."). The results
+// calibrate a model.Platform for hosts other than the paper's Nehalem.
+package membw
+
+import (
+	"time"
+
+	"fastbfs/internal/par"
+	"fastbfs/internal/xrand"
+)
+
+// Result holds measured characteristics in the model's units (GB/s =
+// 1e9 bytes per second).
+type Result struct {
+	// SeqReadGBs is the streaming read bandwidth over a buffer far
+	// larger than the LLC.
+	SeqReadGBs float64
+	// SeqWriteGBs is the streaming write bandwidth.
+	SeqWriteGBs float64
+	// CachedReadGBs is the streaming read bandwidth over an L2-sized
+	// buffer (the LLC/L2 path proxy).
+	CachedReadGBs float64
+	// RandomReadNS is the average dependent random-read latency over a
+	// DRAM-resident buffer — the latency BFS hides with prefetch and
+	// rearrangement.
+	RandomReadNS float64
+}
+
+// Options sizes the measurement.
+type Options struct {
+	// BufferBytes is the DRAM working-set size; default 256 MiB.
+	BufferBytes int
+	// CachedBytes is the cache-resident working-set size; default 128 KiB.
+	CachedBytes int
+	// Workers streams in parallel for the bandwidth tests; default all.
+	Workers int
+	// MinDuration per measurement; default 100 ms.
+	MinDuration time.Duration
+}
+
+func (o Options) withDefaults() Options {
+	if o.BufferBytes == 0 {
+		o.BufferBytes = 256 << 20
+	}
+	if o.CachedBytes == 0 {
+		o.CachedBytes = 128 << 10
+	}
+	if o.Workers == 0 {
+		o.Workers = par.DefaultWorkers()
+	}
+	if o.MinDuration == 0 {
+		o.MinDuration = 100 * time.Millisecond
+	}
+	return o
+}
+
+// Measure runs all microbenchmarks. It allocates O(BufferBytes).
+func Measure(o Options) Result {
+	o = o.withDefaults()
+	words := o.BufferBytes / 8
+	buf := make([]uint64, words)
+	for i := range buf {
+		buf[i] = uint64(i)
+	}
+	r := Result{
+		SeqReadGBs:  streamRead(buf, o),
+		SeqWriteGBs: streamWrite(buf, o),
+	}
+	small := make([]uint64, o.CachedBytes/8)
+	for i := range small {
+		small[i] = uint64(i)
+	}
+	r.CachedReadGBs = streamRead(small, o)
+	r.RandomReadNS = pointerChase(buf, o)
+	return r
+}
+
+// sink defeats dead-code elimination across the measurement loops.
+var sink uint64
+
+func streamRead(buf []uint64, o Options) float64 {
+	var bytes int64
+	start := time.Now()
+	for time.Since(start) < o.MinDuration {
+		sums := make([]uint64, o.Workers)
+		par.Run(o.Workers, func(w int) {
+			lo, hi := par.Range(len(buf), w, o.Workers)
+			var s uint64
+			seg := buf[lo:hi]
+			for i := 0; i+8 <= len(seg); i += 8 {
+				s += seg[i] + seg[i+1] + seg[i+2] + seg[i+3] +
+					seg[i+4] + seg[i+5] + seg[i+6] + seg[i+7]
+			}
+			sums[w] = s
+		})
+		for _, s := range sums {
+			sink += s
+		}
+		bytes += int64(len(buf)) * 8
+	}
+	return float64(bytes) / time.Since(start).Seconds() / 1e9
+}
+
+func streamWrite(buf []uint64, o Options) float64 {
+	var bytes int64
+	start := time.Now()
+	for pass := uint64(1); time.Since(start) < o.MinDuration; pass++ {
+		par.Run(o.Workers, func(w int) {
+			lo, hi := par.Range(len(buf), w, o.Workers)
+			seg := buf[lo:hi]
+			for i := range seg {
+				seg[i] = pass
+			}
+		})
+		bytes += int64(len(buf)) * 8
+	}
+	return float64(bytes) / time.Since(start).Seconds() / 1e9
+}
+
+// pointerChase measures dependent random-read latency by walking a
+// random cycle through the buffer.
+func pointerChase(buf []uint64, o Options) float64 {
+	// Build a random permutation cycle over a stride-spread subset so
+	// hardware prefetchers cannot follow it.
+	n := len(buf)
+	if n > 1<<22 {
+		n = 1 << 22
+	}
+	perm := xrand.New(42).Perm(n)
+	for i := 0; i < n; i++ {
+		next := perm[(i+1)%n]
+		buf[perm[i]] = uint64(next)
+	}
+	var hops int64
+	idx := uint64(perm[0])
+	start := time.Now()
+	for time.Since(start) < o.MinDuration {
+		for k := 0; k < 4096; k++ {
+			idx = buf[idx]
+		}
+		hops += 4096
+	}
+	sink += idx
+	return float64(time.Since(start).Nanoseconds()) / float64(hops)
+}

@@ -1,0 +1,60 @@
+package membw
+
+import (
+	"testing"
+	"time"
+)
+
+// quick returns fast, tiny measurement options for tests.
+func quick() Options {
+	return Options{
+		BufferBytes: 8 << 20,
+		CachedBytes: 64 << 10,
+		Workers:     2,
+		MinDuration: 10 * time.Millisecond,
+	}
+}
+
+func TestMeasureSane(t *testing.T) {
+	r := Measure(quick())
+	if r.SeqReadGBs <= 0 || r.SeqWriteGBs <= 0 || r.CachedReadGBs <= 0 {
+		t.Fatalf("non-positive bandwidth: %+v", r)
+	}
+	if r.RandomReadNS <= 0 {
+		t.Fatalf("non-positive latency: %+v", r)
+	}
+	// Plausibility: any machine reads under 10 TB/s and over 10 MB/s.
+	for name, v := range map[string]float64{
+		"read": r.SeqReadGBs, "write": r.SeqWriteGBs, "cached": r.CachedReadGBs,
+	} {
+		if v < 0.01 || v > 10000 {
+			t.Errorf("%s bandwidth implausible: %v GB/s", name, v)
+		}
+	}
+	// Random dependent reads are far slower than streaming: the
+	// per-element stream cost at SeqReadGBs is under a nanosecond on any
+	// modern machine, while a dependent miss is tens of ns.
+	if r.RandomReadNS < 1 {
+		t.Errorf("random-read latency %v ns implausibly low", r.RandomReadNS)
+	}
+}
+
+func TestCachedFasterThanDRAM(t *testing.T) {
+	r := Measure(quick())
+	// A 64 KiB working set should stream at least as fast as an 8 MiB
+	// one; allow slack for timer noise on busy CI hosts.
+	if r.CachedReadGBs < 0.5*r.SeqReadGBs {
+		t.Errorf("cached read %v GB/s slower than DRAM read %v GB/s",
+			r.CachedReadGBs, r.SeqReadGBs)
+	}
+}
+
+func TestDefaults(t *testing.T) {
+	o := Options{}.withDefaults()
+	if o.BufferBytes != 256<<20 || o.CachedBytes != 128<<10 {
+		t.Errorf("size defaults: %+v", o)
+	}
+	if o.Workers < 1 || o.MinDuration <= 0 {
+		t.Errorf("defaults: %+v", o)
+	}
+}

@@ -1,0 +1,123 @@
+package par
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func TestBarrierRounds(t *testing.T) {
+	const workers, rounds = 8, 50
+	b := NewBarrier(workers)
+	var phase [workers]int32
+	Run(workers, func(w int) {
+		for r := 0; r < rounds; r++ {
+			atomic.StoreInt32(&phase[w], int32(r))
+			b.Wait()
+			// After the barrier, every worker must be at round r.
+			for i := 0; i < workers; i++ {
+				if p := atomic.LoadInt32(&phase[i]); p < int32(r) {
+					t.Errorf("worker %d at phase %d during round %d", i, p, r)
+				}
+			}
+			b.Wait()
+		}
+	})
+}
+
+func TestBarrierSingle(t *testing.T) {
+	b := NewBarrier(1)
+	for i := 0; i < 10; i++ {
+		b.Wait() // must never block
+	}
+}
+
+func TestBarrierPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewBarrier(0) did not panic")
+		}
+	}()
+	NewBarrier(0)
+}
+
+func TestRunAllWorkersExecute(t *testing.T) {
+	var mu sync.Mutex
+	seen := map[int]bool{}
+	Run(7, func(w int) {
+		mu.Lock()
+		seen[w] = true
+		mu.Unlock()
+	})
+	if len(seen) != 7 {
+		t.Fatalf("saw %d workers, want 7", len(seen))
+	}
+}
+
+func TestRangeProperties(t *testing.T) {
+	f := func(n16 uint16, w8 uint8) bool {
+		n := int(n16)
+		workers := int(w8)%16 + 1
+		// Coverage: ranges tile [0, n) exactly.
+		pos := 0
+		for w := 0; w < workers; w++ {
+			lo, hi := Range(n, w, workers)
+			if lo != pos || hi < lo {
+				return false
+			}
+			// Balance: sizes differ by at most one.
+			if hi-lo > n/workers+1 {
+				return false
+			}
+			pos = hi
+		}
+		return pos == n
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRange64Properties(t *testing.T) {
+	f := func(n32 uint32, w8 uint8) bool {
+		n := int64(n32)
+		workers := int(w8)%16 + 1
+		pos := int64(0)
+		for w := 0; w < workers; w++ {
+			lo, hi := Range64(n, w, workers)
+			if lo != pos || hi < lo {
+				return false
+			}
+			pos = hi
+		}
+		return pos == n
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestForCoversAll(t *testing.T) {
+	for _, workers := range []int{1, 2, 5, 16} {
+		for _, n := range []int{0, 1, 3, 100, 1001} {
+			marks := make([]int32, n)
+			For(workers, n, func(lo, hi int) {
+				for i := lo; i < hi; i++ {
+					atomic.AddInt32(&marks[i], 1)
+				}
+			})
+			for i, m := range marks {
+				if m != 1 {
+					t.Fatalf("workers=%d n=%d: index %d visited %d times", workers, n, i, m)
+				}
+			}
+		}
+	}
+}
+
+func TestDefaultWorkersPositive(t *testing.T) {
+	if DefaultWorkers() < 1 {
+		t.Error("DefaultWorkers < 1")
+	}
+}

@@ -1,0 +1,48 @@
+package pbv
+
+import (
+	"testing"
+
+	"fastbfs/internal/par"
+)
+
+// BenchmarkBuildLayout measures the per-step Phase-II division setup for
+// 16 workers x 16 bins.
+func BenchmarkBuildLayout(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		l := BuildLayout(16, 16, func(w, bn int) int { return w*31 + bn*17 })
+		if l.Total() == 0 {
+			b.Fatal("empty layout")
+		}
+	}
+}
+
+// BenchmarkSlice measures mapping a worker's share onto bin segments.
+func BenchmarkSlice(b *testing.B) {
+	l := BuildLayout(16, 16, func(w, bn int) int { return 100 + w + bn })
+	var segs []Segment
+	for i := 0; i < b.N; i++ {
+		w := i & 15
+		lo, hi := par.Range64(l.Total(), w, 16)
+		segs = l.Slice(lo, hi, segs[:0])
+	}
+	_ = segs
+}
+
+// BenchmarkRecoverParent measures the split-point backward scan in a
+// realistic marker density (one marker per ~8 entries).
+func BenchmarkRecoverParent(b *testing.B) {
+	seg := make([]uint32, 1<<12)
+	for i := range seg {
+		if i%9 == 0 {
+			seg[i] = EncodeMarker(uint32(i))
+		} else {
+			seg[i] = uint32(i)
+		}
+	}
+	for i := 0; i < b.N; i++ {
+		if _, ok := RecoverParent(seg, len(seg)-1-(i&7)); !ok {
+			b.Fatal("no parent found")
+		}
+	}
+}

@@ -1,0 +1,201 @@
+// Package pbv implements the Potential Boundary Vertex machinery of the
+// paper's two-phase traversal: the per-(worker, bin) intermediate arrays
+// written by Phase-I, the two entry encodings (parent markers vs
+// (parent, vertex) pairs), and the load-balanced division of the bins
+// across sockets and threads for Phase-II (paper §III-B3).
+package pbv
+
+import (
+	"sort"
+
+	"fastbfs/internal/par"
+)
+
+// MarkerBit marks an entry as a parent marker in the marker encoding.
+// Vertex ids must therefore stay below 2^31 (graph.MaxVertices).
+const MarkerBit = 1 << 31
+
+// EncodeMarker returns the marker entry for parent u.
+func EncodeMarker(u uint32) uint32 { return u | MarkerBit }
+
+// IsMarker reports whether an entry is a parent marker.
+func IsMarker(x uint32) bool { return x&MarkerBit != 0 }
+
+// DecodeMarker returns the parent id of a marker entry.
+func DecodeMarker(x uint32) uint32 { return x &^ MarkerBit }
+
+// Encoding selects how Phase-I writes bin entries.
+type Encoding int
+
+// Encodings. Auto selects Pair when N_PBV >= average frontier degree
+// (paper footnote 4: pairs are more space-efficient there), Marker
+// otherwise.
+const (
+	EncodingAuto Encoding = iota
+	EncodingMarker
+	EncodingPair
+)
+
+// String names the encoding.
+func (e Encoding) String() string {
+	switch e {
+	case EncodingAuto:
+		return "auto"
+	case EncodingMarker:
+		return "marker"
+	case EncodingPair:
+		return "pair"
+	}
+	return "?"
+}
+
+// Choose resolves EncodingAuto for the given bin count and average
+// degree of the current frontier.
+func (e Encoding) Choose(numBins int, avgDegree float64) Encoding {
+	if e != EncodingAuto {
+		return e
+	}
+	if float64(numBins) >= avgDegree {
+		return EncodingPair
+	}
+	return EncodingMarker
+}
+
+// Set is one worker's N_PBV bins. Capacity is retained across steps; the
+// engine allocates one Set per worker once per Run.
+type Set struct {
+	Bins [][]uint32
+}
+
+// NewSet returns a Set with numBins empty bins.
+func NewSet(numBins int) *Set {
+	return &Set{Bins: make([][]uint32, numBins)}
+}
+
+// Reset truncates every bin, keeping capacity.
+func (s *Set) Reset() {
+	for i := range s.Bins {
+		s.Bins[i] = s.Bins[i][:0]
+	}
+}
+
+// Entries returns the total number of entries across the bins.
+func (s *Set) Entries() int64 {
+	var n int64
+	for _, b := range s.Bins {
+		n += int64(len(b))
+	}
+	return n
+}
+
+// Layout is the bin-major concatenation of all workers' bins:
+// segment (b, w) holds worker w's entries for bin b, and segments are
+// ordered b-major so that each socket's Phase-II share is a contiguous
+// run of (mostly whole) bins — the paper's "each socket is assigned a few
+// complete bins, and at most two partial bins".
+type Layout struct {
+	W, B   int
+	prefix []int64 // len W*B+1; prefix[SegIndex(b,w)] = global start
+}
+
+// BuildLayout computes the layout from segment lengths.
+func BuildLayout(workers, bins int, lenOf func(w, b int) int) *Layout {
+	l := &Layout{W: workers, B: bins, prefix: make([]int64, workers*bins+1)}
+	pos := int64(0)
+	for b := 0; b < bins; b++ {
+		for w := 0; w < workers; w++ {
+			l.prefix[l.SegIndex(b, w)] = pos
+			pos += int64(lenOf(w, b))
+		}
+	}
+	l.prefix[workers*bins] = pos
+	return l
+}
+
+// SegIndex returns the linear segment index of (bin, worker).
+func (l *Layout) SegIndex(b, w int) int { return b*l.W + w }
+
+// SegBinWorker inverts SegIndex.
+func (l *Layout) SegBinWorker(seg int) (b, w int) { return seg / l.W, seg % l.W }
+
+// Total returns the total number of entries.
+func (l *Layout) Total() int64 { return l.prefix[len(l.prefix)-1] }
+
+// BinStart returns the global position where bin b begins.
+func (l *Layout) BinStart(b int) int64 { return l.prefix[l.SegIndex(b, 0)] }
+
+// BinLen returns the number of entries in bin b across all workers.
+func (l *Layout) BinLen(b int) int64 {
+	end := l.Total()
+	if b+1 < l.B {
+		end = l.BinStart(b + 1)
+	}
+	return end - l.BinStart(b)
+}
+
+// Segment describes a piece of one worker's bin assigned to a processor.
+type Segment struct {
+	Bin, Worker int
+	Lo, Hi      int // local offsets within Bins[Worker][Bin]
+}
+
+// Slice maps the global half-open range [lo, hi) to per-segment local
+// ranges, appending them to out.
+func (l *Layout) Slice(lo, hi int64, out []Segment) []Segment {
+	if lo >= hi {
+		return out
+	}
+	// First segment containing lo: the last prefix <= lo.
+	seg := sort.Search(len(l.prefix), func(i int) bool { return l.prefix[i] > lo }) - 1
+	for pos := lo; pos < hi && seg < l.W*l.B; seg++ {
+		segStart := l.prefix[seg]
+		segEnd := l.prefix[seg+1]
+		if segEnd <= pos {
+			continue
+		}
+		s, e := pos, hi
+		if segEnd < e {
+			e = segEnd
+		}
+		b, w := l.SegBinWorker(seg)
+		out = append(out, Segment{Bin: b, Worker: w, Lo: int(s - segStart), Hi: int(e - segStart)})
+		pos = e
+	}
+	return out
+}
+
+// SharedBins counts bins whose entries straddle a boundary of the
+// load-balanced division into nShares (sockets): the paper's cross-socket
+// communication metric ("share at most two bins with other sockets").
+func (l *Layout) SharedBins(nShares int) int {
+	shared := 0
+	for b := 0; b < l.B; b++ {
+		start, end := l.BinStart(b), l.BinStart(b)+l.BinLen(b)
+		if start == end {
+			continue
+		}
+		// A bin is shared if a share boundary falls strictly inside it.
+		for s := 1; s < nShares; s++ {
+			lo, _ := par.Range64(l.Total(), s, nShares)
+			if lo > start && lo < end {
+				shared++
+				break
+			}
+		}
+	}
+	return shared
+}
+
+// RecoverParent returns the parent in effect at local offset lo of a
+// marker-encoded segment by scanning backwards to the nearest marker.
+// Phase-I always writes a marker before the first vertex entry of a
+// segment, so the scan is guaranteed to hit one. ok is false only for an
+// empty or malformed segment.
+func RecoverParent(seg []uint32, lo int) (parent uint32, ok bool) {
+	for i := lo; i >= 0; i-- {
+		if IsMarker(seg[i]) {
+			return DecodeMarker(seg[i]), true
+		}
+	}
+	return 0, false
+}

@@ -1,0 +1,183 @@
+package pbv
+
+import (
+	"testing"
+	"testing/quick"
+
+	"fastbfs/internal/par"
+)
+
+func TestMarkerRoundTrip(t *testing.T) {
+	for _, u := range []uint32{0, 1, 12345, 1<<31 - 1} {
+		m := EncodeMarker(u)
+		if !IsMarker(m) {
+			t.Fatalf("EncodeMarker(%d) not recognized", u)
+		}
+		if DecodeMarker(m) != u {
+			t.Fatalf("DecodeMarker(EncodeMarker(%d)) = %d", u, DecodeMarker(m))
+		}
+		if IsMarker(u) {
+			t.Fatalf("plain id %d misread as marker", u)
+		}
+	}
+}
+
+func TestEncodingChoose(t *testing.T) {
+	if EncodingAuto.Choose(16, 8.0) != EncodingPair {
+		t.Error("want pair when bins >= degree")
+	}
+	if EncodingAuto.Choose(2, 8.0) != EncodingMarker {
+		t.Error("want marker when bins < degree")
+	}
+	if EncodingMarker.Choose(16, 8.0) != EncodingMarker {
+		t.Error("explicit marker overridden")
+	}
+	if EncodingPair.Choose(2, 8.0) != EncodingPair {
+		t.Error("explicit pair overridden")
+	}
+}
+
+func TestSetReset(t *testing.T) {
+	s := NewSet(4)
+	s.Bins[0] = append(s.Bins[0], 1, 2, 3)
+	s.Bins[3] = append(s.Bins[3], 4)
+	if s.Entries() != 4 {
+		t.Fatalf("Entries = %d, want 4", s.Entries())
+	}
+	s.Reset()
+	if s.Entries() != 0 {
+		t.Fatalf("Entries after Reset = %d", s.Entries())
+	}
+	if cap(s.Bins[0]) < 3 {
+		t.Error("Reset dropped capacity")
+	}
+}
+
+// buildTestLayout makes a 3-worker, 4-bin layout with known lengths.
+func buildTestLayout() (*Layout, [][]int) {
+	lens := [][]int{ // [worker][bin]
+		{2, 0, 5, 1},
+		{3, 1, 0, 2},
+		{0, 4, 2, 2},
+	}
+	l := BuildLayout(3, 4, func(w, b int) int { return lens[w][b] })
+	return l, lens
+}
+
+func TestLayoutTotals(t *testing.T) {
+	l, lens := buildTestLayout()
+	var want int64
+	for _, row := range lens {
+		for _, n := range row {
+			want += int64(n)
+		}
+	}
+	if l.Total() != want {
+		t.Fatalf("Total = %d, want %d", l.Total(), want)
+	}
+	// Bin lengths sum across workers.
+	for b := 0; b < 4; b++ {
+		var wantBin int64
+		for w := 0; w < 3; w++ {
+			wantBin += int64(lens[w][b])
+		}
+		if l.BinLen(b) != wantBin {
+			t.Fatalf("BinLen(%d) = %d, want %d", b, l.BinLen(b), wantBin)
+		}
+	}
+}
+
+// TestLayoutSliceCoverage: dividing [0, Total) into k ranges must visit
+// every (bin, worker, offset) exactly once, bin-major.
+func TestLayoutSliceCoverage(t *testing.T) {
+	l, lens := buildTestLayout()
+	for _, shares := range []int{1, 2, 3, 5, 23} {
+		visited := map[[3]int]int{}
+		var segs []Segment
+		for s := 0; s < shares; s++ {
+			lo, hi := par.Range64(l.Total(), s, shares)
+			segs = l.Slice(lo, hi, segs[:0])
+			for _, sg := range segs {
+				if sg.Lo >= sg.Hi {
+					t.Fatalf("empty segment emitted: %+v", sg)
+				}
+				if sg.Hi > lens[sg.Worker][sg.Bin] {
+					t.Fatalf("segment overruns: %+v (len %d)", sg, lens[sg.Worker][sg.Bin])
+				}
+				for i := sg.Lo; i < sg.Hi; i++ {
+					visited[[3]int{sg.Bin, sg.Worker, i}]++
+				}
+			}
+		}
+		var total int
+		for k, c := range visited {
+			if c != 1 {
+				t.Fatalf("shares=%d: position %v visited %d times", shares, k, c)
+			}
+			total++
+		}
+		if int64(total) != l.Total() {
+			t.Fatalf("shares=%d: visited %d of %d positions", shares, total, l.Total())
+		}
+	}
+}
+
+// TestLayoutSliceProperty: random layouts, random divisions — exact
+// tiling, no overlaps.
+func TestLayoutSliceProperty(t *testing.T) {
+	f := func(seed uint8, shares8 uint8) bool {
+		w := int(seed%3) + 1
+		b := int(seed/3%4) + 1
+		shares := int(shares8%6) + 1
+		l := BuildLayout(w, b, func(wk, bn int) int { return (wk*7 + bn*3 + int(seed)) % 5 })
+		var count int64
+		var segs []Segment
+		for s := 0; s < shares; s++ {
+			lo, hi := par.Range64(l.Total(), s, shares)
+			segs = l.Slice(lo, hi, segs[:0])
+			for _, sg := range segs {
+				count += int64(sg.Hi - sg.Lo)
+			}
+		}
+		return count == l.Total()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSharedBins(t *testing.T) {
+	// One bin only: any multi-share division shares it.
+	l := BuildLayout(1, 1, func(w, b int) int { return 100 })
+	if got := l.SharedBins(2); got != 1 {
+		t.Errorf("single fat bin: SharedBins(2) = %d, want 1", got)
+	}
+	// Two equal bins across two shares: boundary falls exactly between
+	// bins — nothing shared.
+	l = BuildLayout(1, 2, func(w, b int) int { return 50 })
+	if got := l.SharedBins(2); got != 0 {
+		t.Errorf("aligned bins: SharedBins(2) = %d, want 0", got)
+	}
+	// Paper's bound: a contiguous division into N_S shares can split at
+	// most N_S-1 bins.
+	l = BuildLayout(2, 8, func(w, b int) int { return w + b })
+	for _, ns := range []int{2, 4} {
+		if got := l.SharedBins(ns); got > ns-1 {
+			t.Errorf("SharedBins(%d) = %d, exceeds %d", ns, got, ns-1)
+		}
+	}
+}
+
+func TestRecoverParent(t *testing.T) {
+	seg := []uint32{EncodeMarker(5), 10, 11, EncodeMarker(7), 12}
+	cases := map[int]uint32{0: 5, 1: 5, 2: 5, 3: 7, 4: 7}
+	for lo, want := range cases {
+		got, ok := RecoverParent(seg, lo)
+		if !ok || got != want {
+			t.Errorf("RecoverParent(seg, %d) = %d,%v want %d", lo, got, ok, want)
+		}
+	}
+	if _, ok := RecoverParent([]uint32{1, 2, 3}, 2); ok {
+		t.Error("RecoverParent found a parent in a marker-free segment")
+	}
+}

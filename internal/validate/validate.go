@@ -1,0 +1,129 @@
+// Package validate checks BFS traversal outputs the way the Graph500
+// specification does: the result must be a valid BFS tree with exact
+// level labels, even though the parallel engine's benign races allow
+// different (equally valid) parents run to run.
+package validate
+
+import (
+	"fmt"
+
+	"fastbfs/graph"
+	"fastbfs/internal/core"
+	"fastbfs/internal/par"
+)
+
+// Result validates a traversal over g from source:
+//
+//  1. the source has depth 0 and itself as parent;
+//  2. every visited vertex v != source has a visited parent p with
+//     depth(v) == depth(p)+1 and an edge (p, v) in the graph;
+//  3. every edge (u, v) out of a visited u satisfies
+//     depth(v) <= depth(u)+1 and v visited (level consistency);
+//  4. depths equal the serial reference exactly, and exactly the
+//     reference's vertex set is visited.
+//
+// It returns the first violation found, or nil.
+func Result(g *graph.Graph, r *core.Result) error {
+	n := g.NumVertices()
+	if len(r.DP) != n {
+		return fmt.Errorf("validate: DP length %d != %d vertices", len(r.DP), n)
+	}
+	if d := r.Depth(r.Source); d != 0 {
+		return fmt.Errorf("validate: source depth = %d, want 0", d)
+	}
+	if p := r.Parent(r.Source); p != int64(r.Source) {
+		return fmt.Errorf("validate: source parent = %d, want %d", p, r.Source)
+	}
+
+	// (2) parent/depth/edge consistency, in parallel.
+	errs := make([]error, par.DefaultWorkers())
+	par.Run(len(errs), func(w int) {
+		lo, hi := par.Range(n, w, len(errs))
+		for v := lo; v < hi; v++ {
+			dv := r.Depth(uint32(v))
+			if dv < 0 || uint32(v) == r.Source {
+				continue
+			}
+			p := r.Parent(uint32(v))
+			if p < 0 || int(p) >= n {
+				errs[w] = fmt.Errorf("validate: vertex %d has invalid parent %d", v, p)
+				return
+			}
+			dpth := r.Depth(uint32(p))
+			if dpth != dv-1 {
+				errs[w] = fmt.Errorf("validate: vertex %d depth %d but parent %d depth %d",
+					v, dv, p, dpth)
+				return
+			}
+			if !g.HasEdge(uint32(p), uint32(v)) {
+				errs[w] = fmt.Errorf("validate: no edge from parent %d to vertex %d", p, v)
+				return
+			}
+		}
+	})
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+
+	// (3) level consistency over all edges of visited vertices.
+	par.Run(len(errs), func(w int) {
+		lo, hi := par.Range(n, w, len(errs))
+		for u := lo; u < hi; u++ {
+			du := r.Depth(uint32(u))
+			if du < 0 {
+				continue
+			}
+			for _, v := range g.Neighbors1(uint32(u)) {
+				dv := r.Depth(v)
+				if dv < 0 {
+					errs[w] = fmt.Errorf("validate: visited %d has unvisited neighbor %d", u, v)
+					return
+				}
+				if dv > du+1 {
+					errs[w] = fmt.Errorf("validate: edge (%d,%d) spans depths %d -> %d", u, v, du, dv)
+					return
+				}
+			}
+		}
+	})
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+
+	// (4) exact depths against the serial reference.
+	ref, err := core.SerialBFS(g, r.Source)
+	if err != nil {
+		return err
+	}
+	return SameDepths(ref, r)
+}
+
+// SameDepths checks that two results visit the same vertex set with
+// identical depths (parents may legitimately differ).
+func SameDepths(want, got *core.Result) error {
+	if len(want.DP) != len(got.DP) {
+		return fmt.Errorf("validate: DP length mismatch %d != %d", len(want.DP), len(got.DP))
+	}
+	n := len(want.DP)
+	errs := make([]error, par.DefaultWorkers())
+	par.Run(len(errs), func(w int) {
+		lo, hi := par.Range(n, w, len(errs))
+		for v := lo; v < hi; v++ {
+			dw, dg := want.Depth(uint32(v)), got.Depth(uint32(v))
+			if dw != dg {
+				errs[w] = fmt.Errorf("validate: vertex %d depth %d, reference %d", v, dg, dw)
+				return
+			}
+		}
+	})
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

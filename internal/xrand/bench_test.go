@@ -1,0 +1,30 @@
+package xrand
+
+import "testing"
+
+func BenchmarkUint64(b *testing.B) {
+	g := New(1)
+	var s uint64
+	for i := 0; i < b.N; i++ {
+		s += g.Uint64()
+	}
+	_ = s
+}
+
+func BenchmarkUint64n(b *testing.B) {
+	g := New(1)
+	var s uint64
+	for i := 0; i < b.N; i++ {
+		s += g.Uint64n(1000003)
+	}
+	_ = s
+}
+
+func BenchmarkZipf(b *testing.B) {
+	z := NewZipf(New(1), 10000, 1.1)
+	var s int
+	for i := 0; i < b.N; i++ {
+		s += z.Next()
+	}
+	_ = s
+}

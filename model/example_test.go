@@ -1,0 +1,32 @@
+package model_test
+
+import (
+	"fmt"
+
+	"fastbfs/model"
+)
+
+// ExamplePredict evaluates the paper's worked example (§V-C) on the
+// Table I platform for one and two sockets.
+func ExamplePredict() {
+	p := model.NehalemX5570()
+	w := model.WorkedExampleWorkload()
+	for _, sockets := range []int{1, 2} {
+		pr, err := model.Predict(p, w, sockets)
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("%d socket(s): %.2f cycles/edge\n", sockets, pr.CyclesPerEdge)
+	}
+	// Output:
+	// 1 socket(s): 6.90 cycles/edge
+	// 2 socket(s): 3.23 cycles/edge
+}
+
+// ExampleDataTransfers reproduces the Appendix D byte accounting.
+func ExampleDataTransfers() {
+	t := model.DataTransfers(model.NehalemX5570(), model.WorkedExampleWorkload())
+	fmt.Printf("Phase-I %.1f B/edge, Phase-II %.1f B/edge\n",
+		t.Phase1DDR(), t.Phase2DDR())
+	// Output: Phase-I 21.7 B/edge, Phase-II 13.5 B/edge
+}

@@ -1,0 +1,426 @@
+// Package model implements the paper's analytical performance model
+// (§IV and Appendix A–C): per-edge data-transfer volumes for each phase
+// (Eqns IV.1a–IV.1d), single-socket execution time (Eqn IV.2), the
+// effective multi-socket bandwidth of each data structure under the
+// load-balanced division (Eqn IV.3), and the VIS cache-bandwidth model
+// (Eqn IV.4).
+//
+// Units follow the paper: bandwidths in GB/s (1e9 bytes), frequency in
+// GHz, transfers in bytes per traversed edge, times in cycles per
+// traversed edge.
+package model
+
+import (
+	"fmt"
+	"math"
+)
+
+// Platform holds the machine constants of the paper's Table I. All
+// bandwidths are per socket except BQPI, which is per link direction.
+type Platform struct {
+	Name           string
+	Sockets        int // sockets the physical machine has
+	CoresPerSocket int
+	FreqGHz        float64 // core frequency
+	BMem           float64 // achievable DDR bandwidth per socket (GB/s)
+	BMemMax        float64 // peak DDR bandwidth per socket (GB/s)
+	BLLCToL2       float64 // LLC->L2 read bandwidth per socket (GB/s)
+	BL2ToLLC       float64 // L2->LLC write bandwidth per socket (GB/s)
+	BQPI           float64 // cross-socket link bandwidth per direction (GB/s)
+	LLCBytes       int64   // last-level cache per socket
+	L2Bytes        int64   // private L2 per core
+	CacheLine      int64   // bytes
+	GFlops         float64 // per socket, reported in Table I
+}
+
+// NehalemX5570 returns the paper's evaluation platform (Table I): a
+// dual-socket Intel Xeon X5570 at 2.93 GHz.
+func NehalemX5570() Platform {
+	return Platform{
+		Name:           "2S Intel Xeon X5570 (Nehalem-EP)",
+		Sockets:        2,
+		CoresPerSocket: 4,
+		FreqGHz:        2.93,
+		BMem:           22,
+		BMemMax:        32,
+		BLLCToL2:       85,
+		BL2ToLLC:       26,
+		BQPI:           11,
+		LLCBytes:       8 << 20,
+		L2Bytes:        256 << 10,
+		CacheLine:      64,
+		GFlops:         94,
+	}
+}
+
+// NehalemEX7560 returns a 4-socket Intel Xeon X7560 (Nehalem-EX), the
+// platform the paper projects onto in §V-B ("our model further predicts
+// that we will scale by another 1.8X on a 4-socket Nehalem-EX system")
+// and the machine behind Agarwal et al.'s 4-socket numbers. Bandwidths
+// are estimates in the style of the Molka et al. benchmarks the paper
+// uses for Table I: Nehalem-EX's buffered SMI memory path delivers less
+// achievable DDR bandwidth per socket than EP's direct DDR3, and the
+// uncore runs slower.
+func NehalemEX7560() Platform {
+	return Platform{
+		Name:           "4S Intel Xeon X7560 (Nehalem-EX)",
+		Sockets:        4,
+		CoresPerSocket: 8,
+		FreqGHz:        2.26,
+		BMem:           17,
+		BMemMax:        25,
+		BLLCToL2:       55,
+		BL2ToLLC:       20,
+		BQPI:           9.6,
+		LLCBytes:       24 << 20,
+		L2Bytes:        256 << 10,
+		CacheLine:      64,
+		GFlops:         72,
+	}
+}
+
+// TimePerEdgeNS converts a prediction on platform p to nanoseconds per
+// traversed edge, for cross-platform comparisons (cycles are only
+// comparable at one frequency).
+func (pr Prediction) TimePerEdgeNS(p Platform) float64 {
+	if p.FreqGHz <= 0 {
+		return 0
+	}
+	return pr.CyclesPerEdge / p.FreqGHz
+}
+
+// Workload describes one traversal for prediction. The α fields are the
+// maximum fraction of accesses to a structure served by any one socket's
+// memory (paper §IV); zero means the balanced value 1/N_S.
+type Workload struct {
+	Vertices int64 // |V|
+	Visited  int64 // |V'| — vertices assigned a depth
+	Edges    int64 // |E'| — traversed edges
+	Depth    int   // D — number of steps
+	NPBV     int   // bins
+	NVIS     int   // VIS cache partitions
+
+	AlphaAdj float64
+	AlphaBV  float64
+	AlphaPBV float64
+	AlphaDP  float64
+}
+
+// RhoPrime returns ρ' = |E'|/|V'|, the average traversed degree.
+func (w Workload) RhoPrime() float64 {
+	if w.Visited == 0 {
+		return 0
+	}
+	return float64(w.Edges) / float64(w.Visited)
+}
+
+// VISBytes returns |VIS| = |V|/8 bytes.
+func (w Workload) VISBytes() float64 { return float64(w.Vertices) / 8 }
+
+// validate reports unusable workloads.
+func (w Workload) validate() error {
+	if w.Visited <= 0 || w.Edges <= 0 || w.Vertices <= 0 {
+		return fmt.Errorf("model: workload needs positive V, V', E'")
+	}
+	if w.Depth <= 0 || w.NPBV <= 0 || w.NVIS <= 0 {
+		return fmt.Errorf("model: workload needs positive Depth, NPBV, NVIS")
+	}
+	return nil
+}
+
+// Transfers is the per-edge DDR byte volume of each access class, split
+// the way Appendix A derives them. Sums reproduce Eqns IV.1a/IV.1b/IV.1d.
+type Transfers struct {
+	// Phase-I (Eqn IV.1a): frontier read, adjacency pointer+list reads,
+	// PBV writes (with read-for-ownership).
+	Phase1BV  float64 // 4/ρ'
+	Phase1Adj float64 // 2L/ρ' + 4
+	Phase1PBV float64 // 8·N_PBV/ρ' + 8
+
+	// Phase-II (Eqn IV.1b): PBV read, VIS refill, DP update, BV^N write.
+	Phase2PBV float64 // 4·N_PBV/ρ' + 4
+	Phase2VIS float64 // (|V|/|V'|)·(D/8)/ρ'
+	Phase2DP  float64 // 2L/ρ'
+	Phase2BV  float64 // 8/ρ'
+
+	// Phase-II LLC traffic (Eqn IV.1c), before the L2-fit factor.
+	Phase2LLCWrite float64 // L/ρ'  (flush of updated VIS lines)
+	Phase2LLCRead  float64 // L     (per-edge VIS probe)
+
+	// Rearrangement (Eqn IV.1d).
+	Rearrange float64 // 24/ρ'
+}
+
+// Phase1DDR returns the Eqn IV.1a total.
+func (t Transfers) Phase1DDR() float64 { return t.Phase1BV + t.Phase1Adj + t.Phase1PBV }
+
+// Phase2DDR returns the Eqn IV.1b total.
+func (t Transfers) Phase2DDR() float64 {
+	return t.Phase2PBV + t.Phase2VIS + t.Phase2DP + t.Phase2BV
+}
+
+// Phase2LLC returns the Eqn IV.1c total before the L2-fit factor.
+func (t Transfers) Phase2LLC() float64 { return t.Phase2LLCWrite + t.Phase2LLCRead }
+
+// DataTransfers evaluates Eqns IV.1a–IV.1d for the workload on the
+// given platform (the cache line size is the only platform input).
+func DataTransfers(p Platform, w Workload) Transfers {
+	rho := w.RhoPrime()
+	l := float64(p.CacheLine)
+	return Transfers{
+		Phase1BV:  4 / rho,
+		Phase1Adj: 2*l/rho + 4,
+		Phase1PBV: 8*float64(w.NPBV)/rho + 8,
+
+		Phase2PBV: 4*float64(w.NPBV)/rho + 4,
+		Phase2VIS: float64(w.Vertices) / float64(w.Visited) * float64(w.Depth) / 8 / rho,
+		Phase2DP:  2 * l / rho,
+		Phase2BV:  8 / rho,
+
+		Phase2LLCWrite: l / rho,
+		Phase2LLCRead:  l,
+
+		Rearrange: 24 / rho,
+	}
+}
+
+// L2Fit returns the probability factor of Eqn IV.1c generalized to N_S
+// sockets (Appendix D: the effective cache size scales with the socket
+// count): max(0, 1 - N_S·|L2| / (|VIS|/N_VIS)).
+func L2Fit(p Platform, w Workload, sockets int) float64 {
+	part := w.VISBytes() / float64(w.NVIS)
+	if part <= 0 {
+		return 0
+	}
+	fit := 1 - float64(sockets)*float64(p.L2Bytes)/part
+	if fit < 0 {
+		return 0
+	}
+	return fit
+}
+
+// EffectiveBandwidth evaluates Eqn IV.3: the aggregate bandwidth (GB/s)
+// at which a structure with access skew alpha is served by sockets
+// sockets under the paper's load-balanced division. It degrades to
+// N_S·B_M for balanced access and is capped by it.
+func EffectiveBandwidth(p Platform, alpha float64, sockets int) float64 {
+	ns := float64(sockets)
+	peak := ns * p.BMem
+	if sockets == 1 {
+		return p.BMem
+	}
+	ap := (alpha - 1/ns) / (ns - 1)
+	if ap <= 1e-12 {
+		return peak
+	}
+	qpi := math.Min(p.BQPI, ap*p.BMemMax/(1/ns+ap))
+	b := 1 / (1/(ns*p.BLLCToL2) + ap/qpi)
+	return math.Min(b, peak)
+}
+
+// NonBalancedBandwidth returns the effective bandwidth without load
+// balancing: all accesses to the hot socket are served locally, so the
+// aggregate rate is B_M/alpha (Appendix C).
+func NonBalancedBandwidth(p Platform, alpha float64, sockets int) float64 {
+	if alpha <= 0 {
+		return float64(sockets) * p.BMem
+	}
+	b := p.BMem / alpha
+	return math.Min(b, float64(sockets)*p.BMem)
+}
+
+// VISCyclesPerEdge evaluates the Eqn IV.4 cache-bandwidth model: cycles
+// per traversed edge spent moving VIS lines between LLC and L2, on
+// sockets sockets, after the L2-fit factor. Per visited vertex the VIS
+// line is read ≈ρ' times from LLC and written back once; with load
+// balancing the updated line may additionally cross QPI, which proceeds
+// in parallel with LLC traffic (the max term).
+func VISCyclesPerEdge(p Platform, w Workload, sockets int, fit float64) float64 {
+	rho := w.RhoPrime()
+	if rho <= 0 {
+		return 0
+	}
+	ns := float64(sockets)
+	l := float64(p.CacheLine)
+	llc := l*rho/(ns*p.BLLCToL2) + l/(ns*p.BL2ToLLC) // ns per vertex
+	perVertex := llc
+	if sockets > 1 {
+		perVertex = math.Max(llc, l/p.BQPI)
+	}
+	return fit * p.FreqGHz * perVertex / rho
+}
+
+// Prediction is the model output for one workload at one socket count.
+type Prediction struct {
+	Sockets   int
+	Transfers Transfers
+	L2Fit     float64
+
+	CyclesPhase1    float64 // cycles per traversed edge
+	CyclesPhase2    float64
+	CyclesRearrange float64
+	CyclesPerEdge   float64
+
+	EdgesPerSec float64
+	MTEPS       float64
+}
+
+// String renders the prediction in one line.
+func (pr Prediction) String() string {
+	return fmt.Sprintf("%d socket(s): %.2f cyc/edge (P1 %.2f, P2 %.2f, rearr %.2f, fit %.2f) = %.0f MTEPS",
+		pr.Sockets, pr.CyclesPerEdge, pr.CyclesPhase1, pr.CyclesPhase2,
+		pr.CyclesRearrange, pr.L2Fit, pr.MTEPS)
+}
+
+// Predict evaluates the full model. For sockets == 1 it reproduces
+// Eqn IV.2; for more sockets each structure's DDR bytes are divided by
+// its Eqn IV.3 effective bandwidth, and the VIS cache term follows
+// Eqn IV.4.
+func Predict(p Platform, w Workload, sockets int) (Prediction, error) {
+	if err := w.validate(); err != nil {
+		return Prediction{}, err
+	}
+	if sockets < 1 {
+		return Prediction{}, fmt.Errorf("model: sockets %d < 1", sockets)
+	}
+	t := DataTransfers(p, w)
+	fit := L2Fit(p, w, sockets)
+	ns := float64(sockets)
+
+	alpha := func(a float64) float64 {
+		if a <= 0 {
+			return 1 / ns
+		}
+		return a
+	}
+	bAdj := EffectiveBandwidth(p, alpha(w.AlphaAdj), sockets)
+	bBV := EffectiveBandwidth(p, alpha(w.AlphaBV), sockets)
+	bPBV := EffectiveBandwidth(p, alpha(w.AlphaPBV), sockets)
+	bDP := EffectiveBandwidth(p, alpha(w.AlphaDP), sockets)
+	f := p.FreqGHz
+
+	cy1 := f * (t.Phase1BV/bBV + t.Phase1Adj/bAdj + t.Phase1PBV/bPBV)
+	cy2ddr := f * (t.Phase2PBV/bPBV + t.Phase2VIS/bDP + t.Phase2DP/bDP + t.Phase2BV/bBV)
+	cy2llc := VISCyclesPerEdge(p, w, sockets, fit)
+	cyR := f * t.Rearrange / bBV
+
+	pr := Prediction{
+		Sockets:         sockets,
+		Transfers:       t,
+		L2Fit:           fit,
+		CyclesPhase1:    cy1,
+		CyclesPhase2:    cy2ddr + cy2llc,
+		CyclesRearrange: cyR,
+	}
+	pr.CyclesPerEdge = pr.CyclesPhase1 + pr.CyclesPhase2 + pr.CyclesRearrange
+	if pr.CyclesPerEdge > 0 {
+		pr.EdgesPerSec = p.FreqGHz * 1e9 / pr.CyclesPerEdge
+		pr.MTEPS = pr.EdgesPerSec / 1e6
+	}
+	return pr, nil
+}
+
+// PredictStatic models the socket-aware scheme without load balancing
+// (the middle scheme of Figure 5): the two-phase division keeps every
+// VIS/DP access local, but each structure is served at the non-balanced
+// rate B_M/α (Appendix C), and the hot socket's share of the VIS cache
+// traffic bounds the LLC term (the busiest socket handles an α fraction
+// of all entries on its single LLC interface).
+func PredictStatic(p Platform, w Workload, sockets int) (Prediction, error) {
+	if err := w.validate(); err != nil {
+		return Prediction{}, err
+	}
+	if sockets < 1 {
+		return Prediction{}, fmt.Errorf("model: sockets %d < 1", sockets)
+	}
+	t := DataTransfers(p, w)
+	fit := L2Fit(p, w, sockets)
+	ns := float64(sockets)
+	alpha := func(a float64) float64 {
+		if a <= 0 {
+			return 1 / ns
+		}
+		return a
+	}
+	bAdj := NonBalancedBandwidth(p, alpha(w.AlphaAdj), sockets)
+	bBal := EffectiveBandwidth(p, 1/ns, sockets) // BV/PBV are local per socket
+	bDP := NonBalancedBandwidth(p, alpha(w.AlphaDP), sockets)
+	f := p.FreqGHz
+	cy1 := f * (t.Phase1BV/bBal + t.Phase1Adj/bAdj + t.Phase1PBV/bBal)
+	// The hot socket processes an α fraction of PBV entries on one LLC:
+	// scale the balanced all-socket VIS term by α·N_S.
+	hot := alpha(w.AlphaDP) * ns
+	cy2 := f*(t.Phase2PBV/bBal+t.Phase2VIS/bDP+t.Phase2DP/bDP+t.Phase2BV/bBal) +
+		VISCyclesPerEdge(p, w, sockets, fit)*hot
+	pr := Prediction{
+		Sockets: sockets, Transfers: t, L2Fit: fit,
+		CyclesPhase1: cy1, CyclesPhase2: cy2,
+		CyclesRearrange: f * t.Rearrange / bBal,
+	}
+	pr.CyclesPerEdge = pr.CyclesPhase1 + pr.CyclesPhase2 + pr.CyclesRearrange
+	if pr.CyclesPerEdge > 0 {
+		pr.EdgesPerSec = p.FreqGHz * 1e9 / pr.CyclesPerEdge
+		pr.MTEPS = pr.EdgesPerSec / 1e6
+	}
+	return pr, nil
+}
+
+// PredictSinglePhase models the no-multi-socket-optimization baseline
+// (the first scheme of Figure 5): one phase, so no PBV traffic, but
+// three penalties the two-phase division removes —
+//
+//   - VIS/DP lines are updated from every socket, so each newly visited
+//     vertex's VIS and DP lines ping-pong across QPI with probability
+//     (1 - 1/N_S);
+//   - the skewed vertex-indexed structures (DP, per-step VIS refill) are
+//     served at the non-balanced bandwidth B_M/α;
+//   - the VIS cache traffic cannot aggregate both sockets' LLC interfaces
+//     (the paper's key load-balancing benefit), so the Eqn IV.4 term is
+//     evaluated with a single socket's bandwidth.
+func PredictSinglePhase(p Platform, w Workload, sockets int) (Prediction, error) {
+	if err := w.validate(); err != nil {
+		return Prediction{}, err
+	}
+	t := DataTransfers(p, w)
+	t.Phase1PBV, t.Phase2PBV = 0, 0
+	fit := L2Fit(p, w, 1) // no aggregate cache without locality
+	ns := float64(sockets)
+	rho := w.RhoPrime()
+	alphaDP := w.AlphaDP
+	if alphaDP <= 0 {
+		alphaDP = 1 / ns
+	}
+	bHot := NonBalancedBandwidth(p, alphaDP, sockets)
+	bBal := EffectiveBandwidth(p, 1/ns, sockets)
+	f := p.FreqGHz
+	cy1 := f * (t.Phase1BV/bBal + t.Phase1Adj/bBal)
+	cy2 := f*(t.Phase2VIS/bHot+t.Phase2DP/bHot+t.Phase2BV/bBal) +
+		VISCyclesPerEdge(p, w, 1, fit)
+	var cyPing float64
+	if sockets > 1 && rho > 0 {
+		// Write-invalidate ping-pong: every VIS update invalidates the
+		// other sockets' copies, which must refetch over QPI before
+		// their next probe of that line. The dirty-line probability per
+		// probe scales with the write:read ratio 1/ρ' (the paper: "for
+		// large degrees, most of the cross-socket VIS traffic is
+		// read-only rather than read-write ... hence lower latency and
+		// bandwidth requirements"), and each refetch plus the original
+		// migration moves ~3 lines (VIS + DP read + write-back).
+		dirty := 4 / rho
+		if dirty > 1 {
+			dirty = 1
+		}
+		l := float64(p.CacheLine)
+		cyPing = f * (1 - 1/ns) * (3*l/rho + dirty*l) / p.BQPI
+	}
+	pr := Prediction{
+		Sockets: sockets, Transfers: t, L2Fit: fit,
+		CyclesPhase1: cy1, CyclesPhase2: cy2 + cyPing, CyclesRearrange: f * t.Rearrange / bBal,
+	}
+	pr.CyclesPerEdge = pr.CyclesPhase1 + pr.CyclesPhase2 + pr.CyclesRearrange
+	if pr.CyclesPerEdge > 0 {
+		pr.EdgesPerSec = p.FreqGHz * 1e9 / pr.CyclesPerEdge
+		pr.MTEPS = pr.EdgesPerSec / 1e6
+	}
+	return pr, nil
+}

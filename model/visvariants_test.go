@@ -1,0 +1,155 @@
+package model
+
+import (
+	"testing"
+)
+
+// urWorkload builds a UR-graph workload at the paper's Figure 4 scale:
+// all vertices visited, degree d, depth ~log(V)/log(d)+2.
+func urWorkload(vertices int64, degree int, nVIS int) Workload {
+	return Workload{
+		Vertices: vertices,
+		Visited:  vertices,
+		Edges:    vertices * int64(degree),
+		Depth:    8,
+		NPBV:     2 * nVIS,
+		NVIS:     nVIS,
+	}
+}
+
+func predictVariant(t *testing.T, w Workload, v VISVariant) Prediction {
+	t.Helper()
+	pr, err := PredictVIS(NehalemX5570(), w, 2, v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pr
+}
+
+// TestFig4ShapeSmallGraph: for graphs whose DP array fits the caches
+// (|V| <= 1M), the no-VIS scheme is not significantly penalized
+// (paper: "random access does not degrade performance significantly").
+func TestFig4ShapeSmallGraph(t *testing.T) {
+	w := urWorkload(1<<20, 8, 1)
+	none := predictVariant(t, w, VariantNone)
+	bit := predictVariant(t, w, VariantBit)
+	rel := bit.MTEPS / none.MTEPS
+	if rel > 1.6 || rel < 0.7 {
+		t.Errorf("small graph: bit/none = %.2f, want near parity", rel)
+	}
+}
+
+// TestFig4ShapeLargeGraph: once DP outgrows the LLC the paper sees a
+// 1.7–2.7× drop for no-VIS versus the best scheme, growing with |V|.
+func TestFig4ShapeLargeGraph(t *testing.T) {
+	rel64 := 0.0
+	for _, v := range []int64{64 << 20, 256 << 20} {
+		nvis := 1
+		if v == 256<<20 {
+			nvis = 2
+		}
+		w := urWorkload(v, 8, nvis)
+		none := predictVariant(t, w, VariantNone)
+		best := predictVariant(t, w, VariantPartitioned)
+		rel := best.MTEPS / none.MTEPS
+		if rel < 1.4 || rel > 3.2 {
+			t.Errorf("|V|=%dM: best/none = %.2f, want in [1.4, 3.2]", v>>20, rel)
+		}
+		// The paper's gap grows with |V| (1.7x -> 2.7x); the model keeps
+		// it at least flat (the partitioned scheme also pays more bins
+		// at 256M, which the measured gap absorbs elsewhere).
+		if v == 64<<20 {
+			rel64 = rel
+		} else if rel < rel64-0.15 {
+			t.Errorf("gap should not shrink with |V|: %.2f at 64M vs %.2f at 256M", rel64, rel)
+		}
+	}
+}
+
+// TestFig4AtomicNearNoVIS: the paper finds the atomic bitmap "only 10%
+// faster at best (and sometimes even slower) than not maintaining any
+// VIS array" on large graphs.
+func TestFig4AtomicNearNoVIS(t *testing.T) {
+	w := urWorkload(64<<20, 8, 1)
+	none := predictVariant(t, w, VariantNone)
+	atomic := predictVariant(t, w, VariantAtomicBit)
+	rel := atomic.MTEPS / none.MTEPS
+	if rel < 0.75 || rel > 1.35 {
+		t.Errorf("atomic/none = %.2f, want near parity (paper: <=1.1x)", rel)
+	}
+	// And clearly below the atomic-free bit scheme.
+	bit := predictVariant(t, w, VariantBit)
+	if atomic.MTEPS >= bit.MTEPS {
+		t.Errorf("atomic (%.0f) should lose to atomic-free bit (%.0f)", atomic.MTEPS, bit.MTEPS)
+	}
+}
+
+// TestFig4ByteVsBit: while the byte map fits the LLC it beats no-VIS
+// (paper: 1.4–2x at 8M); beyond 16M vertices it stops fitting and the
+// bit scheme wins by 1.4–1.9x.
+func TestFig4ByteVsBit(t *testing.T) {
+	mid := urWorkload(8<<20, 8, 1)
+	noneMid := predictVariant(t, mid, VariantNone)
+	byteMid := predictVariant(t, mid, VariantByte)
+	if rel := byteMid.MTEPS / noneMid.MTEPS; rel < 1.2 {
+		t.Errorf("8M: byte/none = %.2f, want >= 1.2 (paper 1.4-2x)", rel)
+	}
+	big := urWorkload(64<<20, 8, 1)
+	byteBig := predictVariant(t, big, VariantByte)
+	bitBig := predictVariant(t, big, VariantBit)
+	rel := bitBig.MTEPS / byteBig.MTEPS
+	if rel < 1.2 || rel > 2.4 {
+		t.Errorf("64M: bit/byte = %.2f, want in [1.2, 2.4] (paper 1.4-1.9x)", rel)
+	}
+}
+
+// TestFig4PartitioningHelpsOnlyWhenNeeded: partitioning wins once the
+// bit structure itself exceeds the cache budget (paper: +1.3x at 256M)
+// and degenerates to the bit scheme on smaller graphs.
+func TestFig4Partitioning(t *testing.T) {
+	small := urWorkload(8<<20, 8, 1)
+	if p, b := predictVariant(t, small, VariantPartitioned), predictVariant(t, small, VariantBit); p.MTEPS != b.MTEPS {
+		t.Errorf("8M: partitioned (%.0f) != bit (%.0f) despite N_VIS=1", p.MTEPS, b.MTEPS)
+	}
+	huge := urWorkload(256<<20, 8, 4) // the paper uses N_VIS = 4 at 256M
+	part := predictVariant(t, huge, VariantPartitioned)
+	bit := predictVariant(t, huge, VariantBit)
+	rel := part.MTEPS / bit.MTEPS
+	if rel < 1.1 || rel > 1.7 {
+		t.Errorf("256M: partitioned/bit = %.2f, want in [1.1, 1.7] (paper ~1.3x)", rel)
+	}
+}
+
+// TestPredictVISPartitionedEqualsPredict: the partitioned variant is by
+// definition the base model.
+func TestPredictVISPartitionedEqualsPredict(t *testing.T) {
+	w := WorkedExampleWorkload()
+	a, err := PredictVIS(NehalemX5570(), w, 2, VariantPartitioned)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Predict(NehalemX5570(), w, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.CyclesPerEdge != b.CyclesPerEdge {
+		t.Errorf("partitioned variant %.3f != Predict %.3f", a.CyclesPerEdge, b.CyclesPerEdge)
+	}
+}
+
+func TestPredictVISErrors(t *testing.T) {
+	if _, err := PredictVIS(NehalemX5570(), Workload{}, 2, VariantBit); err == nil {
+		t.Error("empty workload accepted")
+	}
+	if _, err := PredictVIS(NehalemX5570(), WorkedExampleWorkload(), 2, VISVariant(99)); err == nil {
+		t.Error("unknown variant accepted")
+	}
+}
+
+func TestVariantNames(t *testing.T) {
+	for v := VariantNone; v <= VariantPartitioned; v++ {
+		if v.String() == "?" {
+			t.Errorf("variant %d unnamed", v)
+		}
+	}
+}

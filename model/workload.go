@@ -1,0 +1,57 @@
+package model
+
+import (
+	"fastbfs/internal/numa"
+	"fastbfs/internal/trace"
+)
+
+// WorkloadFromTrace extracts a model workload from an instrumented run:
+// measured |V'|, |E'|, depth and the per-structure α access skews.
+// numVertices is |V|; nPBV/nVIS come from the engine geometry.
+func WorkloadFromTrace(numVertices int, rt *trace.RunTrace, nPBV, nVIS, sockets int) Workload {
+	w := Workload{
+		Vertices: int64(numVertices),
+		Visited:  rt.TotalVertices,
+		Edges:    rt.TotalEdges,
+		Depth:    rt.Depth(),
+		NPBV:     nPBV,
+		NVIS:     nVIS,
+	}
+	if rt.Traffic != nil {
+		// Per-step, edge-weighted skews: the hot socket can alternate
+		// between steps (stress graphs), which a run aggregate hides.
+		w.AlphaAdj = rt.WeightedAlpha(numa.StructAdj, sockets)
+		w.AlphaBV = rt.Traffic.Alpha(numa.StructBV)
+		w.AlphaPBV = rt.WeightedAlpha(numa.StructPBV, sockets)
+		w.AlphaDP = rt.WeightedAlpha(numa.StructDP, sockets)
+	}
+	return w
+}
+
+// WorkedExampleWorkload returns the paper's §V-C / Appendix D example:
+// an R-MAT graph with |V| = 8M, degree 8, of which |V'| = 4M vertices
+// and |E'| = 61.2M edges are traversed (ρ' = 15.3), D = 6, N_PBV = 2,
+// N_VIS = 1, and the measured dual-socket skew α_Adj = 0.6.
+//
+// Paper results for it: Phase-I 21.7 B/edge, Phase-II 13.54 B/edge,
+// Phase-II LLC 51.1 B/edge, rearrangement 1.6 B/edge; single-socket
+// 2.88 (Phase-I) and 3.80 (Phase-II) cycles/edge; dual-socket total
+// 3.47 cycles/edge = 844 M edges/s.
+// The paper quotes |V'| = 4M and |E'| = 61.2M (ρ' = 15.3) but computes
+// the L2-fit factor from |VIS| = 1 MiB, i.e. |V| = 2^23; we therefore use
+// binary vertex counts and scale |E'| to hold ρ' = 15.3 exactly. The DP
+// skew equals the Adj skew since both are indexed by the same neighbor
+// ids.
+func WorkedExampleWorkload() Workload {
+	visited := int64(4) << 20
+	return Workload{
+		Vertices: 8 << 20,
+		Visited:  visited,
+		Edges:    int64(15.3 * float64(visited)),
+		Depth:    6,
+		NPBV:     2,
+		NVIS:     1,
+		AlphaAdj: 0.6,
+		AlphaDP:  0.6,
+	}
+}
