@@ -16,6 +16,8 @@
 package bfs
 
 import (
+	"context"
+
 	"fastbfs/graph"
 	"fastbfs/internal/core"
 	"fastbfs/internal/pbv"
@@ -152,17 +154,31 @@ func NewEngine(g *graph.Graph, o Options) (*Engine, error) {
 // storage and is overwritten by the next Run.
 func (e *Engine) Run(source uint32) (*Result, error) { return e.e.Run(source) }
 
+// RunContext traverses from source under ctx: cancellation or a deadline
+// aborts the traversal within one step and returns ctx.Err(). An
+// already-expired context returns its error without starting a step. The
+// engine remains reusable after an aborted run.
+func (e *Engine) RunContext(ctx context.Context, source uint32) (*Result, error) {
+	return e.e.RunContext(ctx, source)
+}
+
 // Geometry reports the derived cache-partition and bin counts
 // (N_VIS, N_PBV).
 func (e *Engine) Geometry() (nVIS, nPBV int) { return e.e.Geometry() }
 
 // Run is the one-shot convenience: build an engine and traverse once.
 func Run(g *graph.Graph, source uint32, o Options) (*Result, error) {
+	return RunContext(context.Background(), g, source, o)
+}
+
+// RunContext is Run under a context; see Engine.RunContext for the
+// cancellation semantics.
+func RunContext(ctx context.Context, g *graph.Graph, source uint32, o Options) (*Result, error) {
 	e, err := NewEngine(g, o)
 	if err != nil {
 		return nil, err
 	}
-	return e.Run(source)
+	return e.RunContext(ctx, source)
 }
 
 // RunSerial performs the reference single-threaded traversal.

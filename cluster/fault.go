@@ -1,0 +1,219 @@
+package cluster
+
+import (
+	"fmt"
+	"time"
+
+	"fastbfs/internal/xrand"
+)
+
+// FaultPlan is a deterministic, seed-driven fault schedule for a
+// simulated distributed traversal: node crashes with restart, per-batch
+// message drop/duplication on the simulated wire, and injected slow
+// nodes. The same plan against the same graph and source reproduces the
+// exact same fault sequence and recovery metrics — every random decision
+// is a pure hash of (Seed, step, replay round, attempt, from, to), never
+// a draw from shared mutable RNG state, so goroutine scheduling cannot
+// perturb it.
+//
+// The recovery machinery a plan exercises is the standard one for
+// level-synchronous distributed BFS: a coordinated checkpoint of each
+// node's owned depth slice and frontier at every step boundary,
+// acknowledged batch delivery with bounded retry and exponential
+// backoff, and crash detection followed by replay of the interrupted
+// step from the last checkpoint once the node restarts. Under any plan
+// the traversal either commits depths identical to the serial reference
+// or returns a descriptive error — never wrong answers, never a hang.
+type FaultPlan struct {
+	// Seed drives every probabilistic decision in the plan.
+	Seed uint64
+	// Crashes schedules node failures; entries whose Step exceeds the
+	// traversal's step count never fire.
+	Crashes []Crash
+	// DropProb is the probability that one delivery attempt of a remote
+	// batch is lost in flight; the sender retries with exponential
+	// backoff up to MaxAttempts. Must be in [0, 1).
+	DropProb float64
+	// DupProb is the probability that a successfully delivered remote
+	// batch arrives twice; claims are idempotent, so duplicates cost
+	// work but never correctness. Must be in [0, 1).
+	DupProb float64
+	// MaxAttempts bounds delivery attempts per batch per step; when all
+	// attempts drop, the traversal aborts with an error rather than
+	// committing a partial step. 0 means 8.
+	MaxAttempts int
+	// BackoffBase is the simulated first-retry backoff; attempt k waits
+	// BackoffBase << (k-1). It is accounted in RecoveryStats.Backoff,
+	// not slept. 0 means 1ms.
+	BackoffBase time.Duration
+	// Slow injects per-step processing delay (actually slept) into the
+	// expand phase of the named nodes — the straggler scenario. It skews
+	// wall-clock only; metrics and depths stay deterministic.
+	Slow []SlowNode
+}
+
+// Crash schedules one node failure: the node dies midway through step
+// Step (after expanding, while claiming — its volatile state since the
+// last checkpoint is lost) and restarts Downtime steps later, restoring
+// its slices from the checkpoint. The interrupted step then replays.
+type Crash struct {
+	// Node is the crashing node's index.
+	Node int
+	// Step is the 1-based traversal step during which the crash hits.
+	Step int
+	// Downtime is how many step-times the node stays down before its
+	// restart completes; the level-synchronous traversal stalls for all
+	// of them (no other node can claim the dead node's vertex range).
+	Downtime int
+}
+
+// SlowNode injects Delay of real sleep into node Node's expand phase on
+// every step.
+type SlowNode struct {
+	Node  int
+	Delay time.Duration
+}
+
+func (p *FaultPlan) withDefaults() FaultPlan {
+	q := *p
+	if q.MaxAttempts == 0 {
+		q.MaxAttempts = 8
+	}
+	if q.BackoffBase == 0 {
+		q.BackoffBase = time.Millisecond
+	}
+	return q
+}
+
+func (p *FaultPlan) validate(nodes int) error {
+	if p.DropProb < 0 || p.DropProb >= 1 {
+		return fmt.Errorf("cluster: DropProb %v outside [0,1)", p.DropProb)
+	}
+	if p.DupProb < 0 || p.DupProb >= 1 {
+		return fmt.Errorf("cluster: DupProb %v outside [0,1)", p.DupProb)
+	}
+	if p.MaxAttempts < 0 {
+		return fmt.Errorf("cluster: MaxAttempts %d < 0", p.MaxAttempts)
+	}
+	for _, c := range p.Crashes {
+		if c.Node < 0 || c.Node >= nodes {
+			return fmt.Errorf("cluster: crash node %d outside [0,%d)", c.Node, nodes)
+		}
+		if c.Step < 1 {
+			return fmt.Errorf("cluster: crash step %d < 1", c.Step)
+		}
+		if c.Downtime < 0 {
+			return fmt.Errorf("cluster: crash downtime %d < 0", c.Downtime)
+		}
+	}
+	for _, s := range p.Slow {
+		if s.Node < 0 || s.Node >= nodes {
+			return fmt.Errorf("cluster: slow node %d outside [0,%d)", s.Node, nodes)
+		}
+		if s.Delay < 0 {
+			return fmt.Errorf("cluster: slow delay %v < 0", s.Delay)
+		}
+	}
+	return nil
+}
+
+// Decision kinds keyed into the fault hash; distinct constants keep the
+// drop and duplication streams independent.
+const (
+	faultDrop = 1 + iota
+	faultDup
+)
+
+// chance returns a deterministic pseudo-random decision with the given
+// probability, keyed by the full coordinates of the decision point.
+// round is the step's replay count, so a replayed step re-draws its
+// faults instead of deterministically re-hitting the same ones.
+func (p *FaultPlan) chance(prob float64, kind, step, round, attempt, from, to int) bool {
+	if prob <= 0 {
+		return false
+	}
+	h := p.Seed
+	h = xrand.SplitMix64(h ^ uint64(kind))
+	h = xrand.SplitMix64(h ^ uint64(step)<<32 ^ uint64(round))
+	h = xrand.SplitMix64(h ^ uint64(attempt)<<32 ^ uint64(from)<<16 ^ uint64(to))
+	return float64(h>>11)/(1<<53) < prob
+}
+
+// slowDelay returns the injected expand delay for node, or 0.
+func (p *FaultPlan) slowDelay(node int) time.Duration {
+	for _, s := range p.Slow {
+		if s.Node == node {
+			return s.Delay
+		}
+	}
+	return 0
+}
+
+// RecoveryStats reports what surviving an injected fault schedule cost.
+// All fields are zero for a fault-free run.
+type RecoveryStats struct {
+	// Crashes is the number of node failures that actually fired.
+	Crashes int
+	// ReplayedSteps counts step executions that were rolled back and
+	// re-run from the last checkpoint after a crash.
+	ReplayedSteps int
+	// StallSteps counts step-times the whole traversal waited for a
+	// crashed node to restart (its Downtime).
+	StallSteps int
+	// DroppedBatches counts remote batch delivery attempts lost in
+	// flight; RetriedBatches counts the retransmissions that recovered
+	// them.
+	DroppedBatches, RetriedBatches int64
+	// DuplicatedBatches counts batches delivered twice; the idempotent
+	// claim protocol absorbs them.
+	DuplicatedBatches int64
+	// ReshippedEntries counts (vertex, parent) pairs sent more than
+	// once — by batch retransmission or by step replay.
+	ReshippedEntries int64
+	// CheckpointBytes is the total volume written to stable storage for
+	// per-step checkpoints (depth + parent + frontier, per node).
+	CheckpointBytes int64
+	// RestoredBytes is the volume read back during crash recovery.
+	RestoredBytes int64
+	// Backoff is the simulated cumulative retransmission backoff.
+	Backoff time.Duration
+}
+
+// checkpoint is the coordinated per-step snapshot the recovery protocol
+// rolls back to: the full depth/parent arrays (the union of every node's
+// owned slice) and each node's frontier.
+type checkpoint struct {
+	depth     []int32
+	parent    []int64
+	frontiers [][]uint32
+}
+
+// save copies the committed traversal state into the checkpoint,
+// reusing its buffers, and returns the logical checkpoint volume (what
+// each node would write for its owned slice plus frontier).
+func (c *checkpoint) save(depth []int32, parent []int64, frontiers [][]uint32) int64 {
+	c.depth = append(c.depth[:0], depth...)
+	c.parent = append(c.parent[:0], parent...)
+	if c.frontiers == nil {
+		c.frontiers = make([][]uint32, len(frontiers))
+	}
+	bytes := int64(len(depth))*12 // 4 (depth) + 8 (parent) per owned vertex
+	for i, f := range frontiers {
+		c.frontiers[i] = append(c.frontiers[i][:0], f...)
+		bytes += int64(len(f)) * 4
+	}
+	return bytes
+}
+
+// restore copies the checkpoint back over the live state and returns
+// the volume read.
+func (c *checkpoint) restore(depth []int32, parent []int64, frontiers [][]uint32) int64 {
+	copy(depth, c.depth)
+	copy(parent, c.parent)
+	bytes := int64(len(depth)) * 12
+	for i := range frontiers {
+		frontiers[i] = append(frontiers[i][:0], c.frontiers[i]...)
+		bytes += int64(len(c.frontiers[i])) * 4
+	}
+	return bytes
+}

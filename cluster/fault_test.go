@@ -1,0 +1,263 @@
+package cluster
+
+import (
+	"context"
+	"reflect"
+	"testing"
+	"time"
+
+	"fastbfs/bfs"
+	"fastbfs/graph/gen"
+)
+
+// TestFaultyCrashMatchesSerial is the headline recovery scenario: a node
+// crash at step 2 with a 2-step restart, 5% message drop and a
+// seed-fixed plan must still commit depths exactly equal to the serial
+// reference, with nonzero recovery cost reported.
+func TestFaultyCrashMatchesSerial(t *testing.T) {
+	g, err := gen.RMAT(gen.Graph500Params(11, 8), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := bfs.RunSerial(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := NewSim(g, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := &FaultPlan{
+		Seed:     42,
+		Crashes:  []Crash{{Node: 1, Step: 2, Downtime: 2}},
+		DropProb: 0.05,
+	}
+	res, err := sim.RunFaulty(context.Background(), 0, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < g.NumVertices(); v++ {
+		if res.Depth[v] != ref.Depth(uint32(v)) {
+			t.Fatalf("vertex %d depth %d, want %d", v, res.Depth[v], ref.Depth(uint32(v)))
+		}
+	}
+	if res.Visited != ref.Visited {
+		t.Errorf("visited %d, want %d", res.Visited, ref.Visited)
+	}
+	if res.EdgesTraversed != ref.EdgesTraversed {
+		t.Errorf("edges %d, want %d (faults must not distort base work accounting)",
+			res.EdgesTraversed, ref.EdgesTraversed)
+	}
+	rec := res.Recovery
+	if rec.Crashes != 1 {
+		t.Errorf("crashes %d, want 1", rec.Crashes)
+	}
+	if rec.ReplayedSteps == 0 {
+		t.Error("crash at step 2 produced no replayed steps")
+	}
+	if rec.StallSteps != 2 {
+		t.Errorf("stall steps %d, want 2 (the crash's downtime)", rec.StallSteps)
+	}
+	if rec.ReshippedEntries == 0 {
+		t.Error("recovery re-shipped no entries")
+	}
+	if rec.CheckpointBytes == 0 || rec.RestoredBytes == 0 {
+		t.Errorf("checkpoint/restore volume not reported: ck=%d restored=%d",
+			rec.CheckpointBytes, rec.RestoredBytes)
+	}
+	if rec.DroppedBatches == 0 || rec.RetriedBatches == 0 {
+		t.Errorf("5%% drop over a deep RMAT produced no retransmissions: dropped=%d retried=%d",
+			rec.DroppedBatches, rec.RetriedBatches)
+	}
+	if rec.Backoff == 0 {
+		t.Error("retransmissions accrued no backoff")
+	}
+}
+
+// TestFaultyMatchesFaultFree: the base traffic accounting of a faulted
+// run (committed messages, per-step series) must equal the fault-free
+// run's — retries and replays are reported separately.
+func TestFaultyMatchesFaultFree(t *testing.T) {
+	g, err := gen.UniformRandom(4000, 8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := NewSim(g, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clean, err := sim.Run(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := &FaultPlan{
+		Seed:     7,
+		Crashes:  []Crash{{Node: 3, Step: 1, Downtime: 1}, {Node: 0, Step: 3, Downtime: 4}},
+		DropProb: 0.10,
+		DupProb:  0.05,
+	}
+	faulty, err := sim.RunFaulty(context.Background(), 0, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if faulty.LocalMsgs != clean.LocalMsgs || faulty.RemoteMsgs != clean.RemoteMsgs {
+		t.Errorf("committed messages local=%d remote=%d, fault-free local=%d remote=%d",
+			faulty.LocalMsgs, faulty.RemoteMsgs, clean.LocalMsgs, clean.RemoteMsgs)
+	}
+	if !reflect.DeepEqual(faulty.PerStepRemote, clean.PerStepRemote) {
+		t.Errorf("per-step remote series diverged: %v vs %v", faulty.PerStepRemote, clean.PerStepRemote)
+	}
+	if !reflect.DeepEqual(faulty.Depth, clean.Depth) {
+		t.Error("faulted depths diverged from fault-free depths")
+	}
+	if faulty.Recovery.Crashes != 2 {
+		t.Errorf("crashes %d, want 2", faulty.Recovery.Crashes)
+	}
+	if faulty.Recovery.DuplicatedBatches == 0 {
+		t.Error("5%% duplication produced no duplicated batches")
+	}
+}
+
+// TestFaultDeterminism: the same plan seed must yield byte-identical
+// results — depths, base accounting and every recovery metric — across
+// repeated runs, despite the per-node goroutines.
+func TestFaultDeterminism(t *testing.T) {
+	g, err := gen.RMAT(gen.Graph500Params(10, 8), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := bfs.RunSerial(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, seed := range []uint64{1, 99, 31337} {
+		plan := &FaultPlan{
+			Seed:     seed,
+			Crashes:  []Crash{{Node: 2, Step: 2, Downtime: 1}},
+			DropProb: 0.08,
+			DupProb:  0.04,
+		}
+		sim, err := NewSim(g, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		first, err := sim.RunFaulty(context.Background(), 0, plan)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for run := 0; run < 3; run++ {
+			again, err := sim.RunFaulty(context.Background(), 0, plan)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(again.Recovery, first.Recovery) {
+				t.Fatalf("seed %d run %d: recovery metrics diverged:\n%+v\n%+v",
+					seed, run, again.Recovery, first.Recovery)
+			}
+			if !reflect.DeepEqual(again, first) {
+				t.Fatalf("seed %d run %d: results diverged", seed, run)
+			}
+		}
+		for v := 0; v < g.NumVertices(); v++ {
+			if first.Depth[v] != ref.Depth(uint32(v)) {
+				t.Fatalf("seed %d: vertex %d depth %d, want %d",
+					seed, v, first.Depth[v], ref.Depth(uint32(v)))
+			}
+		}
+	}
+}
+
+// TestFaultyDeliveryExhaustion: when every delivery attempt of a batch
+// drops, the traversal must return a descriptive error — never commit a
+// partial step as an answer.
+func TestFaultyDeliveryExhaustion(t *testing.T) {
+	g, err := gen.UniformRandom(2000, 8, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := NewSim(g, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := &FaultPlan{Seed: 5, DropProb: 0.9, MaxAttempts: 2}
+	if _, err := sim.RunFaulty(context.Background(), 0, plan); err == nil {
+		t.Fatal("90% drop with 2 attempts completed; want a delivery error")
+	}
+}
+
+// TestFaultySlowNode: an injected straggler slows the run down but
+// changes nothing about the committed result.
+func TestFaultySlowNode(t *testing.T) {
+	g, err := gen.UniformRandom(1000, 8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := NewSim(g, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clean, err := sim.Run(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	slow, err := sim.RunFaulty(context.Background(), 0,
+		&FaultPlan{Slow: []SlowNode{{Node: 0, Delay: 5 * time.Millisecond}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(slow.Depth, clean.Depth) {
+		t.Error("straggler changed depths")
+	}
+	if elapsed := time.Since(start); elapsed < time.Duration(clean.Steps)*5*time.Millisecond {
+		t.Errorf("straggler delay not applied: %d steps in %v", clean.Steps, elapsed)
+	}
+}
+
+// TestFaultPlanValidation rejects malformed plans up front.
+func TestFaultPlanValidation(t *testing.T) {
+	g, err := gen.UniformRandom(100, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := NewSim(g, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, plan := range map[string]*FaultPlan{
+		"drop=1":         {DropProb: 1},
+		"negative dup":   {DupProb: -0.1},
+		"crash node oob": {Crashes: []Crash{{Node: 2, Step: 1}}},
+		"crash step 0":   {Crashes: []Crash{{Node: 0, Step: 0}}},
+		"negative down":  {Crashes: []Crash{{Node: 0, Step: 1, Downtime: -1}}},
+		"slow node oob":  {Slow: []SlowNode{{Node: 5}}},
+	} {
+		if _, err := sim.RunFaulty(context.Background(), 0, plan); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+// TestFaultyCanceledContext: cancellation aborts between steps with
+// ctx.Err(), and an already-canceled context never starts.
+func TestFaultyCanceledContext(t *testing.T) {
+	g, err := gen.UniformRandom(2000, 8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := NewSim(g, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := sim.RunFaulty(ctx, 0, nil); err != context.Canceled {
+		t.Fatalf("canceled context: got %v, want context.Canceled", err)
+	}
+	// A live run still completes under a generous deadline.
+	ctx2, cancel2 := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel2()
+	if _, err := sim.RunFaulty(ctx2, 0, nil); err != nil {
+		t.Fatalf("run under deadline: %v", err)
+	}
+}

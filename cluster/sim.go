@@ -1,8 +1,10 @@
 package cluster
 
 import (
+	"context"
 	"fmt"
 	"sync"
+	"time"
 
 	"fastbfs/graph"
 )
@@ -51,6 +53,22 @@ func (s *Sim) Owner(v uint32) int {
 	return o
 }
 
+// ownedRange returns the half-open vertex range [lo, hi) owned by node.
+// High nodes can own empty ranges when the graph is much smaller than
+// nodes << shift.
+func (s *Sim) ownedRange(node int) (lo, hi int) {
+	n := s.g.NumVertices()
+	lo = node << s.shift
+	hi = (node + 1) << s.shift
+	if node == s.nodes-1 || hi > n {
+		hi = n
+	}
+	if lo > n {
+		lo = n
+	}
+	return lo, hi
+}
+
 // message is one discovered (vertex, parent) pair in flight.
 type message struct {
 	vertex, parent uint32
@@ -72,6 +90,9 @@ type SimResult struct {
 	BytesOnWire int64
 	// PerStepRemote holds the remote message count per step.
 	PerStepRemote []int64
+	// Recovery reports the cost of surviving an injected fault plan;
+	// all-zero for a fault-free run.
+	Recovery RecoveryStats
 }
 
 // RemoteFraction returns the fraction of discoveries that crossed nodes
@@ -87,9 +108,27 @@ func (r *SimResult) RemoteFraction() float64 {
 // Run performs the distributed traversal from source. Each node runs as
 // a goroutine per step; exchanges are all-to-all message slices.
 func (s *Sim) Run(source uint32) (*SimResult, error) {
+	return s.RunFaulty(context.Background(), source, nil)
+}
+
+// RunFaulty performs the distributed traversal from source while
+// injecting the faults of plan (nil means none) and exercising the
+// recovery protocol: per-step coordinated checkpoints, acknowledged
+// batch delivery with bounded retry + exponential backoff, and
+// crash detection with replay from the last checkpoint. ctx is checked
+// at every step boundary. The committed depths are always identical to
+// the fault-free run; recovery cost is reported in SimResult.Recovery.
+func (s *Sim) RunFaulty(ctx context.Context, source uint32, plan *FaultPlan) (*SimResult, error) {
 	n := s.g.NumVertices()
 	if int(source) >= n {
 		return nil, fmt.Errorf("cluster: source %d out of range", source)
+	}
+	if plan != nil {
+		if err := plan.validate(s.nodes); err != nil {
+			return nil, err
+		}
+		p := plan.withDefaults()
+		plan = &p
 	}
 	depth := make([]int32, n)
 	parent := make([]int64, n)
@@ -101,18 +140,30 @@ func (s *Sim) Run(source uint32) (*SimResult, error) {
 	parent[source] = int64(source)
 
 	res := &SimResult{Source: source, Depth: depth, Parent: parent}
+	rec := &res.Recovery
 
 	// frontiers[node] is the node's owned slice of the current frontier.
 	frontiers := make([][]uint32, s.nodes)
 	frontiers[s.Owner(source)] = []uint32{source}
 	// outboxes[from][to] carries discoveries between steps.
 	outboxes := make([][][]message, s.nodes)
+	// dup[from][to] flags batches the wire delivered twice this step.
+	dup := make([][]bool, s.nodes)
 	for i := range outboxes {
 		outboxes[i] = make([][]message, s.nodes)
+		dup[i] = make([]bool, s.nodes)
 	}
 	edges := make([]int64, s.nodes)
+	crashFired := make([]bool, 0)
+	if plan != nil {
+		crashFired = make([]bool, len(plan.Crashes))
+	}
+	var ck checkpoint
 
 	for step := int32(1); ; step++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		total := 0
 		for _, f := range frontiers {
 			total += len(f)
@@ -122,63 +173,67 @@ func (s *Sim) Run(source uint32) (*SimResult, error) {
 		}
 		res.Steps = int(step)
 
-		// Expand: every node scans its owned frontier concurrently and
-		// fills its outboxes (no shared writes: one goroutine per node).
-		var wg sync.WaitGroup
-		wg.Add(s.nodes)
-		for node := 0; node < s.nodes; node++ {
-			go func(node int) {
-				defer wg.Done()
-				out := outboxes[node]
-				for i := range out {
-					out[i] = out[i][:0]
-				}
-				for _, u := range frontiers[node] {
-					adj := s.g.Neighbors[s.g.Offsets[u]:s.g.Offsets[u+1]]
-					edges[node] += int64(len(adj))
-					for _, v := range adj {
-						out[s.Owner(v)] = append(out[s.Owner(v)], message{v, u})
-					}
-				}
-			}(node)
+		// Coordinated checkpoint of the committed state: every node's
+		// owned depth/parent slice plus its frontier. A crash during
+		// this step rolls all nodes back here.
+		if plan != nil {
+			rec.CheckpointBytes += ck.save(depth, parent, frontiers)
 		}
-		wg.Wait()
 
-		// Exchange accounting.
-		var stepRemote int64
-		for from := 0; from < s.nodes; from++ {
-			for to := 0; to < s.nodes; to++ {
-				c := int64(len(outboxes[from][to]))
-				if from == to {
-					res.LocalMsgs += c
-				} else {
-					res.RemoteMsgs += c
-					stepRemote += c
+		// round counts replays of this step after a crash; faults are
+		// re-drawn per round, so a replay faces fresh wire conditions.
+		for round := 0; ; round++ {
+			stepLocal, stepRemote, err := s.attemptStep(step, round, plan, depth, parent, frontiers, outboxes, dup, edges, rec)
+			if err != nil {
+				return nil, err
+			}
+
+			// Crash detection at the step barrier: a node scheduled to
+			// die this step missed its acks. Its volatile state (every
+			// claim since the checkpoint) is gone; the survivors roll
+			// back with it and the step replays after the restart.
+			fired := false
+			if plan != nil {
+				stall := 0
+				for i, c := range plan.Crashes {
+					if crashFired[i] || c.Step != int(step) {
+						continue
+					}
+					crashFired[i] = true
+					fired = true
+					rec.Crashes++
+					if c.Downtime > stall {
+						stall = c.Downtime
+					}
+					// The dead node loses everything since the last
+					// checkpoint — model it explicitly so only a real
+					// restore can bring the depths back.
+					lo, hi := s.ownedRange(c.Node)
+					for v := lo; v < hi; v++ {
+						depth[v] = -1
+						parent[v] = -1
+					}
+					frontiers[c.Node] = frontiers[c.Node][:0]
+				}
+				if fired {
+					rec.StallSteps += stall
+					rec.ReplayedSteps++
+					rec.RestoredBytes += ck.restore(depth, parent, frontiers)
+					continue
 				}
 			}
-		}
-		res.PerStepRemote = append(res.PerStepRemote, stepRemote)
 
-		// Claim: each owner processes its inbox concurrently; owners have
-		// exclusive write access to their vertex range, so no locks.
-		wg.Add(s.nodes)
-		for node := 0; node < s.nodes; node++ {
-			go func(node int) {
-				defer wg.Done()
-				next := frontiers[node][:0]
-				for from := 0; from < s.nodes; from++ {
-					for _, m := range outboxes[from][node] {
-						if depth[m.vertex] == -1 {
-							depth[m.vertex] = step
-							parent[m.vertex] = int64(m.parent)
-							next = append(next, m.vertex)
-						}
-					}
-				}
-				frontiers[node] = next
-			}(node)
+			// Commit: base traffic/work accounting counts the committed
+			// attempt once, so a faulted run's Local/RemoteMsgs and
+			// EdgesTraversed equal the fault-free run's.
+			res.LocalMsgs += stepLocal
+			res.RemoteMsgs += stepRemote
+			res.PerStepRemote = append(res.PerStepRemote, stepRemote)
+			if round > 0 {
+				rec.ReshippedEntries += stepRemote
+			}
+			break
 		}
-		wg.Wait()
 	}
 
 	for _, e := range edges {
@@ -191,4 +246,119 @@ func (s *Sim) Run(source uint32) (*SimResult, error) {
 	}
 	res.BytesOnWire = res.RemoteMsgs * 8
 	return res, nil
+}
+
+// attemptStep runs one execution of step (expand, exchange, claim),
+// injecting wire faults from plan, and returns the attempt's local and
+// remote message counts. Every replay of a step expands the identical
+// checkpoint-restored frontier, so edge work is charged on round 0 only
+// — the committed attempt's counts are the same by construction, and
+// EdgesTraversed stays equal to the fault-free run's.
+func (s *Sim) attemptStep(step int32, round int, plan *FaultPlan,
+	depth []int32, parent []int64, frontiers [][]uint32,
+	outboxes [][][]message, dup [][]bool, edges []int64,
+	rec *RecoveryStats) (stepLocal, stepRemote int64, err error) {
+
+	// Expand: every node scans its owned frontier concurrently and
+	// fills its outboxes (no shared writes: one goroutine per node).
+	attemptEdges := make([]int64, s.nodes)
+	var wg sync.WaitGroup
+	wg.Add(s.nodes)
+	for node := 0; node < s.nodes; node++ {
+		go func(node int) {
+			defer wg.Done()
+			if plan != nil {
+				if d := plan.slowDelay(node); d > 0 {
+					time.Sleep(d)
+				}
+			}
+			out := outboxes[node]
+			for i := range out {
+				out[i] = out[i][:0]
+			}
+			for _, u := range frontiers[node] {
+				adj := s.g.Neighbors[s.g.Offsets[u]:s.g.Offsets[u+1]]
+				attemptEdges[node] += int64(len(adj))
+				for _, v := range adj {
+					out[s.Owner(v)] = append(out[s.Owner(v)], message{v, u})
+				}
+			}
+		}(node)
+	}
+	wg.Wait()
+
+	// Exchange: local batches move by memcpy; remote batches cross the
+	// simulated wire, where the plan may drop or duplicate them. Every
+	// delivery attempt is acknowledged; a lost batch is retransmitted
+	// with exponential backoff until it lands or attempts run out.
+	for from := 0; from < s.nodes; from++ {
+		for to := 0; to < s.nodes; to++ {
+			c := int64(len(outboxes[from][to]))
+			dup[from][to] = false
+			if from == to {
+				stepLocal += c
+				continue
+			}
+			stepRemote += c
+			if plan == nil || c == 0 {
+				continue
+			}
+			attempt := 1
+			for plan.chance(plan.DropProb, faultDrop, int(step), round, attempt, from, to) {
+				rec.DroppedBatches++
+				if attempt == plan.MaxAttempts {
+					return 0, 0, fmt.Errorf(
+						"cluster: step %d: batch %d->%d (%d entries) lost after %d delivery attempts",
+						step, from, to, c, attempt)
+				}
+				rec.RetriedBatches++
+				rec.ReshippedEntries += c
+				rec.Backoff += plan.BackoffBase << (attempt - 1)
+				attempt++
+			}
+			if plan.chance(plan.DupProb, faultDup, int(step), round, 0, from, to) {
+				rec.DuplicatedBatches++
+				dup[from][to] = true
+			}
+		}
+	}
+
+	// Claim: each owner processes its inbox concurrently; owners have
+	// exclusive write access to their vertex range, so no locks. The
+	// depth test makes claims idempotent: a duplicated batch re-offers
+	// every entry and changes nothing.
+	wg.Add(s.nodes)
+	for node := 0; node < s.nodes; node++ {
+		go func(node int) {
+			defer wg.Done()
+			next := frontiers[node][:0]
+			for from := 0; from < s.nodes; from++ {
+				deliveries := 1
+				if dup[from][node] {
+					deliveries = 2
+				}
+				for d := 0; d < deliveries; d++ {
+					for _, m := range outboxes[from][node] {
+						if depth[m.vertex] == -1 {
+							depth[m.vertex] = step
+							parent[m.vertex] = int64(m.parent)
+							next = append(next, m.vertex)
+						}
+					}
+				}
+			}
+			frontiers[node] = next
+		}(node)
+	}
+	wg.Wait()
+
+	// Charge edge work only once per committed step: the caller discards
+	// a crashed attempt by rolling back state and calling again, so we
+	// overwrite rather than accumulate within a step.
+	if round == 0 {
+		for i, e := range attemptEdges {
+			edges[i] += e
+		}
+	}
+	return stepLocal, stepRemote, nil
 }

@@ -9,6 +9,8 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -36,6 +38,7 @@ func main() {
 	doValidate := flag.Bool("validate", true, "validate the BFS tree")
 	doTrace := flag.Bool("trace", false, "print per-step metrics")
 	csvPath := flag.String("csv", "", "write per-step metrics as CSV to this file (implies -trace)")
+	timeout := flag.Duration("timeout", 0, "abort the traversal after this duration (0 = no limit)")
 	flag.Parse()
 	if *csvPath != "" {
 		*doTrace = true
@@ -70,8 +73,18 @@ func main() {
 	o.Workers = *workers
 	o.Instrument = *doTrace
 
-	res, err := bfs.Run(g, src, o)
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	res, err := bfs.RunContext(ctx, g, src, o)
 	if err != nil {
+		if errors.Is(err, context.DeadlineExceeded) {
+			fmt.Fprintf(os.Stderr, "bfsrun: traversal exceeded -timeout %v\n", *timeout)
+			os.Exit(2)
+		}
 		fmt.Fprintf(os.Stderr, "bfsrun: %v\n", err)
 		os.Exit(1)
 	}

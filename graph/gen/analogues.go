@@ -22,7 +22,7 @@ func Grid2D(rows, cols int, extraPerMile int, seed uint64) (*graph.Graph, error)
 		return nil, fmt.Errorf("gen: grid %dx%d too large", rows, cols)
 	}
 	deg := make([]int32, n)
-	par.For(par.DefaultWorkers(), n, func(lo, hi int) {
+	if err := par.For(par.DefaultWorkers(), n, func(lo, hi int) {
 		for v := lo; v < hi; v++ {
 			r, c := v/cols, v%cols
 			d := int32(0)
@@ -40,7 +40,9 @@ func Grid2D(rows, cols int, extraPerMile int, seed uint64) (*graph.Graph, error)
 			}
 			deg[v] = d
 		}
-	})
+	}); err != nil {
+		return nil, err
+	}
 	g, err := graph.FromDegrees(deg, func(v uint32, adj []uint32) {
 		r, c := int(v)/cols, int(v)%cols
 		i := 0
@@ -185,7 +187,7 @@ func BandedMesh(nx, ny, nz int) (*graph.Graph, error) {
 	}
 	idx := func(x, y, z int) uint32 { return uint32((z*ny+y)*nx + x) }
 	deg := make([]int32, n)
-	par.For(par.DefaultWorkers(), n, func(lo, hi int) {
+	if err := par.For(par.DefaultWorkers(), n, func(lo, hi int) {
 		for v := lo; v < hi; v++ {
 			x := v % nx
 			y := (v / nx) % ny
@@ -211,7 +213,9 @@ func BandedMesh(nx, ny, nz int) (*graph.Graph, error) {
 			}
 			deg[v] = d
 		}
-	})
+	}); err != nil {
+		return nil, err
+	}
 	return graph.FromDegrees(deg, func(v uint32, adj []uint32) {
 		x := int(v) % nx
 		y := (int(v) / nx) % ny

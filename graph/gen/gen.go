@@ -46,7 +46,7 @@ func RandomEdges(n int, m int64, seed uint64) (*graph.Graph, error) {
 	}
 	edges := make([]graph.Edge, m)
 	workers := par.DefaultWorkers()
-	par.For(workers, int(m), func(lo, hi int) {
+	if err := par.For(workers, int(m), func(lo, hi int) {
 		g := xrand.New(seed ^ xrand.SplitMix64(uint64(lo)+0x9e37))
 		for i := lo; i < hi; i++ {
 			edges[i] = graph.Edge{
@@ -54,7 +54,9 @@ func RandomEdges(n int, m int64, seed uint64) (*graph.Graph, error) {
 				V: uint32(g.Uint64n(uint64(n))),
 			}
 		}
-	})
+	}); err != nil {
+		return nil, err
+	}
 	return graph.FromEdgesParallel(n, edges, workers)
 }
 
@@ -102,7 +104,7 @@ func RMAT(p RMATParams, seed uint64) (*graph.Graph, error) {
 		total *= 2
 	}
 	edges := make([]graph.Edge, total)
-	par.For(par.DefaultWorkers(), int(m), func(lo, hi int) {
+	if err := par.For(par.DefaultWorkers(), int(m), func(lo, hi int) {
 		g := xrand.New(seed ^ xrand.SplitMix64(uint64(lo)+0xabcd))
 		for i := lo; i < hi; i++ {
 			u, v := rmatEdge(g, p)
@@ -111,7 +113,9 @@ func RMAT(p RMATParams, seed uint64) (*graph.Graph, error) {
 				edges[int64(i)+m] = graph.Edge{U: v, V: u}
 			}
 		}
-	})
+	}); err != nil {
+		return nil, err
+	}
 	return graph.FromEdgesParallel(n, edges, 0)
 }
 

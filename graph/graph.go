@@ -21,6 +21,16 @@ import (
 // bit of a vertex id is reserved for PBV parent markers.
 const MaxVertices = 1 << 31
 
+// mustPar re-raises a recovered worker panic on the calling goroutine.
+// It is used where the enclosing API has no error return: the failure
+// stays loud, but surfaces where callers can recover it instead of
+// killing the process from an anonymous goroutine.
+func mustPar(err error) {
+	if err != nil {
+		panic(err)
+	}
+}
+
 // Edge is a directed edge from U to V.
 type Edge struct {
 	U, V uint32
@@ -102,14 +112,16 @@ func (g *Graph) Validate() error {
 			g.Offsets[n], len(g.Neighbors))
 	}
 	var bad error
-	par.For(par.DefaultWorkers(), len(g.Neighbors), func(lo, hi int) {
+	if err := par.For(par.DefaultWorkers(), len(g.Neighbors), func(lo, hi int) {
 		for _, v := range g.Neighbors[lo:hi] {
 			if int(v) >= n {
 				bad = fmt.Errorf("graph: neighbor id %d out of range", v)
 				return
 			}
 		}
-	})
+	}); err != nil {
+		return err
+	}
 	return bad
 }
 
@@ -160,11 +172,15 @@ func FromDegrees(degrees []int32, fill func(v uint32, adj []uint32)) (*Graph, er
 	}
 	neighbors := make([]uint32, offsets[n])
 	g := &Graph{Offsets: offsets, Neighbors: neighbors}
-	par.For(par.DefaultWorkers(), n, func(lo, hi int) {
+	// fill is caller-supplied code running on pool workers; a panic in it
+	// comes back as an error rather than crashing the process.
+	if err := par.For(par.DefaultWorkers(), n, func(lo, hi int) {
 		for v := lo; v < hi; v++ {
 			fill(uint32(v), neighbors[offsets[v]:offsets[v+1]])
 		}
-	})
+	}); err != nil {
+		return nil, fmt.Errorf("graph: FromDegrees fill: %w", err)
+	}
 	return g, nil
 }
 
@@ -209,7 +225,7 @@ func (g *Graph) Dedup() *Graph {
 	deg := make([]int32, n)
 	sorted := make([]uint32, len(g.Neighbors))
 	copy(sorted, g.Neighbors)
-	par.For(par.DefaultWorkers(), n, func(lo, hi int) {
+	mustPar(par.For(par.DefaultWorkers(), n, func(lo, hi int) {
 		for v := lo; v < hi; v++ {
 			adj := sorted[g.Offsets[v]:g.Offsets[v+1]]
 			sort.Slice(adj, func(i, j int) bool { return adj[i] < adj[j] })
@@ -222,7 +238,7 @@ func (g *Graph) Dedup() *Graph {
 			}
 			deg[v] = int32(d)
 		}
-	})
+	}))
 	out, _ := FromDegrees(deg, func(v uint32, adj []uint32) {
 		copy(adj, sorted[g.Offsets[v]:g.Offsets[v]+int64(len(adj))])
 	})

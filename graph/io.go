@@ -54,8 +54,37 @@ func (g *Graph) WriteTo(w io.Writer) (int64, error) {
 	return n, bw.Flush()
 }
 
+// MaxStreamEdges bounds the header-declared edge count a CSR stream may
+// announce: 2^40 adjacency entries (4 TiB) is far past single-node
+// memory, so anything larger is a corrupt or hostile header, not data.
+const MaxStreamEdges = 1 << 40
+
+// headerLen is the fixed prefix: magic + V + E.
+const headerLen = len(csrMagic) + 16
+
 // ReadFrom deserializes a graph in the binary CSR format.
+//
+// The header-declared V and E are attacker-controlled until proven
+// otherwise, so they are validated against sane bounds before any
+// allocation; when r is seekable the declared payload is also checked
+// against the actual remaining stream length, and either way the arrays
+// are allocated incrementally as data arrives — a lying header meets
+// EOF, not a multi-gigabyte make().
 func ReadFrom(r io.Reader) (*Graph, error) {
+	// Measure the remaining stream length up front (before any buffered
+	// reads make the underlying offset meaningless).
+	streamLen := int64(-1)
+	if sk, ok := r.(io.Seeker); ok {
+		if cur, err := sk.Seek(0, io.SeekCurrent); err == nil {
+			if end, err := sk.Seek(0, io.SeekEnd); err == nil {
+				if _, err := sk.Seek(cur, io.SeekStart); err != nil {
+					return nil, fmt.Errorf("graph: rewinding stream: %w", err)
+				}
+				streamLen = end - cur
+			}
+		}
+	}
+
 	br := bufio.NewReaderSize(r, 1<<20)
 	magic := make([]byte, len(csrMagic))
 	if _, err := io.ReadFull(br, magic); err != nil {
@@ -73,28 +102,74 @@ func ReadFrom(r io.Reader) (*Graph, error) {
 	if v > MaxVertices {
 		return nil, fmt.Errorf("graph: vertex count %d exceeds MaxVertices", v)
 	}
-	g := &Graph{
-		Offsets:   make([]int64, v+1),
-		Neighbors: make([]uint32, e),
+	if e > MaxStreamEdges {
+		return nil, fmt.Errorf("graph: edge count %d exceeds MaxStreamEdges", e)
 	}
-	raw := make([]byte, 8*(v+1))
-	if _, err := io.ReadFull(br, raw); err != nil {
+	if streamLen >= 0 {
+		need := int64(headerLen) + 8*int64(v+1) + 4*int64(e)
+		if streamLen < need {
+			return nil, fmt.Errorf("graph: header declares %d vertices / %d edges (%d bytes) but stream holds %d",
+				v, e, need, streamLen)
+		}
+	}
+
+	offsets, err := readInt64s(br, v+1)
+	if err != nil {
 		return nil, fmt.Errorf("graph: reading offsets: %w", err)
 	}
-	for i := range g.Offsets {
-		g.Offsets[i] = int64(binary.LittleEndian.Uint64(raw[8*i:]))
-	}
-	raw = make([]byte, 4*e)
-	if _, err := io.ReadFull(br, raw); err != nil {
+	neighbors, err := readUint32s(br, e)
+	if err != nil {
 		return nil, fmt.Errorf("graph: reading neighbors: %w", err)
 	}
-	for i := range g.Neighbors {
-		g.Neighbors[i] = binary.LittleEndian.Uint32(raw[4*i:])
-	}
+	g := &Graph{Offsets: offsets, Neighbors: neighbors}
 	if err := g.Validate(); err != nil {
 		return nil, err
 	}
 	return g, nil
+}
+
+// readChunk is the incremental-allocation granularity: slices grow by at
+// most this many bytes of decoded entries per read, so memory tracks
+// data actually received rather than the header's claim.
+const readChunk = 1 << 20
+
+// readInt64s decodes n little-endian int64s, allocating incrementally.
+func readInt64s(br *bufio.Reader, n uint64) ([]int64, error) {
+	out := make([]int64, 0, min64(n, readChunk/8))
+	buf := make([]byte, readChunk)
+	for uint64(len(out)) < n {
+		want := 8 * min64(n-uint64(len(out)), readChunk/8)
+		if _, err := io.ReadFull(br, buf[:want]); err != nil {
+			return nil, err
+		}
+		for i := uint64(0); i < want; i += 8 {
+			out = append(out, int64(binary.LittleEndian.Uint64(buf[i:])))
+		}
+	}
+	return out, nil
+}
+
+// readUint32s decodes n little-endian uint32s, allocating incrementally.
+func readUint32s(br *bufio.Reader, n uint64) ([]uint32, error) {
+	out := make([]uint32, 0, min64(n, readChunk/4))
+	buf := make([]byte, readChunk)
+	for uint64(len(out)) < n {
+		want := 4 * min64(n-uint64(len(out)), readChunk/4)
+		if _, err := io.ReadFull(br, buf[:want]); err != nil {
+			return nil, err
+		}
+		for i := uint64(0); i < want; i += 4 {
+			out = append(out, binary.LittleEndian.Uint32(buf[i:]))
+		}
+	}
+	return out, nil
+}
+
+func min64(a, b uint64) uint64 {
+	if a < b {
+		return a
+	}
+	return b
 }
 
 // Save writes the graph to the named file.

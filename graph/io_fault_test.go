@@ -3,6 +3,7 @@ package graph
 import (
 	"bytes"
 	"encoding/binary"
+	"io"
 	"testing"
 )
 
@@ -66,4 +67,136 @@ func TestReadFromInconsistentOffsets(t *testing.T) {
 	if _, err := ReadFrom(bytes.NewReader(bad)); err == nil {
 		t.Error("inconsistent offsets accepted")
 	}
+}
+
+// TestReadFromHugeEdgeCount: an edge count past MaxStreamEdges must be
+// rejected before any allocation is attempted.
+func TestReadFromHugeEdgeCount(t *testing.T) {
+	full := serialize(t)
+	bad := append([]byte(nil), full...)
+	binary.LittleEndian.PutUint64(bad[16:], 1<<50) // E
+	if _, err := ReadFrom(bytes.NewReader(bad)); err == nil {
+		t.Error("absurd edge count accepted")
+	}
+}
+
+// TestReadFromLyingSeekableHeader: a seekable stream whose header
+// declares more payload than the stream holds must be rejected by the
+// length check, before reading (or allocating for) the arrays.
+func TestReadFromLyingSeekableHeader(t *testing.T) {
+	full := serialize(t)
+	bad := append([]byte(nil), full...)
+	// Claim 1M vertices on a tiny stream: without the length check this
+	// would try to read (and incrementally allocate toward) 8 MB.
+	binary.LittleEndian.PutUint64(bad[8:], 1<<20)
+	if _, err := ReadFrom(bytes.NewReader(bad)); err == nil {
+		t.Error("lying header accepted on seekable stream")
+	}
+}
+
+// noSeek hides the Seek method so ReadFrom takes the stream path.
+type noSeek struct{ io.Reader }
+
+// TestReadFromNonSeekable: the chunked stream path parses a valid graph
+// and still rejects every truncation (memory growth is bounded by the
+// bytes actually received, so a lying header just hits EOF).
+func TestReadFromNonSeekable(t *testing.T) {
+	full := serialize(t)
+	g, err := ReadFrom(noSeek{bytes.NewReader(full)})
+	if err != nil {
+		t.Fatalf("non-seekable full stream rejected: %v", err)
+	}
+	if g.NumVertices() != 4 || g.NumEdges() != 4 {
+		t.Fatalf("parsed %d vertices %d edges, want 4/4", g.NumVertices(), g.NumEdges())
+	}
+	for cut := 0; cut < len(full); cut++ {
+		if _, err := ReadFrom(noSeek{bytes.NewReader(full[:cut])}); err == nil {
+			t.Fatalf("non-seekable truncation at %d accepted", cut)
+		}
+	}
+	// A lying header on a non-seekable stream fails at EOF.
+	bad := append([]byte(nil), full...)
+	binary.LittleEndian.PutUint64(bad[8:], 1<<20)
+	if _, err := ReadFrom(noSeek{bytes.NewReader(bad)}); err == nil {
+		t.Error("lying header accepted on non-seekable stream")
+	}
+}
+
+// TestReadFromRoundTrip: WriteTo output parses back byte-identically on
+// a graph large enough to cross several read chunks.
+func TestReadFromRoundTrip(t *testing.T) {
+	edges := make([]Edge, 0, 3000)
+	for i := 0; i < 1000; i++ {
+		u := uint32(i)
+		edges = append(edges, Edge{u, (u + 1) % 1000}, Edge{u, (u + 7) % 1000}, Edge{u, (u + 31) % 1000})
+	}
+	g := mustFromEdges(t, 1000, edges)
+	var buf bytes.Buffer
+	if _, err := g.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, wrap := range []func(*bytes.Reader) io.Reader{
+		func(r *bytes.Reader) io.Reader { return r },
+		func(r *bytes.Reader) io.Reader { return noSeek{r} },
+	} {
+		got, err := ReadFrom(wrap(bytes.NewReader(buf.Bytes())))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got.Offsets) != len(g.Offsets) || len(got.Neighbors) != len(g.Neighbors) {
+			t.Fatal("round-trip changed array lengths")
+		}
+		for i := range g.Offsets {
+			if got.Offsets[i] != g.Offsets[i] {
+				t.Fatalf("offset %d: %d != %d", i, got.Offsets[i], g.Offsets[i])
+			}
+		}
+		for i := range g.Neighbors {
+			if got.Neighbors[i] != g.Neighbors[i] {
+				t.Fatalf("neighbor %d: %d != %d", i, got.Neighbors[i], g.Neighbors[i])
+			}
+		}
+	}
+}
+
+// FuzzReadFrom: no input — truncated, bit-flipped, or adversarially
+// constructed — may panic the parser or produce a structurally invalid
+// graph. Accepted inputs must satisfy every CSR invariant.
+func FuzzReadFrom(f *testing.F) {
+	valid := serializeF(f)
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])
+	f.Add([]byte{})
+	f.Add([]byte(csrMagic))
+	hugeV := append([]byte(nil), valid...)
+	binary.LittleEndian.PutUint64(hugeV[8:], 1<<40)
+	f.Add(hugeV)
+	hugeE := append([]byte(nil), valid...)
+	binary.LittleEndian.PutUint64(hugeE[16:], 1<<50)
+	f.Add(hugeE)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		for _, r := range []io.Reader{bytes.NewReader(data), noSeek{bytes.NewReader(data)}} {
+			g, err := ReadFrom(r)
+			if err != nil {
+				continue
+			}
+			if err := g.Validate(); err != nil {
+				t.Fatalf("accepted graph fails validation: %v", err)
+			}
+		}
+	})
+}
+
+// serializeF is serialize for fuzz targets (testing.F is not a *testing.T).
+func serializeF(f *testing.F) []byte {
+	f.Helper()
+	g, err := FromEdges(4, []Edge{{0, 1}, {1, 2}, {2, 3}, {3, 0}})
+	if err != nil {
+		f.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := g.WriteTo(&buf); err != nil {
+		f.Fatal(err)
+	}
+	return buf.Bytes()
 }

@@ -39,7 +39,7 @@ func FromEdgesParallel(numVertices int, edges []Edge, workers int) (*Graph, erro
 	// Pass 1: per-chunk histograms over ranges, with validation.
 	counts := make([][]int64, workers)
 	var badEdge error
-	par.Run(workers, func(c int) {
+	if err := par.Run(workers, func(c int) {
 		lo, hi := par.Range(len(edges), c, workers)
 		h := make([]int64, workers)
 		for _, e := range edges[lo:hi] {
@@ -50,7 +50,9 @@ func FromEdgesParallel(numVertices int, edges []Edge, workers int) (*Graph, erro
 			h[rangeOf(e.U)]++
 		}
 		counts[c] = h
-	})
+	}); err != nil {
+		return nil, err
+	}
 	if badEdge != nil {
 		return nil, badEdge
 	}
@@ -75,7 +77,7 @@ func FromEdgesParallel(numVertices int, edges []Edge, workers int) (*Graph, erro
 
 	// Pass 2: scatter edges into the range-grouped staging area.
 	staged := make([]Edge, len(edges))
-	par.Run(workers, func(c int) {
+	if err := par.Run(workers, func(c int) {
 		lo, hi := par.Range(len(edges), c, workers)
 		cur := cursor[c]
 		for _, e := range edges[lo:hi] {
@@ -83,21 +85,25 @@ func FromEdgesParallel(numVertices int, edges []Edge, workers int) (*Graph, erro
 			staged[cur[r]] = e
 			cur[r]++
 		}
-	})
+	}); err != nil {
+		return nil, err
+	}
 
 	// Pass 3: per-range counting sort into the final CSR. Ranges own
 	// disjoint vertices, so offset/neighbor writes never conflict.
 	offsets := make([]int64, numVertices+1)
-	par.Run(workers, func(r int) {
+	if err := par.Run(workers, func(r int) {
 		for _, e := range staged[rangeStart[r]:rangeStart[r+1]] {
 			offsets[e.U+1]++
 		}
-	})
+	}); err != nil {
+		return nil, err
+	}
 	for i := 0; i < numVertices; i++ {
 		offsets[i+1] += offsets[i]
 	}
 	neighbors := make([]uint32, len(edges))
-	par.Run(workers, func(r int) {
+	if err := par.Run(workers, func(r int) {
 		vLo, vHi := par.Range(numVertices, r, workers)
 		cur := make([]int64, vHi-vLo)
 		for v := vLo; v < vHi; v++ {
@@ -107,6 +113,8 @@ func FromEdgesParallel(numVertices int, edges []Edge, workers int) (*Graph, erro
 			neighbors[cur[e.U-uint32(vLo)]] = e.V
 			cur[e.U-uint32(vLo)]++
 		}
-	})
+	}); err != nil {
+		return nil, err
+	}
 	return &Graph{Offsets: offsets, Neighbors: neighbors}, nil
 }

@@ -121,7 +121,7 @@ func (g *Graph) CountCrossRange(blockSize int) int64 {
 	}
 	n := g.NumVertices()
 	counts := make([]int64, par.DefaultWorkers())
-	par.Run(len(counts), func(w int) {
+	mustPar(par.Run(len(counts), func(w int) {
 		lo, hi := par.Range(n, w, len(counts))
 		var c int64
 		for v := lo; v < hi; v++ {
@@ -133,7 +133,7 @@ func (g *Graph) CountCrossRange(blockSize int) int64 {
 			}
 		}
 		counts[w] = c
-	})
+	}))
 	var total int64
 	for _, c := range counts {
 		total += c

@@ -1,0 +1,183 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"fastbfs/graph/gen"
+	"fastbfs/internal/par"
+)
+
+// TestRunContextExpired: an already-expired context must return its
+// error before any step starts — no work, no state disturbance.
+func TestRunContextExpired(t *testing.T) {
+	g, err := gen.UniformRandom(2000, 8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := New(g, DefaultConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	if _, err := e.RunContext(ctx, 0); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("expired deadline: got %v, want context.DeadlineExceeded", err)
+	}
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	cancel2()
+	if _, err := e.RunContext(ctx2, 0); !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-canceled: got %v, want context.Canceled", err)
+	}
+	// The engine is untouched and still runs.
+	res, err := e.Run(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := SerialBFS(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameDepths(t, g, ref, res, "after expired-context runs")
+}
+
+// TestRunContextMidTraversalCancel: cancellation mid-traversal must
+// return ctx.Err() promptly (within about a step), leave no goroutines
+// behind, and leave the engine reusable for a subsequent full run.
+func TestRunContextMidTraversalCancel(t *testing.T) {
+	// A long path: ~20000 steps of tiny work, so cancellation hits the
+	// step loop mid-flight rather than after completion.
+	g, err := gen.Grid2D(1, 20000, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig(1)
+	cfg.Workers = 4
+	e, err := New(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := runtime.NumGoroutine()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(2 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, err = e.RunContext(ctx, 0)
+	elapsed := time.Since(start)
+	if !errors.Is(err, context.Canceled) {
+		// The run may legitimately win the race on a fast machine; only
+		// a wrong error kind is a failure.
+		if err != nil {
+			t.Fatalf("mid-run cancel: got %v, want context.Canceled or success", err)
+		}
+		t.Skip("traversal completed before cancellation fired")
+	}
+	if elapsed > 5*time.Second {
+		t.Fatalf("cancellation took %v; not prompt", elapsed)
+	}
+
+	// No leaked workers: the pool drains on abort.
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if got := runtime.NumGoroutine(); got > before {
+		t.Errorf("goroutines leaked: %d before, %d after", before, got)
+	}
+
+	// Reusable: the next uncancelled run completes and is correct.
+	res, err := e.Run(0)
+	if err != nil {
+		t.Fatalf("run after cancel: %v", err)
+	}
+	ref, err := SerialBFS(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameDepths(t, g, ref, res, "rerun after cancel")
+	if res.Steps != ref.Steps {
+		t.Errorf("rerun steps %d, want %d", res.Steps, ref.Steps)
+	}
+}
+
+// TestRunContextDeadlineDuringRun: a deadline that expires mid-run
+// surfaces as DeadlineExceeded.
+func TestRunContextDeadlineDuringRun(t *testing.T) {
+	g, err := gen.Grid2D(1, 20000, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig(1)
+	cfg.Workers = 2
+	e, err := New(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Millisecond)
+	defer cancel()
+	if _, err := e.RunContext(ctx, 0); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("mid-run deadline: got %v, want context.DeadlineExceeded or success", err)
+	}
+}
+
+// TestWorkerPanicSurfacesAsError: a panic inside a traversal worker must
+// come back as an error from Run — with the barrier poisoned so the
+// remaining workers drain instead of deadlocking — and the engine must
+// recover fully on the next run.
+func TestWorkerPanicSurfacesAsError(t *testing.T) {
+	g, err := gen.UniformRandom(5000, 8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig(1)
+	cfg.Workers = 4
+	e, err := New(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := SerialBFS(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Sabotage the adjacency mid-engine: an out-of-range neighbor id
+	// makes a worker index past the DP array and panic — the kind of
+	// corruption a real deployment meets on bad input.
+	saved := g.Neighbors[100]
+	g.Neighbors[100] = 1 << 30
+	done := make(chan error, 1)
+	go func() {
+		_, err := e.Run(0)
+		done <- err
+	}()
+	select {
+	case err = <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("panicked worker deadlocked the engine instead of erroring")
+	}
+	if err == nil {
+		t.Fatal("worker panic did not surface as an error")
+	}
+	var pe *par.PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("error %T (%v) does not wrap *par.PanicError", err, err)
+	}
+	if !strings.Contains(err.Error(), "aborted") {
+		t.Errorf("error %q does not mention the abort", err)
+	}
+
+	// Repair the graph; the same engine must run correctly again.
+	g.Neighbors[100] = saved
+	res, err := e.Run(0)
+	if err != nil {
+		t.Fatalf("run after panic: %v", err)
+	}
+	sameDepths(t, g, ref, res, "rerun after panic")
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -68,6 +69,10 @@ type Engine struct {
 	cur, nxt *frontier.Frontier
 	ws       []*workerState
 	bar      *par.Barrier
+
+	// ctx is the context of the Run in progress. Worker 0 polls it
+	// between phase barriers so cancellation aborts within one step.
+	ctx context.Context
 
 	// Shared step state, written by worker 0 between barriers; the
 	// mutex-based barrier provides the happens-before edges.
@@ -199,17 +204,33 @@ func (r *Result) MTEPS() float64 {
 
 // Run performs a BFS from source.
 func (e *Engine) Run(source uint32) (*Result, error) {
+	return e.RunContext(context.Background(), source)
+}
+
+// RunContext performs a BFS from source under ctx. Worker 0 checks the
+// context between phase barriers, so cancellation or a deadline aborts
+// the traversal within one step and Run returns ctx.Err(). The engine
+// stays reusable after a canceled run: the next Run resets all state.
+func (e *Engine) RunContext(ctx context.Context, source uint32) (*Result, error) {
 	n := e.g.NumVertices()
 	if int(source) >= n {
 		return nil, fmt.Errorf("core: source %d out of range", source)
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, err // expired before any step started
+	}
+	e.ctx = ctx
+	// Rearm the barrier in case a previous run was aborted by a panic.
+	e.bar.Reset()
 	// Reset the traversal state.
-	par.For(e.cfg.Workers, n, func(lo, hi int) {
+	if err := par.For(e.cfg.Workers, n, func(lo, hi int) {
 		dp := e.dp[lo:hi]
 		for i := range dp {
 			dp[i] = INF
 		}
-	})
+	}); err != nil {
+		return nil, err
+	}
 	switch {
 	case e.visAtomic != nil:
 		e.visAtomic.Reset()
@@ -245,15 +266,29 @@ func (e *Engine) Run(source uint32) (*Result, error) {
 	e.totApps = 1 // the seeded source counts as visited work
 
 	start := time.Now()
-	par.Run(e.cfg.Workers, e.worker)
+	// A panicking worker poisons the barrier before re-panicking so the
+	// surviving workers drain instead of deadlocking; par.Run recovers
+	// the panic and returns it as an error.
+	runErr := par.Run(e.cfg.Workers, func(w int) {
+		defer func() {
+			if r := recover(); r != nil {
+				e.bar.Break()
+				panic(r)
+			}
+		}()
+		e.worker(w)
+	})
 	elapsed := time.Since(start)
+	if runErr != nil {
+		return nil, fmt.Errorf("core: traversal aborted: %w", runErr)
+	}
 	if e.err != nil {
 		return nil, e.err
 	}
 
 	var visited int64
 	var vparts = make([]int64, e.cfg.Workers)
-	par.Run(e.cfg.Workers, func(w int) {
+	if err := par.Run(e.cfg.Workers, func(w int) {
 		lo, hi := par.Range(n, w, e.cfg.Workers)
 		var c int64
 		for _, dp := range e.dp[lo:hi] {
@@ -262,7 +297,9 @@ func (e *Engine) Run(source uint32) (*Result, error) {
 			}
 		}
 		vparts[w] = c
-	})
+	}); err != nil {
+		return nil, err
+	}
 	for _, c := range vparts {
 		visited += c
 	}
@@ -295,26 +332,44 @@ func (e *Engine) worker(w int) {
 			e.curLayout = frontier.BuildLayout(e.cur)
 			e.stepMark = time.Now()
 		}
-		e.bar.Wait()
+		// The context is NOT checked here: between the end-of-step barrier
+		// and this one the other workers read e.stop unsynchronized, so a
+		// write from worker 0 in this window could be seen by some workers
+		// and not others, splitting the cohort and deadlocking the barrier.
+		// Worker 0 polls ctx only inside its exclusive windows (mid-phase
+		// and finishStep), which the barriers order against every read.
+		if !e.bar.Wait() || e.stop {
+			return
+		}
 
 		var m trace.StepMetrics
 		var tPhase1, tPhase2 time.Duration
 		if twoPhase {
 			e.phase1(st, step)
-			e.bar.Wait()
-			if w == 0 {
-				tPhase1 = time.Since(e.stepMark)
-				e.p2Layout = pbv.BuildLayout(e.cfg.Workers, e.geo.nPBV, func(wk, b int) int {
-					return len(e.ws[wk].bins.Bins[b])
-				})
-				e.stepMark = time.Now()
+			if !e.bar.Wait() {
+				return
 			}
-			e.bar.Wait()
+			if w == 0 {
+				if err := e.ctx.Err(); err != nil {
+					e.err, e.stop = err, true
+				} else {
+					tPhase1 = time.Since(e.stepMark)
+					e.p2Layout = pbv.BuildLayout(e.cfg.Workers, e.geo.nPBV, func(wk, b int) int {
+						return len(e.ws[wk].bins.Bins[b])
+					})
+					e.stepMark = time.Now()
+				}
+			}
+			if !e.bar.Wait() || e.stop {
+				return
+			}
 			e.phase2(st, step)
 		} else {
 			e.direct(st, step)
 		}
-		e.bar.Wait()
+		if !e.bar.Wait() {
+			return
+		}
 
 		var tRearr time.Duration
 		if e.cfg.Rearrange {
@@ -322,11 +377,15 @@ func (e *Engine) worker(w int) {
 				tPhase2 = time.Since(e.stepMark)
 				e.stepMark = time.Now()
 			}
-			e.bar.Wait()
+			if !e.bar.Wait() {
+				return
+			}
 			if st.rearr != nil {
 				st.rearr.Rearrange(e.nxt.Arrays[w])
 			}
-			e.bar.Wait()
+			if !e.bar.Wait() {
+				return
+			}
 			if w == 0 {
 				tRearr = time.Since(e.stepMark)
 			}
@@ -343,7 +402,9 @@ func (e *Engine) worker(w int) {
 			m.Phase1, m.Phase2, m.Rearr = tPhase1, tPhase2, tRearr
 			e.finishStep(step, maxSteps, &m)
 		}
-		e.bar.Wait()
+		if !e.bar.Wait() {
+			return
+		}
 		if e.stop {
 			return
 		}
@@ -403,5 +464,8 @@ func (e *Engine) finishStep(step uint32, maxSteps int, m *trace.StepMetrics) {
 	} else if int(step) >= maxSteps {
 		e.stop = true
 		e.err = fmt.Errorf("core: step limit %d exceeded (cycle in step accounting?)", maxSteps)
+	} else if err := e.ctx.Err(); err != nil {
+		e.stop = true
+		e.err = err
 	}
 }

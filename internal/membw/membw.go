@@ -81,12 +81,20 @@ func Measure(o Options) Result {
 // sink defeats dead-code elimination across the measurement loops.
 var sink uint64
 
+// mustPar re-raises a recovered worker panic on the measuring goroutine;
+// the measurement APIs have no error channel.
+func mustPar(err error) {
+	if err != nil {
+		panic(err)
+	}
+}
+
 func streamRead(buf []uint64, o Options) float64 {
 	var bytes int64
 	start := time.Now()
 	for time.Since(start) < o.MinDuration {
 		sums := make([]uint64, o.Workers)
-		par.Run(o.Workers, func(w int) {
+		mustPar(par.Run(o.Workers, func(w int) {
 			lo, hi := par.Range(len(buf), w, o.Workers)
 			var s uint64
 			seg := buf[lo:hi]
@@ -95,7 +103,7 @@ func streamRead(buf []uint64, o Options) float64 {
 					seg[i+4] + seg[i+5] + seg[i+6] + seg[i+7]
 			}
 			sums[w] = s
-		})
+		}))
 		for _, s := range sums {
 			sink += s
 		}
@@ -108,13 +116,13 @@ func streamWrite(buf []uint64, o Options) float64 {
 	var bytes int64
 	start := time.Now()
 	for pass := uint64(1); time.Since(start) < o.MinDuration; pass++ {
-		par.Run(o.Workers, func(w int) {
+		mustPar(par.Run(o.Workers, func(w int) {
 			lo, hi := par.Range(len(buf), w, o.Workers)
 			seg := buf[lo:hi]
 			for i := range seg {
 				seg[i] = pass
 			}
-		})
+		}))
 		bytes += int64(len(buf)) * 8
 	}
 	return float64(bytes) / time.Since(start).Seconds() / 1e9

@@ -1,0 +1,7 @@
+//go:build !race
+
+package membw
+
+// raceEnabled reports whether the binary was built with the race
+// detector, whose per-access instrumentation distorts bandwidth ratios.
+const raceEnabled = false

@@ -1,0 +1,5 @@
+//go:build race
+
+package membw
+
+const raceEnabled = true

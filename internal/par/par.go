@@ -10,7 +10,9 @@
 package par
 
 import (
+	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 )
 
@@ -21,12 +23,18 @@ import (
 // On the oversubscribed single-core hosts this repo targets, a blocking
 // barrier beats spinning; on many-core hosts the cost is amortized by the
 // per-step work between barriers.
+//
+// A barrier can be poisoned with Break: every current and future Wait
+// returns false immediately, so a cohort whose member died (panicked)
+// drains instead of deadlocking. Reset rearms a broken barrier once all
+// participants have returned.
 type Barrier struct {
-	mu    sync.Mutex
-	cond  *sync.Cond
-	n     int
-	count int
-	sense bool
+	mu     sync.Mutex
+	cond   *sync.Cond
+	n      int
+	count  int
+	sense  bool
+	broken bool
 }
 
 // NewBarrier returns a barrier for n participants. n must be >= 1.
@@ -40,9 +48,15 @@ func NewBarrier(n int) *Barrier {
 }
 
 // Wait blocks until all n participants have called Wait, then releases
-// them together. It may be reused for any number of rounds.
-func (b *Barrier) Wait() {
+// them together, returning true. It may be reused for any number of
+// rounds. If the barrier is (or becomes) broken, Wait returns false
+// immediately for every participant.
+func (b *Barrier) Wait() bool {
 	b.mu.Lock()
+	if b.broken {
+		b.mu.Unlock()
+		return false
+	}
 	sense := b.sense
 	b.count++
 	if b.count == b.n {
@@ -50,37 +64,106 @@ func (b *Barrier) Wait() {
 		b.sense = !b.sense
 		b.mu.Unlock()
 		b.cond.Broadcast()
-		return
+		return true
 	}
-	for b.sense == sense {
+	for b.sense == sense && !b.broken {
 		b.cond.Wait()
 	}
+	ok := !b.broken
+	b.mu.Unlock()
+	return ok
+}
+
+// Break poisons the barrier: all participants currently blocked in Wait
+// are released with a false return, as is every later Wait. It is safe to
+// call from any goroutine (typically a panic handler) and is idempotent.
+func (b *Barrier) Break() {
+	b.mu.Lock()
+	b.broken = true
+	b.mu.Unlock()
+	b.cond.Broadcast()
+}
+
+// Reset rearms the barrier for a fresh cohort. It must only be called
+// when no goroutine is blocked in Wait (e.g. between engine runs, after
+// every worker has returned).
+func (b *Barrier) Reset() {
+	b.mu.Lock()
+	b.count = 0
+	b.broken = false
 	b.mu.Unlock()
 }
 
 // N returns the number of participants.
 func (b *Barrier) N() int { return b.n }
 
+// PanicError reports a panic recovered from a pool worker, preserving the
+// worker id, the panic value and the goroutine stack at the panic site.
+type PanicError struct {
+	Worker int
+	Value  any
+	Stack  []byte
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("par: worker %d panicked: %v", e.Worker, e.Value)
+}
+
+// Unwrap exposes the panic value when it was itself an error, so
+// errors.Is/As see through the recovery wrapper.
+func (e *PanicError) Unwrap() error {
+	if err, ok := e.Value.(error); ok {
+		return err
+	}
+	return nil
+}
+
 // Run launches workers goroutines each executing body(worker) and waits
 // for all of them. Bodies typically synchronize internally with a Barrier
 // shared across the workers.
-func Run(workers int, body func(worker int)) {
+//
+// A panic in any body is recovered and surfaced as a *PanicError (the
+// first one wins) instead of crashing the process; the remaining workers
+// still run to completion. Bodies that block on a shared Barrier must
+// arrange to Break it on panic — see the engine's worker wrapper — or the
+// surviving workers would wait forever for the dead participant.
+func Run(workers int, body func(worker int)) error {
 	if workers < 1 {
 		panic("par: Run with workers < 1")
 	}
+	var (
+		mu    sync.Mutex
+		first *PanicError
+	)
+	call := func(w int) {
+		defer func() {
+			if r := recover(); r != nil {
+				mu.Lock()
+				if first == nil {
+					first = &PanicError{Worker: w, Value: r, Stack: debug.Stack()}
+				}
+				mu.Unlock()
+			}
+		}()
+		body(w)
+	}
 	if workers == 1 {
-		body(0)
-		return
+		call(0)
+	} else {
+		var wg sync.WaitGroup
+		wg.Add(workers)
+		for w := 0; w < workers; w++ {
+			go func(w int) {
+				defer wg.Done()
+				call(w)
+			}(w)
+		}
+		wg.Wait()
 	}
-	var wg sync.WaitGroup
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		go func(w int) {
-			defer wg.Done()
-			body(w)
-		}(w)
+	if first != nil {
+		return first
 	}
-	wg.Wait()
+	return nil
 }
 
 // DefaultWorkers returns a sensible worker count: GOMAXPROCS.
@@ -102,18 +185,19 @@ func Range(n, w, workers int) (lo, hi int) {
 // For runs body(i) for every i in [0, n) split across the given number of
 // workers with the static block distribution. It is a convenience for
 // embarrassingly parallel loops outside the engine's step loop (graph
-// construction, validation).
-func For(workers, n int, body func(lo, hi int)) {
+// construction, validation). Like Run, a panicking body surfaces as a
+// *PanicError rather than crashing the process.
+func For(workers, n int, body func(lo, hi int)) error {
 	if workers > n {
 		workers = n
 	}
 	if workers <= 1 {
-		if n > 0 {
-			body(0, n)
+		if n <= 0 {
+			return nil
 		}
-		return
+		return Run(1, func(int) { body(0, n) })
 	}
-	Run(workers, func(w int) {
+	return Run(workers, func(w int) {
 		lo, hi := Range(n, w, workers)
 		if lo < hi {
 			body(lo, hi)

@@ -1,10 +1,14 @@
 package par
 
 import (
+	"errors"
+	"fmt"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
 	"testing/quick"
+	"time"
 )
 
 func TestBarrierRounds(t *testing.T) {
@@ -119,5 +123,111 @@ func TestForCoversAll(t *testing.T) {
 func TestDefaultWorkersPositive(t *testing.T) {
 	if DefaultWorkers() < 1 {
 		t.Error("DefaultWorkers < 1")
+	}
+}
+
+// TestRunRecoversPanic: a panicking worker must surface as a *PanicError
+// from Run — with worker id, value and stack — not crash the process,
+// and the other workers must still run.
+func TestRunRecoversPanic(t *testing.T) {
+	var ran int32
+	err := Run(4, func(w int) {
+		if w == 2 {
+			panic("injected")
+		}
+		atomic.AddInt32(&ran, 1)
+	})
+	if err == nil {
+		t.Fatal("panic not surfaced")
+	}
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("error %T is not a *PanicError", err)
+	}
+	if pe.Worker != 2 || pe.Value != "injected" {
+		t.Errorf("PanicError = worker %d value %v", pe.Worker, pe.Value)
+	}
+	if len(pe.Stack) == 0 {
+		t.Error("no stack captured")
+	}
+	if !strings.Contains(pe.Error(), "worker 2") {
+		t.Errorf("message %q lacks worker id", pe.Error())
+	}
+	if atomic.LoadInt32(&ran) != 3 {
+		t.Errorf("%d surviving workers ran, want 3", ran)
+	}
+}
+
+// TestRunRecoversPanicSingleWorker: the inline workers==1 path recovers
+// too.
+func TestRunRecoversPanicSingleWorker(t *testing.T) {
+	if err := Run(1, func(int) { panic("solo") }); err == nil {
+		t.Fatal("single-worker panic not surfaced")
+	}
+}
+
+// TestPanicErrorUnwrap: a panic with an error value stays errors.Is-able
+// through the wrapper.
+func TestPanicErrorUnwrap(t *testing.T) {
+	sentinel := fmt.Errorf("sentinel")
+	err := Run(2, func(w int) {
+		if w == 0 {
+			panic(sentinel)
+		}
+	})
+	if !errors.Is(err, sentinel) {
+		t.Errorf("errors.Is failed through PanicError: %v", err)
+	}
+}
+
+// TestForRecoversPanic mirrors Run's contract on the range helper.
+func TestForRecoversPanic(t *testing.T) {
+	if err := For(4, 100, func(lo, hi int) { panic("range") }); err == nil {
+		t.Fatal("For swallowed a worker panic")
+	}
+	if err := For(1, 10, func(lo, hi int) { panic("inline") }); err == nil {
+		t.Fatal("inline For swallowed a panic")
+	}
+}
+
+// TestBarrierBreak: breaking a barrier releases current waiters with
+// false, fails all later waits, and Reset rearms it.
+func TestBarrierBreak(t *testing.T) {
+	const workers = 4
+	b := NewBarrier(workers)
+	var falses int32
+	err := Run(workers, func(w int) {
+		if w == 0 {
+			// Give the others time to block, then poison the barrier —
+			// the panic-isolation path in the traversal engine.
+			time.Sleep(10 * time.Millisecond)
+			b.Break()
+			return
+		}
+		if ok := b.Wait(); !ok {
+			atomic.AddInt32(&falses, 1)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if falses != workers-1 {
+		t.Fatalf("%d waiters saw the break, want %d", falses, workers-1)
+	}
+	if b.Wait() {
+		t.Error("broken barrier accepted a new waiter")
+	}
+	b.Reset()
+	// Rearmed: a full cohort passes again.
+	var passes int32
+	if err := Run(workers, func(w int) {
+		if b.Wait() {
+			atomic.AddInt32(&passes, 1)
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if passes != workers {
+		t.Fatalf("%d passes after Reset, want %d", passes, workers)
 	}
 }

@@ -37,7 +37,7 @@ func Result(g *graph.Graph, r *core.Result) error {
 
 	// (2) parent/depth/edge consistency, in parallel.
 	errs := make([]error, par.DefaultWorkers())
-	par.Run(len(errs), func(w int) {
+	if err := par.Run(len(errs), func(w int) {
 		lo, hi := par.Range(n, w, len(errs))
 		for v := lo; v < hi; v++ {
 			dv := r.Depth(uint32(v))
@@ -60,7 +60,9 @@ func Result(g *graph.Graph, r *core.Result) error {
 				return
 			}
 		}
-	})
+	}); err != nil {
+		return err
+	}
 	for _, err := range errs {
 		if err != nil {
 			return err
@@ -68,7 +70,7 @@ func Result(g *graph.Graph, r *core.Result) error {
 	}
 
 	// (3) level consistency over all edges of visited vertices.
-	par.Run(len(errs), func(w int) {
+	if err := par.Run(len(errs), func(w int) {
 		lo, hi := par.Range(n, w, len(errs))
 		for u := lo; u < hi; u++ {
 			du := r.Depth(uint32(u))
@@ -87,7 +89,9 @@ func Result(g *graph.Graph, r *core.Result) error {
 				}
 			}
 		}
-	})
+	}); err != nil {
+		return err
+	}
 	for _, err := range errs {
 		if err != nil {
 			return err
@@ -110,7 +114,7 @@ func SameDepths(want, got *core.Result) error {
 	}
 	n := len(want.DP)
 	errs := make([]error, par.DefaultWorkers())
-	par.Run(len(errs), func(w int) {
+	if err := par.Run(len(errs), func(w int) {
 		lo, hi := par.Range(n, w, len(errs))
 		for v := lo; v < hi; v++ {
 			dw, dg := want.Depth(uint32(v)), got.Depth(uint32(v))
@@ -119,7 +123,9 @@ func SameDepths(want, got *core.Result) error {
 				return
 			}
 		}
-	})
+	}); err != nil {
+		return err
+	}
 	for _, err := range errs {
 		if err != nil {
 			return err
