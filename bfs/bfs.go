@@ -13,16 +13,41 @@
 // protocol, two-phase socket-aware traversal with load-balanced bin
 // division, and TLB-friendly frontier rearrangement — plus every
 // baseline the paper compares against, selected through Options.
+//
+// # Engine reuse contract
+//
+// An Engine allocates its VIS/DP/PBV buffers once in NewEngine and
+// fully resets them at the start of every Run/RunContext, so one Engine
+// may serve any number of traversals from any sources — including after
+// a run aborted by context cancellation — and each run's depths are
+// identical to those of a freshly constructed engine. Two invariants
+// bound the reuse:
+//
+//   - One traversal at a time. An Engine is NOT safe for concurrent
+//     Run/RunContext calls; an overlapping call fails fast with
+//     ErrEngineBusy instead of corrupting state. Callers that need
+//     concurrency run a pool of engines over the same graph (see the
+//     serve package).
+//   - Result.DP aliases engine storage. It is valid only until the next
+//     Run on the same engine; copy it first if it must outlive the run.
 package bfs
 
 import (
 	"context"
+	"errors"
+	"sync"
 
 	"fastbfs/graph"
 	"fastbfs/internal/core"
 	"fastbfs/internal/pbv"
 	"fastbfs/internal/validate"
 )
+
+// ErrEngineBusy is returned by Engine.Run/RunContext when another
+// traversal is already in progress on the same Engine. The engine is
+// unharmed; retry after the in-flight run completes, or use one engine
+// per concurrent caller.
+var ErrEngineBusy = errors.New("bfs: engine busy: concurrent Run on one Engine")
 
 // VISKind selects the visited-structure variant (paper Figure 4).
 type VISKind = core.VISKind
@@ -136,9 +161,11 @@ type Result = core.Result
 
 // Engine runs repeated traversals over one graph without reallocating;
 // create one with NewEngine when running many roots (the Graph500 and
-// benchmark pattern).
+// benchmark pattern). See the package doc's "Engine reuse contract" for
+// the rules reusers rely on.
 type Engine struct {
-	e *core.Engine
+	mu sync.Mutex // serializes Run/RunContext; TryLock → ErrEngineBusy
+	e  *core.Engine
 }
 
 // NewEngine prepares an engine for g with the given options.
@@ -151,14 +178,22 @@ func NewEngine(g *graph.Graph, o Options) (*Engine, error) {
 }
 
 // Run traverses from source. The Result's DP slice aliases engine
-// storage and is overwritten by the next Run.
-func (e *Engine) Run(source uint32) (*Result, error) { return e.e.Run(source) }
+// storage and is overwritten by the next Run. A concurrent Run on the
+// same engine returns ErrEngineBusy.
+func (e *Engine) Run(source uint32) (*Result, error) {
+	return e.RunContext(context.Background(), source)
+}
 
 // RunContext traverses from source under ctx: cancellation or a deadline
 // aborts the traversal within one step and returns ctx.Err(). An
 // already-expired context returns its error without starting a step. The
-// engine remains reusable after an aborted run.
+// engine remains reusable after an aborted run. A concurrent call while
+// another traversal is in flight returns ErrEngineBusy.
 func (e *Engine) RunContext(ctx context.Context, source uint32) (*Result, error) {
+	if !e.mu.TryLock() {
+		return nil, ErrEngineBusy
+	}
+	defer e.mu.Unlock()
 	return e.e.RunContext(ctx, source)
 }
 

@@ -1,0 +1,134 @@
+package bfs
+
+// White-box tests of the engine reuse contract the serve package's
+// pool depends on: full state reset between runs (including after a
+// cancelled run) and the ErrEngineBusy concurrency guard.
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"fastbfs/graph/gen"
+)
+
+// TestEngineReuseMatchesFreshEngines runs one engine across many
+// sources and checks every run's depths are identical to a freshly
+// constructed engine's — i.e. no state leaks between runs.
+func TestEngineReuseMatchesFreshEngines(t *testing.T) {
+	g, err := gen.RMAT(gen.Graph500Params(11, 8), 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := Default(2)
+	reused, err := NewEngine(g, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 12; i++ {
+		source := uint32((i * 173) % g.NumVertices())
+		got, err := reused.Run(source)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fresh, err := NewEngine(g, o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := fresh.Run(source)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for v := 0; v < g.NumVertices(); v++ {
+			if got.Depth(uint32(v)) != want.Depth(uint32(v)) {
+				t.Fatalf("run %d (source %d): depth(%d) = %d, want %d",
+					i, source, v, got.Depth(uint32(v)), want.Depth(uint32(v)))
+			}
+		}
+		if got.Visited != want.Visited || got.Steps != want.Steps {
+			t.Fatalf("run %d: visited/steps %d/%d, want %d/%d",
+				i, got.Visited, got.Steps, want.Visited, want.Steps)
+		}
+	}
+}
+
+// TestEngineReuseAfterCancelledRun aborts a traversal mid-flight and
+// checks the next run on the same engine is byte-identical to a fresh
+// engine's.
+func TestEngineReuseAfterCancelledRun(t *testing.T) {
+	g, err := gen.RMAT(gen.Graph500Params(13, 8), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := Default(1)
+	e, err := NewEngine(g, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// An already-expired context: aborts before the first step.
+	expired, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := e.RunContext(expired, 0); !errors.Is(err, context.Canceled) {
+		t.Fatalf("expired ctx: err = %v, want Canceled", err)
+	}
+	// A context that dies mid-traversal (if the machine is fast enough
+	// to finish first, the run simply succeeds — both paths must leave
+	// the engine clean).
+	tight, cancel2 := context.WithTimeout(context.Background(), 200*time.Microsecond)
+	defer cancel2()
+	if _, err := e.RunContext(tight, 1); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("tight ctx: unexpected err %v", err)
+	}
+
+	for _, source := range []uint32{0, 7, 4099} {
+		got, err := e.Run(source)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fresh, err := NewEngine(g, o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := fresh.Run(source)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for v := 0; v < g.NumVertices(); v++ {
+			if got.Depth(uint32(v)) != want.Depth(uint32(v)) {
+				t.Fatalf("after cancel, source %d: depth(%d) = %d, want %d",
+					source, v, got.Depth(uint32(v)), want.Depth(uint32(v)))
+			}
+		}
+	}
+}
+
+// TestConcurrentRunReturnsEngineBusy locks the engine the way an
+// in-flight traversal does and checks an overlapping Run fails fast
+// with ErrEngineBusy, then works again once released.
+func TestConcurrentRunReturnsEngineBusy(t *testing.T) {
+	g, err := gen.UniformRandom(2000, 8, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := NewEngine(g, Default(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.mu.Lock()
+	if _, err := e.Run(0); !errors.Is(err, ErrEngineBusy) {
+		t.Fatalf("overlapping Run: err = %v, want ErrEngineBusy", err)
+	}
+	if _, err := e.RunContext(context.Background(), 0); !errors.Is(err, ErrEngineBusy) {
+		t.Fatalf("overlapping RunContext: err = %v, want ErrEngineBusy", err)
+	}
+	e.mu.Unlock()
+	res, err := e.Run(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Validate(g, res); err != nil {
+		t.Fatal(err)
+	}
+}

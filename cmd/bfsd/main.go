@@ -1,0 +1,161 @@
+// Command bfsd is the fastbfs traversal query daemon: it loads one or
+// more graphs into memory and serves BFS queries (depth, parent, path,
+// reachability) over an HTTP/JSON API, with engine pooling, admission
+// control, result caching and batched multi-source execution provided
+// by the serve package.
+//
+// Usage:
+//
+//	bfsd -addr :8080 -graph social=social.csr -graph roads=roads.csr
+//	bfsd -gen rmat -scale 18 -name default
+//
+// Query it:
+//
+//	curl -s localhost:8080/healthz
+//	curl -s -X POST localhost:8080/query \
+//	  -d '{"graph":"default","source":0,"targets":[42],"path_to":42}'
+//
+// SIGINT/SIGTERM starts a graceful drain: /healthz flips to 503 so load
+// balancers stop routing here, new queries are rejected, admitted ones
+// finish (up to -draintimeout), then the process exits.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"time"
+
+	"fastbfs/bfs"
+	"fastbfs/graph"
+	"fastbfs/graph/gen"
+	"fastbfs/serve"
+)
+
+// graphFlags collects repeated -graph name=path (or bare path) values.
+type graphFlags []string
+
+func (g *graphFlags) String() string     { return strings.Join(*g, ",") }
+func (g *graphFlags) Set(v string) error { *g = append(*g, v); return nil }
+
+func main() {
+	var graphs graphFlags
+	addr := flag.String("addr", ":8080", "listen address")
+	flag.Var(&graphs, "graph", "graph to serve, as name=path.csr or path.csr (repeatable)")
+	genKind := flag.String("gen", "", "generate a graph instead: ur | rmat")
+	name := flag.String("name", "default", "name of the generated graph")
+	n := flag.Int("n", 1<<18, "vertices for -gen ur")
+	degree := flag.Int("degree", 16, "degree for -gen ur")
+	scale := flag.Int("scale", 18, "log2 vertices for -gen rmat")
+	edgeFactor := flag.Int("edgefactor", 16, "edge factor for -gen rmat")
+	seed := flag.Uint64("seed", 1, "generator seed")
+	sockets := flag.Int("sockets", 1, "simulated sockets for pooled engines")
+	workers := flag.Int("workers", 0, "traversal workers (0 = GOMAXPROCS)")
+	pool := flag.Int("pool", 2, "engines per graph")
+	queue := flag.Int("queue", 256, "admission queue bound")
+	cache := flag.Int("cache", 32, "cached traversals per graph (negative disables)")
+	batchMin := flag.Int("batchmin", 4, "min round size for a multi-source sweep")
+	linger := flag.Duration("linger", 0, "dispatcher batching linger (0 = immediate)")
+	timeout := flag.Duration("timeout", 5*time.Second, "default per-query deadline")
+	drainTimeout := flag.Duration("draintimeout", 15*time.Second, "graceful drain bound at shutdown")
+	flag.Parse()
+
+	opts := bfs.Default(*sockets)
+	opts.Workers = *workers
+	svc := serve.New(serve.Config{
+		PoolSize:       *pool,
+		MaxQueue:       *queue,
+		CacheEntries:   *cache,
+		BatchThreshold: *batchMin,
+		BatchLinger:    *linger,
+		DefaultTimeout: *timeout,
+		Workers:        *workers,
+		Options:        &opts,
+	})
+
+	if err := loadGraphs(svc, graphs, *genKind, *name, *n, *degree, *scale, *edgeFactor, *seed); err != nil {
+		log.Fatalf("bfsd: %v", err)
+	}
+	for _, gi := range svc.Graphs() {
+		log.Printf("serving graph %q: %d vertices, %d edges", gi.Name, gi.Vertices, gi.Edges)
+	}
+
+	server := &http.Server{Addr: *addr, Handler: serve.NewHandler(svc)}
+	errCh := make(chan error, 1)
+	go func() {
+		log.Printf("listening on %s", *addr)
+		errCh <- server.ListenAndServe()
+	}()
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	select {
+	case err := <-errCh:
+		log.Fatalf("bfsd: %v", err)
+	case <-ctx.Done():
+	}
+
+	log.Printf("draining (up to %v)...", *drainTimeout)
+	svc.BeginDrain() // healthz → 503 immediately, before the listener closes
+	dctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := server.Shutdown(dctx); err != nil {
+		log.Printf("bfsd: http shutdown: %v", err)
+	}
+	if err := svc.Shutdown(dctx); err != nil {
+		log.Printf("bfsd: drain incomplete: %v", err)
+		os.Exit(1)
+	}
+	log.Printf("drained cleanly")
+}
+
+// loadGraphs registers every -graph file and/or the generated graph.
+func loadGraphs(svc *serve.Service, graphs graphFlags, genKind, name string, n, degree, scale, edgeFactor int, seed uint64) error {
+	for _, spec := range graphs {
+		gname, path, ok := strings.Cut(spec, "=")
+		if !ok {
+			path = spec
+			gname = strings.TrimSuffix(filepath.Base(path), filepath.Ext(path))
+		}
+		g, err := graph.Load(path)
+		if err != nil {
+			return fmt.Errorf("loading %q: %w", path, err)
+		}
+		if err := svc.AddGraph(gname, g); err != nil {
+			return err
+		}
+	}
+	switch genKind {
+	case "":
+	case "ur":
+		g, err := gen.UniformRandom(n, degree, seed)
+		if err != nil {
+			return err
+		}
+		if err := svc.AddGraph(name, g); err != nil {
+			return err
+		}
+	case "rmat":
+		g, err := gen.RMAT(gen.Graph500Params(scale, edgeFactor), seed)
+		if err != nil {
+			return err
+		}
+		if err := svc.AddGraph(name, g); err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("unknown -gen kind %q", genKind)
+	}
+	if len(svc.Graphs()) == 0 {
+		return errors.New("no graphs: pass -graph and/or -gen")
+	}
+	return nil
+}

@@ -1,0 +1,78 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+)
+
+// lruCache is a bounded most-recently-used cache of completed
+// traversals, keyed by source vertex. Engine options are fixed for the
+// lifetime of a service, and graphs are immutable once added, so
+// entries never go stale and the full cache key (graph, source,
+// options) collapses to the source within one graph's cache. Capacity
+// is counted in traversals; each entry holds one 8-byte word per graph
+// vertex, so the per-graph cache budget is 8·V·cap bytes.
+type lruCache struct {
+	mu    sync.Mutex
+	cap   int
+	ll    *list.List // front = most recently used; values are *cacheEntry
+	items map[uint32]*list.Element
+}
+
+type cacheEntry struct {
+	source uint32
+	tr     *Traversal
+}
+
+// newLRUCache returns a cache of the given capacity; cap <= 0 disables
+// caching (every get misses, every put is dropped).
+func newLRUCache(capacity int) *lruCache {
+	c := &lruCache{cap: capacity}
+	if capacity > 0 {
+		c.ll = list.New()
+		c.items = make(map[uint32]*list.Element, capacity)
+	}
+	return c
+}
+
+func (c *lruCache) get(source uint32) (*Traversal, bool) {
+	if c.cap <= 0 {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[source]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).tr, true
+}
+
+func (c *lruCache) put(source uint32, tr *Traversal) {
+	if c.cap <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[source]; ok {
+		el.Value.(*cacheEntry).tr = tr
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.items[source] = c.ll.PushFront(&cacheEntry{source: source, tr: tr})
+	for c.ll.Len() > c.cap {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.items, oldest.Value.(*cacheEntry).source)
+	}
+}
+
+func (c *lruCache) len() int {
+	if c.cap <= 0 {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}

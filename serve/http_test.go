@@ -1,0 +1,190 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"fastbfs/graph/gen"
+)
+
+func postQuery(t *testing.T, url string, req Request) (*http.Response, *Response) {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url+"/query", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return resp, nil
+	}
+	var out Response
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	return resp, &out
+}
+
+func TestHTTPQueryRoundtrip(t *testing.T) {
+	g, err := gen.Grid2D(10, 10, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := newTestService(t, g, Config{})
+	ts := httptest.NewServer(NewHandler(s))
+	defer ts.Close()
+
+	// Grid vertex id r*cols+c has depth r+c from vertex 0.
+	hr, resp := postQuery(t, ts.URL, Request{Graph: "g", Source: 0, Targets: []uint32{9, 99}})
+	if hr.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", hr.StatusCode)
+	}
+	if d := resp.Targets[0].Depth; d != 9 {
+		t.Errorf("depth(9) = %d, want 9", d)
+	}
+	if d := resp.Targets[1].Depth; d != 18 {
+		t.Errorf("depth(99) = %d, want 18", d)
+	}
+
+	// healthz flips 200 → 503 at drain.
+	hresp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hresp.Body.Close()
+	if hresp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz = %d", hresp.StatusCode)
+	}
+
+	// graphs and stats respond with JSON.
+	gresp, err := http.Get(ts.URL + "/graphs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var infos []GraphInfo
+	if err := json.NewDecoder(gresp.Body).Decode(&infos); err != nil {
+		t.Fatal(err)
+	}
+	gresp.Body.Close()
+	if len(infos) != 1 || infos[0].Vertices != 100 {
+		t.Fatalf("graphs = %+v", infos)
+	}
+	sresp, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st StatsSnapshot
+	if err := json.NewDecoder(sresp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	sresp.Body.Close()
+	if st.Requests == 0 {
+		t.Errorf("stats show no requests: %+v", st)
+	}
+
+	s.BeginDrain()
+	hresp, err = http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hresp.Body.Close()
+	if hresp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("draining healthz = %d, want 503", hresp.StatusCode)
+	}
+	hr, _ = postQuery(t, ts.URL, Request{Graph: "g", Source: 0})
+	if hr.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("draining query = %d, want 503", hr.StatusCode)
+	}
+}
+
+func TestHTTPErrorStatuses(t *testing.T) {
+	g, err := gen.UniformRandom(500, 8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := newTestService(t, g, Config{})
+	ts := httptest.NewServer(NewHandler(s))
+	defer ts.Close()
+
+	hr, _ := postQuery(t, ts.URL, Request{Graph: "missing", Source: 0})
+	if hr.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown graph = %d, want 404", hr.StatusCode)
+	}
+	hr, _ = postQuery(t, ts.URL, Request{Graph: "g", Source: 50000})
+	if hr.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad source = %d, want 400", hr.StatusCode)
+	}
+	resp, err := http.Post(ts.URL+"/query", "application/json", bytes.NewReader([]byte("{not json")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad body = %d, want 400", resp.StatusCode)
+	}
+	resp, err = http.Get(ts.URL + "/query")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /query = %d, want 405", resp.StatusCode)
+	}
+}
+
+// TestHTTPConcurrentClients exercises the full HTTP path under the race
+// detector with parallel clients on distinct sources.
+func TestHTTPConcurrentClients(t *testing.T) {
+	g := testGraph(t)
+	s := newTestService(t, g, Config{BatchThreshold: 2})
+	ts := httptest.NewServer(NewHandler(s))
+	defer ts.Close()
+
+	const clients = 16
+	var wg sync.WaitGroup
+	errs := make([]error, clients)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			source := uint32((c * 17) % g.NumVertices())
+			body, err := json.Marshal(Request{Graph: "g", Source: source, Targets: []uint32{source}})
+			if err != nil {
+				errs[c] = err
+				return
+			}
+			hr, err := http.Post(ts.URL+"/query", "application/json", bytes.NewReader(body))
+			if err != nil {
+				errs[c] = err
+				return
+			}
+			defer hr.Body.Close()
+			if hr.StatusCode != http.StatusOK {
+				errs[c] = fmt.Errorf("status %d", hr.StatusCode)
+				return
+			}
+			var resp Response
+			if err := json.NewDecoder(hr.Body).Decode(&resp); err != nil {
+				errs[c] = err
+				return
+			}
+			if resp.Targets[0].Depth != 0 {
+				errs[c] = fmt.Errorf("depth(source) = %d, want 0", resp.Targets[0].Depth)
+			}
+		}(c)
+	}
+	wg.Wait()
+	for c, err := range errs {
+		if err != nil {
+			t.Fatalf("client %d: %v", c, err)
+		}
+	}
+}

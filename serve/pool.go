@@ -1,0 +1,83 @@
+package serve
+
+import (
+	"context"
+	"sync"
+
+	"fastbfs/bfs"
+	"fastbfs/graph"
+)
+
+// EnginePool hands out up to size reusable bfs.Engines over one graph.
+// Engines are built lazily — a service holding many graphs only pays
+// engine memory for the graphs that see per-source traffic — and
+// returned engines are reused in LIFO order (warmest buffers first).
+// The pool leans on the bfs package's engine-reuse contract: every Run
+// fully resets engine state, so a pooled engine is indistinguishable
+// from a fresh one.
+type EnginePool struct {
+	g    *graph.Graph
+	opts bfs.Options
+	size int
+
+	mu      sync.Mutex
+	created int
+	free    chan *bfs.Engine // buffered to size; Release never blocks
+}
+
+// NewEnginePool builds an empty pool of the given capacity (min 1).
+func NewEnginePool(g *graph.Graph, opts bfs.Options, size int) *EnginePool {
+	if size < 1 {
+		size = 1
+	}
+	return &EnginePool{g: g, opts: opts, size: size, free: make(chan *bfs.Engine, size)}
+}
+
+// Acquire returns a free engine, building one if the pool is below
+// capacity, or blocks until a Release or ctx.Done().
+func (p *EnginePool) Acquire(ctx context.Context) (*bfs.Engine, error) {
+	select {
+	case e := <-p.free:
+		return e, nil
+	default:
+	}
+	p.mu.Lock()
+	if p.created < p.size {
+		p.created++
+		p.mu.Unlock()
+		e, err := bfs.NewEngine(p.g, p.opts)
+		if err != nil {
+			p.mu.Lock()
+			p.created--
+			p.mu.Unlock()
+			return nil, err
+		}
+		return e, nil
+	}
+	p.mu.Unlock()
+	select {
+	case e := <-p.free:
+		return e, nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// Release returns an engine obtained from Acquire.
+func (p *EnginePool) Release(e *bfs.Engine) {
+	select {
+	case p.free <- e:
+	default:
+		panic("serve: EnginePool.Release without matching Acquire")
+	}
+}
+
+// Size is the pool capacity; Created is how many engines exist so far.
+func (p *EnginePool) Size() int { return p.size }
+
+// Created reports how many engines have been built.
+func (p *EnginePool) Created() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.created
+}

@@ -1,0 +1,208 @@
+package serve
+
+import (
+	"fmt"
+	"time"
+
+	"fastbfs/bfs"
+	"fastbfs/graph"
+	"fastbfs/internal/core"
+	"fastbfs/internal/msbfs"
+	"fastbfs/internal/par"
+)
+
+// Request is one traversal query. Graph and Source select the
+// traversal; the remaining fields select what of its result to return.
+type Request struct {
+	Graph  string `json:"graph"`
+	Source uint32 `json:"source"`
+	// Targets asks for the depth/parent of specific vertices.
+	Targets []uint32 `json:"targets,omitempty"`
+	// PathTo asks for one shortest path from Source to this vertex.
+	PathTo *uint32 `json:"path_to,omitempty"`
+	// AllDepths asks for the full depth array (8 bytes/vertex on the
+	// wire as JSON; meant for small graphs and testing).
+	AllDepths bool `json:"all_depths,omitempty"`
+	// TimeoutMS overrides the service's default per-query deadline.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+}
+
+func (r Request) validate(g *graph.Graph) error {
+	n := g.NumVertices()
+	if int(r.Source) >= n {
+		return fmt.Errorf("%w: source %d out of range (graph has %d vertices)", ErrBadRequest, r.Source, n)
+	}
+	for _, t := range r.Targets {
+		if int(t) >= n {
+			return fmt.Errorf("%w: target %d out of range", ErrBadRequest, t)
+		}
+	}
+	if r.PathTo != nil && int(*r.PathTo) >= n {
+		return fmt.Errorf("%w: path_to %d out of range", ErrBadRequest, *r.PathTo)
+	}
+	return nil
+}
+
+// TargetResult is the per-target slice of a Response.
+type TargetResult struct {
+	Vertex  uint32 `json:"vertex"`
+	Reached bool   `json:"reached"`
+	// Depth is the BFS depth, -1 if unreached.
+	Depth int32 `json:"depth"`
+	// Parent is the BFS-tree parent (== Vertex for the source), -1 if
+	// unreached.
+	Parent int64 `json:"parent"`
+}
+
+// Response is the answer to one Request.
+type Response struct {
+	Graph   string `json:"graph"`
+	Source  uint32 `json:"source"`
+	Steps   int    `json:"steps"`
+	Visited int64  `json:"visited"`
+	// Batched reports that the traversal ran inside a multi-source
+	// sweep; Cached that it was served from the LRU without running.
+	Batched   bool           `json:"batched"`
+	Cached    bool           `json:"cached"`
+	ElapsedUS int64          `json:"elapsed_us"`
+	Targets   []TargetResult `json:"targets,omitempty"`
+	// Path is a shortest path Source..PathTo inclusive; PathFound
+	// distinguishes "unreached" from "not asked".
+	Path      []uint32 `json:"path,omitempty"`
+	PathFound *bool    `json:"path_found,omitempty"`
+	// Depths is the full depth array (-1 = unreached) when AllDepths.
+	Depths []int32 `json:"depths,omitempty"`
+}
+
+// Traversal is an immutable completed-traversal snapshot: unlike a live
+// bfs.Result it does not alias engine storage, so it can be cached and
+// shared across waiters indefinitely.
+type Traversal struct {
+	Source  uint32
+	DP      []uint64 // packed parent/depth per vertex, core.INF = unvisited
+	Steps   int
+	Visited int64
+	Batched bool
+	Elapsed time.Duration
+}
+
+// Depth returns the BFS depth of v, or -1 if unreached.
+func (t *Traversal) Depth(v uint32) int32 {
+	if t.DP[v] == core.INF {
+		return -1
+	}
+	return int32(uint32(t.DP[v]))
+}
+
+// Parent returns the BFS parent of v, or -1 if unreached.
+func (t *Traversal) Parent(v uint32) int64 {
+	if t.DP[v] == core.INF {
+		return -1
+	}
+	return int64(t.DP[v] >> 32)
+}
+
+// PathTo returns the tree path Source..v, or nil if v is unreached.
+func (t *Traversal) PathTo(v uint32) []uint32 {
+	d := t.Depth(v)
+	if d < 0 {
+		return nil
+	}
+	path := make([]uint32, d+1)
+	for i := int(d); i >= 0; i-- {
+		path[i] = v
+		v = uint32(t.DP[v] >> 32)
+	}
+	return path
+}
+
+// newEngineTraversal snapshots a live engine result (copying DP, which
+// the engine will overwrite on its next run).
+func newEngineTraversal(r *bfs.Result) *Traversal {
+	return &Traversal{
+		Source:  r.Source,
+		DP:      append([]uint64(nil), r.DP...),
+		Steps:   r.Steps,
+		Visited: r.Visited,
+		Elapsed: r.Elapsed,
+	}
+}
+
+// newLaneTraversal adopts one lane of a multi-source sweep (lane arrays
+// are allocated per sweep, so no copy is needed) and derives the lane's
+// own Steps/Visited, which the shared sweep does not track.
+func newLaneTraversal(res *msbfs.Result, lane int, elapsed time.Duration) *Traversal {
+	dp := res.DP[lane]
+	type acc struct {
+		visited int64
+		maxd    int32
+		_       [6]uint64
+	}
+	workers := par.DefaultWorkers()
+	parts := make([]acc, workers)
+	if err := par.Run(workers, func(w int) {
+		lo, hi := par.Range(len(dp), w, workers)
+		var visited int64
+		var maxd int32
+		for _, x := range dp[lo:hi] {
+			if x == core.INF {
+				continue
+			}
+			visited++
+			if d := int32(uint32(x)); d > maxd {
+				maxd = d
+			}
+		}
+		parts[w] = acc{visited: visited, maxd: maxd}
+	}); err != nil {
+		panic(err) // a counting loop cannot panic; surface anything else loudly
+	}
+	var visited int64
+	var maxd int32
+	for i := range parts {
+		visited += parts[i].visited
+		if parts[i].maxd > maxd {
+			maxd = parts[i].maxd
+		}
+	}
+	return &Traversal{
+		Source:  res.Sources[lane],
+		DP:      dp,
+		Steps:   int(maxd) + 1, // engine counting: deepest level + empty-frontier detection
+		Visited: visited,
+		Batched: true,
+		Elapsed: elapsed,
+	}
+}
+
+// buildResponse derives the caller's view from a traversal snapshot.
+func buildResponse(gs *graphState, req Request, tr *Traversal, cached bool) (*Response, error) {
+	resp := &Response{
+		Graph:     gs.name,
+		Source:    tr.Source,
+		Steps:     tr.Steps,
+		Visited:   tr.Visited,
+		Batched:   tr.Batched,
+		Cached:    cached,
+		ElapsedUS: tr.Elapsed.Microseconds(),
+	}
+	if len(req.Targets) > 0 {
+		resp.Targets = make([]TargetResult, len(req.Targets))
+		for i, v := range req.Targets {
+			d := tr.Depth(v)
+			resp.Targets[i] = TargetResult{Vertex: v, Reached: d >= 0, Depth: d, Parent: tr.Parent(v)}
+		}
+	}
+	if req.PathTo != nil {
+		path := tr.PathTo(*req.PathTo)
+		found := path != nil
+		resp.Path, resp.PathFound = path, &found
+	}
+	if req.AllDepths {
+		resp.Depths = make([]int32, len(tr.DP))
+		for v := range tr.DP {
+			resp.Depths[v] = tr.Depth(uint32(v))
+		}
+	}
+	return resp, nil
+}

@@ -1,0 +1,461 @@
+// Package serve is the fastbfs traversal query service: it holds graphs
+// resident in memory and answers many concurrent BFS queries over them,
+// which is what turns the paper's single-shot engine into something that
+// can sit behind heavy traffic.
+//
+// The layering, top to bottom:
+//
+//   - Admission control. Every query passes a service-wide bounded
+//     queue; when it is full the query is rejected immediately with
+//     ErrOverloaded (HTTP 429) instead of queueing unboundedly, and
+//     after BeginDrain new queries get ErrDraining (HTTP 503) while
+//     admitted ones complete. Each query carries a deadline; an
+//     in-flight traversal past its deadline is cancelled through the
+//     engine's RunContext.
+//   - Result cache + singleflight. Completed traversals are kept in a
+//     bounded per-graph LRU keyed by source (engine options are fixed
+//     per service, so (graph, source, options) reduces to (graph,
+//     source)); concurrent queries for the same source coalesce onto
+//     one in-flight traversal.
+//   - Batching scheduler. Queued sources drain through a per-graph
+//     dispatcher. When a dispatch round holds at least BatchThreshold
+//     distinct sources they run as ONE bit-parallel multi-source sweep
+//     (internal/msbfs, up to 64 sources per sweep); smaller rounds fall
+//     back to per-source runs on pooled engines. Batching is
+//     load-adaptive: while one round executes, arrivals accumulate, so
+//     aggregate throughput grows with offered load instead of
+//     collapsing.
+//   - Engine pool. Per graph, up to PoolSize reusable bfs.Engines
+//     (lazily built); the pool relies on the bfs package's documented
+//     engine-reuse contract and ErrEngineBusy guard.
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"fastbfs/bfs"
+	"fastbfs/graph"
+	"fastbfs/internal/msbfs"
+)
+
+// Service errors, mapped onto HTTP statuses by the handler in http.go.
+var (
+	// ErrOverloaded rejects a query because the admission queue is full.
+	ErrOverloaded = errors.New("serve: overloaded: admission queue full")
+	// ErrDraining rejects a query because the service is shutting down.
+	ErrDraining = errors.New("serve: draining")
+	// ErrUnknownGraph rejects a query naming a graph that is not loaded.
+	ErrUnknownGraph = errors.New("serve: unknown graph")
+	// ErrBadRequest rejects a malformed query (e.g. source out of range).
+	ErrBadRequest = errors.New("serve: bad request")
+)
+
+// Config tunes a Service. The zero value gets sensible defaults.
+type Config struct {
+	// PoolSize is the number of reusable engines per graph (default 2).
+	PoolSize int
+	// MaxQueue bounds admitted-but-unresolved traversals service-wide;
+	// beyond it queries fail with ErrOverloaded (default 256).
+	MaxQueue int
+	// MaxBatch caps sources per multi-source sweep (default and max
+	// msbfs.MaxLanes = 64).
+	MaxBatch int
+	// BatchThreshold is the minimum dispatch-round size that uses the
+	// bit-parallel sweep instead of per-source engines (default 4).
+	BatchThreshold int
+	// BatchLinger, when positive, makes the dispatcher wait once per
+	// round for more sources to arrive before running an undersized
+	// batch. Zero (the default) favors latency: batching then emerges
+	// purely from arrivals during the previous round's execution.
+	BatchLinger time.Duration
+	// CacheEntries is the per-graph LRU capacity in traversals (each
+	// entry holds an 8-byte word per vertex). Default 32; negative
+	// disables caching.
+	CacheEntries int
+	// DefaultTimeout bounds queries that arrive without a deadline
+	// (default 5s).
+	DefaultTimeout time.Duration
+	// Workers is the parallelism of batched sweeps (default GOMAXPROCS).
+	Workers int
+	// Options configures the per-source engines; nil means
+	// bfs.Default(1).
+	Options *bfs.Options
+}
+
+func (c Config) withDefaults() Config {
+	if c.PoolSize <= 0 {
+		c.PoolSize = 2
+	}
+	if c.MaxQueue <= 0 {
+		c.MaxQueue = 256
+	}
+	if c.MaxBatch <= 0 || c.MaxBatch > msbfs.MaxLanes {
+		c.MaxBatch = msbfs.MaxLanes
+	}
+	if c.BatchThreshold <= 0 {
+		c.BatchThreshold = 4
+	}
+	if c.CacheEntries == 0 {
+		c.CacheEntries = 32
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 5 * time.Second
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	return c
+}
+
+// Service answers BFS queries over a set of resident graphs.
+type Service struct {
+	cfg  Config
+	opts bfs.Options
+
+	baseCtx    context.Context // cancelled only at hard shutdown
+	baseCancel context.CancelFunc
+
+	mu       sync.Mutex
+	graphs   map[string]*graphState
+	queued   int // flights admitted and not yet resolved
+	draining bool
+	wg       sync.WaitGroup // live dispatcher goroutines
+
+	stats stats
+}
+
+// graphState is one resident graph plus its pool, cache and scheduler
+// state. pending/flights/dispatching are guarded by Service.mu.
+type graphState struct {
+	name  string
+	g     *graph.Graph
+	pool  *EnginePool
+	cache *lruCache
+
+	flights     map[uint32]*flight // in-flight + queued, by source
+	pending     []*flight          // queued, dispatch order
+	dispatching bool
+	lingered    bool
+}
+
+// flight is one traversal that one or more queries wait on.
+type flight struct {
+	source   uint32
+	deadline time.Time // max over attached waiters; zero = none
+	done     chan struct{}
+	tr       *Traversal
+	err      error
+}
+
+// New builds an empty service; add graphs with AddGraph.
+func New(cfg Config) *Service {
+	cfg = cfg.withDefaults()
+	opts := bfs.Default(1)
+	if cfg.Options != nil {
+		opts = *cfg.Options
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	return &Service{
+		cfg:        cfg,
+		opts:       opts,
+		baseCtx:    ctx,
+		baseCancel: cancel,
+		graphs:     make(map[string]*graphState),
+	}
+}
+
+// AddGraph makes g queryable under name. The graph must not be mutated
+// afterwards; it is shared by every engine and sweep.
+func (s *Service) AddGraph(name string, g *graph.Graph) error {
+	if name == "" {
+		return fmt.Errorf("%w: empty graph name", ErrBadRequest)
+	}
+	if err := g.Validate(); err != nil {
+		return fmt.Errorf("serve: graph %q: %w", name, err)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		return ErrDraining
+	}
+	if _, dup := s.graphs[name]; dup {
+		return fmt.Errorf("serve: graph %q already loaded", name)
+	}
+	s.graphs[name] = &graphState{
+		name:    name,
+		g:       g,
+		pool:    NewEnginePool(g, s.opts, s.cfg.PoolSize),
+		cache:   newLRUCache(s.cfg.CacheEntries),
+		flights: make(map[uint32]*flight),
+	}
+	return nil
+}
+
+// GraphInfo describes one resident graph.
+type GraphInfo struct {
+	Name     string `json:"name"`
+	Vertices int    `json:"vertices"`
+	Edges    int64  `json:"edges"`
+}
+
+// Graphs lists the resident graphs.
+func (s *Service) Graphs() []GraphInfo {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]GraphInfo, 0, len(s.graphs))
+	for _, gs := range s.graphs {
+		out = append(out, GraphInfo{Name: gs.name, Vertices: gs.g.NumVertices(), Edges: gs.g.NumEdges()})
+	}
+	return out
+}
+
+// Draining reports whether BeginDrain has been called.
+func (s *Service) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// QueueDepth reports admitted-but-unresolved traversals (for tests and
+// /stats).
+func (s *Service) QueueDepth() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.queued
+}
+
+// BeginDrain stops admitting queries; already-admitted flights complete.
+func (s *Service) BeginDrain() {
+	s.mu.Lock()
+	s.draining = true
+	s.mu.Unlock()
+}
+
+// Shutdown drains gracefully: no new queries, wait for in-flight
+// traversals. If ctx expires first, outstanding traversals are hard-
+// cancelled (their waiters get context errors) and Shutdown returns
+// ctx.Err() once they unwind.
+func (s *Service) Shutdown(ctx context.Context) error {
+	s.BeginDrain()
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		s.baseCancel()
+		<-done
+		return ctx.Err()
+	}
+}
+
+// Query answers one request, blocking until the result, the caller's
+// ctx deadline, or a rejection. Safe for arbitrary concurrency.
+func (s *Service) Query(ctx context.Context, req Request) (*Response, error) {
+	s.stats.requests.Add(1)
+
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		s.stats.rejected.Add(1)
+		return nil, ErrDraining
+	}
+	gs := s.graphs[req.Graph]
+	s.mu.Unlock()
+	if gs == nil {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownGraph, req.Graph)
+	}
+	if err := req.validate(gs.g); err != nil {
+		return nil, err
+	}
+
+	if tr, ok := gs.cache.get(req.Source); ok {
+		s.stats.cacheHits.Add(1)
+		return buildResponse(gs, req, tr, true)
+	}
+
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		s.stats.rejected.Add(1)
+		return nil, ErrDraining
+	}
+	f := gs.flights[req.Source]
+	if f == nil {
+		if s.queued >= s.cfg.MaxQueue {
+			s.mu.Unlock()
+			s.stats.rejected.Add(1)
+			return nil, ErrOverloaded
+		}
+		f = &flight{source: req.Source, done: make(chan struct{})}
+		f.deadline, _ = ctx.Deadline()
+		gs.flights[req.Source] = f
+		gs.pending = append(gs.pending, f)
+		s.queued++
+		if !gs.dispatching {
+			gs.dispatching = true
+			s.wg.Add(1)
+			go s.dispatch(gs)
+		}
+	} else {
+		s.stats.coalesced.Add(1)
+		// Extend the flight's deadline to cover this waiter too; the
+		// dispatcher reads it under s.mu when the flight starts, so the
+		// extension holds for flights still queued.
+		if dl, ok := ctx.Deadline(); !f.deadline.IsZero() && (!ok || dl.After(f.deadline)) {
+			if ok {
+				f.deadline = dl
+			} else {
+				f.deadline = time.Time{}
+			}
+		}
+	}
+	s.mu.Unlock()
+
+	select {
+	case <-f.done:
+		if f.err != nil {
+			return nil, f.err
+		}
+		return buildResponse(gs, req, f.tr, false)
+	case <-ctx.Done():
+		// The flight keeps running for any other waiters; this caller
+		// gives up. Flights with no surviving waiters die through their
+		// own (maxed) deadline.
+		s.stats.expired.Add(1)
+		return nil, ctx.Err()
+	}
+}
+
+// dispatch drains gs.pending in rounds until it is empty, then exits.
+// Exactly one dispatcher runs per graph at a time.
+func (s *Service) dispatch(gs *graphState) {
+	defer s.wg.Done()
+	for {
+		s.mu.Lock()
+		if len(gs.pending) == 0 {
+			gs.dispatching = false
+			s.mu.Unlock()
+			return
+		}
+		// Optionally linger once per round to let a batch accumulate.
+		if lin := s.cfg.BatchLinger; lin > 0 && !gs.lingered && len(gs.pending) < s.cfg.MaxBatch {
+			gs.lingered = true
+			s.mu.Unlock()
+			select {
+			case <-time.After(lin):
+			case <-s.baseCtx.Done():
+			}
+			continue
+		}
+		gs.lingered = false
+		k := min(len(gs.pending), s.cfg.MaxBatch)
+		round := append([]*flight(nil), gs.pending[:k]...)
+		gs.pending = append(gs.pending[:0:0], gs.pending[k:]...)
+		// Snapshot each flight's deadline while holding the lock (late
+		// coalescing waiters may still extend queued flights), and merge
+		// them for the batched path: the sweep runs until the last
+		// waiter's deadline; earlier waiters stop waiting on their own.
+		deadlines := make([]time.Time, len(round))
+		deadline, infinite := time.Time{}, false
+		for i, f := range round {
+			deadlines[i] = f.deadline
+			if f.deadline.IsZero() {
+				infinite = true
+			} else if f.deadline.After(deadline) {
+				deadline = f.deadline
+			}
+		}
+		s.mu.Unlock()
+
+		rctx := s.baseCtx
+		var cancel context.CancelFunc
+		if !infinite && !deadline.IsZero() {
+			rctx, cancel = context.WithDeadline(rctx, deadline)
+		}
+		if len(round) >= s.cfg.BatchThreshold && len(round) > 1 {
+			s.runBatched(gs, rctx, round)
+		} else {
+			s.runSingles(gs, round, deadlines)
+		}
+		if cancel != nil {
+			cancel()
+		}
+	}
+}
+
+// runBatched serves one round as a single bit-parallel sweep.
+func (s *Service) runBatched(gs *graphState, ctx context.Context, round []*flight) {
+	sources := make([]uint32, len(round))
+	for i, f := range round {
+		sources[i] = f.source
+	}
+	res, err := msbfs.RunContext(ctx, gs.g, sources, s.cfg.Workers)
+	if err != nil {
+		for _, f := range round {
+			s.resolve(gs, f, nil, err)
+		}
+		return
+	}
+	s.stats.sweeps.Add(1)
+	s.stats.batchedQueries.Add(int64(len(round)))
+	perLane := res.Elapsed / time.Duration(len(round))
+	for k, f := range round {
+		s.resolve(gs, f, newLaneTraversal(res, k, perLane), nil)
+	}
+}
+
+// runSingles serves a small round on pooled engines, one goroutine per
+// flight; the pool bounds actual parallelism. deadlines[i] is flight
+// i's deadline as snapshotted under the service lock at dispatch.
+func (s *Service) runSingles(gs *graphState, round []*flight, deadlines []time.Time) {
+	var wg sync.WaitGroup
+	for i, f := range round {
+		wg.Add(1)
+		go func(f *flight, deadline time.Time) {
+			defer wg.Done()
+			fctx := s.baseCtx
+			if !deadline.IsZero() {
+				var cancel context.CancelFunc
+				fctx, cancel = context.WithDeadline(s.baseCtx, deadline)
+				defer cancel()
+			}
+			e, err := gs.pool.Acquire(fctx)
+			if err != nil {
+				s.resolve(gs, f, nil, err)
+				return
+			}
+			r, err := e.RunContext(fctx, f.source)
+			var tr *Traversal
+			if err == nil {
+				tr = newEngineTraversal(r)
+			}
+			gs.pool.Release(e)
+			s.stats.engineRuns.Add(1)
+			s.resolve(gs, f, tr, err)
+		}(f, deadlines[i])
+	}
+	wg.Wait()
+}
+
+// resolve publishes a flight's outcome and retires it from the
+// singleflight table and the admission queue.
+func (s *Service) resolve(gs *graphState, f *flight, tr *Traversal, err error) {
+	if err == nil && tr != nil {
+		gs.cache.put(f.source, tr)
+	}
+	s.mu.Lock()
+	delete(gs.flights, f.source)
+	s.queued--
+	s.mu.Unlock()
+	f.tr, f.err = tr, err
+	close(f.done)
+}

@@ -1,0 +1,53 @@
+package serve
+
+import "sync/atomic"
+
+// stats is the service's hot-path counter block (atomics, no locks).
+type stats struct {
+	requests       atomic.Int64
+	cacheHits      atomic.Int64
+	coalesced      atomic.Int64
+	rejected       atomic.Int64
+	expired        atomic.Int64
+	sweeps         atomic.Int64
+	batchedQueries atomic.Int64
+	engineRuns     atomic.Int64
+}
+
+// StatsSnapshot is a point-in-time copy of the service counters.
+type StatsSnapshot struct {
+	// Requests counts every Query call; CacheHits the ones answered from
+	// the LRU; Coalesced the ones that attached to an already-in-flight
+	// traversal of the same source.
+	Requests  int64 `json:"requests"`
+	CacheHits int64 `json:"cache_hits"`
+	Coalesced int64 `json:"coalesced"`
+	// Rejected counts admission failures (overload or draining); Expired
+	// counts waiters whose own deadline fired before their traversal.
+	Rejected int64 `json:"rejected"`
+	Expired  int64 `json:"expired"`
+	// Sweeps counts multi-source batch executions; BatchedQueries the
+	// queries they served; EngineRuns the per-source fallback runs.
+	Sweeps         int64 `json:"sweeps"`
+	BatchedQueries int64 `json:"batched_queries"`
+	EngineRuns     int64 `json:"engine_runs"`
+	// QueueDepth is the current admitted-but-unresolved count.
+	QueueDepth int `json:"queue_depth"`
+	Draining   bool `json:"draining"`
+}
+
+// Stats returns a snapshot of the service counters.
+func (s *Service) Stats() StatsSnapshot {
+	return StatsSnapshot{
+		Requests:       s.stats.requests.Load(),
+		CacheHits:      s.stats.cacheHits.Load(),
+		Coalesced:      s.stats.coalesced.Load(),
+		Rejected:       s.stats.rejected.Load(),
+		Expired:        s.stats.expired.Load(),
+		Sweeps:         s.stats.sweeps.Load(),
+		BatchedQueries: s.stats.batchedQueries.Load(),
+		EngineRuns:     s.stats.engineRuns.Load(),
+		QueueDepth:     s.QueueDepth(),
+		Draining:       s.Draining(),
+	}
+}
