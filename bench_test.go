@@ -8,6 +8,7 @@ package fastbfs
 
 import (
 	"fmt"
+	"math"
 	"sync"
 	"testing"
 
@@ -249,6 +250,79 @@ func BenchmarkAblations(b *testing.B) {
 			benchBFS(b, g, v.mod(full), 0)
 		})
 	}
+}
+
+// BenchmarkHybridDirection compares the direction-optimizing hybrid
+// against pure top-down on the ablation R-MAT. Hybrid runs EXAMINE far
+// fewer edges by design, so per-run MTEPS would understate them; both
+// series therefore report MTEPS* with the top-down examined-edge count
+// as numerator — wall-clock per traversal is the honest axis.
+func BenchmarkHybridDirection(b *testing.B) {
+	g := rmatGraph(b, 18, 16)
+	full := paperOptions(bfs.VISPartitioned, bfs.SchemeLoadBalanced)
+	ref, err := bfs.NewEngine(g, full)
+	if err != nil {
+		b.Fatal(err)
+	}
+	refRes, err := ref.Run(0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	refEdges := refRes.EdgesTraversed
+
+	variants := []struct {
+		name string
+		mod  func(bfs.Options) bfs.Options
+	}{
+		{"topdown", func(o bfs.Options) bfs.Options { return o }},
+		{"hybrid", func(o bfs.Options) bfs.Options { o.Hybrid = true; return o }},
+		{"hybrid-forced", func(o bfs.Options) bfs.Options {
+			o.Hybrid = true
+			o.Alpha, o.Beta = math.Inf(1), math.Inf(1)
+			return o
+		}},
+	}
+	for _, v := range variants {
+		b.Run(v.name, func(b *testing.B) {
+			e, err := bfs.NewEngine(g, v.mod(full))
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := e.Run(0); err != nil { // warmup (lazy transpose)
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := e.Run(0); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			if sec := b.Elapsed().Seconds(); sec > 0 {
+				b.ReportMetric(float64(refEdges)*float64(b.N)/sec/1e6, "MTEPS*")
+			}
+		})
+	}
+}
+
+// BenchmarkTranspose measures in-adjacency construction — the one-time
+// cost a directed hybrid traversal pays before its first switch.
+func BenchmarkTranspose(b *testing.B) {
+	g := rmatGraph(b, 18, 16)
+	b.Run("serial", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if g.Transpose() == nil {
+				b.Fatal("nil transpose")
+			}
+		}
+	})
+	b.Run("parallel", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if g.TransposeParallel(0) == nil {
+				b.Fatal("nil transpose")
+			}
+		}
+	})
 }
 
 // BenchmarkSyncVsAsync compares the synchronous engine against the

@@ -79,6 +79,24 @@ const (
 	SchemeLoadBalanced = core.SchemeLoadBalanced
 )
 
+// Direction labels how a hybrid traversal expanded one level.
+type Direction = core.Direction
+
+// Level directions (Result.Directions entries for hybrid runs).
+const (
+	DirTopDown  = core.DirTopDown
+	DirBottomUp = core.DirBottomUp
+)
+
+// DirectionString renders a per-level direction slice, e.g. "TTBBT".
+func DirectionString(dirs []Direction) string { return core.DirectionString(dirs) }
+
+// Direction-switch defaults (Beamer's α/β as adopted by GAP).
+const (
+	DefaultAlpha = core.DefaultAlpha
+	DefaultBeta  = core.DefaultBeta
+)
+
 // Encoding selects the Potential-Boundary-Vertex entry encoding.
 type Encoding = pbv.Encoding
 
@@ -122,6 +140,25 @@ type Options struct {
 	Instrument bool
 	// MaxSteps bounds the step loop as a safety net; 0 means |V|+1.
 	MaxSteps int
+
+	// Hybrid enables direction-optimizing traversal: heavy middle levels
+	// run bottom-up (each unvisited vertex scans in-neighbors for a
+	// frontier parent), light levels top-down. Result.Directions records
+	// the per-level choice. Directed graphs transparently build and cache
+	// a transpose on the first switch (see InAdjacency); set Symmetric to
+	// skip that when every edge is known to have its reverse.
+	Hybrid bool
+	// Alpha is the top-down→bottom-up switch divisor (switch when
+	// m_f > m_u/α); larger switches earlier. 0 means DefaultAlpha.
+	Alpha float64
+	// Beta is the bottom-up→top-down return divisor (return when the
+	// frontier stops growing and holds < |V|/β vertices). 0 means
+	// DefaultBeta.
+	Beta float64
+	// Symmetric asserts every edge has its reverse, letting hybrid runs
+	// use the graph as its own in-adjacency instead of a transpose.
+	// Asserting it on a directed graph silently corrupts parents.
+	Symmetric bool
 }
 
 // Default returns the paper's best configuration for the given simulated
@@ -137,8 +174,8 @@ func Default(sockets int) Options {
 	}
 }
 
-func (o Options) config() core.Config {
-	return core.Config{
+func (o Options) config(g *graph.Graph) core.Config {
+	cfg := core.Config{
 		Workers:      o.Workers,
 		Sockets:      o.Sockets,
 		VIS:          o.VIS,
@@ -153,7 +190,34 @@ func (o Options) config() core.Config {
 		TLBEntries:   o.TLBEntries,
 		Instrument:   o.Instrument,
 		MaxSteps:     o.MaxSteps,
+		Hybrid:       o.Hybrid,
+		Alpha:        o.Alpha,
+		Beta:         o.Beta,
 	}
+	if o.Hybrid && !o.Symmetric {
+		cfg.InAdj = func() *graph.Graph { return InAdjacency(g) }
+	}
+	return cfg
+}
+
+// transposeEntry pairs a once with its built transpose.
+type transposeEntry struct {
+	once sync.Once
+	in   *graph.Graph
+}
+
+// transposes caches one in-adjacency per graph identity.
+var transposes sync.Map // *graph.Graph -> *transposeEntry
+
+// InAdjacency returns the transpose of g, building it in parallel on
+// first use and caching it per graph identity for the process lifetime.
+// All hybrid engines over the same *graph.Graph — notably a serve pool —
+// share one transpose, and concurrent first calls build it exactly once.
+func InAdjacency(g *graph.Graph) *graph.Graph {
+	v, _ := transposes.LoadOrStore(g, &transposeEntry{})
+	e := v.(*transposeEntry)
+	e.once.Do(func() { e.in = g.TransposeParallel(0) })
+	return e.in
 }
 
 // Result is a traversal outcome; see core.Result for field semantics.
@@ -170,7 +234,7 @@ type Engine struct {
 
 // NewEngine prepares an engine for g with the given options.
 func NewEngine(g *graph.Graph, o Options) (*Engine, error) {
-	e, err := core.New(g, o.config())
+	e, err := core.New(g, o.config(g))
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,129 @@
+package bfs_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"fastbfs/bfs"
+	"fastbfs/graph"
+	"fastbfs/graph/gen"
+)
+
+// TestHybridRandomizedParity runs hybrid traversals from random sources
+// over randomly parameterized directed and undirected graphs and holds
+// them to the full Graph500 validation (valid BFS tree + exact depths
+// vs the serial reference).
+func TestHybridRandomizedParity(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 12; trial++ {
+		scale := 9 + rng.Intn(3)
+		ef := 4 + rng.Intn(12)
+		p := gen.Graph500Params(scale, ef)
+		p.Undirected = trial%2 == 0
+		g, err := gen.RMAT(p, uint64(trial)+10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		o := bfs.Default(1)
+		o.Workers = 1 + rng.Intn(7)
+		o.Hybrid = true
+		o.Symmetric = p.Undirected
+		// Randomize the switch thresholds around the defaults so trials
+		// exercise different T/B trajectories.
+		o.Alpha = bfs.DefaultAlpha * (0.25 + 2*rng.Float64())
+		o.Beta = bfs.DefaultBeta * (0.25 + 2*rng.Float64())
+		e, err := bfs.NewEngine(g, o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for q := 0; q < 3; q++ {
+			src := uint32(rng.Intn(g.NumVertices()))
+			res, err := e.Run(src)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := bfs.Validate(g, res); err != nil {
+				t.Fatalf("trial %d src %d (α=%.1f β=%.1f dirs=%s): %v",
+					trial, src, o.Alpha, o.Beta,
+					bfs.DirectionString(res.Directions), err)
+			}
+		}
+	}
+}
+
+// TestHybridDirectedAsymmetry pins the correctness hinge of directed
+// bottom-up: a graph where out- and in-adjacency disagree maximally. A
+// bottom-up scan that consulted out-neighbors instead of the transpose
+// would invent parents across non-edges.
+func TestHybridDirectedAsymmetry(t *testing.T) {
+	// Layered DAG: layer L has 64 vertices, all edges point L → L+1,
+	// plus a chain through layer heads so depths are nontrivial.
+	const layers, width = 8, 64
+	var edges []graph.Edge
+	for l := 0; l < layers-1; l++ {
+		for i := 0; i < width; i++ {
+			for j := 0; j < 4; j++ {
+				u := uint32(l*width + i)
+				v := uint32((l+1)*width + (i+j*13)%width)
+				edges = append(edges, graph.Edge{U: u, V: v})
+			}
+		}
+	}
+	g, err := graph.FromEdges(layers*width, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 4} {
+		o := bfs.Default(1)
+		o.Workers = workers
+		o.Hybrid = true
+		o.Alpha = 1e6 // switch as soon as possible
+		res, err := bfs.Run(g, 0, o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := bfs.Validate(g, res); err != nil {
+			t.Fatalf("w%d dirs=%s: %v", workers, bfs.DirectionString(res.Directions), err)
+		}
+		saw := false
+		for _, d := range res.Directions {
+			if d == bfs.DirBottomUp {
+				saw = true
+			}
+		}
+		if !saw {
+			t.Fatalf("w%d: no bottom-up level despite α=1e6 (dirs=%s)",
+				workers, bfs.DirectionString(res.Directions))
+		}
+	}
+}
+
+// TestHybridEngineResultShape covers the Result extras the API promises.
+func TestHybridEngineResultShape(t *testing.T) {
+	g, err := gen.RMAT(gen.Graph500Params(10, 8), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := bfs.Default(1)
+	o.Hybrid = true
+	res, err := bfs.Run(g, 0, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Directions) != res.Steps {
+		t.Fatalf("Directions has %d entries for %d steps", len(res.Directions), res.Steps)
+	}
+	if s := bfs.DirectionString(res.Directions); len(s) != res.Steps {
+		t.Fatalf("DirectionString %q wrong length", s)
+	}
+	// Non-hybrid runs must not report directions.
+	plain, err := bfs.Run(g, 0, bfs.Default(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Directions != nil {
+		t.Fatalf("non-hybrid run reported directions %v", plain.Directions)
+	}
+	_ = fmt.Sprint(res.MTEPS())
+}

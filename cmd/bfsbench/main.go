@@ -6,7 +6,7 @@
 //	bfsbench [flags] <experiment>...
 //
 // Experiments: table1 table2 fig4 fig5 fig6 fig7 fig8 modelcheck ablate
-// all
+// hybrid all
 //
 // Flags:
 //
@@ -15,10 +15,13 @@
 //	-workers N  traversal goroutines (default GOMAXPROCS)
 //	-roots N    starting vertices averaged per graph (default 5)
 //	-seed N     workload seed
+//	-json       also write the hybrid benchmark as BENCH_<scale>.json
+//	            (per-level directions, MTEPS, bytes/edge model vs measured)
 //	-v          log progress
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -34,6 +37,7 @@ func main() {
 	workers := flag.Int("workers", 0, "traversal goroutines (0 = GOMAXPROCS)")
 	roots := flag.Int("roots", 5, "starting vertices averaged per graph")
 	seed := flag.Uint64("seed", 20120521, "workload seed")
+	jsonOut := flag.Bool("json", false, "write hybrid benchmark JSON (BENCH_<scale>.json)")
 	verbose := flag.Bool("v", false, "log progress")
 	flag.Parse()
 
@@ -46,12 +50,12 @@ func main() {
 	}
 
 	args := flag.Args()
-	if len(args) == 0 {
-		fmt.Fprintln(os.Stderr, "usage: bfsbench [flags] <table1|table2|fig4|fig5|fig6|fig7|fig8|modelcheck|scaling|ablate|all>...")
+	if len(args) == 0 && !*jsonOut {
+		fmt.Fprintln(os.Stderr, "usage: bfsbench [flags] <table1|table2|fig4|fig5|fig6|fig7|fig8|modelcheck|scaling|ablate|hybrid|all>...")
 		os.Exit(2)
 	}
 	if len(args) == 1 && args[0] == "all" {
-		args = []string{"table1", "modelcheck", "table2", "fig4", "fig5", "fig6", "fig7", "fig8", "scaling", "ablate"}
+		args = []string{"table1", "modelcheck", "table2", "fig4", "fig5", "fig6", "fig7", "fig8", "scaling", "ablate", "hybrid"}
 	}
 
 	type runner func() (*stats.Table, error)
@@ -66,6 +70,7 @@ func main() {
 		"modelcheck": experiments.ModelCheck,
 		"scaling":    func() (*stats.Table, error) { return experiments.Scaling(cfg) },
 		"ablate":     func() (*stats.Table, error) { return experiments.Ablate(cfg) },
+		"hybrid":     func() (*stats.Table, error) { return experiments.Hybrid(cfg) },
 	}
 	titles := map[string]string{
 		"table1":     "Table I — platform characteristics (modeled machine)",
@@ -78,6 +83,7 @@ func main() {
 		"modelcheck": "Section V-C / Appendix D — worked model example",
 		"scaling":    "Section V-B — socket scaling, measured and projected",
 		"ablate":     "Section V-A — latency-hiding ablations",
+		"hybrid":     "Direction-optimizing hybrid vs top-down (comparable MTEPS*)",
 	}
 
 	for _, name := range args {
@@ -99,5 +105,25 @@ func main() {
 		}
 		tab.Render(os.Stdout)
 		fmt.Println()
+	}
+
+	if *jsonOut {
+		rep, err := experiments.HybridReport(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bfsbench: hybrid report: %v\n", err)
+			os.Exit(1)
+		}
+		path := fmt.Sprintf("BENCH_%d.json", rep.Scale)
+		blob, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bfsbench: %v\n", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(path, append(blob, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "bfsbench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s (hybrid %.1f vs top-down %.1f MTEPS, %.2fx, dirs %s)\n",
+			path, rep.HybridMTEPS, rep.TopDownMTEPS, rep.Speedup, rep.Directions)
 	}
 }

@@ -8,6 +8,7 @@
 //
 //	bfsd -addr :8080 -graph social=social.csr -graph roads=roads.csr
 //	bfsd -gen rmat -scale 18 -name default
+//	bfsd -gen rmat -scale 20 -hybrid   # direction-optimizing engines + sweeps
 //
 // Query it:
 //
@@ -66,10 +67,14 @@ func main() {
 	linger := flag.Duration("linger", 0, "dispatcher batching linger (0 = immediate)")
 	timeout := flag.Duration("timeout", 5*time.Second, "default per-query deadline")
 	drainTimeout := flag.Duration("draintimeout", 15*time.Second, "graceful drain bound at shutdown")
+	hybrid := flag.Bool("hybrid", false, "direction-optimizing traversal for engines and batched sweeps")
+	symmetric := flag.Bool("symmetric", false, "assert served graphs are symmetric (hybrid skips transposes)")
 	flag.Parse()
 
 	opts := bfs.Default(*sockets)
 	opts.Workers = *workers
+	opts.Hybrid = *hybrid
+	opts.Symmetric = *symmetric
 	svc := serve.New(serve.Config{
 		PoolSize:       *pool,
 		MaxQueue:       *queue,

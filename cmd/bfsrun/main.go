@@ -7,6 +7,8 @@
 //	bfsrun -graph rmat.csr -source 0 -sockets 2
 //	bfsrun -gen rmat -scale 18 -edgefactor 16 -trace
 //	bfsrun -gen rmat -sources 0,17,4242 -serial=false
+//	bfsrun -gen rmat -scale 20 -hybrid            # direction-optimizing
+//	bfsrun -graph road.csr -hybrid -alpha 100     # eager switch-down
 //
 // With -sources, one engine is reused across every source (the serving
 // pattern): per-source and aggregate MTEPS are reported, and
@@ -43,6 +45,10 @@ func main() {
 	workers := flag.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS)")
 	visFlag := flag.String("vis", "partitioned", "none | atomic | byte | bit | partitioned")
 	schemeFlag := flag.String("scheme", "lb", "single | aware | lb")
+	hybrid := flag.Bool("hybrid", false, "direction-optimizing traversal (bottom-up heavy levels)")
+	alpha := flag.Float64("alpha", 0, "hybrid switch-down threshold (0 = default)")
+	beta := flag.Float64("beta", 0, "hybrid switch-back threshold (0 = default)")
+	symmetric := flag.Bool("symmetric", false, "assert the graph is symmetric (hybrid skips the transpose)")
 	serial := flag.Bool("serial", false, "also run the serial reference")
 	doValidate := flag.Bool("validate", true, "validate the BFS tree")
 	doTrace := flag.Bool("trace", false, "print per-step metrics")
@@ -81,6 +87,9 @@ func main() {
 	o.Scheme = scheme
 	o.Workers = *workers
 	o.Instrument = *doTrace
+	o.Hybrid = *hybrid
+	o.Alpha, o.Beta = *alpha, *beta
+	o.Symmetric = *symmetric
 
 	ctx := context.Background()
 	if *timeout > 0 {
@@ -107,6 +116,9 @@ func main() {
 		src, stats.HumanCount(res.Visited), stats.HumanCount(res.EdgesTraversed), res.Steps)
 	fmt.Printf("elapsed %v  =>  %.1f MTEPS (duplicate work: %d appends)\n",
 		res.Elapsed, res.MTEPS(), res.Appends-res.Visited)
+	if len(res.Directions) > 0 {
+		fmt.Printf("directions: %s\n", bfs.DirectionString(res.Directions))
+	}
 
 	if *doTrace && res.Trace != nil {
 		t := stats.NewTable("step", "frontier", "edges", "new", "pbv", "shared", "maxShare", "t1", "t2", "tR")

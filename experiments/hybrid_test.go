@@ -1,0 +1,53 @@
+package experiments
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestHybridSmoke(t *testing.T) {
+	tab, err := Hybrid(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.NumRows() != 4 { // top-down + 3 hybrid variants
+		t.Fatalf("Hybrid rows = %d, want 4:\n%s", tab.NumRows(), tab.String())
+	}
+	// The never-switch corner must stay all top-down.
+	if !strings.Contains(tab.String(), "TTTT") {
+		t.Errorf("never-switch variant not pure top-down:\n%s", tab.String())
+	}
+}
+
+func TestHybridReportSmoke(t *testing.T) {
+	rep, err := HybridReport(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Speedup <= 0 || rep.TopDownMTEPS <= 0 || rep.HybridMTEPS <= 0 {
+		t.Fatalf("degenerate report: %+v", rep)
+	}
+	if len(rep.Levels) == 0 || len(rep.Directions) != len(rep.Levels) {
+		t.Fatalf("levels/directions mismatch: %d levels, dirs %q",
+			len(rep.Levels), rep.Directions)
+	}
+	if rep.SwitchLevel > 0 && rep.BytesPerEdgeModel <= 0 {
+		t.Errorf("switched run missing model bytes/edge: %+v", rep)
+	}
+	if rep.BytesPerEdgeMeasured <= 0 {
+		t.Errorf("missing measured bytes/edge")
+	}
+	// Must round-trip as JSON (what bfsbench -json writes).
+	blob, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back HybridBench
+	if err := json.Unmarshal(blob, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Directions != rep.Directions {
+		t.Errorf("JSON round-trip lost directions")
+	}
+}

@@ -31,6 +31,35 @@ func (g *Graph) Transpose() *Graph {
 	return &Graph{Offsets: offsets, Neighbors: neighbors}
 }
 
+// TransposeParallel is Transpose built with the parallel CSR machinery:
+// the reversed edge list is materialized in adjacency order (so the
+// stable parallel counting sort yields in-neighbors in ascending source
+// order) and handed to FromEdgesParallel. The output is byte-identical
+// to Transpose; workers <= 0 means par.DefaultWorkers(). This is the
+// hybrid-traversal warm-up path — the transpose of a directed graph is
+// built once per Engine and amortized across queries.
+func (g *Graph) TransposeParallel(workers int) *Graph {
+	if workers < 1 {
+		workers = par.DefaultWorkers()
+	}
+	n := g.NumVertices()
+	edges := make([]Edge, len(g.Neighbors))
+	mustPar(par.For(workers, n, func(lo, hi int) {
+		for v := lo; v < hi; v++ {
+			for k := g.Offsets[v]; k < g.Offsets[v+1]; k++ {
+				edges[k] = Edge{U: g.Neighbors[k], V: uint32(v)}
+			}
+		}
+	}))
+	t, err := FromEdgesParallel(n, edges, workers)
+	if err != nil {
+		// Unreachable for a well-formed graph (the only build errors are
+		// out-of-range endpoints); keep the serial path as the safety net.
+		return g.Transpose()
+	}
+	return t
+}
+
 // InducedSubgraph returns the subgraph induced by the given vertices,
 // relabeled to [0, len(vertices)) in the given order, plus the mapping
 // from new ids back to original ids. Duplicate vertices are rejected.

@@ -29,6 +29,53 @@ func TestTranspose(t *testing.T) {
 	}
 }
 
+func TestTransposeParallelMatchesSerial(t *testing.T) {
+	// Big enough to clear FromEdgesParallel's serial cutoff (4096 edges),
+	// with skewed degrees, duplicate edges, self-loops and isolated
+	// vertices. Byte-identical output is required, not just an equal
+	// edge multiset: the hybrid engine treats the two as interchangeable.
+	const n = 3000
+	var edges []Edge
+	for i := 0; i < n-1; i++ {
+		edges = append(edges, Edge{uint32(i), uint32(i + 1)})
+	}
+	for i := 0; i < n; i += 3 {
+		edges = append(edges, Edge{uint32(i), 0})             // hub in-degree
+		edges = append(edges, Edge{7, uint32(i)})             // hub out-degree
+		edges = append(edges, Edge{uint32(i), uint32(i)})     // self-loop
+		edges = append(edges, Edge{uint32(i), uint32(n - 1)}) // duplicates below
+		edges = append(edges, Edge{uint32(i), uint32(n - 1)})
+	}
+	g := mustFromEdges(t, n+50, edges) // 50 isolated vertices at the top
+	want := g.Transpose()
+	for _, workers := range []int{1, 2, 3, 7, 16} {
+		got := g.TransposeParallel(workers)
+		if len(got.Offsets) != len(want.Offsets) || len(got.Neighbors) != len(want.Neighbors) {
+			t.Fatalf("workers=%d: shape mismatch", workers)
+		}
+		for i := range want.Offsets {
+			if got.Offsets[i] != want.Offsets[i] {
+				t.Fatalf("workers=%d: Offsets[%d] = %d, want %d", workers, i, got.Offsets[i], want.Offsets[i])
+			}
+		}
+		for i := range want.Neighbors {
+			if got.Neighbors[i] != want.Neighbors[i] {
+				t.Fatalf("workers=%d: Neighbors[%d] = %d, want %d", workers, i, got.Neighbors[i], want.Neighbors[i])
+			}
+		}
+	}
+	// Default worker count (workers <= 0) must take the same path.
+	got := g.TransposeParallel(0)
+	if err := got.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for i := range want.Neighbors {
+		if got.Neighbors[i] != want.Neighbors[i] {
+			t.Fatalf("default workers: Neighbors[%d] mismatch", i)
+		}
+	}
+}
+
 func TestInducedSubgraph(t *testing.T) {
 	g := mustFromEdges(t, 5, []Edge{{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 0}, {1, 4}})
 	sub, back, err := g.InducedSubgraph([]uint32{1, 2, 4})

@@ -75,6 +75,43 @@ func (b *Bitmap) Reset() { clearWords(b.words) }
 // SizeBytes implements VIS.
 func (b *Bitmap) SizeBytes() int64 { return int64(len(b.words)) * 4 }
 
+// Words exposes the raw word array for bulk operations that manage
+// their own synchronization: the bottom-up kernel reads frontier words
+// directly in its inner loop and writes next-frontier words it owns
+// exclusively (worker vertex ranges are word-aligned).
+func (b *Bitmap) Words() []uint32 { return b.words }
+
+// Or sets v's bit with a CAS loop, safe against concurrent Or calls on
+// the same word. It is the frontier→bitmap conversion primitive: the
+// per-worker next-frontier arrays hold arbitrary vertex ids, so two
+// workers can land in one word. (TrySet's plain store is NOT safe here —
+// a dropped frontier bit would lose a vertex, not just duplicate work.)
+func (b *Bitmap) Or(v uint32) {
+	w := &b.words[v>>5]
+	bit := uint32(1) << (v & 31)
+	for {
+		old := atomic.LoadUint32(w)
+		if old&bit != 0 {
+			return
+		}
+		if atomic.CompareAndSwapUint32(w, old, old|bit) {
+			return
+		}
+	}
+}
+
+// ClearWords zeroes the word range [lo, hi) — the per-worker share of a
+// bulk clear (each worker clears only words it owns).
+func (b *Bitmap) ClearWords(lo, hi int) {
+	w := b.words[lo:hi]
+	for i := range w {
+		w[i] = 0
+	}
+}
+
+// NumWords returns the length of the word array (32 vertices per word).
+func (b *Bitmap) NumWords() int { return len(b.words) }
+
 // AtomicBitmap is the CAS-based bit-per-vertex VIS used as the
 // atomic-operations baseline (Figure 4's "A. Vis" series). TrySet is
 // exact: it returns true for exactly one caller per vertex.

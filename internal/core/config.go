@@ -53,6 +53,41 @@ func (k VISKind) String() string {
 	return "?"
 }
 
+// Direction labels how one BFS level expanded the frontier: top-down
+// (the paper's Phase-I/II machinery) or bottom-up (each unvisited vertex
+// scans its in-neighbors for a frontier parent, Beamer-style).
+type Direction uint8
+
+// Level directions.
+const (
+	DirTopDown Direction = iota
+	DirBottomUp
+)
+
+// String renders the direction as one letter ("T"/"B") — the compact
+// per-level trace format.
+func (d Direction) String() string {
+	if d == DirBottomUp {
+		return "B"
+	}
+	return "T"
+}
+
+// DirectionString renders a per-level direction slice, e.g. "TTBBBT".
+func DirectionString(dirs []Direction) string {
+	b := make([]byte, len(dirs))
+	for i, d := range dirs {
+		b[i] = d.String()[0]
+	}
+	return string(b)
+}
+
+// Direction-switch defaults (Beamer et al.'s α/β, as adopted by GAP).
+const (
+	DefaultAlpha = 15.0
+	DefaultBeta  = 18.0
+)
+
 // Scheme selects the multi-socket work-distribution strategy
 // (Figure 5 of the paper).
 type Scheme int
@@ -120,6 +155,25 @@ type Config struct {
 	Instrument bool
 	// MaxSteps bounds the step loop as a safety net; 0 means |V|+1.
 	MaxSteps int
+
+	// Hybrid enables direction-optimizing traversal: levels whose
+	// frontier out-edge sum m_f exceeds m_u/Alpha (m_u = edges not yet
+	// explored top-down) run bottom-up, returning top-down once the
+	// frontier shrinks below |V|/Beta (Beamer's heuristic).
+	Hybrid bool
+	// Alpha is the top-down→bottom-up switch threshold divisor; larger
+	// switches earlier (+Inf forces bottom-up from level 2, a value
+	// near 0 never switches). <= 0 means DefaultAlpha.
+	Alpha float64
+	// Beta is the bottom-up→top-down return divisor; the engine stays
+	// bottom-up while the frontier holds more than |V|/Beta vertices or
+	// keeps growing. <= 0 means DefaultBeta.
+	Beta float64
+	// InAdj supplies the in-adjacency graph for bottom-up scans of a
+	// directed graph; it is invoked at most once, on the first switch to
+	// bottom-up. nil asserts the graph is symmetric (the graph itself
+	// serves as its own in-adjacency).
+	InAdj func() *graph.Graph
 }
 
 // DefaultConfig returns the paper's best configuration for the given
@@ -157,6 +211,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.TLBEntries == 0 {
 		c.TLBEntries = 64
+	}
+	if c.Alpha <= 0 {
+		c.Alpha = DefaultAlpha
+	}
+	if c.Beta <= 0 {
+		c.Beta = DefaultBeta
 	}
 	return c
 }

@@ -44,6 +44,7 @@ type workerState struct {
 	// Step-local metrics.
 	edges   int64
 	appends int64
+	nextDeg int64 // out-degree sum of vertices this worker claimed (hybrid m_f)
 	traffic *numa.Traffic
 
 	sink uint64 // prefetch sink; defeats dead-code elimination
@@ -70,6 +71,14 @@ type Engine struct {
 	ws       []*workerState
 	bar      *par.Barrier
 
+	// Hybrid (direction-optimizing) state, allocated when cfg.Hybrid.
+	// in is the in-adjacency used by bottom-up scans; it is resolved
+	// lazily on the first switch and cached for the Engine's lifetime,
+	// so repeated Runs (the serve pool pattern) pay the transpose once.
+	in       *graph.Graph
+	frontBit *bitmap.Bitmap // dense frontier bitmap (bottom-up levels)
+	nextBit  *bitmap.Bitmap // dense next-frontier bitmap (bottom-up levels)
+
 	// ctx is the context of the Run in progress. Worker 0 polls it
 	// between phase barriers so cancellation aborts within one step.
 	ctx context.Context
@@ -86,6 +95,13 @@ type Engine struct {
 	runTrace    *trace.RunTrace
 	stepTraffic *numa.Traffic
 	stepMark    time.Time
+
+	// Hybrid step state (also worker-0-written between barriers).
+	dir       Direction   // direction of the step in progress
+	dirs      []Direction // per-level directions of the run
+	buConvert bool        // pending array→bitmap frontier conversion
+	muEdges   int64       // m_u: edges not yet examined top-down
+	awake     int64       // current frontier size (n_f)
 }
 
 // New builds an Engine for g with cfg (defaults applied).
@@ -116,6 +132,10 @@ func New(g *graph.Graph, cfg Config) (*Engine, error) {
 		e.visByte = bitmap.NewByteMap(n)
 	case VISBit, VISPartitioned:
 		e.visBit = bitmap.NewBitmap(n)
+	}
+	if cfg.Hybrid {
+		e.frontBit = bitmap.NewBitmap(n)
+		e.nextBit = bitmap.NewBitmap(n)
 	}
 	avgDeg := 0.0
 	if n > 0 {
@@ -172,6 +192,10 @@ type Result struct {
 	Elapsed time.Duration
 	// Trace is non-nil when the engine was configured with Instrument.
 	Trace *trace.RunTrace
+	// Directions records how each level expanded (hybrid runs only;
+	// nil otherwise). Like DP it aliases engine storage valid until the
+	// next Run.
+	Directions []Direction
 }
 
 // Depth returns the BFS depth of v, or -1 if unreached.
@@ -242,6 +266,8 @@ func (e *Engine) RunContext(ctx context.Context, source uint32) (*Result, error)
 	e.cur.Reset()
 	e.nxt.Reset()
 	e.stop, e.err, e.steps, e.totEdges, e.totApps = false, nil, 0, 0, 0
+	e.dir, e.dirs, e.buConvert = DirTopDown, e.dirs[:0], false
+	e.muEdges, e.awake = e.g.NumEdges(), 1
 	e.runTrace = nil
 	if e.cfg.Instrument {
 		e.runTrace = &trace.RunTrace{Traffic: numa.NewTraffic(e.cfg.Sockets)}
@@ -306,7 +332,7 @@ func (e *Engine) RunContext(ctx context.Context, source uint32) (*Result, error)
 	if e.runTrace != nil {
 		e.runTrace.Finish()
 	}
-	return &Result{
+	res := &Result{
 		Source:         source,
 		DP:             e.dp,
 		Steps:          e.steps,
@@ -315,7 +341,11 @@ func (e *Engine) RunContext(ctx context.Context, source uint32) (*Result, error)
 		Appends:        e.totApps,
 		Elapsed:        elapsed,
 		Trace:          e.runTrace,
-	}, nil
+	}
+	if e.cfg.Hybrid {
+		res.Directions = e.dirs
+	}
+	return res, nil
 }
 
 // worker is the per-goroutine step loop (paper Figure 3).
@@ -329,7 +359,9 @@ func (e *Engine) worker(w int) {
 
 	for step := uint32(1); ; step++ {
 		if w == 0 {
-			e.curLayout = frontier.BuildLayout(e.cur)
+			if e.dir == DirTopDown {
+				e.curLayout = frontier.BuildLayout(e.cur)
+			}
 			e.stepMark = time.Now()
 		}
 		// The context is NOT checked here: between the end-of-step barrier
@@ -340,6 +372,17 @@ func (e *Engine) worker(w int) {
 		// and finishStep), which the barriers order against every read.
 		if !e.bar.Wait() || e.stop {
 			return
+		}
+
+		// e.dir was written by worker 0 in the previous finishStep; the
+		// barrier above orders that write against this read, so the whole
+		// cohort takes the same branch (the two paths use different
+		// barrier counts — divergence would deadlock).
+		if e.dir == DirBottomUp {
+			if !e.bottomUpStep(st, step, maxSteps) {
+				return
+			}
+			continue
 		}
 
 		var m trace.StepMetrics
@@ -414,10 +457,11 @@ func (e *Engine) worker(w int) {
 // finishStep aggregates metrics, swaps frontiers and decides termination.
 // Runs on worker 0 between barriers.
 func (e *Engine) finishStep(step uint32, maxSteps int, m *trace.StepMetrics) {
+	bu := e.dir == DirBottomUp
 	for _, st := range e.ws {
 		m.Edges += st.edges
 		m.NewVertices += st.appends
-		if e.cfg.Scheme != SchemeSinglePhase {
+		if !bu && e.cfg.Scheme != SchemeSinglePhase {
 			m.PBVEntries += st.bins.Entries()
 		}
 		st.edges, st.appends = 0, 0
@@ -427,7 +471,7 @@ func (e *Engine) finishStep(step uint32, maxSteps int, m *trace.StepMetrics) {
 	e.steps = int(step)
 
 	if e.runTrace != nil {
-		if e.p2Layout != nil && e.cfg.Scheme != SchemeSinglePhase {
+		if !bu && e.p2Layout != nil && e.cfg.Scheme != SchemeSinglePhase {
 			if e.cfg.Scheme == SchemeLoadBalanced {
 				m.SharedBins = e.p2Layout.SharedBins(e.cfg.Sockets)
 			}
@@ -459,6 +503,10 @@ func (e *Engine) finishStep(step uint32, maxSteps int, m *trace.StepMetrics) {
 	total := e.nxt.Total()
 	e.cur, e.nxt = e.nxt, e.cur
 	e.nxt.Reset()
+	if e.cfg.Hybrid {
+		e.directionStep(m, total)
+		e.awake = total
+	}
 	if total == 0 {
 		e.stop = true
 	} else if int(step) >= maxSteps {

@@ -257,6 +257,9 @@ func (e *Engine) visit(st *workerState, v, parent, depth uint32, next []uint32) 
 		}
 		atomic.StoreUint64(&e.dp[v], PackDP(parent, depth))
 		st.appends++
+		if e.cfg.Hybrid {
+			st.nextDeg += int64(e.g.Offsets[v+1] - e.g.Offsets[v])
+		}
 		if e.cfg.Instrument {
 			e.chargeVisit(st, v)
 		}
@@ -278,6 +281,11 @@ func (e *Engine) visit(st *workerState, v, parent, depth uint32, next []uint32) 
 	}
 	atomic.StoreUint64(&e.dp[v], PackDP(parent, depth))
 	st.appends++
+	if e.cfg.Hybrid {
+		// m_f for the direction heuristic. The benign duplicate-claim race
+		// can double-count a vertex's degree; the heuristic tolerates it.
+		st.nextDeg += int64(e.g.Offsets[v+1] - e.g.Offsets[v])
+	}
 	if e.cfg.Instrument {
 		e.chargeVisit(st, v)
 	}

@@ -63,8 +63,13 @@ type Result struct {
 	// run would have traversed (popcount-weighted scans). It is the
 	// aggregate-TEPS numerator comparable against the sum of individual
 	// runs; LaneEdges/EdgesScanned is the sharing factor the batch won.
+	// Hybrid sweeps weight bottom-up entries by the lanes still seeking
+	// a parent when the entry was examined.
 	LaneEdges int64
 	Elapsed   time.Duration
+	// Directions records the per-level expansion choice of a hybrid
+	// sweep (RunHybrid*); nil for plain sweeps.
+	Directions []core.Direction
 }
 
 // Depth returns lane k's BFS depth of v, or -1 if unreached.

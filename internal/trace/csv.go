@@ -11,7 +11,7 @@ import (
 func (rt *RunTrace) WriteCSV(w io.Writer) error {
 	cw := csv.NewWriter(w)
 	header := []string{
-		"step", "frontier", "edges", "new_vertices", "pbv_entries",
+		"step", "direction", "frontier", "edges", "new_vertices", "pbv_entries",
 		"shared_bins", "phase1_ns", "phase2_ns", "rearrange_ns",
 		"alpha_adj", "alpha_pbv", "alpha_dp", "max_socket_share",
 	}
@@ -19,8 +19,13 @@ func (rt *RunTrace) WriteCSV(w io.Writer) error {
 		return err
 	}
 	for _, s := range rt.Steps {
+		dir := "T"
+		if s.BottomUp {
+			dir = "B"
+		}
 		rec := []string{
 			fmt.Sprint(s.Step),
+			dir,
 			fmt.Sprint(s.Frontier),
 			fmt.Sprint(s.Edges),
 			fmt.Sprint(s.NewVertices),

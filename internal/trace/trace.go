@@ -20,6 +20,7 @@ type StepMetrics struct {
 	PBVEntries  int64 // bin entries written in Phase-I (incl. markers)
 	SharedBins  int   // bins split across sockets by the division
 	DupAppends  int64 // duplicate next-frontier appends (benign races)
+	BottomUp    bool  // level expanded bottom-up (direction-optimizing)
 
 	Phase1, Phase2, Rearr time.Duration
 

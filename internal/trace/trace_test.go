@@ -89,10 +89,10 @@ func TestWriteCSV(t *testing.T) {
 	if len(lines) != 3 { // header + 2 steps
 		t.Fatalf("CSV lines = %d:\n%s", len(lines), buf.String())
 	}
-	if !strings.HasPrefix(lines[0], "step,frontier,edges") {
+	if !strings.HasPrefix(lines[0], "step,direction,frontier,edges") {
 		t.Errorf("header wrong: %q", lines[0])
 	}
-	if !strings.HasPrefix(lines[1], "1,1,8,7,10,") {
+	if !strings.HasPrefix(lines[1], "1,T,1,8,7,10,") {
 		t.Errorf("first row wrong: %q", lines[1])
 	}
 }

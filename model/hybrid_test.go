@@ -1,0 +1,133 @@
+package model
+
+import (
+	"testing"
+
+	"fastbfs/graph"
+	"fastbfs/graph/gen"
+	"fastbfs/internal/core"
+)
+
+// TestPredictDirectionsReplaysEngine feeds the per-level profile of an
+// instrumented pure top-down run into PredictDirections and demands the
+// exact direction sequence the hybrid engine then chooses. Workers=1
+// keeps the engine's scout sums free of benign-race double counting, so
+// prediction and execution must agree level for level.
+func TestPredictDirectionsReplaysEngine(t *testing.T) {
+	for seed := uint64(1); seed <= 3; seed++ {
+		g, err := gen.RMAT(gen.Graph500Params(12, 8), seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := core.DefaultConfig(1)
+		cfg.Workers = 1
+		cfg.Instrument = true
+		td, err := core.New(g, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref, err := td.Run(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		frontier := make([]int64, len(ref.Trace.Steps))
+		edges := make([]int64, len(ref.Trace.Steps))
+		for i, s := range ref.Trace.Steps {
+			frontier[i] = s.Frontier
+			edges[i] = s.Edges
+		}
+		want := PredictDirections(int64(g.NumVertices()), g.NumEdges(), frontier, edges, 0, 0)
+
+		hcfg := cfg
+		hcfg.Instrument = false
+		hcfg.Hybrid = true
+		hcfg.InAdj = func() *graph.Graph { return g.Transpose() }
+		he, err := core.New(g, hcfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := he.Run(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Directions) != len(want) {
+			t.Fatalf("seed %d: predicted %d levels, engine ran %d (%s)",
+				seed, len(want), len(res.Directions), core.DirectionString(res.Directions))
+		}
+		for l, bu := range want {
+			if got := res.Directions[l] == core.DirBottomUp; got != bu {
+				t.Fatalf("seed %d: level %d predicted bottomUp=%v, engine %s",
+					seed, l+1, bu, core.DirectionString(res.Directions))
+			}
+		}
+		if PredictedSwitchLevel(want) == 0 {
+			t.Errorf("seed %d: no switch predicted on a scale-12 RMAT", seed)
+		}
+	}
+}
+
+// TestPredictHybridSane checks the blended prediction's basic shape: a
+// bottom-up phase that examines far fewer edges per vertex must beat
+// the pure top-down prediction, and the blend must sit between its two
+// components.
+func TestPredictHybridSane(t *testing.T) {
+	p := NehalemX5570()
+	w := Workload{
+		Vertices: 1 << 20, Visited: 1 << 19, Edges: 4 << 20, Depth: 3,
+		NPBV: 8, NVIS: 4,
+	}
+	b := BUWorkload{
+		Vertices: 1 << 20, Scanned: 1 << 19, Edges: 3 << 20, Claimed: 400_000,
+		Levels: 3,
+	}
+	hp, err := PredictHybrid(p, w, b, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hp.BUCyclesEdge <= 0 || hp.CyclesPerEdge <= 0 || hp.MTEPS <= 0 {
+		t.Fatalf("degenerate prediction: %+v", hp)
+	}
+	lo, hi := hp.BUCyclesEdge, hp.TopDown.CyclesPerEdge
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	if hp.CyclesPerEdge < lo || hp.CyclesPerEdge > hi {
+		t.Fatalf("blend %.2f outside [%.2f, %.2f]", hp.CyclesPerEdge, lo, hi)
+	}
+	if hp.BytesPerEdge <= 0 {
+		t.Fatalf("bytes/edge %.2f", hp.BytesPerEdge)
+	}
+	// Early exit means fewer bytes per bottom-up edge than a top-down
+	// edge pays across its three phases on this workload.
+	tdBytes := hp.TopDown.Transfers.Phase1DDR() + hp.TopDown.Transfers.Phase2DDR() +
+		hp.TopDown.Transfers.Rearrange
+	if hp.BU.DDR() >= tdBytes {
+		t.Fatalf("bottom-up %.1f B/edge not below top-down %.1f", hp.BU.DDR(), tdBytes)
+	}
+	// Validation errors surface.
+	if _, err := PredictHybrid(p, w, BUWorkload{}, 1); err == nil {
+		t.Fatal("empty bottom-up workload accepted")
+	}
+}
+
+// TestPredictDirectionsCorners pins the α corners the engine tests pin:
+// a huge α switches at level 2, a tiny α never switches.
+func TestPredictDirectionsCorners(t *testing.T) {
+	frontier := []int64{1, 100, 5000, 2000, 10}
+	edges := []int64{100, 5000, 40000, 4000, 20}
+	never := PredictDirections(1_000_000, 50_000, frontier, edges, 1e-12, 0)
+	for l, bu := range never {
+		if bu {
+			t.Fatalf("α→0 predicted bottom-up at level %d", l+1)
+		}
+	}
+	forced := PredictDirections(1_000_000, 50_000, frontier, edges, 1e18, 1e18)
+	if forced[0] {
+		t.Fatal("level 1 cannot be bottom-up")
+	}
+	for l := 1; l < len(forced)-1; l++ {
+		if !forced[l] {
+			t.Fatalf("α huge: level %d not bottom-up", l+1)
+		}
+	}
+}

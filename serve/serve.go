@@ -83,7 +83,9 @@ type Config struct {
 	// Workers is the parallelism of batched sweeps (default GOMAXPROCS).
 	Workers int
 	// Options configures the per-source engines; nil means
-	// bfs.Default(1).
+	// bfs.Default(1). Options.Hybrid also switches batched sweeps to
+	// the direction-optimizing msbfs kernel, reusing the same cached
+	// per-graph transpose as the engines.
 	Options *bfs.Options
 }
 
@@ -392,13 +394,27 @@ func (s *Service) dispatch(gs *graphState) {
 	}
 }
 
-// runBatched serves one round as a single bit-parallel sweep.
+// runBatched serves one round as a single bit-parallel sweep. When the
+// service's engine options request hybrid traversal, the sweep is
+// direction-optimizing too: it shares the per-graph cached transpose
+// with the pooled engines (bfs.InAdjacency), so daemon-side batched
+// queries get the same bottom-up win as single-source ones.
 func (s *Service) runBatched(gs *graphState, ctx context.Context, round []*flight) {
 	sources := make([]uint32, len(round))
 	for i, f := range round {
 		sources[i] = f.source
 	}
-	res, err := msbfs.RunContext(ctx, gs.g, sources, s.cfg.Workers)
+	var res *msbfs.Result
+	var err error
+	if s.opts.Hybrid {
+		var in *graph.Graph
+		if !s.opts.Symmetric {
+			in = bfs.InAdjacency(gs.g)
+		}
+		res, err = msbfs.RunHybridContext(ctx, gs.g, in, sources, s.cfg.Workers)
+	} else {
+		res, err = msbfs.RunContext(ctx, gs.g, sources, s.cfg.Workers)
+	}
 	if err != nil {
 		for _, f := range round {
 			s.resolve(gs, f, nil, err)
