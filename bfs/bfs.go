@@ -159,6 +159,15 @@ type Options struct {
 	// use the graph as its own in-adjacency instead of a transpose.
 	// Asserting it on a directed graph silently corrupts parents.
 	Symmetric bool
+
+	// StepHook, when non-nil, is called once per completed traversal
+	// step from the engine's coordinating worker. It exists for the
+	// chaos/fault-injection harness (see internal/faultinject and the
+	// serve package): a hook may sleep to simulate a slow traversal or
+	// panic to simulate a mid-run crash — the panic is recovered by the
+	// parallel runtime and surfaces as an error from Run, leaving the
+	// engine reusable. Leave nil in production.
+	StepHook func(step int)
 }
 
 // Default returns the paper's best configuration for the given simulated
@@ -193,6 +202,7 @@ func (o Options) config(g *graph.Graph) core.Config {
 		Hybrid:       o.Hybrid,
 		Alpha:        o.Alpha,
 		Beta:         o.Beta,
+		StepHook:     o.StepHook,
 	}
 	if o.Hybrid && !o.Symmetric {
 		cfg.InAdj = func() *graph.Graph { return InAdjacency(g) }

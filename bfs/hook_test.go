@@ -1,0 +1,88 @@
+package bfs_test
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+
+	"fastbfs/bfs"
+	"fastbfs/graph/gen"
+	"fastbfs/internal/par"
+)
+
+// TestStepHookPanicRecovered: a panicking StepHook (the chaos harness's
+// mid-run crash injection) surfaces as a *par.PanicError from Run
+// instead of crashing the process, and the engine remains reusable with
+// exact depths afterwards.
+func TestStepHookPanicRecovered(t *testing.T) {
+	g, err := gen.RMAT(gen.Graph500Params(10, 8), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var arm atomic.Bool
+	opts := bfs.Default(1)
+	opts.StepHook = func(step int) {
+		if arm.Load() && step == 2 {
+			panic("injected: crash at step 2")
+		}
+	}
+	e, err := bfs.NewEngine(g, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	want, err := bfs.RunSerial(g, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	arm.Store(true)
+	if _, err := e.Run(3); err == nil {
+		t.Fatal("panicking hook did not abort the run")
+	} else {
+		var pe *par.PanicError
+		if !errors.As(err, &pe) {
+			t.Fatalf("err = %v, want a *par.PanicError", err)
+		}
+	}
+
+	// The engine recovers: the next run is exact.
+	arm.Store(false)
+	res, err := e.Run(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < g.NumVertices(); v++ {
+		if res.Depth(uint32(v)) != want.Depth(uint32(v)) {
+			t.Fatalf("depth(%d) after recovered panic = %d, want %d", v, res.Depth(uint32(v)), want.Depth(uint32(v)))
+		}
+	}
+}
+
+// TestStepHookSeesEveryStep: the hook fires once per completed step and
+// never perturbs results.
+func TestStepHookSeesEveryStep(t *testing.T) {
+	g, err := gen.Grid2D(30, 30, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var calls atomic.Int64
+	opts := bfs.Default(1)
+	opts.StepHook = func(step int) { calls.Add(1) }
+	res, err := bfs.Run(g, 0, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int(calls.Load()) != res.Steps {
+		t.Fatalf("hook called %d times over %d steps", calls.Load(), res.Steps)
+	}
+	want, err := bfs.RunSerial(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < g.NumVertices(); v++ {
+		if res.Depth(uint32(v)) != want.Depth(uint32(v)) {
+			t.Fatalf("hooked run diverged at %d", v)
+		}
+	}
+}

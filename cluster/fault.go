@@ -197,7 +197,7 @@ func (c *checkpoint) save(depth []int32, parent []int64, frontiers [][]uint32) i
 	if c.frontiers == nil {
 		c.frontiers = make([][]uint32, len(frontiers))
 	}
-	bytes := int64(len(depth))*12 // 4 (depth) + 8 (parent) per owned vertex
+	bytes := int64(len(depth)) * 12 // 4 (depth) + 8 (parent) per owned vertex
 	for i, f := range frontiers {
 		c.frontiers[i] = append(c.frontiers[i][:0], f...)
 		bytes += int64(len(f)) * 4

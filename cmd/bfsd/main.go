@@ -13,8 +13,17 @@
 // Query it:
 //
 //	curl -s localhost:8080/healthz
+//	curl -s localhost:8080/readyz    # breakers/drain/loading state
 //	curl -s -X POST localhost:8080/query \
 //	  -d '{"graph":"default","source":0,"targets":[42],"path_to":42}'
+//	curl -s -X POST localhost:8080/graphs/load -d '{"name":"roads","path":"roads.csr"}'
+//	curl -s -X POST localhost:8080/graphs/unload -d '{"name":"roads"}'
+//
+// The daemon degrades rather than dies: per-graph circuit breakers
+// (-breaker-threshold) fail queries fast while a graph's engines are
+// crashing, a watchdog (-watchdog-mult) hard-cancels wedged traversals,
+// overload sheds the stalest queued work first, and -max-resident-bytes
+// bounds graph memory with LRU eviction of idle graphs.
 //
 // SIGINT/SIGTERM starts a graceful drain: /healthz flips to 503 so load
 // balancers stop routing here, new queries are rejected, admitted ones
@@ -69,6 +78,11 @@ func main() {
 	drainTimeout := flag.Duration("draintimeout", 15*time.Second, "graceful drain bound at shutdown")
 	hybrid := flag.Bool("hybrid", false, "direction-optimizing traversal for engines and batched sweeps")
 	symmetric := flag.Bool("symmetric", false, "assert served graphs are symmetric (hybrid skips transposes)")
+	maxResident := flag.Int64("max-resident-bytes", 0, "resident graph-memory budget; idle graphs are evicted LRU-first (0 = unlimited)")
+	breakerThreshold := flag.Int("breaker-threshold", 5, "consecutive engine-side failures that open a graph's circuit breaker (negative disables)")
+	breakerCooldown := flag.Duration("breaker-cooldown", time.Second, "open-breaker cooldown before a half-open probe is admitted")
+	watchdogMult := flag.Int("watchdog-mult", 4, "hard-cancel a traversal after this multiple of its deadline budget (negative disables)")
+	shedTarget := flag.Duration("shed-target", 500*time.Millisecond, "queue sojourn past which the oldest queued query is shed under overload (negative disables)")
 	flag.Parse()
 
 	opts := bfs.Default(*sockets)
@@ -84,6 +98,12 @@ func main() {
 		DefaultTimeout: *timeout,
 		Workers:        *workers,
 		Options:        &opts,
+
+		MaxResidentBytes: *maxResident,
+		BreakerThreshold: *breakerThreshold,
+		BreakerCooldown:  *breakerCooldown,
+		WatchdogMult:     *watchdogMult,
+		ShedTarget:       *shedTarget,
 	})
 
 	if err := loadGraphs(svc, graphs, *genKind, *name, *n, *degree, *scale, *edgeFactor, *seed); err != nil {

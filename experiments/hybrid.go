@@ -141,10 +141,10 @@ type HybridLevel struct {
 // HybridBench is the machine-readable hybrid benchmark emitted by
 // `bfsbench -json` as BENCH_<scale>.json.
 type HybridBench struct {
-	Scale      int   `json:"scale"` // log2 |V|
-	Vertices   int   `json:"vertices"`
-	Edges      int64 `json:"edges"`
-	EdgeFactor int   `json:"edge_factor"`
+	Scale      int    `json:"scale"` // log2 |V|
+	Vertices   int    `json:"vertices"`
+	Edges      int64  `json:"edges"`
+	EdgeFactor int    `json:"edge_factor"`
 	Seed       uint64 `json:"seed"`
 	Roots      int    `json:"roots"`
 

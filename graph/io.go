@@ -3,28 +3,52 @@ package graph
 import (
 	"bufio"
 	"encoding/binary"
+	"errors"
 	"fmt"
+	"hash"
+	"hash/crc32"
 	"io"
 	"os"
 )
 
 // Binary format: a small header followed by the raw CSR arrays in
-// little-endian order. The format is versioned so cmd/graphgen outputs
-// stay loadable.
+// little-endian order, then an integrity footer. The format is
+// versioned so cmd/graphgen outputs stay loadable.
 //
 //	magic   [8]byte  "FBFSCSR1"
 //	V       uint64
 //	E       uint64
 //	offsets V+1 × int64
 //	adj     E   × uint32
+//	crc     uint32   CRC32 (IEEE) of every byte above
+//	fmagic  [8]byte  "FBFSCRC1"
+//
+// The footer is what lets a serving daemon reject a bit-rotted or
+// half-copied graph file at load time instead of traversing garbage.
+// Files written before the footer existed end right after the arrays;
+// ReadFrom still accepts them (nothing to verify). The one blind spot
+// of that back-compat rule: a corruption that removes EXACTLY the
+// 12-byte footer makes a modern file look legacy and skips
+// verification.
 const csrMagic = "FBFSCSR1"
 
-// WriteTo serializes the graph to w in the binary CSR format and returns
-// the number of bytes written.
+// crcMagic marks the integrity footer; see the format comment.
+const crcMagic = "FBFSCRC1"
+
+// footerLen is the integrity footer size: CRC32 + footer magic.
+const footerLen = 4 + len(crcMagic)
+
+// ErrChecksum is the sentinel wrapped by CRC-mismatch load failures.
+var ErrChecksum = errors.New("graph: checksum mismatch")
+
+// WriteTo serializes the graph to w in the binary CSR format (including
+// the CRC32 footer) and returns the number of bytes written.
 func (g *Graph) WriteTo(w io.Writer) (int64, error) {
 	bw := bufio.NewWriterSize(w, 1<<20)
+	crc := crc32.NewIEEE()
 	n := int64(0)
 	put := func(p []byte) error {
+		crc.Write(p) // never errors
 		k, err := bw.Write(p)
 		n += int64(k)
 		return err
@@ -50,6 +74,12 @@ func (g *Graph) WriteTo(w io.Writer) (int64, error) {
 		if err := put(buf[:4]); err != nil {
 			return n, err
 		}
+	}
+	var foot [footerLen]byte
+	binary.LittleEndian.PutUint32(foot[0:], crc.Sum32())
+	copy(foot[4:], crcMagic)
+	if err := put(foot[:]); err != nil {
+		return n, err
 	}
 	return n, bw.Flush()
 }
@@ -86,6 +116,7 @@ func ReadFrom(r io.Reader) (*Graph, error) {
 	}
 
 	br := bufio.NewReaderSize(r, 1<<20)
+	crc := crc32.NewIEEE()
 	magic := make([]byte, len(csrMagic))
 	if _, err := io.ReadFull(br, magic); err != nil {
 		return nil, fmt.Errorf("graph: reading magic: %w", err)
@@ -93,10 +124,12 @@ func ReadFrom(r io.Reader) (*Graph, error) {
 	if string(magic) != csrMagic {
 		return nil, fmt.Errorf("graph: bad magic %q", magic)
 	}
+	crc.Write(magic)
 	var hdr [16]byte
 	if _, err := io.ReadFull(br, hdr[:]); err != nil {
 		return nil, fmt.Errorf("graph: reading header: %w", err)
 	}
+	crc.Write(hdr[:])
 	v := binary.LittleEndian.Uint64(hdr[0:])
 	e := binary.LittleEndian.Uint64(hdr[8:])
 	if v > MaxVertices {
@@ -113,13 +146,16 @@ func ReadFrom(r io.Reader) (*Graph, error) {
 		}
 	}
 
-	offsets, err := readInt64s(br, v+1)
+	offsets, err := readInt64s(br, v+1, crc)
 	if err != nil {
 		return nil, fmt.Errorf("graph: reading offsets: %w", err)
 	}
-	neighbors, err := readUint32s(br, e)
+	neighbors, err := readUint32s(br, e, crc)
 	if err != nil {
 		return nil, fmt.Errorf("graph: reading neighbors: %w", err)
+	}
+	if err := verifyFooter(br, crc.Sum32()); err != nil {
+		return nil, err
 	}
 	g := &Graph{Offsets: offsets, Neighbors: neighbors}
 	if err := g.Validate(); err != nil {
@@ -128,13 +164,40 @@ func ReadFrom(r io.Reader) (*Graph, error) {
 	return g, nil
 }
 
+// verifyFooter checks the optional integrity footer after the arrays.
+// A clean EOF means a legacy footerless file (accepted unverified); a
+// well-formed footer must match the computed CRC; a partial footer or
+// unrecognized trailing data is corruption — current writers always
+// emit a footer and legacy writers emit nothing, so a stream that ends
+// with anything else was damaged in storage or transit.
+func verifyFooter(br *bufio.Reader, sum uint32) error {
+	var foot [footerLen]byte
+	n, err := io.ReadFull(br, foot[:])
+	switch {
+	case err == io.EOF:
+		return nil // legacy file: arrays end the stream
+	case err == io.ErrUnexpectedEOF:
+		return fmt.Errorf("graph: truncated checksum footer (%d trailing bytes)", n)
+	case err != nil:
+		return fmt.Errorf("graph: reading checksum footer: %w", err)
+	}
+	if string(foot[4:]) != crcMagic {
+		return fmt.Errorf("graph: unrecognized trailing data %q (corrupt checksum footer?)", foot[:])
+	}
+	if want := binary.LittleEndian.Uint32(foot[0:]); want != sum {
+		return fmt.Errorf("%w: footer declares %#08x, payload hashes to %#08x", ErrChecksum, want, sum)
+	}
+	return nil
+}
+
 // readChunk is the incremental-allocation granularity: slices grow by at
 // most this many bytes of decoded entries per read, so memory tracks
 // data actually received rather than the header's claim.
 const readChunk = 1 << 20
 
-// readInt64s decodes n little-endian int64s, allocating incrementally.
-func readInt64s(br *bufio.Reader, n uint64) ([]int64, error) {
+// readInt64s decodes n little-endian int64s, allocating incrementally
+// and folding the raw bytes into crc.
+func readInt64s(br *bufio.Reader, n uint64, crc hash.Hash32) ([]int64, error) {
 	out := make([]int64, 0, min64(n, readChunk/8))
 	buf := make([]byte, readChunk)
 	for uint64(len(out)) < n {
@@ -142,6 +205,7 @@ func readInt64s(br *bufio.Reader, n uint64) ([]int64, error) {
 		if _, err := io.ReadFull(br, buf[:want]); err != nil {
 			return nil, err
 		}
+		crc.Write(buf[:want])
 		for i := uint64(0); i < want; i += 8 {
 			out = append(out, int64(binary.LittleEndian.Uint64(buf[i:])))
 		}
@@ -149,8 +213,9 @@ func readInt64s(br *bufio.Reader, n uint64) ([]int64, error) {
 	return out, nil
 }
 
-// readUint32s decodes n little-endian uint32s, allocating incrementally.
-func readUint32s(br *bufio.Reader, n uint64) ([]uint32, error) {
+// readUint32s decodes n little-endian uint32s, allocating incrementally
+// and folding the raw bytes into crc.
+func readUint32s(br *bufio.Reader, n uint64, crc hash.Hash32) ([]uint32, error) {
 	out := make([]uint32, 0, min64(n, readChunk/4))
 	buf := make([]byte, readChunk)
 	for uint64(len(out)) < n {
@@ -158,6 +223,7 @@ func readUint32s(br *bufio.Reader, n uint64) ([]uint32, error) {
 		if _, err := io.ReadFull(br, buf[:want]); err != nil {
 			return nil, err
 		}
+		crc.Write(buf[:want])
 		for i := uint64(0); i < want; i += 4 {
 			out = append(out, binary.LittleEndian.Uint32(buf[i:]))
 		}

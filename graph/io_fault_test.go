@@ -3,6 +3,7 @@ package graph
 import (
 	"bytes"
 	"encoding/binary"
+	"errors"
 	"io"
 	"testing"
 )
@@ -19,11 +20,22 @@ func serialize(t *testing.T) []byte {
 }
 
 // TestReadFromTruncations: every strict prefix of a valid stream must be
-// rejected, never crash, and never yield a graph.
+// rejected, never crash, and never yield a graph — with one documented
+// exception: cutting EXACTLY the 12-byte CRC footer produces a stream
+// indistinguishable from a legacy footerless file, which back-compat
+// requires accepting (see the format comment in io.go).
 func TestReadFromTruncations(t *testing.T) {
 	full := serialize(t)
+	legacyCut := len(full) - footerLen
 	for cut := 0; cut < len(full); cut++ {
-		if g, err := ReadFrom(bytes.NewReader(full[:cut])); err == nil {
+		g, err := ReadFrom(bytes.NewReader(full[:cut]))
+		if cut == legacyCut {
+			if err != nil {
+				t.Fatalf("footerless (legacy-shaped) stream rejected: %v", err)
+			}
+			continue
+		}
+		if err == nil {
 			t.Fatalf("truncation at %d of %d accepted: %v", cut, len(full), g)
 		}
 	}
@@ -46,11 +58,13 @@ func TestReadFromHugeHeader(t *testing.T) {
 }
 
 // TestReadFromCorruptNeighbor: out-of-range neighbor ids must fail
-// validation on load.
+// validation on load. The footer is stripped so the stream is legacy-
+// shaped: this exercises structural validation itself, not the CRC
+// (which would otherwise catch the flip first — see TestReadFromChecksum).
 func TestReadFromCorruptNeighbor(t *testing.T) {
 	full := serialize(t)
-	bad := append([]byte(nil), full...)
-	// The last 4 bytes are the final neighbor id; point it out of range.
+	bad := append([]byte(nil), full[:len(full)-footerLen]...)
+	// The last 4 bytes are now the final neighbor id; point it out of range.
 	binary.LittleEndian.PutUint32(bad[len(bad)-4:], 999)
 	if _, err := ReadFrom(bytes.NewReader(bad)); err == nil {
 		t.Error("out-of-range neighbor accepted")
@@ -58,14 +72,51 @@ func TestReadFromCorruptNeighbor(t *testing.T) {
 }
 
 // TestReadFromInconsistentOffsets: a non-monotone offset array must be
-// rejected.
+// rejected (footerless stream, so structural validation does the work).
 func TestReadFromInconsistentOffsets(t *testing.T) {
 	full := serialize(t)
-	bad := append([]byte(nil), full...)
+	bad := append([]byte(nil), full[:len(full)-footerLen]...)
 	// Offsets start at byte 24 (8 magic + 16 header); corrupt the second.
 	binary.LittleEndian.PutUint64(bad[24+8:], 1<<30)
 	if _, err := ReadFrom(bytes.NewReader(bad)); err == nil {
 		t.Error("inconsistent offsets accepted")
+	}
+}
+
+// TestReadFromChecksum covers the CRC footer state machine: a payload
+// bit-flip is caught by the checksum with the typed sentinel, a corrupt
+// footer magic or partially-truncated footer is rejected as trailing
+// garbage, and the writer's own output always verifies.
+func TestReadFromChecksum(t *testing.T) {
+	full := serialize(t)
+
+	// Any single payload bit-flip must yield ErrChecksum (the header
+	// fields are skipped: flips there fail earlier, structural checks).
+	flip := append([]byte(nil), full...)
+	flip[headerLen+3] ^= 0x40 // inside the offsets array
+	if _, err := ReadFrom(bytes.NewReader(flip)); !errors.Is(err, ErrChecksum) {
+		t.Errorf("payload bit-flip: err = %v, want ErrChecksum", err)
+	}
+
+	// A bit-flip in the stored CRC itself also reports a mismatch.
+	flip = append([]byte(nil), full...)
+	flip[len(full)-footerLen] ^= 0x01
+	if _, err := ReadFrom(bytes.NewReader(flip)); !errors.Is(err, ErrChecksum) {
+		t.Errorf("CRC bit-flip: err = %v, want ErrChecksum", err)
+	}
+
+	// A corrupt footer magic cannot be verified OR safely ignored.
+	flip = append([]byte(nil), full...)
+	flip[len(full)-1] ^= 0x01
+	if _, err := ReadFrom(bytes.NewReader(flip)); err == nil {
+		t.Error("corrupt footer magic accepted")
+	}
+
+	// A footer truncated mid-way is trailing garbage, not legacy.
+	for cut := len(full) - footerLen + 1; cut < len(full); cut++ {
+		if _, err := ReadFrom(bytes.NewReader(full[:cut])); err == nil {
+			t.Errorf("partial footer (cut %d) accepted", cut)
+		}
 	}
 }
 
@@ -109,8 +160,16 @@ func TestReadFromNonSeekable(t *testing.T) {
 	if g.NumVertices() != 4 || g.NumEdges() != 4 {
 		t.Fatalf("parsed %d vertices %d edges, want 4/4", g.NumVertices(), g.NumEdges())
 	}
+	legacyCut := len(full) - footerLen
 	for cut := 0; cut < len(full); cut++ {
-		if _, err := ReadFrom(noSeek{bytes.NewReader(full[:cut])}); err == nil {
+		_, err := ReadFrom(noSeek{bytes.NewReader(full[:cut])})
+		if cut == legacyCut {
+			if err != nil {
+				t.Fatalf("non-seekable footerless stream rejected: %v", err)
+			}
+			continue
+		}
+		if err == nil {
 			t.Fatalf("non-seekable truncation at %d accepted", cut)
 		}
 	}
@@ -174,6 +233,20 @@ func FuzzReadFrom(f *testing.F) {
 	hugeE := append([]byte(nil), valid...)
 	binary.LittleEndian.PutUint64(hugeE[16:], 1<<50)
 	f.Add(hugeE)
+	// Footer corpora: legacy footerless, truncated footer, bit-flipped
+	// CRC, bit-flipped footer magic, bit-flipped payload under a valid
+	// footer.
+	f.Add(valid[:len(valid)-footerLen])
+	f.Add(valid[:len(valid)-footerLen/2])
+	badCRC := append([]byte(nil), valid...)
+	badCRC[len(badCRC)-footerLen] ^= 0x01
+	f.Add(badCRC)
+	badMagic := append([]byte(nil), valid...)
+	badMagic[len(badMagic)-1] ^= 0x80
+	f.Add(badMagic)
+	badPayload := append([]byte(nil), valid...)
+	badPayload[headerLen] ^= 0x20
+	f.Add(badPayload)
 	f.Fuzz(func(t *testing.T, data []byte) {
 		for _, r := range []io.Reader{bytes.NewReader(data), noSeek{bytes.NewReader(data)}} {
 			g, err := ReadFrom(r)

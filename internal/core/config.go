@@ -174,6 +174,15 @@ type Config struct {
 	// bottom-up. nil asserts the graph is symmetric (the graph itself
 	// serves as its own in-adjacency).
 	InAdj func() *graph.Graph
+	// StepHook, when non-nil, is invoked by the coordinating worker once
+	// per completed traversal step, inside the same exclusive window
+	// that checks the run context (so it is ordered against every other
+	// worker by the step barriers). It exists for the fault-injection
+	// harness: a hook may sleep (slow-traversal injection) or panic
+	// (mid-run crash injection; the panic poisons the step barrier and
+	// is recovered by the parallel runtime, surfacing as an error from
+	// Run). Leave nil in production.
+	StepHook func(step int)
 }
 
 // DefaultConfig returns the paper's best configuration for the given

@@ -500,6 +500,13 @@ func (e *Engine) finishStep(step uint32, maxSteps int, m *trace.StepMetrics) {
 		e.runTrace.Add(*m)
 	}
 
+	if e.cfg.StepHook != nil {
+		// Exclusive window: only worker 0 runs here, between barriers,
+		// so a panicking hook unwinds through the same poison-the-
+		// barrier path as any other worker-0 crash.
+		e.cfg.StepHook(int(step))
+	}
+
 	total := e.nxt.Total()
 	e.cur, e.nxt = e.nxt, e.cur
 	e.nxt.Reset()

@@ -1,0 +1,111 @@
+// Chaos plumbing: the serve package's fault-injection points. All of
+// them are inert when Config.Injector is nil (one predictable branch
+// per site); with an injector — normally a deterministic seed-hashed
+// faultinject.Plan — the query path can be disturbed at every layer:
+//
+//	engine.step  — delay or panic inside a running engine (StepHook)
+//	pool.acquire — spurious ErrEngineBusy-style acquire failures
+//	sweep.run    — delay, error or panic of a whole batched round
+//	graph.load   — mid-stream I/O errors while loading a graph file
+//
+// Client-side sites (client.drop, client.stall) are decided by chaos
+// clients themselves; the service only ever sees their consequences
+// (contexts cancelled mid-wait, responses read slowly).
+package serve
+
+import (
+	"io"
+	"time"
+
+	"fastbfs/internal/faultinject"
+)
+
+// chaosStepHook is installed as the engines' StepHook when an injector
+// is configured: per completed engine step it may sleep (slow
+// traversal) or panic (mid-run crash, recovered by the engine's
+// parallel runtime and quarantined by the pool).
+func (s *Service) chaosStepHook(step int) {
+	key := s.seq.Next(faultinject.SiteEngineStep)
+	d := faultinject.Decide(s.inj, faultinject.SiteEngineStep, key)
+	if d.Delay > 0 {
+		time.Sleep(d.Delay)
+	}
+	if d.Panic {
+		panic(faultinject.PanicValue{Site: faultinject.SiteEngineStep, Key: key})
+	}
+	// Decision errors are meaningless mid-step; only Delay/Panic apply.
+}
+
+// chaosAcquire decides the fate of one pool acquire: an injected error
+// simulates a spurious ErrEngineBusy / failed engine build.
+func (s *Service) chaosAcquire() error {
+	if s.inj == nil {
+		return nil
+	}
+	key := s.seq.Next(faultinject.SiteAcquire)
+	d := faultinject.Decide(s.inj, faultinject.SiteAcquire, key)
+	if d.Delay > 0 {
+		time.Sleep(d.Delay)
+	}
+	return d.Err
+}
+
+// chaosSweep decides the fate of one batched round: it may delay the
+// sweep, fail it with an error, or panic (recovered by the round's
+// guard, failing every flight in the round).
+func (s *Service) chaosSweep() error {
+	if s.inj == nil {
+		return nil
+	}
+	key := s.seq.Next(faultinject.SiteSweep)
+	d := faultinject.Decide(s.inj, faultinject.SiteSweep, key)
+	if d.Delay > 0 {
+		time.Sleep(d.Delay)
+	}
+	if d.Panic {
+		panic(faultinject.PanicValue{Site: faultinject.SiteSweep, Key: key})
+	}
+	return d.Err
+}
+
+// chaosLoadReader wraps a graph-file reader according to the
+// graph.load site: a firing fault makes the reader fail mid-stream
+// after a hash-chosen prefix, exercising ReadFrom's error paths the
+// way a dying disk would.
+func (s *Service) chaosLoadReader(r io.Reader) io.Reader {
+	if s.inj == nil {
+		return r
+	}
+	key := s.seq.Next(faultinject.SiteGraphLoad)
+	d := faultinject.Decide(s.inj, faultinject.SiteGraphLoad, key)
+	if d.Delay > 0 {
+		time.Sleep(d.Delay)
+	}
+	if d.Err == nil {
+		return r
+	}
+	// Fail after a deterministic prefix in [0, 64 KiB): sometimes inside
+	// the header, sometimes mid-array.
+	prefix := int64((key*8191 + 17) % (64 << 10))
+	return &failingReader{r: r, remaining: prefix, err: d.Err}
+}
+
+// failingReader passes through remaining bytes, then fails every read
+// with err — a deterministic stand-in for a mid-stream I/O error.
+type failingReader struct {
+	r         io.Reader
+	remaining int64
+	err       error
+}
+
+func (f *failingReader) Read(p []byte) (int, error) {
+	if f.remaining <= 0 {
+		return 0, f.err
+	}
+	if int64(len(p)) > f.remaining {
+		p = p[:f.remaining]
+	}
+	n, err := f.r.Read(p)
+	f.remaining -= int64(n)
+	return n, err
+}

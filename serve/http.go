@@ -5,22 +5,32 @@ import (
 	"encoding/json"
 	"errors"
 	"net/http"
+	"strconv"
 	"time"
+
+	"fastbfs/bfs"
 )
 
-// maxRequestBody bounds a /query body; requests are tiny (a source plus
-// a target list), so 1 MiB is generous.
+// maxRequestBody bounds a request body; requests are tiny (a source
+// plus a target list, or a graph name and path), so 1 MiB is generous.
 const maxRequestBody = 1 << 20
 
 // NewHandler exposes a Service over HTTP/JSON:
 //
-//	POST /query    — Request in, Response out
-//	GET  /healthz  — 200 when serving, 503 while draining
-//	GET  /graphs   — resident graphs with vertex/edge counts
-//	GET  /stats    — StatsSnapshot
+//	POST /query          — Request in, Response out
+//	GET  /healthz        — liveness: 200 when serving, 503 while draining
+//	GET  /readyz         — readiness: 200 only when not draining, no load
+//	                       in progress, and every circuit breaker closed;
+//	                       503 with the full ReadyState otherwise
+//	GET  /graphs         — resident graphs with sizes and breaker states
+//	POST /graphs/load    — {"name","path"}: load or atomically replace
+//	POST /graphs/unload  — {"name"}: remove a graph from serving
+//	GET  /stats          — StatsSnapshot
 //
-// Error mapping: bad request 400, unknown graph 404, overload 429,
-// draining 503, deadline exceeded 504.
+// Error mapping: bad request 400, unknown graph 404, overload/shed 429
+// (+ Retry-After), load failure 422, resident budget 507, breaker open
+// 503 (+ Retry-After), draining 503, watchdog/deadline 504, engine
+// fault 500.
 func NewHandler(s *Service) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /query", func(w http.ResponseWriter, r *http.Request) {
@@ -39,8 +49,8 @@ func NewHandler(s *Service) http.Handler {
 		defer cancel()
 		resp, err := s.Query(ctx, req)
 		if err != nil {
-			status := statusFor(err)
-			writeError(w, status, err.Error())
+			setRetryAfter(w, err)
+			writeError(w, statusFor(err), err.Error())
 			return
 		}
 		writeJSON(w, http.StatusOK, resp)
@@ -52,8 +62,54 @@ func NewHandler(s *Service) http.Handler {
 		}
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
+		rs := s.Ready()
+		status := http.StatusOK
+		if !rs.Ready {
+			status = http.StatusServiceUnavailable
+		}
+		writeJSON(w, status, rs)
+	})
 	mux.HandleFunc("GET /graphs", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, s.Graphs())
+	})
+	mux.HandleFunc("POST /graphs/load", func(w http.ResponseWriter, r *http.Request) {
+		var req struct {
+			Name string `json:"name"`
+			Path string `json:"path"`
+		}
+		dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBody))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&req); err != nil {
+			writeError(w, http.StatusBadRequest, "bad request body: "+err.Error())
+			return
+		}
+		if req.Path == "" {
+			writeError(w, http.StatusBadRequest, "missing graph path")
+			return
+		}
+		info, err := s.LoadGraph(req.Name, req.Path)
+		if err != nil {
+			writeError(w, statusFor(err), err.Error())
+			return
+		}
+		writeJSON(w, http.StatusOK, info)
+	})
+	mux.HandleFunc("POST /graphs/unload", func(w http.ResponseWriter, r *http.Request) {
+		var req struct {
+			Name string `json:"name"`
+		}
+		dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBody))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&req); err != nil {
+			writeError(w, http.StatusBadRequest, "bad request body: "+err.Error())
+			return
+		}
+		if err := s.UnloadGraph(req.Name); err != nil {
+			writeError(w, statusFor(err), err.Error())
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]string{"status": "unloaded", "name": req.Name})
 	})
 	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, s.Stats())
@@ -61,24 +117,44 @@ func NewHandler(s *Service) http.Handler {
 	return mux
 }
 
-// statusFor maps service errors onto HTTP statuses; the admission
-// rejections get distinct, retry-meaningful codes.
+// statusFor maps service errors onto HTTP statuses; the admission and
+// containment rejections get distinct, retry-meaningful codes.
 func statusFor(err error) int {
 	switch {
 	case errors.Is(err, ErrBadRequest):
 		return http.StatusBadRequest
 	case errors.Is(err, ErrUnknownGraph):
 		return http.StatusNotFound
-	case errors.Is(err, ErrOverloaded):
+	case errors.Is(err, ErrOverloaded), errors.Is(err, ErrShed):
 		return http.StatusTooManyRequests
-	case errors.Is(err, ErrDraining):
+	case errors.Is(err, ErrLoadFailed):
+		return http.StatusUnprocessableEntity
+	case errors.Is(err, ErrResidentBudget):
+		return http.StatusInsufficientStorage
+	case errors.Is(err, ErrBreakerOpen),
+		errors.Is(err, ErrDraining),
+		errors.Is(err, bfs.ErrEngineBusy):
 		return http.StatusServiceUnavailable
-	case errors.Is(err, context.DeadlineExceeded):
+	case errors.Is(err, ErrWatchdog), errors.Is(err, context.DeadlineExceeded):
 		return http.StatusGatewayTimeout
 	case errors.Is(err, context.Canceled):
 		return http.StatusServiceUnavailable
 	default:
 		return http.StatusInternalServerError
+	}
+}
+
+// setRetryAfter attaches a Retry-After hint to retryable rejections: the
+// breaker's own cooldown remainder when it is open, or a nominal second
+// for overload — long enough to let a dispatch round drain.
+func setRetryAfter(w http.ResponseWriter, err error) {
+	var boe *BreakerOpenError
+	switch {
+	case errors.As(err, &boe):
+		secs := int(boe.RetryAfter/time.Second) + 1
+		w.Header().Set("Retry-After", strconv.Itoa(secs))
+	case errors.Is(err, ErrOverloaded), errors.Is(err, ErrShed):
+		w.Header().Set("Retry-After", "1")
 	}
 }
 

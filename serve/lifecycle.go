@@ -1,0 +1,166 @@
+// Graph lifecycle while serving: load and unload graphs without
+// restarting the daemon, under a resident-bytes budget, with readiness
+// distinct from liveness.
+//
+// Loads are survivable by construction: the file is read and validated
+// (including the CRC32 footer, when present) entirely off to the side;
+// only a fully-decoded graph is swapped into the serving table, under
+// the service lock, as a single map-pointer update. Queries admitted
+// against a replaced graph finish on the old state — its engines,
+// cache and breaker stay reachable from their dispatcher until the
+// last flight resolves, then the whole object graph is collected.
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"sort"
+
+	"fastbfs/graph"
+)
+
+var (
+	// ErrLoadFailed is the sentinel matched by *LoadError: the graph
+	// file could not be read, decoded or validated. The serving table
+	// is untouched by a failed load.
+	ErrLoadFailed = errors.New("serve: graph load failed")
+	// ErrResidentBudget rejects a load that would exceed
+	// MaxResidentBytes even after evicting every idle graph.
+	ErrResidentBudget = errors.New("serve: resident-bytes budget exceeded")
+)
+
+// LoadError describes a failed graph load; it wraps the underlying I/O,
+// decode or checksum error.
+type LoadError struct {
+	Name string
+	Path string
+	Err  error
+}
+
+func (e *LoadError) Error() string {
+	return fmt.Sprintf("serve: loading graph %q from %s: %v", e.Name, e.Path, e.Err)
+}
+
+// Unwrap exposes the underlying failure (e.g. graph.ErrChecksum).
+func (e *LoadError) Unwrap() error { return e.Err }
+
+// Is makes errors.Is(err, ErrLoadFailed) true for load failures.
+func (e *LoadError) Is(target error) bool { return target == ErrLoadFailed }
+
+// graphResidentBytes is the resident payload of one graph: the CSR
+// offsets (8 bytes per vertex + 1) and neighbor IDs (4 bytes each).
+// Engine and cache memory is deliberately excluded — it is bounded by
+// PoolSize and CacheEntries, not by graph count.
+func graphResidentBytes(g *graph.Graph) int64 {
+	return 8*int64(len(g.Offsets)) + 4*int64(len(g.Neighbors))
+}
+
+// LoadGraph reads a CSR graph file and makes it queryable under name,
+// atomically replacing any existing graph of that name. Decoding and
+// validation (structure and CRC32 footer) happen before the swap, so a
+// corrupt or truncated file never disturbs serving — the typed
+// *LoadError tells the caller why. Loads count into /readyz's loading
+// state but do not block queries.
+func (s *Service) LoadGraph(name, path string) (GraphInfo, error) {
+	if name == "" {
+		return GraphInfo{}, fmt.Errorf("%w: empty graph name", ErrBadRequest)
+	}
+	if s.Draining() {
+		return GraphInfo{}, ErrDraining
+	}
+	s.loading.Add(1)
+	defer s.loading.Add(-1)
+
+	f, err := os.Open(path)
+	if err != nil {
+		s.stats.graphLoadsFailed.Add(1)
+		return GraphInfo{}, &LoadError{Name: name, Path: path, Err: err}
+	}
+	g, err := graph.ReadFrom(s.chaosLoadReader(f))
+	f.Close()
+	if err != nil {
+		s.stats.graphLoadsFailed.Add(1)
+		return GraphInfo{}, &LoadError{Name: name, Path: path, Err: err}
+	}
+
+	s.mu.Lock()
+	err = s.registerGraphLocked(name, g, true)
+	var info GraphInfo
+	if err == nil {
+		gs := s.graphs[name]
+		info = GraphInfo{
+			Name:          gs.name,
+			Vertices:      gs.g.NumVertices(),
+			Edges:         gs.g.NumEdges(),
+			ResidentBytes: gs.resident,
+			Breaker:       BreakerClosed,
+		}
+	}
+	s.mu.Unlock()
+	if err != nil {
+		s.stats.graphLoadsFailed.Add(1)
+		return GraphInfo{}, err
+	}
+	s.stats.graphLoads.Add(1)
+	return info, nil
+}
+
+// UnloadGraph removes a graph from the serving table. In-flight
+// queries against it complete normally on the detached state; new
+// queries get ErrUnknownGraph.
+func (s *Service) UnloadGraph(name string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	gs := s.graphs[name]
+	if gs == nil {
+		return fmt.Errorf("%w: %q", ErrUnknownGraph, name)
+	}
+	delete(s.graphs, name)
+	s.resident -= gs.resident
+	s.stats.graphUnloads.Add(1)
+	return nil
+}
+
+// GraphReady is one graph's contribution to readiness.
+type GraphReady struct {
+	Name         string `json:"name"`
+	Breaker      string `json:"breaker"`
+	BreakerOpens int64  `json:"breaker_opens"`
+}
+
+// ReadyState is the /readyz payload: Ready is the single bit a load
+// balancer needs; the rest says why it is false. A service is ready
+// when it is not draining, has no graph load in progress, and every
+// breaker is closed — unlike /healthz, which only says the process is
+// up and not draining.
+type ReadyState struct {
+	Ready         bool         `json:"ready"`
+	Draining      bool         `json:"draining"`
+	Loading       int          `json:"loading"`
+	ResidentBytes int64        `json:"resident_bytes"`
+	Graphs        []GraphReady `json:"graphs"`
+}
+
+// Ready reports whether the service should receive traffic.
+func (s *Service) Ready() ReadyState {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rs := ReadyState{
+		Draining:      s.draining,
+		Loading:       int(s.loading.Load()),
+		ResidentBytes: s.resident,
+		Graphs:        make([]GraphReady, 0, len(s.graphs)),
+	}
+	ready := !rs.Draining && rs.Loading == 0
+	for _, gs := range s.graphs {
+		state, opens := gs.breaker.snapshot()
+		if state != BreakerClosed {
+			ready = false
+		}
+		rs.Graphs = append(rs.Graphs, GraphReady{Name: gs.name, Breaker: state, BreakerOpens: opens})
+	}
+	sort.Slice(rs.Graphs, func(i, j int) bool { return rs.Graphs[i].Name < rs.Graphs[j].Name })
+	rs.Ready = ready
+	return rs
+}

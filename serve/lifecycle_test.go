@@ -1,0 +1,339 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"fastbfs/graph"
+	"fastbfs/graph/gen"
+)
+
+// saveGraph writes g to a temp file and returns its path.
+func saveGraph(t *testing.T, g *graph.Graph, name string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := g.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestLoadReplaceUnloadGraph(t *testing.T) {
+	g1, err := gen.Grid2D(10, 10, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := gen.Grid2D(20, 20, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(Config{})
+	defer func() { _ = s.Shutdown(context.Background()) }()
+
+	info, err := s.LoadGraph("grid", saveGraph(t, g1, "g1.csr"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Vertices != 100 || info.ResidentBytes != graphResidentBytes(g1) {
+		t.Fatalf("load info %+v", info)
+	}
+	resp, err := s.Query(context.Background(), Request{Graph: "grid", Source: 0, AllDepths: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Depths) != 100 {
+		t.Fatalf("queried %d depths, want 100", len(resp.Depths))
+	}
+
+	// Atomic replace: same name, bigger graph; queries see the new one.
+	if _, err := s.LoadGraph("grid", saveGraph(t, g2, "g2.csr")); err != nil {
+		t.Fatal(err)
+	}
+	resp, err = s.Query(context.Background(), Request{Graph: "grid", Source: 0, AllDepths: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Depths) != 400 {
+		t.Fatalf("after replace queried %d depths, want 400", len(resp.Depths))
+	}
+	if got := s.ResidentBytes(); got != graphResidentBytes(g2) {
+		t.Fatalf("resident %d after replace, want %d (old graph still counted?)", got, graphResidentBytes(g2))
+	}
+
+	if err := s.UnloadGraph("grid"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Query(context.Background(), Request{Graph: "grid", Source: 0}); !errors.Is(err, ErrUnknownGraph) {
+		t.Fatalf("query after unload: err = %v, want ErrUnknownGraph", err)
+	}
+	if err := s.UnloadGraph("grid"); !errors.Is(err, ErrUnknownGraph) {
+		t.Fatalf("double unload: err = %v, want ErrUnknownGraph", err)
+	}
+	if got := s.ResidentBytes(); got != 0 {
+		t.Fatalf("resident %d after unload, want 0", got)
+	}
+	st := s.Stats()
+	if st.GraphLoads != 2 || st.GraphUnloads != 1 {
+		t.Errorf("lifecycle counters: %+v", st)
+	}
+}
+
+// TestLoadRejectsCorruptFile: a bit-flipped graph file fails the CRC at
+// load with the typed error chain, and the serving table is untouched.
+func TestLoadRejectsCorruptFile(t *testing.T) {
+	g, err := gen.Grid2D(10, 10, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := saveGraph(t, g, "g.csr")
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[30] ^= 0x04 // inside the offsets array
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s := New(Config{})
+	defer func() { _ = s.Shutdown(context.Background()) }()
+	_, err = s.LoadGraph("bad", path)
+	if !errors.Is(err, ErrLoadFailed) {
+		t.Fatalf("err = %v, want ErrLoadFailed", err)
+	}
+	if !errors.Is(err, graph.ErrChecksum) {
+		t.Fatalf("err = %v, want graph.ErrChecksum in the chain", err)
+	}
+	if n := len(s.Graphs()); n != 0 {
+		t.Fatalf("%d graphs resident after failed load", n)
+	}
+	if rs := s.Ready(); !rs.Ready {
+		t.Fatalf("failed load left service unready: %+v", rs)
+	}
+	if st := s.Stats(); st.GraphLoadsFailed != 1 {
+		t.Errorf("failed load not counted: %+v", st)
+	}
+
+	// A nonexistent path is the same typed failure, different cause.
+	if _, err := s.LoadGraph("gone", filepath.Join(t.TempDir(), "missing.csr")); !errors.Is(err, ErrLoadFailed) {
+		t.Fatalf("missing file: err = %v, want ErrLoadFailed", err)
+	}
+}
+
+// TestResidentBudgetEviction: loads beyond MaxResidentBytes evict idle
+// graphs LRU-first; with nothing evictable the load fails typed.
+func TestResidentBudgetEviction(t *testing.T) {
+	small, err := gen.Grid2D(10, 10, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	unit := graphResidentBytes(small)
+	s := New(Config{MaxResidentBytes: 2*unit + unit/2})
+	defer func() { _ = s.Shutdown(context.Background()) }()
+
+	if err := s.AddGraph("a", small); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddGraph("b", small); err != nil {
+		t.Fatal(err)
+	}
+	// Touch "a" so "b" is the LRU victim.
+	if _, err := s.Query(context.Background(), Request{Graph: "a", Source: 0}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddGraph("c", small); err != nil {
+		t.Fatalf("third load should evict, got %v", err)
+	}
+	names := map[string]bool{}
+	for _, gi := range s.Graphs() {
+		names[gi.Name] = true
+	}
+	if !names["a"] || names["b"] || !names["c"] {
+		t.Fatalf("resident set %v, want a and c (b evicted as LRU)", names)
+	}
+	if st := s.Stats(); st.GraphEvictions != 1 {
+		t.Errorf("eviction not counted: %+v", st)
+	}
+
+	// A graph that cannot fit even after evicting everything idle fails
+	// with the typed budget error.
+	big, err := gen.Grid2D(40, 40, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddGraph("big", big); !errors.Is(err, ErrResidentBudget) {
+		t.Fatalf("oversized load: err = %v, want ErrResidentBudget", err)
+	}
+}
+
+// TestReadyzVsHealthz: /healthz is liveness (up and not draining);
+// /readyz additionally demands closed breakers and no load in progress,
+// and carries the per-graph breaker states.
+func TestReadyzVsHealthz(t *testing.T) {
+	g := testGraph(t)
+	s := newTestService(t, g, Config{})
+	srv := httptest.NewServer(NewHandler(s))
+	defer srv.Close()
+
+	get := func(path string) (int, string) {
+		t.Helper()
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var sb strings.Builder
+		if _, err := io.Copy(&sb, resp.Body); err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, sb.String()
+	}
+	if code, _ := get("/healthz"); code != http.StatusOK {
+		t.Fatalf("healthz = %d", code)
+	}
+	code, body := get("/readyz")
+	if code != http.StatusOK {
+		t.Fatalf("readyz = %d: %s", code, body)
+	}
+	var rs ReadyState
+	if err := json.Unmarshal([]byte(body), &rs); err != nil {
+		t.Fatal(err)
+	}
+	if !rs.Ready || len(rs.Graphs) != 1 || rs.Graphs[0].Breaker != BreakerClosed {
+		t.Fatalf("ready state %+v", rs)
+	}
+
+	s.BeginDrain()
+	if code, _ := get("/healthz"); code != http.StatusServiceUnavailable {
+		t.Fatalf("draining healthz = %d", code)
+	}
+	if code, _ := get("/readyz"); code != http.StatusServiceUnavailable {
+		t.Fatalf("draining readyz = %d", code)
+	}
+}
+
+// TestHTTPLoadUnload drives the lifecycle endpoints end to end,
+// including the typed rejection of a corrupt file.
+func TestHTTPLoadUnload(t *testing.T) {
+	g, err := gen.Grid2D(10, 10, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := saveGraph(t, g, "g.csr")
+	s := New(Config{})
+	defer func() { _ = s.Shutdown(context.Background()) }()
+	srv := httptest.NewServer(NewHandler(s))
+	defer srv.Close()
+
+	post := func(path, body string) (int, string) {
+		t.Helper()
+		resp, err := http.Post(srv.URL+path, "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var sb strings.Builder
+		if _, err := io.Copy(&sb, resp.Body); err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, sb.String()
+	}
+
+	code, body := post("/graphs/load", `{"name":"grid","path":"`+path+`"}`)
+	if code != http.StatusOK {
+		t.Fatalf("load = %d: %s", code, body)
+	}
+	code, body = post("/query", `{"graph":"grid","source":0,"targets":[99]}`)
+	if code != http.StatusOK {
+		t.Fatalf("query = %d: %s", code, body)
+	}
+	if !strings.Contains(body, `"depth":18`) {
+		t.Fatalf("query body %s lacks corner depth 18", body)
+	}
+
+	// Corrupt file → 422 with the checksum cause in the message.
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[40] ^= 0x10
+	badPath := filepath.Join(t.TempDir(), "bad.csr")
+	if err := os.WriteFile(badPath, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, body = post("/graphs/load", `{"name":"bad","path":"`+badPath+`"}`)
+	if code != http.StatusUnprocessableEntity {
+		t.Fatalf("corrupt load = %d: %s", code, body)
+	}
+	if !strings.Contains(body, "checksum") {
+		t.Fatalf("corrupt load body %q does not name the checksum", body)
+	}
+
+	if code, body = post("/graphs/unload", `{"name":"grid"}`); code != http.StatusOK {
+		t.Fatalf("unload = %d: %s", code, body)
+	}
+	if code, _ = post("/query", `{"graph":"grid","source":0}`); code != http.StatusNotFound {
+		t.Fatalf("query after unload = %d", code)
+	}
+	if code, _ = post("/graphs/unload", `{"name":"grid"}`); code != http.StatusNotFound {
+		t.Fatalf("double unload = %d", code)
+	}
+}
+
+// TestQueryDuringReplace hammers one graph with queries while the same
+// name is repeatedly re-loaded: every response must be internally
+// consistent (either graph generation is fine — both are grids with the
+// same corner depth), and nothing may crash or deadlock.
+func TestQueryDuringReplace(t *testing.T) {
+	g, err := gen.Grid2D(15, 15, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := saveGraph(t, g, "g.csr")
+	s := New(Config{CacheEntries: -1})
+	defer func() { _ = s.Shutdown(context.Background()) }()
+	if _, err := s.LoadGraph("grid", path); err != nil {
+		t.Fatal(err)
+	}
+
+	stop := make(chan struct{})
+	loaderDone := make(chan error, 1)
+	go func() {
+		for {
+			select {
+			case <-stop:
+				loaderDone <- nil
+				return
+			default:
+			}
+			if _, err := s.LoadGraph("grid", path); err != nil {
+				loaderDone <- err
+				return
+			}
+		}
+	}()
+	deadline := time.Now().Add(500 * time.Millisecond)
+	for time.Now().Before(deadline) {
+		resp, err := s.Query(context.Background(), Request{Graph: "grid", Source: 0, AllDepths: true})
+		if err != nil {
+			t.Fatalf("query during replace: %v", err)
+		}
+		if len(resp.Depths) != 225 || resp.Depths[224] != 28 {
+			t.Fatalf("inconsistent response during replace: %d depths, corner %d",
+				len(resp.Depths), resp.Depths[224])
+		}
+	}
+	close(stop)
+	if err := <-loaderDone; err != nil {
+		t.Fatalf("loader: %v", err)
+	}
+}

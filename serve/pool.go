@@ -63,6 +63,17 @@ func (p *EnginePool) Acquire(ctx context.Context) (*bfs.Engine, error) {
 	}
 }
 
+// Discard retires an engine obtained from Acquire instead of returning
+// it: used to quarantine an engine whose traversal died mid-run (its
+// worker state is unknown, so the reuse contract no longer holds). The
+// freed capacity is rebuilt lazily — the next Acquire that finds the
+// pool below size constructs a fresh engine.
+func (p *EnginePool) Discard(e *bfs.Engine) {
+	p.mu.Lock()
+	p.created--
+	p.mu.Unlock()
+}
+
 // Release returns an engine obtained from Acquire.
 func (p *EnginePool) Release(e *bfs.Engine) {
 	select {

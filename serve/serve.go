@@ -6,12 +6,24 @@
 // The layering, top to bottom:
 //
 //   - Admission control. Every query passes a service-wide bounded
-//     queue; when it is full the query is rejected immediately with
-//     ErrOverloaded (HTTP 429) instead of queueing unboundedly, and
-//     after BeginDrain new queries get ErrDraining (HTTP 503) while
-//     admitted ones complete. Each query carries a deadline; an
-//     in-flight traversal past its deadline is cancelled through the
-//     engine's RunContext.
+//     queue; when it is full the service sheds the oldest queued flight
+//     whose sojourn exceeded the CoDel-style target (its waiters get
+//     ErrShed) to admit the newcomer, and only tail-drops with
+//     ErrOverloaded when the whole queue is fresh. After BeginDrain new
+//     queries get ErrDraining (HTTP 503) while admitted ones complete.
+//     Each query carries a deadline; an in-flight traversal past its
+//     deadline is cancelled through the engine's RunContext, and a
+//     waiter whose context dies while its flight is still queued
+//     releases its admission ticket immediately.
+//   - Containment. Each graph has a circuit breaker: consecutive
+//     engine-side failures (panics, watchdog kills, injected faults)
+//     open it, failing queries fast with a typed 503 + Retry-After
+//     until a cooldown admits a half-open probe. A traversal that
+//     panics mid-run is recovered, its waiters get a typed error, and
+//     the poisoned engine is quarantined (retired from the pool and
+//     lazily rebuilt). A watchdog hard-cancels any dispatched round
+//     that overruns a wall-clock multiple of its deadline budget so
+//     waiters never hang on a wedged traversal.
 //   - Result cache + singleflight. Completed traversals are kept in a
 //     bounded per-graph LRU keyed by source (engine options are fixed
 //     per service, so (graph, source, options) reduces to (graph,
@@ -28,6 +40,15 @@
 //   - Engine pool. Per graph, up to PoolSize reusable bfs.Engines
 //     (lazily built); the pool relies on the bfs package's documented
 //     engine-reuse contract and ErrEngineBusy guard.
+//   - Graph lifecycle. Graphs can be loaded and unloaded while serving
+//     (atomic pointer swap; see lifecycle.go), under a resident-bytes
+//     budget that evicts idle graphs LRU-first. /readyz reflects
+//     breaker, drain and loading state.
+//
+// Every layer is observable to fault injection: a deterministic
+// faultinject.Injector (Config.Injector) can delay, fail or crash the
+// query path at named sites — see chaos.go. Production services leave
+// it nil and pay one branch per site.
 package serve
 
 import (
@@ -35,25 +56,58 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"fastbfs/bfs"
 	"fastbfs/graph"
+	"fastbfs/internal/faultinject"
 	"fastbfs/internal/msbfs"
+	"fastbfs/internal/par"
 )
 
 // Service errors, mapped onto HTTP statuses by the handler in http.go.
 var (
-	// ErrOverloaded rejects a query because the admission queue is full.
+	// ErrOverloaded rejects a query because the admission queue is full
+	// of flights younger than the shed target (tail drop).
 	ErrOverloaded = errors.New("serve: overloaded: admission queue full")
+	// ErrShed fails a queued query that was dropped oldest-first when
+	// the admission queue filled while it had already waited past the
+	// CoDel-style sojourn target.
+	ErrShed = errors.New("serve: shed: queue sojourn exceeded target under overload")
 	// ErrDraining rejects a query because the service is shutting down.
 	ErrDraining = errors.New("serve: draining")
 	// ErrUnknownGraph rejects a query naming a graph that is not loaded.
 	ErrUnknownGraph = errors.New("serve: unknown graph")
 	// ErrBadRequest rejects a malformed query (e.g. source out of range).
 	ErrBadRequest = errors.New("serve: bad request")
+	// ErrWatchdog fails every waiter of a dispatched round that overran
+	// the hard wall-clock multiple of its deadline budget.
+	ErrWatchdog = errors.New("serve: watchdog: traversal exceeded hard deadline")
+	// ErrEngineFault is the sentinel matched by *EngineFaultError.
+	ErrEngineFault = errors.New("serve: engine fault")
 )
+
+// EngineFaultError fails a query whose traversal died mid-run (a panic
+// inside the engine or the sweep). The offending engine, if any, was
+// quarantined: retired from its pool and replaced lazily by a fresh
+// build on a later acquire.
+type EngineFaultError struct {
+	Graph string
+	Err   error
+}
+
+func (e *EngineFaultError) Error() string {
+	return fmt.Sprintf("serve: graph %q: traversal died mid-run (engine quarantined): %v", e.Graph, e.Err)
+}
+
+// Unwrap exposes the recovered panic (usually a *par.PanicError).
+func (e *EngineFaultError) Unwrap() error { return e.Err }
+
+// Is makes errors.Is(err, ErrEngineFault) true for engine faults.
+func (e *EngineFaultError) Is(target error) bool { return target == ErrEngineFault }
 
 // Config tunes a Service. The zero value gets sensible defaults.
 type Config struct {
@@ -87,6 +141,35 @@ type Config struct {
 	// the direction-optimizing msbfs kernel, reusing the same cached
 	// per-graph transpose as the engines.
 	Options *bfs.Options
+
+	// BreakerThreshold is the consecutive engine-side failures (panics,
+	// watchdog kills, injected faults — never caller-budget expiries)
+	// that open a graph's circuit breaker (default 5; negative
+	// disables the breaker).
+	BreakerThreshold int
+	// BreakerCooldown is how long an open breaker rejects queries with
+	// a typed 503 before admitting one half-open probe (default 1s).
+	BreakerCooldown time.Duration
+	// WatchdogMult hard-cancels a dispatched round still running after
+	// WatchdogMult × its deadline budget (the round's merged deadline,
+	// or DefaultTimeout when it has none) and releases its waiters with
+	// ErrWatchdog (default 4; negative disables).
+	WatchdogMult int
+	// ShedTarget is the CoDel-style sojourn target: when the admission
+	// queue is full AND the oldest queued flight has waited longer than
+	// this, that flight is shed (ErrShed) to admit the newcomer,
+	// bounding queue latency instead of tail-dropping fresh work.
+	// Default 500ms; negative disables shedding (pure tail drop).
+	ShedTarget time.Duration
+	// MaxResidentBytes bounds the summed graph payload (CSR arrays)
+	// held resident. A load that would exceed it evicts idle graphs
+	// LRU-first and fails with ErrResidentBudget if still over.
+	// 0 means unlimited.
+	MaxResidentBytes int64
+	// Injector enables deterministic fault injection at the serving
+	// stack's chaos sites (see chaos.go and internal/faultinject).
+	// nil — the production value — disables every site.
+	Injector faultinject.Injector
 }
 
 func (c Config) withDefaults() Config {
@@ -111,6 +194,18 @@ func (c Config) withDefaults() Config {
 	if c.Workers <= 0 {
 		c.Workers = runtime.GOMAXPROCS(0)
 	}
+	if c.BreakerThreshold == 0 {
+		c.BreakerThreshold = 5
+	}
+	if c.BreakerCooldown <= 0 {
+		c.BreakerCooldown = time.Second
+	}
+	if c.WatchdogMult == 0 {
+		c.WatchdogMult = 4
+	}
+	if c.ShedTarget == 0 {
+		c.ShedTarget = 500 * time.Millisecond
+	}
 	return c
 }
 
@@ -122,39 +217,56 @@ type Service struct {
 	baseCtx    context.Context // cancelled only at hard shutdown
 	baseCancel context.CancelFunc
 
+	inj     faultinject.Injector
+	seq     faultinject.Sequencer
+	loading atomic.Int32 // graph loads in progress (for /readyz)
+
 	mu       sync.Mutex
 	graphs   map[string]*graphState
-	queued   int // flights admitted and not yet resolved
+	queued   int   // flights admitted and not yet resolved
+	resident int64 // summed graph payload bytes
 	draining bool
 	wg       sync.WaitGroup // live dispatcher goroutines
 
 	stats stats
 }
 
-// graphState is one resident graph plus its pool, cache and scheduler
-// state. pending/flights/dispatching are guarded by Service.mu.
+// graphState is one resident graph plus its pool, cache, breaker and
+// scheduler state. pending/flights/dispatching/lastUsed are guarded by
+// Service.mu.
 type graphState struct {
-	name  string
-	g     *graph.Graph
-	pool  *EnginePool
-	cache *lruCache
+	name     string
+	g        *graph.Graph
+	pool     *EnginePool
+	cache    *lruCache
+	breaker  *breaker
+	resident int64
 
+	lastUsed    time.Time
 	flights     map[uint32]*flight // in-flight + queued, by source
 	pending     []*flight          // queued, dispatch order
 	dispatching bool
 	lingered    bool
 }
 
-// flight is one traversal that one or more queries wait on.
+// flight is one traversal that one or more queries wait on. All fields
+// below done are guarded by Service.mu until resolved.
 type flight struct {
 	source   uint32
+	enqueued time.Time
 	deadline time.Time // max over attached waiters; zero = none
 	done     chan struct{}
-	tr       *Traversal
-	err      error
+
+	waiters  int  // attached callers still waiting
+	started  bool // snapshot taken by the dispatcher; past shedding
+	resolved bool // outcome published; resolve is idempotent
+	probe    bool // this flight is its breaker's half-open probe
+
+	tr  *Traversal
+	err error
 }
 
-// New builds an empty service; add graphs with AddGraph.
+// New builds an empty service; add graphs with AddGraph or LoadGraph.
 func New(cfg Config) *Service {
 	cfg = cfg.withDefaults()
 	opts := bfs.Default(1)
@@ -162,17 +274,29 @@ func New(cfg Config) *Service {
 		opts = *cfg.Options
 	}
 	ctx, cancel := context.WithCancel(context.Background())
-	return &Service{
+	s := &Service{
 		cfg:        cfg,
 		opts:       opts,
 		baseCtx:    ctx,
 		baseCancel: cancel,
 		graphs:     make(map[string]*graphState),
 	}
+	if cfg.Injector != nil {
+		s.inj = cfg.Injector
+		prev := s.opts.StepHook
+		s.opts.StepHook = func(step int) {
+			if prev != nil {
+				prev(step)
+			}
+			s.chaosStepHook(step)
+		}
+	}
+	return s
 }
 
 // AddGraph makes g queryable under name. The graph must not be mutated
-// afterwards; it is shared by every engine and sweep.
+// afterwards; it is shared by every engine and sweep. Adding a name
+// that already exists fails — use LoadGraph for atomic replacement.
 func (s *Service) AddGraph(name string, g *graph.Graph) error {
 	if name == "" {
 		return fmt.Errorf("%w: empty graph name", ErrBadRequest)
@@ -182,27 +306,76 @@ func (s *Service) AddGraph(name string, g *graph.Graph) error {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	return s.registerGraphLocked(name, g, false)
+}
+
+// registerGraphLocked installs g under name, enforcing the resident-
+// bytes budget (evicting idle graphs LRU-first). With replace it
+// atomically swaps an existing entry: queries admitted against the old
+// state complete on the old graph; new queries see the new one.
+func (s *Service) registerGraphLocked(name string, g *graph.Graph, replace bool) error {
 	if s.draining {
 		return ErrDraining
 	}
-	if _, dup := s.graphs[name]; dup {
+	resident := graphResidentBytes(g)
+	old := s.graphs[name]
+	if old != nil && !replace {
 		return fmt.Errorf("serve: graph %q already loaded", name)
 	}
+	var oldResident int64
+	if old != nil {
+		oldResident = old.resident
+	}
+	if budget := s.cfg.MaxResidentBytes; budget > 0 {
+		for s.resident-oldResident+resident > budget {
+			if !s.evictOneLocked(name) {
+				return fmt.Errorf("%w: graph %q needs %d bytes but %d of %d budget are resident and nothing is idle",
+					ErrResidentBudget, name, resident, s.resident, budget)
+			}
+		}
+	}
+	s.resident += resident - oldResident
 	s.graphs[name] = &graphState{
-		name:    name,
-		g:       g,
-		pool:    NewEnginePool(g, s.opts, s.cfg.PoolSize),
-		cache:   newLRUCache(s.cfg.CacheEntries),
-		flights: make(map[uint32]*flight),
+		name:     name,
+		g:        g,
+		pool:     NewEnginePool(g, s.opts, s.cfg.PoolSize),
+		cache:    newLRUCache(s.cfg.CacheEntries),
+		breaker:  newBreaker(s.cfg.BreakerThreshold, s.cfg.BreakerCooldown),
+		resident: resident,
+		lastUsed: time.Now(),
+		flights:  make(map[uint32]*flight),
 	}
 	return nil
 }
 
+// evictOneLocked drops the least-recently-used idle graph (no queued or
+// running flights, not the one named exclude) to free resident bytes.
+func (s *Service) evictOneLocked(exclude string) bool {
+	var victim *graphState
+	for _, gs := range s.graphs {
+		if gs.name == exclude || len(gs.flights) > 0 || gs.dispatching {
+			continue
+		}
+		if victim == nil || gs.lastUsed.Before(victim.lastUsed) {
+			victim = gs
+		}
+	}
+	if victim == nil {
+		return false
+	}
+	delete(s.graphs, victim.name)
+	s.resident -= victim.resident
+	s.stats.graphEvictions.Add(1)
+	return true
+}
+
 // GraphInfo describes one resident graph.
 type GraphInfo struct {
-	Name     string `json:"name"`
-	Vertices int    `json:"vertices"`
-	Edges    int64  `json:"edges"`
+	Name          string `json:"name"`
+	Vertices      int    `json:"vertices"`
+	Edges         int64  `json:"edges"`
+	ResidentBytes int64  `json:"resident_bytes"`
+	Breaker       string `json:"breaker"`
 }
 
 // Graphs lists the resident graphs.
@@ -211,7 +384,14 @@ func (s *Service) Graphs() []GraphInfo {
 	defer s.mu.Unlock()
 	out := make([]GraphInfo, 0, len(s.graphs))
 	for _, gs := range s.graphs {
-		out = append(out, GraphInfo{Name: gs.name, Vertices: gs.g.NumVertices(), Edges: gs.g.NumEdges()})
+		state, _ := gs.breaker.snapshot()
+		out = append(out, GraphInfo{
+			Name:          gs.name,
+			Vertices:      gs.g.NumVertices(),
+			Edges:         gs.g.NumEdges(),
+			ResidentBytes: gs.resident,
+			Breaker:       state,
+		})
 	}
 	return out
 }
@@ -229,6 +409,13 @@ func (s *Service) QueueDepth() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.queued
+}
+
+// ResidentBytes reports the summed resident graph payload.
+func (s *Service) ResidentBytes() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.resident
 }
 
 // BeginDrain stops admitting queries; already-admitted flights complete.
@@ -271,6 +458,9 @@ func (s *Service) Query(ctx context.Context, req Request) (*Response, error) {
 		return nil, ErrDraining
 	}
 	gs := s.graphs[req.Graph]
+	if gs != nil {
+		gs.lastUsed = time.Now()
+	}
 	s.mu.Unlock()
 	if gs == nil {
 		return nil, fmt.Errorf("%w: %q", ErrUnknownGraph, req.Graph)
@@ -292,12 +482,26 @@ func (s *Service) Query(ctx context.Context, req Request) (*Response, error) {
 	}
 	f := gs.flights[req.Source]
 	if f == nil {
-		if s.queued >= s.cfg.MaxQueue {
+		ok, probe, retry := gs.breaker.allow()
+		if !ok {
+			s.mu.Unlock()
+			s.stats.breakerRejected.Add(1)
+			s.stats.rejected.Add(1)
+			return nil, &BreakerOpenError{Graph: gs.name, RetryAfter: retry}
+		}
+		if s.queued >= s.cfg.MaxQueue && !s.shedOldestLocked() {
+			gs.breaker.onNeutral(probe) // the probe slot was never used
 			s.mu.Unlock()
 			s.stats.rejected.Add(1)
 			return nil, ErrOverloaded
 		}
-		f = &flight{source: req.Source, done: make(chan struct{})}
+		f = &flight{
+			source:   req.Source,
+			enqueued: time.Now(),
+			done:     make(chan struct{}),
+			waiters:  1,
+			probe:    probe,
+		}
 		f.deadline, _ = ctx.Deadline()
 		gs.flights[req.Source] = f
 		gs.pending = append(gs.pending, f)
@@ -309,6 +513,7 @@ func (s *Service) Query(ctx context.Context, req Request) (*Response, error) {
 		}
 	} else {
 		s.stats.coalesced.Add(1)
+		f.waiters++
 		// Extend the flight's deadline to cover this waiter too; the
 		// dispatcher reads it under s.mu when the flight starts, so the
 		// extension holds for flights still queued.
@@ -329,12 +534,66 @@ func (s *Service) Query(ctx context.Context, req Request) (*Response, error) {
 		}
 		return buildResponse(gs, req, f.tr, false)
 	case <-ctx.Done():
-		// The flight keeps running for any other waiters; this caller
-		// gives up. Flights with no surviving waiters die through their
-		// own (maxed) deadline.
+		// This caller gives up. If it was the flight's last waiter and
+		// the flight is still queued, the admission ticket is released
+		// immediately (no traversal runs for an audience of zero);
+		// otherwise the flight keeps running for the other waiters.
+		s.abandon(gs, f)
 		s.stats.expired.Add(1)
 		return nil, ctx.Err()
 	}
+}
+
+// abandon detaches one waiter whose context died. A queued flight whose
+// last waiter leaves is resolved on the spot, releasing its ticket and
+// its slot in the dispatch queue.
+func (s *Service) abandon(gs *graphState, f *flight) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if f.resolved {
+		return
+	}
+	f.waiters--
+	if f.waiters > 0 || f.started {
+		return
+	}
+	for i, p := range gs.pending {
+		if p == f {
+			gs.pending = append(gs.pending[:i], gs.pending[i+1:]...)
+			break
+		}
+	}
+	s.stats.abandoned.Add(1)
+	s.resolveLocked(gs, f, nil, context.Canceled)
+}
+
+// shedOldestLocked implements the CoDel-style drop decision: find the
+// oldest queued (not yet dispatched) flight service-wide and, if its
+// sojourn exceeds ShedTarget, resolve it with ErrShed to make room.
+// Returns whether a slot was freed.
+func (s *Service) shedOldestLocked() bool {
+	if s.cfg.ShedTarget < 0 {
+		return false
+	}
+	var (
+		oldest   *flight
+		oldestGS *graphState
+	)
+	for _, gs := range s.graphs {
+		if len(gs.pending) == 0 {
+			continue
+		}
+		if f := gs.pending[0]; oldest == nil || f.enqueued.Before(oldest.enqueued) {
+			oldest, oldestGS = f, gs
+		}
+	}
+	if oldest == nil || time.Since(oldest.enqueued) <= s.cfg.ShedTarget {
+		return false
+	}
+	oldestGS.pending = oldestGS.pending[1:]
+	s.stats.shed.Add(1)
+	s.resolveLocked(oldestGS, oldest, nil, ErrShed)
+	return true
 }
 
 // dispatch drains gs.pending in rounds until it is empty, then exits.
@@ -369,6 +628,7 @@ func (s *Service) dispatch(gs *graphState) {
 		deadlines := make([]time.Time, len(round))
 		deadline, infinite := time.Time{}, false
 		for i, f := range round {
+			f.started = true
 			deadlines[i] = f.deadline
 			if f.deadline.IsZero() {
 				infinite = true
@@ -378,19 +638,43 @@ func (s *Service) dispatch(gs *graphState) {
 		}
 		s.mu.Unlock()
 
-		rctx := s.baseCtx
+		var rctx context.Context
 		var cancel context.CancelFunc
 		if !infinite && !deadline.IsZero() {
-			rctx, cancel = context.WithDeadline(rctx, deadline)
+			rctx, cancel = context.WithDeadline(s.baseCtx, deadline)
+		} else {
+			rctx, cancel = context.WithCancel(s.baseCtx)
+		}
+		// Watchdog: a round that overruns a hard multiple of its budget
+		// is cancelled AND force-resolved, so waiters never hang on a
+		// wedged traversal (resolve is idempotent: if the run finishes
+		// later anyway, its late resolve is a no-op).
+		var wd *time.Timer
+		if mult := s.cfg.WatchdogMult; mult > 0 {
+			budget := s.cfg.DefaultTimeout
+			if !infinite && !deadline.IsZero() {
+				if d := time.Until(deadline); d > 0 {
+					budget = d
+				}
+			}
+			wd = time.AfterFunc(time.Duration(mult)*budget, func() {
+				cancel()
+				s.stats.watchdogFired.Add(1)
+				err := fmt.Errorf("%w (budget %v × %d)", ErrWatchdog, budget, mult)
+				for _, f := range round {
+					s.resolve(gs, f, nil, err)
+				}
+			})
 		}
 		if len(round) >= s.cfg.BatchThreshold && len(round) > 1 {
 			s.runBatched(gs, rctx, round)
 		} else {
-			s.runSingles(gs, round, deadlines)
+			s.runSingles(gs, rctx, round, deadlines)
 		}
-		if cancel != nil {
-			cancel()
+		if wd != nil {
+			wd.Stop()
 		}
+		cancel()
 	}
 }
 
@@ -398,24 +682,40 @@ func (s *Service) dispatch(gs *graphState) {
 // service's engine options request hybrid traversal, the sweep is
 // direction-optimizing too: it shares the per-graph cached transpose
 // with the pooled engines (bfs.InAdjacency), so daemon-side batched
-// queries get the same bottom-up win as single-source ones.
+// queries get the same bottom-up win as single-source ones. A panic
+// anywhere in the sweep (injected or real) fails the round with a
+// typed engine fault instead of killing the daemon.
 func (s *Service) runBatched(gs *graphState, ctx context.Context, round []*flight) {
 	sources := make([]uint32, len(round))
 	for i, f := range round {
 		sources[i] = f.source
 	}
 	var res *msbfs.Result
-	var err error
-	if s.opts.Hybrid {
-		var in *graph.Graph
-		if !s.opts.Symmetric {
-			in = bfs.InAdjacency(gs.g)
+	err := func() (err error) {
+		defer func() {
+			if rec := recover(); rec != nil {
+				err = &par.PanicError{Worker: -1, Value: rec, Stack: debug.Stack()}
+			}
+		}()
+		if err := s.chaosSweep(); err != nil {
+			return fmt.Errorf("serve: sweep: %w", err)
 		}
-		res, err = msbfs.RunHybridContext(ctx, gs.g, in, sources, s.cfg.Workers)
-	} else {
-		res, err = msbfs.RunContext(ctx, gs.g, sources, s.cfg.Workers)
-	}
+		if s.opts.Hybrid {
+			var in *graph.Graph
+			if !s.opts.Symmetric {
+				in = bfs.InAdjacency(gs.g)
+			}
+			res, err = msbfs.RunHybridContext(ctx, gs.g, in, sources, s.cfg.Workers)
+		} else {
+			res, err = msbfs.RunContext(ctx, gs.g, sources, s.cfg.Workers)
+		}
+		return err
+	}()
 	if err != nil {
+		if poisoned(err) {
+			s.stats.panicsRecovered.Add(1)
+			err = &EngineFaultError{Graph: gs.name, Err: err}
+		}
 		for _, f := range round {
 			s.resolve(gs, f, nil, err)
 		}
@@ -431,30 +731,44 @@ func (s *Service) runBatched(gs *graphState, ctx context.Context, round []*fligh
 
 // runSingles serves a small round on pooled engines, one goroutine per
 // flight; the pool bounds actual parallelism. deadlines[i] is flight
-// i's deadline as snapshotted under the service lock at dispatch.
-func (s *Service) runSingles(gs *graphState, round []*flight, deadlines []time.Time) {
+// i's deadline as snapshotted under the service lock at dispatch. An
+// engine whose run dies mid-traversal is quarantined: discarded from
+// the pool (a later acquire builds a fresh one) while its waiters get
+// a typed engine fault.
+func (s *Service) runSingles(gs *graphState, rctx context.Context, round []*flight, deadlines []time.Time) {
 	var wg sync.WaitGroup
 	for i, f := range round {
 		wg.Add(1)
 		go func(f *flight, deadline time.Time) {
 			defer wg.Done()
-			fctx := s.baseCtx
+			fctx := rctx
 			if !deadline.IsZero() {
 				var cancel context.CancelFunc
-				fctx, cancel = context.WithDeadline(s.baseCtx, deadline)
+				fctx, cancel = context.WithDeadline(rctx, deadline)
 				defer cancel()
+			}
+			if err := s.chaosAcquire(); err != nil {
+				s.resolve(gs, f, nil, fmt.Errorf("serve: acquiring engine: %w", err))
+				return
 			}
 			e, err := gs.pool.Acquire(fctx)
 			if err != nil {
 				s.resolve(gs, f, nil, err)
 				return
 			}
-			r, err := e.RunContext(fctx, f.source)
+			r, err := runGuarded(e, fctx, f.source)
 			var tr *Traversal
 			if err == nil {
 				tr = newEngineTraversal(r)
 			}
-			gs.pool.Release(e)
+			if poisoned(err) {
+				gs.pool.Discard(e)
+				s.stats.panicsRecovered.Add(1)
+				s.stats.enginesRetired.Add(1)
+				err = &EngineFaultError{Graph: gs.name, Err: err}
+			} else {
+				gs.pool.Release(e)
+			}
 			s.stats.engineRuns.Add(1)
 			s.resolve(gs, f, tr, err)
 		}(f, deadlines[i])
@@ -462,16 +776,82 @@ func (s *Service) runSingles(gs *graphState, round []*flight, deadlines []time.T
 	wg.Wait()
 }
 
-// resolve publishes a flight's outcome and retires it from the
-// singleflight table and the admission queue.
+// runGuarded runs one traversal, converting any panic that unwinds into
+// this goroutine into a *par.PanicError. (Panics inside the engine's
+// own workers — including injected StepHook crashes — are already
+// recovered by par.Run and arrive as wrapped errors.)
+func runGuarded(e *bfs.Engine, ctx context.Context, source uint32) (r *bfs.Result, err error) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			err = &par.PanicError{Worker: -1, Value: rec, Stack: debug.Stack()}
+		}
+	}()
+	return e.RunContext(ctx, source)
+}
+
+// poisoned reports whether err carries a recovered panic — the signal
+// that the engine's internal state died mid-run and it must be
+// quarantined rather than returned to its pool.
+func poisoned(err error) bool {
+	var pe *par.PanicError
+	return errors.As(err, &pe)
+}
+
+// resolve publishes a flight's outcome: caches successful traversals,
+// retires the flight from the singleflight table and admission queue,
+// and feeds the graph's circuit breaker. It is idempotent — the first
+// caller (dispatcher, watchdog, shedder or abandoner) wins.
 func (s *Service) resolve(gs *graphState, f *flight, tr *Traversal, err error) {
 	if err == nil && tr != nil {
 		gs.cache.put(f.source, tr)
 	}
 	s.mu.Lock()
-	delete(gs.flights, f.source)
-	s.queued--
+	s.resolveLocked(gs, f, tr, err)
 	s.mu.Unlock()
+}
+
+// resolveLocked is resolve under Service.mu; see resolve.
+func (s *Service) resolveLocked(gs *graphState, f *flight, tr *Traversal, err error) {
+	if f.resolved {
+		return
+	}
+	f.resolved = true
+	if cur := gs.flights[f.source]; cur == f {
+		delete(gs.flights, f.source)
+	}
+	s.queued--
+	switch classify(err) {
+	case outcomeSuccess:
+		gs.breaker.onSuccess(f.probe)
+	case outcomeFailure:
+		gs.breaker.onFailure(f.probe)
+	default:
+		gs.breaker.onNeutral(f.probe)
+	}
 	f.tr, f.err = tr, err
 	close(f.done)
+}
+
+// Flight outcomes as the circuit breaker sees them.
+const (
+	outcomeSuccess = iota
+	outcomeFailure
+	outcomeNeutral
+)
+
+// classify sorts a flight error into breaker outcomes: engine-side
+// failures count against the graph; caller-budget expiries, shedding
+// and drains say nothing about engine health.
+func classify(err error) int {
+	switch {
+	case err == nil:
+		return outcomeSuccess
+	case errors.Is(err, context.Canceled),
+		errors.Is(err, context.DeadlineExceeded),
+		errors.Is(err, ErrShed),
+		errors.Is(err, ErrDraining):
+		return outcomeNeutral
+	default:
+		return outcomeFailure
+	}
 }

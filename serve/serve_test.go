@@ -175,6 +175,7 @@ func TestOverloadRejected(t *testing.T) {
 		MaxQueue:     2,
 		BatchLinger:  300 * time.Millisecond,
 		CacheEntries: -1,
+		ShedTarget:   time.Minute, // the queued flights stay "fresh": pure tail drop
 	})
 	release := make(chan struct{})
 	var wg sync.WaitGroup

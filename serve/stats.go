@@ -9,9 +9,21 @@ type stats struct {
 	coalesced      atomic.Int64
 	rejected       atomic.Int64
 	expired        atomic.Int64
+	abandoned      atomic.Int64
+	shed           atomic.Int64
 	sweeps         atomic.Int64
 	batchedQueries atomic.Int64
 	engineRuns     atomic.Int64
+
+	breakerRejected atomic.Int64
+	watchdogFired   atomic.Int64
+	panicsRecovered atomic.Int64
+	enginesRetired  atomic.Int64
+
+	graphLoads       atomic.Int64
+	graphLoadsFailed atomic.Int64
+	graphUnloads     atomic.Int64
+	graphEvictions   atomic.Int64
 }
 
 // StatsSnapshot is a point-in-time copy of the service counters.
@@ -22,32 +34,63 @@ type StatsSnapshot struct {
 	Requests  int64 `json:"requests"`
 	CacheHits int64 `json:"cache_hits"`
 	Coalesced int64 `json:"coalesced"`
-	// Rejected counts admission failures (overload or draining); Expired
-	// counts waiters whose own deadline fired before their traversal.
-	Rejected int64 `json:"rejected"`
-	Expired  int64 `json:"expired"`
+	// Rejected counts admission failures (overload, breaker, draining);
+	// Expired counts waiters whose own deadline fired before their
+	// traversal; Abandoned the queued flights released early because
+	// their last waiter left; Shed the queued flights dropped
+	// oldest-first to admit fresh work under overload.
+	Rejected  int64 `json:"rejected"`
+	Expired   int64 `json:"expired"`
+	Abandoned int64 `json:"abandoned"`
+	Shed      int64 `json:"shed"`
 	// Sweeps counts multi-source batch executions; BatchedQueries the
 	// queries they served; EngineRuns the per-source fallback runs.
 	Sweeps         int64 `json:"sweeps"`
 	BatchedQueries int64 `json:"batched_queries"`
 	EngineRuns     int64 `json:"engine_runs"`
+	// Containment: BreakerRejected counts queries failed fast by an open
+	// breaker; WatchdogFired the dispatch rounds hard-cancelled past
+	// their wall-clock budget; PanicsRecovered the traversals that died
+	// mid-run and were converted to typed errors; EnginesRetired the
+	// poisoned engines quarantined out of their pools.
+	BreakerRejected int64 `json:"breaker_rejected"`
+	WatchdogFired   int64 `json:"watchdog_fired"`
+	PanicsRecovered int64 `json:"panics_recovered"`
+	EnginesRetired  int64 `json:"engines_retired"`
+	// Lifecycle: loads/unloads/evictions of resident graphs.
+	GraphLoads       int64 `json:"graph_loads"`
+	GraphLoadsFailed int64 `json:"graph_loads_failed"`
+	GraphUnloads     int64 `json:"graph_unloads"`
+	GraphEvictions   int64 `json:"graph_evictions"`
+	ResidentBytes    int64 `json:"resident_bytes"`
 	// QueueDepth is the current admitted-but-unresolved count.
-	QueueDepth int `json:"queue_depth"`
+	QueueDepth int  `json:"queue_depth"`
 	Draining   bool `json:"draining"`
 }
 
 // Stats returns a snapshot of the service counters.
 func (s *Service) Stats() StatsSnapshot {
 	return StatsSnapshot{
-		Requests:       s.stats.requests.Load(),
-		CacheHits:      s.stats.cacheHits.Load(),
-		Coalesced:      s.stats.coalesced.Load(),
-		Rejected:       s.stats.rejected.Load(),
-		Expired:        s.stats.expired.Load(),
-		Sweeps:         s.stats.sweeps.Load(),
-		BatchedQueries: s.stats.batchedQueries.Load(),
-		EngineRuns:     s.stats.engineRuns.Load(),
-		QueueDepth:     s.QueueDepth(),
-		Draining:       s.Draining(),
+		Requests:         s.stats.requests.Load(),
+		CacheHits:        s.stats.cacheHits.Load(),
+		Coalesced:        s.stats.coalesced.Load(),
+		Rejected:         s.stats.rejected.Load(),
+		Expired:          s.stats.expired.Load(),
+		Abandoned:        s.stats.abandoned.Load(),
+		Shed:             s.stats.shed.Load(),
+		Sweeps:           s.stats.sweeps.Load(),
+		BatchedQueries:   s.stats.batchedQueries.Load(),
+		EngineRuns:       s.stats.engineRuns.Load(),
+		BreakerRejected:  s.stats.breakerRejected.Load(),
+		WatchdogFired:    s.stats.watchdogFired.Load(),
+		PanicsRecovered:  s.stats.panicsRecovered.Load(),
+		EnginesRetired:   s.stats.enginesRetired.Load(),
+		GraphLoads:       s.stats.graphLoads.Load(),
+		GraphLoadsFailed: s.stats.graphLoadsFailed.Load(),
+		GraphUnloads:     s.stats.graphUnloads.Load(),
+		GraphEvictions:   s.stats.graphEvictions.Load(),
+		ResidentBytes:    s.ResidentBytes(),
+		QueueDepth:       s.QueueDepth(),
+		Draining:         s.Draining(),
 	}
 }
