@@ -220,14 +220,37 @@ type transposeEntry struct {
 var transposes sync.Map // *graph.Graph -> *transposeEntry
 
 // InAdjacency returns the transpose of g, building it in parallel on
-// first use and caching it per graph identity for the process lifetime.
+// first use and caching it per graph identity until ReleaseInAdjacency.
 // All hybrid engines over the same *graph.Graph — notably a serve pool —
 // share one transpose, and concurrent first calls build it exactly once.
+//
+// The cache keys on graph identity, so it pins both g and its transpose
+// until released: long-lived processes that retire graphs (unload, LRU
+// eviction, atomic replacement) MUST call ReleaseInAdjacency on the
+// outgoing graph or both CSRs stay reachable forever.
 func InAdjacency(g *graph.Graph) *graph.Graph {
 	v, _ := transposes.LoadOrStore(g, &transposeEntry{})
 	e := v.(*transposeEntry)
 	e.once.Do(func() { e.in = g.TransposeParallel(0) })
 	return e.in
+}
+
+// ReleaseInAdjacency drops the cached transpose of g, unpinning g and
+// its transpose for the garbage collector. It reports whether an entry
+// existed. Callers still holding the transpose pointer may keep using
+// it; a later InAdjacency on the same graph simply rebuilds.
+func ReleaseInAdjacency(g *graph.Graph) bool {
+	_, ok := transposes.LoadAndDelete(g)
+	return ok
+}
+
+// InAdjacencyCached reports whether a transpose of g is currently
+// cached (including one still being built). It exists so lifecycle
+// layers can regression-test that retiring a graph released its
+// transpose.
+func InAdjacencyCached(g *graph.Graph) bool {
+	_, ok := transposes.Load(g)
+	return ok
 }
 
 // Result is a traversal outcome; see core.Result for field semantics.

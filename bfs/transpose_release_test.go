@@ -1,0 +1,73 @@
+package bfs
+
+// White-box regression tests for the per-graph transpose cache: before
+// ReleaseInAdjacency existed, the package-level sync.Map pinned every
+// graph that ever ran a hybrid traversal — and its transpose — for the
+// process lifetime, so serving daemons leaked both CSRs on every
+// unload/eviction.
+
+import (
+	"testing"
+
+	"fastbfs/graph"
+	"fastbfs/graph/gen"
+)
+
+// transposeCount counts live entries in the package cache.
+func transposeCount() int {
+	n := 0
+	transposes.Range(func(any, any) bool { n++; return true })
+	return n
+}
+
+func TestReleaseInAdjacency(t *testing.T) {
+	g1, err := gen.UniformRandom(500, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := gen.UniformRandom(500, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := transposeCount()
+
+	in1 := InAdjacency(g1)
+	InAdjacency(g2)
+	if got := transposeCount(); got != base+2 {
+		t.Fatalf("cache holds %d entries after 2 InAdjacency calls, want %d", got, base+2)
+	}
+	if !InAdjacencyCached(g1) || !InAdjacencyCached(g2) {
+		t.Fatal("InAdjacencyCached false for cached graphs")
+	}
+
+	if !ReleaseInAdjacency(g1) {
+		t.Fatal("ReleaseInAdjacency found no entry for g1")
+	}
+	if InAdjacencyCached(g1) {
+		t.Fatal("g1 still cached after release")
+	}
+	if got := transposeCount(); got != base+1 {
+		t.Fatalf("cache holds %d entries after release, want %d — the map did not shrink", got, base+1)
+	}
+	if ReleaseInAdjacency(g1) {
+		t.Fatal("second release of g1 claimed to find an entry")
+	}
+
+	// A rebuilt transpose after release must be a fresh, equivalent CSR.
+	in1b := InAdjacency(g1)
+	if in1b == in1 {
+		t.Fatal("InAdjacency after release returned the released transpose")
+	}
+	if in1b.NumEdges() != in1.NumEdges() || in1b.NumVertices() != in1.NumVertices() {
+		t.Fatal("rebuilt transpose differs from original")
+	}
+
+	ReleaseInAdjacency(g1)
+	ReleaseInAdjacency(g2)
+	if got := transposeCount(); got != base {
+		t.Fatalf("cache holds %d entries after releasing all, want %d", got, base)
+	}
+	if ReleaseInAdjacency(&graph.Graph{}) {
+		t.Fatal("release of a never-cached graph claimed to find an entry")
+	}
+}

@@ -28,6 +28,15 @@
 // SIGINT/SIGTERM starts a graceful drain: /healthz flips to 503 so load
 // balancers stop routing here, new queries are rejected, admitted ones
 // finish (up to -draintimeout), then the process exits.
+//
+// With -state-dir the control plane is durable: every acknowledged
+// load/unload (including file graphs given with -graph) is journaled —
+// fsync'd before the HTTP 200 — and a restart replays the journal to
+// restore the exact pre-crash graph set, tolerating a torn journal
+// tail from a mid-write crash. /readyz stays 503 until recovery
+// completes. -mmap serves graph files from read-only mappings so a warm
+// restart is bounded by page cache rather than re-parsing; results are
+// byte-identical and the CRC footer is still verified.
 package main
 
 import (
@@ -45,7 +54,6 @@ import (
 	"time"
 
 	"fastbfs/bfs"
-	"fastbfs/graph"
 	"fastbfs/graph/gen"
 	"fastbfs/serve"
 )
@@ -83,6 +91,9 @@ func main() {
 	breakerCooldown := flag.Duration("breaker-cooldown", time.Second, "open-breaker cooldown before a half-open probe is admitted")
 	watchdogMult := flag.Int("watchdog-mult", 4, "hard-cancel a traversal after this multiple of its deadline budget (negative disables)")
 	shedTarget := flag.Duration("shed-target", 500*time.Millisecond, "queue sojourn past which the oldest queued query is shed under overload (negative disables)")
+	stateDir := flag.String("state-dir", "", "durable control plane: journal graph load/unload mutations here and recover them at startup (empty = stateless, restart forgets loaded graphs)")
+	snapshotEvery := flag.Int("snapshot-every", serve.DefaultSnapshotEvery, "compact the state-dir journal into a snapshot after this many records")
+	mmapLoads := flag.Bool("mmap", false, "load graph files via read-only mmap: warm restarts hit page cache instead of re-parsing (CRC footer still verified)")
 	flag.Parse()
 
 	opts := bfs.Default(*sockets)
@@ -104,21 +115,42 @@ func main() {
 		BreakerCooldown:  *breakerCooldown,
 		WatchdogMult:     *watchdogMult,
 		ShedTarget:       *shedTarget,
+		StateDir:         *stateDir,
+		SnapshotEvery:    *snapshotEvery,
+		MmapLoads:        *mmapLoads,
 	})
 
-	if err := loadGraphs(svc, graphs, *genKind, *name, *n, *degree, *scale, *edgeFactor, *seed); err != nil {
-		log.Fatalf("bfsd: %v", err)
-	}
-	for _, gi := range svc.Graphs() {
-		log.Printf("serving graph %q: %d vertices, %d edges", gi.Name, gi.Vertices, gi.Edges)
-	}
-
+	// The listener comes up before recovery so /readyz is observable
+	// (503) while the journal replays; load balancers route only after
+	// the pre-crash graph set is back.
 	server := &http.Server{Addr: *addr, Handler: serve.NewHandler(svc)}
 	errCh := make(chan error, 1)
 	go func() {
 		log.Printf("listening on %s", *addr)
 		errCh <- server.ListenAndServe()
 	}()
+
+	if *stateDir != "" {
+		sum, err := svc.Recover()
+		if err != nil {
+			log.Fatalf("bfsd: recovering state dir %s: %v", *stateDir, err)
+		}
+		log.Printf("recovered %d graph(s) from %s in %v (journal seq %d, %d records since snapshot)",
+			len(sum.Graphs), *stateDir, sum.Duration.Round(time.Millisecond), sum.Journal.Seq, sum.Journal.Records)
+		for _, name := range sum.Failed {
+			log.Printf("WARNING: journaled graph %q could not be reloaded; serving without it", name)
+		}
+		if sum.Journal.TornBytes > 0 {
+			log.Printf("journal tail was torn: truncated %d bytes (crash mid-append)", sum.Journal.TornBytes)
+		}
+	}
+
+	if err := loadGraphs(svc, graphs, *genKind, *name, *n, *degree, *scale, *edgeFactor, *seed, *stateDir != ""); err != nil {
+		log.Fatalf("bfsd: %v", err)
+	}
+	for _, gi := range svc.Graphs() {
+		log.Printf("serving graph %q: %d vertices, %d edges (mapped=%v)", gi.Name, gi.Vertices, gi.Edges, gi.Mapped)
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
@@ -143,19 +175,19 @@ func main() {
 }
 
 // loadGraphs registers every -graph file and/or the generated graph.
-func loadGraphs(svc *serve.Service, graphs graphFlags, genKind, name string, n, degree, scale, edgeFactor int, seed uint64) error {
+// File graphs go through the service's load path, so -mmap applies and,
+// in durable mode, they are journaled like any other load (a restart
+// without the flags still serves them). Generated graphs have no file
+// to reload from and stay in-memory only.
+func loadGraphs(svc *serve.Service, graphs graphFlags, genKind, name string, n, degree, scale, edgeFactor int, seed uint64, durable bool) error {
 	for _, spec := range graphs {
 		gname, path, ok := strings.Cut(spec, "=")
 		if !ok {
 			path = spec
 			gname = strings.TrimSuffix(filepath.Base(path), filepath.Ext(path))
 		}
-		g, err := graph.Load(path)
-		if err != nil {
+		if _, err := svc.LoadGraph(gname, path); err != nil {
 			return fmt.Errorf("loading %q: %w", path, err)
-		}
-		if err := svc.AddGraph(gname, g); err != nil {
-			return err
 		}
 	}
 	switch genKind {
@@ -180,6 +212,12 @@ func loadGraphs(svc *serve.Service, graphs graphFlags, genKind, name string, n, 
 		return fmt.Errorf("unknown -gen kind %q", genKind)
 	}
 	if len(svc.Graphs()) == 0 {
+		if durable {
+			// A durable daemon may legitimately cold-boot empty and be
+			// populated through POST /graphs/load.
+			log.Printf("no graphs yet; load them via POST /graphs/load")
+			return nil
+		}
 		return errors.New("no graphs: pass -graph and/or -gen")
 	}
 	return nil

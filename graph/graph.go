@@ -45,7 +45,20 @@ type Graph struct {
 	Offsets []int64
 	// Neighbors stores the concatenated adjacency lists.
 	Neighbors []uint32
+
+	// mappedBytes, when non-zero, records that the CSR arrays alias a
+	// read-only file mapping of this many bytes (see LoadMmap). The
+	// mapping is released by a finalizer once the Graph is unreachable,
+	// so a mapped graph must never be mutated and its slices must not
+	// outlive the Graph value they came from.
+	mappedBytes int64
 }
+
+// MappedBytes reports the size of the read-only file mapping backing
+// this graph's CSR arrays, or 0 for a heap-allocated graph. Serving
+// layers use it to account mapped versus heap residency: mapped bytes
+// are reclaimable page cache, heap bytes are not.
+func (g *Graph) MappedBytes() int64 { return g.mappedBytes }
 
 // NumVertices returns the number of vertices.
 func (g *Graph) NumVertices() int {

@@ -1,0 +1,10 @@
+//go:build !unix
+
+package graph
+
+// LoadMmap falls back to the heap loader on platforms without a usable
+// mmap: results are identical, only the residency behavior differs
+// (MappedBytes reports 0).
+func LoadMmap(path string) (*Graph, error) {
+	return Load(path)
+}

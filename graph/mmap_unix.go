@@ -1,0 +1,118 @@
+//go:build unix
+
+package graph
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"runtime"
+	"syscall"
+	"unsafe"
+)
+
+// LoadMmap loads a CSR graph file by mapping it read-only instead of
+// decoding it onto the heap: the returned graph's Offsets and Neighbors
+// slices alias the mapping directly, so a warm restart is bounded by
+// page-cache hits rather than a full re-parse, and the kernel may
+// reclaim cold pages under memory pressure. The CRC32 footer (when
+// present) is verified over the mapped bytes before the graph is
+// returned, and traversal results are byte-identical to a heap load —
+// the on-disk arrays ARE the in-memory arrays.
+//
+// The file must not be modified or truncated while mapped (the mapping
+// is MAP_SHARED; external writes would corrupt a verified graph, and
+// truncation turns reads into SIGBUS). The mapping is released by a
+// finalizer when the Graph becomes unreachable.
+//
+// On big-endian hosts (where the on-disk little-endian arrays cannot be
+// aliased) this transparently falls back to the heap loader.
+func LoadMmap(path string) (*Graph, error) {
+	if !hostLittleEndian() {
+		return Load(path)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	size := st.Size()
+	if size < int64(headerLen) {
+		return nil, fmt.Errorf("graph: mmap %s: %d bytes is shorter than a CSR header", path, size)
+	}
+	if size > int64(^uint(0)>>1) {
+		return nil, fmt.Errorf("graph: mmap %s: file size %d overflows the address space", path, size)
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, fmt.Errorf("graph: mmap %s: %w", path, err)
+	}
+	g, err := decodeMapped(data)
+	if err != nil {
+		_ = syscall.Munmap(data)
+		return nil, fmt.Errorf("graph: mmap %s: %w", path, err)
+	}
+	g.mappedBytes = size
+	runtime.SetFinalizer(g, func(*Graph) { _ = syscall.Munmap(data) })
+	return g, nil
+}
+
+// decodeMapped builds a Graph whose slices alias the mapped file bytes,
+// after validating the header, the exact payload length, the CRC32
+// footer and the structural invariants. It allocates nothing per edge.
+func decodeMapped(data []byte) (*Graph, error) {
+	if string(data[:len(csrMagic)]) != csrMagic {
+		return nil, fmt.Errorf("graph: bad magic %q", data[:len(csrMagic)])
+	}
+	v := binary.LittleEndian.Uint64(data[len(csrMagic):])
+	e := binary.LittleEndian.Uint64(data[len(csrMagic)+8:])
+	if v > MaxVertices {
+		return nil, fmt.Errorf("graph: vertex count %d exceeds MaxVertices", v)
+	}
+	if e > MaxStreamEdges {
+		return nil, fmt.Errorf("graph: edge count %d exceeds MaxStreamEdges", e)
+	}
+	need := uint64(headerLen) + 8*(v+1) + 4*e
+	switch trailing := uint64(len(data)) - need; {
+	case uint64(len(data)) < need:
+		return nil, fmt.Errorf("graph: header declares %d vertices / %d edges (%d bytes) but file holds %d",
+			v, e, need, len(data))
+	case trailing == 0:
+		// Legacy footerless file: nothing to verify.
+	case trailing == uint64(footerLen):
+		foot := data[need:]
+		if string(foot[4:]) != crcMagic {
+			return nil, fmt.Errorf("graph: unrecognized trailing data %q (corrupt checksum footer?)", foot)
+		}
+		if want, sum := binary.LittleEndian.Uint32(foot), crc32.ChecksumIEEE(data[:need]); want != sum {
+			return nil, fmt.Errorf("%w: footer declares %#08x, payload hashes to %#08x", ErrChecksum, want, sum)
+		}
+	default:
+		return nil, fmt.Errorf("graph: %d unrecognized trailing bytes after the CSR arrays", trailing)
+	}
+	// The offsets start at byte 24 of a page-aligned mapping, so the
+	// int64 view is 8-aligned; the neighbor view after 8*(v+1) more
+	// bytes stays 4-aligned.
+	offsets := unsafe.Slice((*int64)(unsafe.Pointer(&data[headerLen])), v+1)
+	var neighbors []uint32
+	if e > 0 {
+		neighbors = unsafe.Slice((*uint32)(unsafe.Pointer(&data[uint64(headerLen)+8*(v+1)])), e)
+	}
+	g := &Graph{Offsets: offsets, Neighbors: neighbors}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// hostLittleEndian reports whether multi-byte integers can alias the
+// file's little-endian encoding directly.
+func hostLittleEndian() bool {
+	var x uint16 = 1
+	return *(*byte)(unsafe.Pointer(&x)) == 1
+}

@@ -23,7 +23,8 @@ const maxRequestBody = 1 << 20
 //	                       in progress, and every circuit breaker closed;
 //	                       503 with the full ReadyState otherwise
 //	GET  /graphs         — resident graphs with sizes and breaker states
-//	POST /graphs/load    — {"name","path"}: load or atomically replace
+//	POST /graphs/load    — {"name","path","mmap"?}: load or atomically
+//	                       replace; journaled first in durable mode
 //	POST /graphs/unload  — {"name"}: remove a graph from serving
 //	GET  /stats          — StatsSnapshot
 //
@@ -77,6 +78,9 @@ func NewHandler(s *Service) http.Handler {
 		var req struct {
 			Name string `json:"name"`
 			Path string `json:"path"`
+			// Mmap overrides the service's default load mode: map the
+			// file read-only instead of decoding it onto the heap.
+			Mmap *bool `json:"mmap,omitempty"`
 		}
 		dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBody))
 		dec.DisallowUnknownFields()
@@ -88,7 +92,7 @@ func NewHandler(s *Service) http.Handler {
 			writeError(w, http.StatusBadRequest, "missing graph path")
 			return
 		}
-		info, err := s.LoadGraph(req.Name, req.Path)
+		info, err := s.LoadGraphOptions(req.Name, req.Path, LoadOptions{Mmap: req.Mmap})
 		if err != nil {
 			writeError(w, statusFor(err), err.Error())
 			return
@@ -133,6 +137,7 @@ func statusFor(err error) int {
 		return http.StatusInsufficientStorage
 	case errors.Is(err, ErrBreakerOpen),
 		errors.Is(err, ErrDraining),
+		errors.Is(err, ErrNotRecovered),
 		errors.Is(err, bfs.ErrEngineBusy):
 		return http.StatusServiceUnavailable
 	case errors.Is(err, ErrWatchdog), errors.Is(err, context.DeadlineExceeded):

@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"time"
 
 	"fastbfs/graph"
 )
@@ -56,36 +57,64 @@ func graphResidentBytes(g *graph.Graph) int64 {
 	return 8*int64(len(g.Offsets)) + 4*int64(len(g.Neighbors))
 }
 
+// ErrNotRecovered rejects durable mutations on a StateDir service whose
+// Recover has not run yet: journaling before replay would interleave new
+// records into an un-replayed journal.
+var ErrNotRecovered = errors.New("serve: state dir configured but Recover has not completed")
+
+// LoadOptions selects how LoadGraphOptions materializes a graph file.
+type LoadOptions struct {
+	// Mmap maps the file read-only (graph.LoadMmap) instead of decoding
+	// it onto the heap; nil means Config.MmapLoads decides.
+	Mmap *bool
+}
+
 // LoadGraph reads a CSR graph file and makes it queryable under name,
-// atomically replacing any existing graph of that name. Decoding and
-// validation (structure and CRC32 footer) happen before the swap, so a
-// corrupt or truncated file never disturbs serving — the typed
+// atomically replacing any existing graph of that name, using the
+// service's default load mode.
+func (s *Service) LoadGraph(name, path string) (GraphInfo, error) {
+	return s.LoadGraphOptions(name, path, LoadOptions{})
+}
+
+// LoadGraphOptions reads a CSR graph file and makes it queryable under
+// name, atomically replacing any existing graph of that name. Decoding
+// and validation (structure and CRC32 footer) happen before the swap,
+// so a corrupt or truncated file never disturbs serving — the typed
 // *LoadError tells the caller why. Loads count into /readyz's loading
 // state but do not block queries.
-func (s *Service) LoadGraph(name, path string) (GraphInfo, error) {
+//
+// In durable mode (Config.StateDir) the load is journaled — written and
+// fsync'd — before the serving table changes; a success return
+// therefore means the graph survives any subsequent crash and restart.
+func (s *Service) LoadGraphOptions(name, path string, opt LoadOptions) (GraphInfo, error) {
 	if name == "" {
 		return GraphInfo{}, fmt.Errorf("%w: empty graph name", ErrBadRequest)
 	}
 	if s.Draining() {
 		return GraphInfo{}, ErrDraining
 	}
+	if s.cfg.StateDir != "" && s.recovering.Load() {
+		return GraphInfo{}, ErrNotRecovered
+	}
 	s.loading.Add(1)
 	defer s.loading.Add(-1)
 
-	f, err := os.Open(path)
-	if err != nil {
-		s.stats.graphLoadsFailed.Add(1)
-		return GraphInfo{}, &LoadError{Name: name, Path: path, Err: err}
+	mmap := s.cfg.MmapLoads
+	if opt.Mmap != nil {
+		mmap = *opt.Mmap
 	}
-	g, err := graph.ReadFrom(s.chaosLoadReader(f))
-	f.Close()
+	g, err := s.loadGraphFile(path, mmap)
 	if err != nil {
 		s.stats.graphLoadsFailed.Add(1)
 		return GraphInfo{}, &LoadError{Name: name, Path: path, Err: err}
 	}
 
 	s.mu.Lock()
-	err = s.registerGraphLocked(name, g, true)
+	var spec *GraphSpec
+	if s.manifest != nil {
+		spec = &GraphSpec{Name: name, Path: path, Mmap: mmap}
+	}
+	err = s.registerGraphLocked(name, g, true, spec)
 	var info GraphInfo
 	if err == nil {
 		gs := s.graphs[name]
@@ -94,6 +123,7 @@ func (s *Service) LoadGraph(name, path string) (GraphInfo, error) {
 			Vertices:      gs.g.NumVertices(),
 			Edges:         gs.g.NumEdges(),
 			ResidentBytes: gs.resident,
+			Mapped:        gs.mapped,
 			Breaker:       BreakerClosed,
 		}
 	}
@@ -106,9 +136,27 @@ func (s *Service) LoadGraph(name, path string) (GraphInfo, error) {
 	return info, nil
 }
 
+// loadGraphFile materializes one graph file, either mapped read-only or
+// decoded onto the heap. Both paths verify the CRC footer and the
+// structural invariants; they differ only in residency.
+func (s *Service) loadGraphFile(path string, mmap bool) (*graph.Graph, error) {
+	if mmap {
+		return graph.LoadMmap(path)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return graph.ReadFrom(s.chaosLoadReader(f))
+}
+
 // UnloadGraph removes a graph from the serving table. In-flight
 // queries against it complete normally on the detached state; new
-// queries get ErrUnknownGraph.
+// queries get ErrUnknownGraph. In durable mode the unload is journaled
+// before the table changes: if the record cannot be made durable the
+// graph stays loaded and the caller gets the journal error, so the
+// serving table never silently diverges from what a restart restores.
 func (s *Service) UnloadGraph(name string) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -116,10 +164,81 @@ func (s *Service) UnloadGraph(name string) error {
 	if gs == nil {
 		return fmt.Errorf("%w: %q", ErrUnknownGraph, name)
 	}
+	if s.manifest != nil && s.manifest.Contains(name) {
+		if err := s.manifest.AppendUnload(name); err != nil {
+			return fmt.Errorf("serve: unload %q not durable: %w", name, err)
+		}
+	}
 	delete(s.graphs, name)
-	s.resident -= gs.resident
+	s.retireLocked(gs)
 	s.stats.graphUnloads.Add(1)
 	return nil
+}
+
+// RecoverySummary reports what Recover restored.
+type RecoverySummary struct {
+	// Graphs are the names recovered and serving, in journal order.
+	Graphs []string
+	// Failed are journaled graphs that could not be reloaded (file
+	// missing, corrupt, or over budget); the service boots without
+	// them rather than refusing to start.
+	Failed []string
+	// Duration is the wall time recovery took, including graph loads.
+	Duration time.Duration
+	// Journal is the manifest state after replay.
+	Journal ManifestStats
+}
+
+// Recover opens the manifest under Config.StateDir and restores the
+// durable serving table: snapshot + journal are replayed (a torn or
+// corrupt journal tail is truncated, never fatal) and every recorded
+// graph is reloaded in its recorded mode (mmap or heap). Until Recover
+// returns the service reports not Ready and rejects durable mutations;
+// queries against already-restored graphs are answered during recovery.
+//
+// A graph whose file cannot be reloaded is skipped and reported in the
+// summary — recovery restores as much of the pre-crash table as the
+// filesystem still supports, and never refuses to boot. On a service
+// without a StateDir, Recover is a no-op.
+func (s *Service) Recover() (RecoverySummary, error) {
+	if s.cfg.StateDir == "" {
+		return RecoverySummary{}, nil
+	}
+	start := time.Now()
+	s.mu.Lock()
+	if s.manifest != nil {
+		s.mu.Unlock()
+		return RecoverySummary{}, errors.New("serve: Recover called twice")
+	}
+	m, err := OpenManifest(s.cfg.StateDir, s.cfg.SnapshotEvery)
+	if err != nil {
+		s.mu.Unlock()
+		return RecoverySummary{}, err
+	}
+	s.manifest = m
+	s.mu.Unlock()
+
+	var sum RecoverySummary
+	for _, spec := range m.State() {
+		g, err := s.loadGraphFile(spec.Path, spec.Mmap)
+		if err == nil {
+			s.mu.Lock()
+			// Already journaled — spec nil keeps replay idempotent.
+			err = s.registerGraphLocked(spec.Name, g, true, nil)
+			s.mu.Unlock()
+		}
+		if err != nil {
+			s.stats.graphLoadsFailed.Add(1)
+			sum.Failed = append(sum.Failed, spec.Name)
+			continue
+		}
+		sum.Graphs = append(sum.Graphs, spec.Name)
+	}
+	s.recovering.Store(false)
+	sum.Duration = time.Since(start)
+	s.recoveryDur.Store(int64(sum.Duration))
+	sum.Journal = m.Stats()
+	return sum, nil
 }
 
 // GraphReady is one graph's contribution to readiness.
@@ -135,9 +254,13 @@ type GraphReady struct {
 // breaker is closed — unlike /healthz, which only says the process is
 // up and not draining.
 type ReadyState struct {
-	Ready         bool         `json:"ready"`
-	Draining      bool         `json:"draining"`
-	Loading       int          `json:"loading"`
+	Ready    bool `json:"ready"`
+	Draining bool `json:"draining"`
+	Loading  int  `json:"loading"`
+	// Recovering is true on a durable (StateDir) service until Recover
+	// has replayed the journal and reloaded the recorded graphs; load
+	// balancers must not route here before then.
+	Recovering    bool         `json:"recovering,omitempty"`
 	ResidentBytes int64        `json:"resident_bytes"`
 	Graphs        []GraphReady `json:"graphs"`
 }
@@ -149,10 +272,11 @@ func (s *Service) Ready() ReadyState {
 	rs := ReadyState{
 		Draining:      s.draining,
 		Loading:       int(s.loading.Load()),
+		Recovering:    s.recovering.Load(),
 		ResidentBytes: s.resident,
 		Graphs:        make([]GraphReady, 0, len(s.graphs)),
 	}
-	ready := !rs.Draining && rs.Loading == 0
+	ready := !rs.Draining && rs.Loading == 0 && !rs.Recovering
 	for _, gs := range s.graphs {
 		state, opens := gs.breaker.snapshot()
 		if state != BreakerClosed {

@@ -1,0 +1,495 @@
+// Durable control plane: a crash-recoverable record of which graphs the
+// service is meant to be serving, kept under a state directory so that a
+// restart — graceful or SIGKILL — restores the exact acknowledged
+// serving table instead of an empty one.
+//
+// Two files live in the state dir:
+//
+//	manifest.log   append-only journal of admin mutations
+//	manifest.snap  snapshot of the full graph set at some journal seq
+//
+// The journal starts with an 8-byte magic and then holds framed records:
+//
+//	length  uint32  payload bytes (bounded by maxManifestRecord)
+//	crc     uint32  CRC32 (IEEE) of the payload
+//	payload []byte  JSON manifestRecord {seq, op, name, path, mmap}
+//
+// Every append is written and fsync'd before the mutation is
+// acknowledged, so an acked load/unload survives any later crash. A
+// crash mid-append leaves a torn tail: on open the journal is scanned
+// record by record and truncated at the first frame that is short,
+// oversized, CRC-mismatched, non-JSON or out of sequence — recovery
+// keeps the longest valid prefix and NEVER refuses to boot.
+//
+// Snapshot compaction: after SnapshotEvery appended records the full
+// graph set is written to manifest.snap.tmp, fsync'd, renamed over
+// manifest.snap (atomic on POSIX), the directory fsync'd, and only then
+// is the journal truncated back to its magic. A crash between the
+// rename and the truncate is harmless: journal records with seq <= the
+// snapshot's seq are skipped during replay.
+package serve
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+)
+
+const (
+	manifestMagic = "FBFSMAN1"
+	snapshotMagic = "FBFSSNP1"
+
+	journalName  = "manifest.log"
+	snapshotName = "manifest.snap"
+
+	// maxManifestRecord bounds one framed payload; records are small
+	// JSON objects, so anything larger is a corrupt length field.
+	maxManifestRecord = 1 << 20
+
+	// DefaultSnapshotEvery is the compaction threshold when
+	// Config.SnapshotEvery is zero.
+	DefaultSnapshotEvery = 64
+)
+
+// Manifest operations, as recorded in the journal.
+const (
+	opLoad   = "load"
+	opUnload = "unload"
+)
+
+// GraphSpec is one durable graph registration: enough to reload the
+// graph after a restart. Generated (in-memory) graphs have no path and
+// are not journaled.
+type GraphSpec struct {
+	Name string `json:"name"`
+	Path string `json:"path"`
+	Mmap bool   `json:"mmap,omitempty"`
+}
+
+// manifestRecord is one journal entry. Seq is assigned at append time
+// and is strictly increasing across the journal's lifetime (snapshots
+// remember the last seq they cover).
+type manifestRecord struct {
+	Seq uint64 `json:"seq"`
+	Op  string `json:"op"`
+	GraphSpec
+}
+
+// manifestSnapshot is the manifest.snap payload.
+type manifestSnapshot struct {
+	Seq    uint64      `json:"seq"`
+	Taken  time.Time   `json:"taken"`
+	Graphs []GraphSpec `json:"graphs"`
+}
+
+// ManifestStats is the observable state of a manifest, surfaced through
+// /stats.
+type ManifestStats struct {
+	// Seq is the last durably appended record's sequence number.
+	Seq uint64 `json:"journal_seq"`
+	// Records is the journal length: records appended since the last
+	// snapshot (what a restart must replay).
+	Records int `json:"journal_records"`
+	// SnapshotSeq is the seq covered by manifest.snap (0 = none).
+	SnapshotSeq uint64 `json:"snapshot_seq"`
+	// SnapshotAt is when the snapshot was taken (zero = none).
+	SnapshotAt time.Time `json:"snapshot_at"`
+	// TornBytes counts journal bytes dropped at open because the tail
+	// was torn or corrupt (0 after a clean shutdown).
+	TornBytes int64 `json:"torn_bytes"`
+}
+
+// Manifest is the durable graph registry: an open journal plus the
+// in-memory graph set it implies. All methods are safe for concurrent
+// use; appends serialize on an internal mutex (admin mutations are rare
+// and each pays one fsync).
+type Manifest struct {
+	mu   sync.Mutex
+	dir  string
+	f    *os.File // journal, positioned at its end
+	size int64    // current journal byte length
+
+	seq      uint64 // last durable seq
+	snapSeq  uint64
+	snapAt   time.Time
+	records  int // journal records since snapshot
+	every    int // compaction threshold
+	torn     int64
+	order    []string // graph names in first-load order
+	state    map[string]GraphSpec
+	closed   bool
+	compactE error // last compaction failure (appends still durable)
+}
+
+// OpenManifest opens (creating if needed) the durable manifest under
+// dir, replaying snapshot + journal. A torn or corrupt journal tail is
+// truncated to the last valid record; a missing or unreadable snapshot
+// is treated as empty. Only real I/O failures (unusable directory,
+// unwritable journal) return an error.
+func OpenManifest(dir string, snapshotEvery int) (*Manifest, error) {
+	if snapshotEvery <= 0 {
+		snapshotEvery = DefaultSnapshotEvery
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("serve: manifest: %w", err)
+	}
+	m := &Manifest{
+		dir:   dir,
+		every: snapshotEvery,
+		state: make(map[string]GraphSpec),
+	}
+	m.loadSnapshot()
+
+	f, err := os.OpenFile(filepath.Join(dir, journalName), os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("serve: manifest: %w", err)
+	}
+	m.f = f
+	if err := m.replayJournal(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return m, nil
+}
+
+// loadSnapshot reads manifest.snap into m.state. The snapshot is
+// written atomically (tmp + rename), so a damaged one means storage
+// rot; per the never-refuse-to-boot rule it is ignored and recovery
+// proceeds from the journal alone.
+func (m *Manifest) loadSnapshot() {
+	data, err := os.ReadFile(filepath.Join(m.dir, snapshotName))
+	if err != nil {
+		return // missing or unreadable: start empty
+	}
+	if len(data) < len(snapshotMagic)+8 || string(data[:len(snapshotMagic)]) != snapshotMagic {
+		return
+	}
+	payload, _, ok := decodeFrame(data[len(snapshotMagic):])
+	if !ok {
+		return
+	}
+	var snap manifestSnapshot
+	if json.Unmarshal(payload, &snap) != nil {
+		return
+	}
+	for _, spec := range snap.Graphs {
+		if spec.Name == "" || spec.Path == "" {
+			continue
+		}
+		m.apply(manifestRecord{Op: opLoad, GraphSpec: spec})
+	}
+	m.seq = snap.Seq
+	m.snapSeq = snap.Seq
+	m.snapAt = snap.Taken
+}
+
+// replayJournal scans the journal from the start, applies every valid
+// record with seq > snapSeq, and truncates the file at the first
+// invalid frame (the torn-tail rule). A journal whose 8-byte magic is
+// missing or wrong is unreadable as a whole and is reset to empty.
+func (m *Manifest) replayJournal() error {
+	data, err := io.ReadAll(m.f)
+	if err != nil {
+		return fmt.Errorf("serve: manifest: reading journal: %w", err)
+	}
+	if len(data) < len(manifestMagic) || string(data[:len(manifestMagic)]) != manifestMagic {
+		m.torn = int64(len(data))
+		return m.resetJournal()
+	}
+	valid := int64(len(manifestMagic)) // byte offset of the last valid frame end
+	rest := data[len(manifestMagic):]
+	for len(rest) > 0 {
+		payload, n, ok := decodeFrame(rest)
+		if !ok {
+			break
+		}
+		var rec manifestRecord
+		if json.Unmarshal(payload, &rec) != nil || rec.Seq <= m.seq {
+			// Not JSON, or sequence went backwards: corruption. The one
+			// benign backward case — records at or below the snapshot's
+			// seq left behind by a crash between snapshot rename and
+			// journal truncate — is records whose seq <= snapSeq while
+			// m.seq still equals snapSeq; those are skipped, not fatal.
+			if rec.Seq != 0 && rec.Seq <= m.snapSeq && m.seq == m.snapSeq {
+				valid += int64(n)
+				rest = rest[n:]
+				continue
+			}
+			break
+		}
+		m.apply(rec)
+		m.seq = rec.Seq
+		m.records++
+		valid += int64(n)
+		rest = rest[n:]
+	}
+	m.torn = int64(len(data)) - valid
+	if m.torn > 0 {
+		if err := m.f.Truncate(valid); err != nil {
+			return fmt.Errorf("serve: manifest: truncating torn tail: %w", err)
+		}
+		if err := m.f.Sync(); err != nil {
+			return fmt.Errorf("serve: manifest: %w", err)
+		}
+	}
+	if _, err := m.f.Seek(valid, io.SeekStart); err != nil {
+		return fmt.Errorf("serve: manifest: %w", err)
+	}
+	m.size = valid
+	return nil
+}
+
+// resetJournal rewrites the journal as empty (magic only). Used when
+// the file header itself is unreadable.
+func (m *Manifest) resetJournal() error {
+	if err := m.f.Truncate(0); err != nil {
+		return fmt.Errorf("serve: manifest: resetting journal: %w", err)
+	}
+	if _, err := m.f.WriteAt([]byte(manifestMagic), 0); err != nil {
+		return fmt.Errorf("serve: manifest: %w", err)
+	}
+	if err := m.f.Sync(); err != nil {
+		return fmt.Errorf("serve: manifest: %w", err)
+	}
+	if _, err := m.f.Seek(int64(len(manifestMagic)), io.SeekStart); err != nil {
+		return fmt.Errorf("serve: manifest: %w", err)
+	}
+	m.size = int64(len(manifestMagic))
+	return nil
+}
+
+// decodeFrame parses one framed record from the head of b, returning
+// the payload, the total frame length consumed, and whether the frame
+// was intact (length sane, payload complete, CRC matching).
+func decodeFrame(b []byte) (payload []byte, n int, ok bool) {
+	if len(b) < 8 {
+		return nil, 0, false
+	}
+	length := binary.LittleEndian.Uint32(b[0:])
+	crc := binary.LittleEndian.Uint32(b[4:])
+	if length == 0 || length > maxManifestRecord || uint64(len(b)) < 8+uint64(length) {
+		return nil, 0, false
+	}
+	payload = b[8 : 8+length]
+	if crc32.ChecksumIEEE(payload) != crc {
+		return nil, 0, false
+	}
+	return payload, 8 + int(length), true
+}
+
+// encodeFrame appends the framed payload to dst.
+func encodeFrame(dst, payload []byte) []byte {
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[0:], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:], crc32.ChecksumIEEE(payload))
+	return append(append(dst, hdr[:]...), payload...)
+}
+
+// apply folds one record into the in-memory graph set.
+func (m *Manifest) apply(rec manifestRecord) {
+	switch rec.Op {
+	case opLoad:
+		if rec.Name == "" || rec.Path == "" {
+			return
+		}
+		if _, exists := m.state[rec.Name]; !exists {
+			m.order = append(m.order, rec.Name)
+		}
+		m.state[rec.Name] = rec.GraphSpec
+	case opUnload:
+		if _, exists := m.state[rec.Name]; exists {
+			delete(m.state, rec.Name)
+			for i, n := range m.order {
+				if n == rec.Name {
+					m.order = append(m.order[:i], m.order[i+1:]...)
+					break
+				}
+			}
+		}
+	}
+	// Unknown ops are skipped: a newer writer's record must not stop an
+	// older reader from recovering the rest of the journal.
+}
+
+// Contains reports whether name is in the durable graph set. Lifecycle
+// code uses it to journal unloads/evictions only for graphs that were
+// durably loaded in the first place.
+func (m *Manifest) Contains(name string) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	_, ok := m.state[name]
+	return ok
+}
+
+// State returns the durable graph set in first-load order.
+func (m *Manifest) State() []GraphSpec {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]GraphSpec, 0, len(m.order))
+	for _, name := range m.order {
+		out = append(out, m.state[name])
+	}
+	return out
+}
+
+// Stats snapshots the manifest's observable state.
+func (m *Manifest) Stats() ManifestStats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return ManifestStats{
+		Seq:         m.seq,
+		Records:     m.records,
+		SnapshotSeq: m.snapSeq,
+		SnapshotAt:  m.snapAt,
+		TornBytes:   m.torn,
+	}
+}
+
+// AppendLoad durably records that spec's graph is (re)loaded. It
+// returns only after the record is written AND fsync'd; callers must
+// not acknowledge the mutation on error.
+func (m *Manifest) AppendLoad(spec GraphSpec) error {
+	return m.append(manifestRecord{Op: opLoad, GraphSpec: spec})
+}
+
+// AppendUnload durably records that the named graph left the serving
+// table (explicit unload or budget eviction).
+func (m *Manifest) AppendUnload(name string) error {
+	return m.append(manifestRecord{Op: opUnload, GraphSpec: GraphSpec{Name: name, Path: "-"}})
+}
+
+func (m *Manifest) append(rec manifestRecord) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return errors.New("serve: manifest: closed")
+	}
+	rec.Seq = m.seq + 1
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("serve: manifest: %w", err)
+	}
+	frame := encodeFrame(nil, payload)
+	if _, err := m.f.WriteAt(frame, m.size); err != nil {
+		// Best effort: drop the partial frame so it cannot be mistaken
+		// for a torn tail of acknowledged data.
+		_ = m.f.Truncate(m.size)
+		return fmt.Errorf("serve: manifest: appending: %w", err)
+	}
+	if err := m.f.Sync(); err != nil {
+		_ = m.f.Truncate(m.size)
+		return fmt.Errorf("serve: manifest: fsync: %w", err)
+	}
+	m.size += int64(len(frame))
+	m.seq = rec.Seq
+	m.records++
+	m.apply(rec)
+	if m.records >= m.every {
+		// Compaction failure never fails the append — the record above
+		// is already durable; the journal just stays long.
+		m.compactE = m.compactLocked()
+	}
+	return nil
+}
+
+// Compact forces snapshot compaction now (tests and ops tooling).
+func (m *Manifest) Compact() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.compactLocked()
+}
+
+// compactLocked writes the current graph set as a snapshot covering
+// m.seq, then truncates the journal. Ordering is what makes a crash at
+// any point here safe: the snapshot is durable (tmp, fsync, rename,
+// dir fsync) BEFORE any journal byte is dropped.
+func (m *Manifest) compactLocked() error {
+	snap := manifestSnapshot{
+		Seq:    m.seq,
+		Taken:  time.Now().UTC(),
+		Graphs: make([]GraphSpec, 0, len(m.order)),
+	}
+	for _, name := range m.order {
+		snap.Graphs = append(snap.Graphs, m.state[name])
+	}
+	payload, err := json.Marshal(snap)
+	if err != nil {
+		return fmt.Errorf("serve: manifest: snapshot: %w", err)
+	}
+	buf := encodeFrame([]byte(snapshotMagic), payload)
+	tmp := filepath.Join(m.dir, snapshotName+".tmp")
+	if err := writeFileSync(tmp, buf); err != nil {
+		return fmt.Errorf("serve: manifest: snapshot: %w", err)
+	}
+	if err := os.Rename(tmp, filepath.Join(m.dir, snapshotName)); err != nil {
+		return fmt.Errorf("serve: manifest: snapshot: %w", err)
+	}
+	syncDir(m.dir)
+	if err := m.f.Truncate(int64(len(manifestMagic))); err != nil {
+		return fmt.Errorf("serve: manifest: truncating journal: %w", err)
+	}
+	if err := m.f.Sync(); err != nil {
+		return fmt.Errorf("serve: manifest: %w", err)
+	}
+	m.size = int64(len(manifestMagic))
+	m.snapSeq = m.seq
+	m.snapAt = snap.Taken
+	m.records = 0
+	return nil
+}
+
+// CompactionErr reports the last background compaction failure, if any
+// (appends stay durable regardless).
+func (m *Manifest) CompactionErr() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.compactE
+}
+
+// Close releases the journal file handle. Appended records are already
+// durable; Close exists for tests and orderly shutdown.
+func (m *Manifest) Close() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return nil
+	}
+	m.closed = true
+	return m.f.Close()
+}
+
+// writeFileSync writes data to path and fsyncs it before returning.
+func writeFileSync(path string, data []byte) error {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// syncDir fsyncs a directory so a rename within it is durable. Failure
+// is ignored: some filesystems reject directory fsync, and the rename
+// itself is still ordered after the file's own fsync.
+func syncDir(dir string) {
+	d, err := os.Open(dir)
+	if err != nil {
+		return
+	}
+	_ = d.Sync()
+	_ = d.Close()
+}

@@ -164,8 +164,26 @@ type Config struct {
 	// MaxResidentBytes bounds the summed graph payload (CSR arrays)
 	// held resident. A load that would exceed it evicts idle graphs
 	// LRU-first and fails with ErrResidentBudget if still over.
-	// 0 means unlimited.
+	// 0 means unlimited. Mapped and heap graphs both count; /stats
+	// breaks the total into resident_mapped_bytes (reclaimable page
+	// cache) versus heap.
 	MaxResidentBytes int64
+	// StateDir, when non-empty, makes the control plane durable: every
+	// acknowledged admin mutation (load, unload, budget eviction) is
+	// journaled there before it is acknowledged, and Recover replays
+	// the journal at startup to restore the exact pre-crash serving
+	// table. Empty (the default) is the stateless mode: a restart
+	// forgets every loaded graph. A service built with StateDir set is
+	// not Ready and rejects durable loads until Recover has run.
+	StateDir string
+	// SnapshotEvery compacts the journal into a snapshot after this
+	// many appended records (default DefaultSnapshotEvery).
+	SnapshotEvery int
+	// MmapLoads makes LoadGraph map graph files read-only instead of
+	// decoding them onto the heap, unless the request says otherwise.
+	// Mapped loads verify the same CRC footer and traverse to byte-
+	// identical results; warm restarts are bounded by page cache.
+	MmapLoads bool
 	// Injector enables deterministic fault injection at the serving
 	// stack's chaos sites (see chaos.go and internal/faultinject).
 	// nil — the production value — disables every site.
@@ -206,6 +224,9 @@ func (c Config) withDefaults() Config {
 	if c.ShedTarget == 0 {
 		c.ShedTarget = 500 * time.Millisecond
 	}
+	if c.SnapshotEvery <= 0 {
+		c.SnapshotEvery = DefaultSnapshotEvery
+	}
 	return c
 }
 
@@ -221,12 +242,18 @@ type Service struct {
 	seq     faultinject.Sequencer
 	loading atomic.Int32 // graph loads in progress (for /readyz)
 
-	mu       sync.Mutex
-	graphs   map[string]*graphState
-	queued   int   // flights admitted and not yet resolved
-	resident int64 // summed graph payload bytes
-	draining bool
-	wg       sync.WaitGroup // live dispatcher goroutines
+	// Durable control plane (nil manifest in stateless mode).
+	recovering  atomic.Bool  // true from New until Recover completes
+	recoveryDur atomic.Int64 // wall nanos the last Recover took
+
+	mu             sync.Mutex
+	manifest       *Manifest
+	graphs         map[string]*graphState
+	queued         int   // flights admitted and not yet resolved
+	resident       int64 // summed graph payload bytes
+	residentMapped int64 // portion of resident backed by file mappings
+	draining       bool
+	wg             sync.WaitGroup // live dispatcher goroutines
 
 	stats stats
 }
@@ -241,6 +268,7 @@ type graphState struct {
 	cache    *lruCache
 	breaker  *breaker
 	resident int64
+	mapped   bool // resident bytes alias a read-only file mapping
 
 	lastUsed    time.Time
 	flights     map[uint32]*flight // in-flight + queued, by source
@@ -281,6 +309,11 @@ func New(cfg Config) *Service {
 		baseCancel: cancel,
 		graphs:     make(map[string]*graphState),
 	}
+	if cfg.StateDir != "" {
+		// Not ready (and durable loads rejected) until Recover replays
+		// the journal; see lifecycle.go.
+		s.recovering.Store(true)
+	}
 	if cfg.Injector != nil {
 		s.inj = cfg.Injector
 		prev := s.opts.StepHook
@@ -306,14 +339,18 @@ func (s *Service) AddGraph(name string, g *graph.Graph) error {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.registerGraphLocked(name, g, false)
+	return s.registerGraphLocked(name, g, false, nil)
 }
 
 // registerGraphLocked installs g under name, enforcing the resident-
 // bytes budget (evicting idle graphs LRU-first). With replace it
 // atomically swaps an existing entry: queries admitted against the old
-// state complete on the old graph; new queries see the new one.
-func (s *Service) registerGraphLocked(name string, g *graph.Graph, replace bool) error {
+// state complete on the old graph; new queries see the new one. A
+// non-nil spec makes the mutation durable: the journal record is
+// written and fsync'd BEFORE the serving table changes, so a crash at
+// any point either recovers the old table or the new one, never an
+// acknowledged-then-forgotten load.
+func (s *Service) registerGraphLocked(name string, g *graph.Graph, replace bool, spec *GraphSpec) error {
 	if s.draining {
 		return ErrDraining
 	}
@@ -334,7 +371,19 @@ func (s *Service) registerGraphLocked(name string, g *graph.Graph, replace bool)
 			}
 		}
 	}
-	s.resident += resident - oldResident
+	if spec != nil && s.manifest != nil {
+		if err := s.manifest.AppendLoad(*spec); err != nil {
+			return err // evictions above were journaled; the table is untouched
+		}
+	}
+	if old != nil {
+		s.retireLocked(old)
+	}
+	mapped := g.MappedBytes() > 0
+	s.resident += resident
+	if mapped {
+		s.residentMapped += resident
+	}
 	s.graphs[name] = &graphState{
 		name:     name,
 		g:        g,
@@ -342,14 +391,33 @@ func (s *Service) registerGraphLocked(name string, g *graph.Graph, replace bool)
 		cache:    newLRUCache(s.cfg.CacheEntries),
 		breaker:  newBreaker(s.cfg.BreakerThreshold, s.cfg.BreakerCooldown),
 		resident: resident,
+		mapped:   mapped,
 		lastUsed: time.Now(),
 		flights:  make(map[uint32]*flight),
 	}
 	return nil
 }
 
+// retireLocked releases what the service holds on behalf of a graph
+// leaving the serving table (unload, eviction or replacement): its
+// resident-bytes accounting and the process-wide cached transpose that
+// bfs.InAdjacency pins per graph identity. In-flight queries keep the
+// detached *graphState alive until their flights resolve; a mapped
+// graph's file mapping is likewise finalizer-released only once nothing
+// references it.
+func (s *Service) retireLocked(gs *graphState) {
+	s.resident -= gs.resident
+	if gs.mapped {
+		s.residentMapped -= gs.resident
+	}
+	bfs.ReleaseInAdjacency(gs.g)
+}
+
 // evictOneLocked drops the least-recently-used idle graph (no queued or
 // running flights, not the one named exclude) to free resident bytes.
+// In durable mode the eviction is journaled first; an eviction that
+// cannot be made durable does not happen (the caller's load then fails
+// on budget rather than silently diverging from the journal).
 func (s *Service) evictOneLocked(exclude string) bool {
 	var victim *graphState
 	for _, gs := range s.graphs {
@@ -363,8 +431,13 @@ func (s *Service) evictOneLocked(exclude string) bool {
 	if victim == nil {
 		return false
 	}
+	if s.manifest != nil && s.manifest.Contains(victim.name) {
+		if err := s.manifest.AppendUnload(victim.name); err != nil {
+			return false
+		}
+	}
 	delete(s.graphs, victim.name)
-	s.resident -= victim.resident
+	s.retireLocked(victim)
 	s.stats.graphEvictions.Add(1)
 	return true
 }
@@ -375,7 +448,10 @@ type GraphInfo struct {
 	Vertices      int    `json:"vertices"`
 	Edges         int64  `json:"edges"`
 	ResidentBytes int64  `json:"resident_bytes"`
-	Breaker       string `json:"breaker"`
+	// Mapped reports that ResidentBytes alias a read-only file mapping
+	// (page cache) rather than heap.
+	Mapped  bool   `json:"mapped,omitempty"`
+	Breaker string `json:"breaker"`
 }
 
 // Graphs lists the resident graphs.
@@ -390,6 +466,7 @@ func (s *Service) Graphs() []GraphInfo {
 			Vertices:      gs.g.NumVertices(),
 			Edges:         gs.g.NumEdges(),
 			ResidentBytes: gs.resident,
+			Mapped:        gs.mapped,
 			Breaker:       state,
 		})
 	}
@@ -436,14 +513,22 @@ func (s *Service) Shutdown(ctx context.Context) error {
 		s.wg.Wait()
 		close(done)
 	}()
+	var err error
 	select {
 	case <-done:
-		return nil
 	case <-ctx.Done():
 		s.baseCancel()
 		<-done
-		return ctx.Err()
+		err = ctx.Err()
 	}
+	// Every journal append was fsync'd at mutation time; Close only
+	// releases the handle.
+	s.mu.Lock()
+	if s.manifest != nil {
+		_ = s.manifest.Close()
+	}
+	s.mu.Unlock()
+	return err
 }
 
 // Query answers one request, blocking until the result, the caller's

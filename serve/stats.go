@@ -63,34 +63,61 @@ type StatsSnapshot struct {
 	GraphUnloads     int64 `json:"graph_unloads"`
 	GraphEvictions   int64 `json:"graph_evictions"`
 	ResidentBytes    int64 `json:"resident_bytes"`
+	// ResidentMappedBytes is the portion of ResidentBytes that aliases
+	// read-only file mappings (reclaimable page cache) rather than heap.
+	ResidentMappedBytes int64 `json:"resident_mapped_bytes"`
 	// QueueDepth is the current admitted-but-unresolved count.
 	QueueDepth int  `json:"queue_depth"`
 	Draining   bool `json:"draining"`
+	// Durable control plane (zero values in stateless mode): Recovering
+	// is true until startup replay completes; JournalSeq is the last
+	// durable record; JournalRecords the journal length since the last
+	// snapshot (what a restart replays); SnapshotSeq the seq the
+	// snapshot covers; RecoveryMS how long the last Recover took.
+	Recovering     bool   `json:"recovering,omitempty"`
+	JournalSeq     uint64 `json:"journal_seq,omitempty"`
+	JournalRecords int    `json:"journal_records,omitempty"`
+	SnapshotSeq    uint64 `json:"snapshot_seq,omitempty"`
+	RecoveryMS     int64  `json:"recovery_ms,omitempty"`
 }
 
 // Stats returns a snapshot of the service counters.
 func (s *Service) Stats() StatsSnapshot {
-	return StatsSnapshot{
-		Requests:         s.stats.requests.Load(),
-		CacheHits:        s.stats.cacheHits.Load(),
-		Coalesced:        s.stats.coalesced.Load(),
-		Rejected:         s.stats.rejected.Load(),
-		Expired:          s.stats.expired.Load(),
-		Abandoned:        s.stats.abandoned.Load(),
-		Shed:             s.stats.shed.Load(),
-		Sweeps:           s.stats.sweeps.Load(),
-		BatchedQueries:   s.stats.batchedQueries.Load(),
-		EngineRuns:       s.stats.engineRuns.Load(),
-		BreakerRejected:  s.stats.breakerRejected.Load(),
-		WatchdogFired:    s.stats.watchdogFired.Load(),
-		PanicsRecovered:  s.stats.panicsRecovered.Load(),
-		EnginesRetired:   s.stats.enginesRetired.Load(),
-		GraphLoads:       s.stats.graphLoads.Load(),
-		GraphLoadsFailed: s.stats.graphLoadsFailed.Load(),
-		GraphUnloads:     s.stats.graphUnloads.Load(),
-		GraphEvictions:   s.stats.graphEvictions.Load(),
-		ResidentBytes:    s.ResidentBytes(),
-		QueueDepth:       s.QueueDepth(),
-		Draining:         s.Draining(),
+	s.mu.Lock()
+	manifest := s.manifest
+	mapped := s.residentMapped
+	s.mu.Unlock()
+	snap := StatsSnapshot{
+		Requests:            s.stats.requests.Load(),
+		CacheHits:           s.stats.cacheHits.Load(),
+		Coalesced:           s.stats.coalesced.Load(),
+		Rejected:            s.stats.rejected.Load(),
+		Expired:             s.stats.expired.Load(),
+		Abandoned:           s.stats.abandoned.Load(),
+		Shed:                s.stats.shed.Load(),
+		Sweeps:              s.stats.sweeps.Load(),
+		BatchedQueries:      s.stats.batchedQueries.Load(),
+		EngineRuns:          s.stats.engineRuns.Load(),
+		BreakerRejected:     s.stats.breakerRejected.Load(),
+		WatchdogFired:       s.stats.watchdogFired.Load(),
+		PanicsRecovered:     s.stats.panicsRecovered.Load(),
+		EnginesRetired:      s.stats.enginesRetired.Load(),
+		GraphLoads:          s.stats.graphLoads.Load(),
+		GraphLoadsFailed:    s.stats.graphLoadsFailed.Load(),
+		GraphUnloads:        s.stats.graphUnloads.Load(),
+		GraphEvictions:      s.stats.graphEvictions.Load(),
+		ResidentBytes:       s.ResidentBytes(),
+		ResidentMappedBytes: mapped,
+		QueueDepth:          s.QueueDepth(),
+		Draining:            s.Draining(),
+		Recovering:          s.recovering.Load(),
+		RecoveryMS:          s.recoveryDur.Load() / 1e6,
 	}
+	if manifest != nil {
+		ms := manifest.Stats()
+		snap.JournalSeq = ms.Seq
+		snap.JournalRecords = ms.Records
+		snap.SnapshotSeq = ms.SnapshotSeq
+	}
+	return snap
 }
