@@ -1,0 +1,155 @@
+package coord
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io/fs"
+	"os"
+	"path/filepath"
+)
+
+// Checkpoint is a shard's durable per-round state: everything needed to
+// resume the round protocol after a crash. Resp holds the encoded
+// ExpandResponse of the last processed round, so a coordinator retry of
+// that round after a restart replays the identical bytes — the
+// idempotency guarantee survives the crash, not just the process.
+type Checkpoint struct {
+	Epoch  uint64
+	Round  uint32 // next round the shard expects
+	Source uint32
+	Lo, Hi uint32
+	Depth  []int32
+	Resp   []byte // encoded ExpandResponse of round Round-1; may be empty
+}
+
+const (
+	checkpointMagic = "FBFSCKP1"
+	// maxCheckpointResp bounds the cached-response field on load; a
+	// larger value is a corrupt length, not a real response.
+	maxCheckpointResp = 1 << 30
+)
+
+// ErrCheckpoint rejects a corrupt checkpoint file. Loaders treat it
+// like a missing file (fresh start) — a half-written checkpoint from a
+// crash mid-save must never block a shard from booting.
+var ErrCheckpoint = errors.New("coord: corrupt checkpoint")
+
+// checkpointPath returns the checkpoint file location inside dir.
+func checkpointPath(dir string) string { return filepath.Join(dir, "shard.ckpt") }
+
+// SaveCheckpoint atomically persists c into dir (write temp, fsync,
+// rename, fsync dir): readers see the previous checkpoint or this one,
+// never a torn mix.
+func SaveCheckpoint(dir string, c *Checkpoint) error {
+	if uint32(len(c.Depth)) != c.Hi-c.Lo {
+		return fmt.Errorf("coord: checkpoint depth length %d does not cover [%d,%d)", len(c.Depth), c.Lo, c.Hi)
+	}
+	buf := make([]byte, 0, len(checkpointMagic)+8+4*4+4*len(c.Depth)+4+len(c.Resp)+4)
+	buf = append(buf, checkpointMagic...)
+	buf = binary.LittleEndian.AppendUint64(buf, c.Epoch)
+	buf = binary.LittleEndian.AppendUint32(buf, c.Round)
+	buf = binary.LittleEndian.AppendUint32(buf, c.Source)
+	buf = binary.LittleEndian.AppendUint32(buf, c.Lo)
+	buf = binary.LittleEndian.AppendUint32(buf, c.Hi)
+	for _, d := range c.Depth {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(d))
+	}
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(c.Resp)))
+	buf = append(buf, c.Resp...)
+	buf = appendCRC(buf, 0)
+
+	tmp := checkpointPath(dir) + ".tmp"
+	if err := writeFileSync(tmp, buf); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, checkpointPath(dir)); err != nil {
+		return err
+	}
+	return syncDir(dir)
+}
+
+// LoadCheckpoint reads the checkpoint from dir. A missing file returns
+// (nil, nil): no state, fresh start. A corrupt file returns a nil
+// checkpoint and an ErrCheckpoint the caller may log — it must still
+// boot fresh rather than refuse.
+func LoadCheckpoint(dir string) (*Checkpoint, error) {
+	b, err := os.ReadFile(checkpointPath(dir))
+	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	const fixed = len(checkpointMagic) + 8 + 4*4
+	if len(b) < fixed+4+4 {
+		return nil, fmt.Errorf("%w: truncated at %d bytes", ErrCheckpoint, len(b))
+	}
+	if string(b[:len(checkpointMagic)]) != checkpointMagic {
+		return nil, fmt.Errorf("%w: bad magic", ErrCheckpoint)
+	}
+	body, tail := b[:len(b)-4], b[len(b)-4:]
+	if crc32.ChecksumIEEE(body) != binary.LittleEndian.Uint32(tail) {
+		return nil, fmt.Errorf("%w: checksum mismatch", ErrCheckpoint)
+	}
+	c := &Checkpoint{
+		Epoch:  binary.LittleEndian.Uint64(b[8:]),
+		Round:  binary.LittleEndian.Uint32(b[16:]),
+		Source: binary.LittleEndian.Uint32(b[20:]),
+		Lo:     binary.LittleEndian.Uint32(b[24:]),
+		Hi:     binary.LittleEndian.Uint32(b[28:]),
+	}
+	if c.Hi < c.Lo {
+		return nil, fmt.Errorf("%w: range [%d,%d) invalid", ErrCheckpoint, c.Lo, c.Hi)
+	}
+	ndepth := int(c.Hi - c.Lo)
+	if len(b) < fixed+4*ndepth+4+4 {
+		return nil, fmt.Errorf("%w: %d bytes cannot hold %d depths", ErrCheckpoint, len(b), ndepth)
+	}
+	c.Depth = make([]int32, ndepth)
+	for i := range c.Depth {
+		c.Depth[i] = int32(binary.LittleEndian.Uint32(b[fixed+4*i:]))
+	}
+	off := fixed + 4*ndepth
+	rlen := binary.LittleEndian.Uint32(b[off:])
+	off += 4
+	if rlen > maxCheckpointResp || off+int(rlen)+4 != len(b) {
+		return nil, fmt.Errorf("%w: response field length %d inconsistent with %d-byte file", ErrCheckpoint, rlen, len(b))
+	}
+	if rlen > 0 {
+		c.Resp = append([]byte(nil), b[off:off+int(rlen)]...)
+	}
+	return c, nil
+}
+
+// writeFileSync writes data to path and fsyncs before closing, so the
+// bytes are durable before the caller renames the file into place.
+func writeFileSync(path string, data []byte) error {
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// syncDir fsyncs a directory so a just-renamed entry is durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}

@@ -1,0 +1,538 @@
+package coord
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"fastbfs/cluster"
+	"fastbfs/internal/faultinject"
+)
+
+// Config parameterizes a Coordinator. The zero value of every field is
+// replaced with a usable default, so Coordinator{Shards: urls} works.
+type Config struct {
+	// Shards lists the shard base URLs in shard-id order.
+	Shards []string
+	// RPCTimeout bounds each individual request attempt (default 5s).
+	RPCTimeout time.Duration
+	// MaxAttempts is the guaranteed per-round attempt budget per shard
+	// before the recovery clock can declare it dead (default 4).
+	MaxAttempts int
+	// Backoff schedules the delay between retries. A zero value gets
+	// 50ms base, 2s cap, 0.5 jitter.
+	Backoff cluster.Backoff
+	// RecoveryBudget is how long past its last sign of life (heartbeat
+	// or round start, whichever is later) a failing shard may stay
+	// unreachable before it is declared dead and the run degrades
+	// (default 15s).
+	RecoveryBudget time.Duration
+	// HeartbeatInterval paces the health prober (default 500ms).
+	HeartbeatInterval time.Duration
+	// MaxEpochRestarts bounds full-traversal restarts caused by shards
+	// that lost their round state (default 3).
+	MaxEpochRestarts int
+	// Injector, when non-nil, disturbs the coordinator's send path
+	// (faultinject.SiteCoordSend) for chaos tests.
+	Injector *faultinject.Plan
+	// Client issues the HTTP requests; http.DefaultClient when nil.
+	Client *http.Client
+}
+
+func (c Config) withDefaults() Config {
+	if c.RPCTimeout <= 0 {
+		c.RPCTimeout = 5 * time.Second
+	}
+	if c.MaxAttempts <= 0 {
+		c.MaxAttempts = 4
+	}
+	if c.Backoff == (cluster.Backoff{}) {
+		c.Backoff = cluster.Backoff{Base: 50 * time.Millisecond, Max: 2 * time.Second, Jitter: 0.5}
+	}
+	if c.RecoveryBudget <= 0 {
+		c.RecoveryBudget = 15 * time.Second
+	}
+	if c.HeartbeatInterval <= 0 {
+		c.HeartbeatInterval = 500 * time.Millisecond
+	}
+	if c.MaxEpochRestarts <= 0 {
+		c.MaxEpochRestarts = 3
+	}
+	if c.Client == nil {
+		c.Client = http.DefaultClient
+	}
+	return c
+}
+
+// Result is a distributed traversal's outcome. When every shard
+// survived (or recovered within budget), Depth is exactly the serial
+// BFS depth array. When a shard stayed dead past the recovery budget,
+// Incomplete is set and Depth covers only the reachable subset the
+// surviving shards computed — dead shards' ranges read -1, and vertices
+// whose only paths ran through dead shards may read -1 or an
+// overestimate of their true depth.
+type Result struct {
+	Source uint32
+	Depth  []int32
+	// Rounds is the number of BFS levels executed (claiming rounds).
+	Rounds int
+	// Visited counts vertices with Depth >= 0.
+	Visited int64
+	// ClaimedPerRound[r] is the cluster-wide number of vertices first
+	// reached at depth r — the BFS level sizes, for round-for-round
+	// validation against a serial run.
+	ClaimedPerRound []int64
+	// Epoch identifies the (final) epoch that produced Depth.
+	Epoch uint64
+	// Incomplete marks a degraded result (some shard stayed dead).
+	Incomplete bool
+	// DeadShards lists the shard ids declared dead, in id order.
+	DeadShards []int
+	// Retries counts failed request attempts that were retried.
+	Retries int
+	// EpochRestarts counts full-traversal restarts.
+	EpochRestarts int
+}
+
+// Coordinator drives level-synchronous distributed BFS over HTTP shard
+// workers, surviving shard crashes, lost messages and restarts.
+type Coordinator struct {
+	cfg Config
+	seq faultinject.Sequencer
+
+	// Discovered at Open: the cluster-wide vertex count and each
+	// shard's owned range (validated to tile [0, n)).
+	n  int
+	lo []uint32
+	hi []uint32
+
+	lastContact []atomic.Int64 // unix nanos of last successful contact per shard
+	retries     atomic.Int64   // failed attempts retried this Run (parallel senders)
+}
+
+// errEpochRestart is the internal signal that a shard lost its round
+// state and the epoch must be re-run from round 0.
+var errEpochRestart = errors.New("coord: shard lost round state; epoch restart required")
+
+// errShardDead is the internal signal that a shard exhausted its
+// recovery budget this round.
+var errShardDead = errors.New("coord: shard declared dead")
+
+// Open validates cfg, probes every shard's health endpoint to learn the
+// partitioning, and returns a ready Coordinator. Probing retries within
+// the recovery budget, so shards may still be booting when Open runs.
+func Open(ctx context.Context, cfg Config) (*Coordinator, error) {
+	if len(cfg.Shards) == 0 {
+		return nil, fmt.Errorf("coord: no shard URLs configured")
+	}
+	cfg = cfg.withDefaults()
+	c := &Coordinator{
+		cfg:         cfg,
+		lo:          make([]uint32, len(cfg.Shards)),
+		hi:          make([]uint32, len(cfg.Shards)),
+		lastContact: make([]atomic.Int64, len(cfg.Shards)),
+	}
+	deadline := time.Now().Add(cfg.RecoveryBudget)
+	for i := range cfg.Shards {
+		for attempt := 1; ; attempt++ {
+			id, lo, hi, err := c.probeHealth(ctx, i)
+			if err == nil {
+				if id != i {
+					return nil, fmt.Errorf("coord: URL %q configured as shard %d but reports id %d (shard order must match ids)",
+						cfg.Shards[i], i, id)
+				}
+				c.lo[i], c.hi[i] = lo, hi
+				break
+			}
+			if ctx.Err() != nil {
+				return nil, ctx.Err()
+			}
+			if time.Now().After(deadline) {
+				return nil, fmt.Errorf("coord: shard %d (%s) unreachable: %w", i, cfg.Shards[i], err)
+			}
+			sleepCtx(ctx, cfg.Backoff.Delay(attempt, uint64(i)))
+		}
+	}
+	// Ranges must tile [0, n) in shard order — anything else means the
+	// shards were launched with inconsistent -shards/-shard-id flags.
+	prev := uint32(0)
+	for i := range c.lo {
+		if c.lo[i] != prev || c.hi[i] < c.lo[i] {
+			return nil, fmt.Errorf("coord: shard %d owns [%d,%d) but the previous shard ends at %d; partitions must tile",
+				i, c.lo[i], c.hi[i], prev)
+		}
+		prev = c.hi[i]
+	}
+	c.n = int(prev)
+	if c.n == 0 {
+		return nil, fmt.Errorf("coord: shards report an empty graph")
+	}
+	return c, nil
+}
+
+// NumVertices returns the cluster-wide vertex count the shards report.
+func (c *Coordinator) NumVertices() int { return c.n }
+
+// probeHealth parses one shard's health line and records the contact.
+func (c *Coordinator) probeHealth(ctx context.Context, i int) (id int, lo, hi uint32, err error) {
+	rctx, cancel := context.WithTimeout(ctx, c.cfg.RPCTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(rctx, http.MethodGet, c.cfg.Shards[i]+"/shard/health", nil)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	resp, err := c.cfg.Client.Do(req)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 256))
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return 0, 0, 0, fmt.Errorf("health: %s: %s", resp.Status, bytes.TrimSpace(body))
+	}
+	if _, err := fmt.Sscanf(string(body), "shard %d [%d,%d)", &id, &lo, &hi); err != nil {
+		return 0, 0, 0, fmt.Errorf("health: unparseable reply %q", bytes.TrimSpace(body))
+	}
+	c.lastContact[i].Store(time.Now().UnixNano())
+	return id, lo, hi, nil
+}
+
+// Run executes one distributed BFS from source, restarting the epoch
+// (bounded) when shards lose state and degrading to a partial result
+// when shards stay dead. Concurrent Runs are not supported — the round
+// protocol is per-coordinator sequential.
+func (c *Coordinator) Run(ctx context.Context, source uint32) (*Result, error) {
+	if int(source) >= c.n {
+		return nil, fmt.Errorf("coord: source %d out of range [0,%d)", source, c.n)
+	}
+
+	// Background heartbeats keep lastContact fresh for the liveness
+	// rule; they stop when the run does.
+	hbCtx, stopHB := context.WithCancel(ctx)
+	defer stopHB()
+	for i := range c.cfg.Shards {
+		go func(i int) {
+			t := time.NewTicker(c.cfg.HeartbeatInterval)
+			defer t.Stop()
+			for {
+				select {
+				case <-hbCtx.Done():
+					return
+				case <-t.C:
+					c.probeHealth(hbCtx, i) // success updates lastContact
+				}
+			}
+		}(i)
+	}
+
+	res := &Result{Source: source}
+	c.retries.Store(0)
+	defer func() { res.Retries = int(c.retries.Load()) }()
+	for restart := 0; ; restart++ {
+		// Epochs are wall-clock-derived so a restarted coordinator never
+		// reuses an epoch id some shard still holds state for.
+		epoch := uint64(time.Now().UnixNano()) + uint64(restart)
+		err := c.runEpoch(ctx, epoch, source, res)
+		if err == nil {
+			res.Epoch = epoch
+			return res, nil
+		}
+		if !errors.Is(err, errEpochRestart) {
+			return nil, err
+		}
+		if restart+1 >= c.cfg.MaxEpochRestarts {
+			return nil, fmt.Errorf("coord: giving up after %d epoch restarts: %w", restart+1, err)
+		}
+		res.EpochRestarts++
+		log.Printf("coord: epoch %d abandoned (%v); restarting", epoch, err)
+	}
+}
+
+// runEpoch drives one complete traversal attempt under one epoch id,
+// filling res on success.
+func (c *Coordinator) runEpoch(ctx context.Context, epoch uint64, source uint32, res *Result) error {
+	nshards := len(c.cfg.Shards)
+	dead := make([]bool, nshards)
+	res.ClaimedPerRound = nil
+	res.Rounds = 0
+	res.Incomplete = false
+	res.DeadShards = nil
+
+	// cand[i] is shard i's candidate frontier for the current round.
+	cand := make([]*Frontier, nshards)
+	for i := range cand {
+		cand[i] = NewFrontier(epoch, 0, uint32(i), c.lo[i], c.hi[i])
+	}
+	cand[PartitionOwner(c.n, nshards, source)].Set(source)
+
+	for round := uint32(0); ; round++ {
+		// Every live shard gets a round message every round — empty
+		// frontiers included — so round sequencing never gaps.
+		type reply struct {
+			shard int
+			resp  *ExpandResponse
+			err   error
+		}
+		replies := make([]reply, 0, nshards)
+		var mu sync.Mutex
+		var wg sync.WaitGroup
+		for i := 0; i < nshards; i++ {
+			if dead[i] {
+				continue
+			}
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				resp, err := c.expand(ctx, i, cand[i], res)
+				mu.Lock()
+				replies = append(replies, reply{i, resp, err})
+				mu.Unlock()
+			}(i)
+		}
+		wg.Wait()
+
+		var claimed int64
+		next := make([]*Frontier, nshards)
+		for i := range next {
+			next[i] = NewFrontier(epoch, round+1, uint32(i), c.lo[i], c.hi[i])
+		}
+		for _, r := range replies {
+			switch {
+			case r.err == nil:
+				claimed += int64(r.resp.Claimed)
+				for _, f := range r.resp.Out {
+					if int(f.Shard) >= nshards {
+						return fmt.Errorf("%w: discovery frame for shard %d of %d", ErrWire, f.Shard, nshards)
+					}
+					if err := next[f.Shard].Union(f); err != nil {
+						return err
+					}
+				}
+			case errors.Is(r.err, errEpochRestart):
+				return r.err
+			case errors.Is(r.err, errShardDead):
+				log.Printf("coord: epoch %d round %d: shard %d dead (%v); degrading", epoch, round, r.shard, r.err)
+				dead[r.shard] = true
+			default:
+				return r.err
+			}
+		}
+
+		if claimed > 0 {
+			res.ClaimedPerRound = append(res.ClaimedPerRound, claimed)
+			res.Rounds = int(round) + 1
+		}
+		if claimed == 0 || allDead(dead) {
+			break
+		}
+		for i := range next {
+			// Candidates owned by dead shards are dropped: nobody can
+			// claim them. (Bumping round tags on the survivors happens
+			// via the fresh frontiers above.)
+			cand[i] = next[i]
+		}
+	}
+
+	// Collect the committed depth slices from the survivors.
+	depth := make([]int32, c.n)
+	for i := range depth {
+		depth[i] = -1
+	}
+	res.Visited = 0
+	for i := 0; i < nshards; i++ {
+		if dead[i] {
+			res.Incomplete = true
+			res.DeadShards = append(res.DeadShards, i)
+			continue
+		}
+		if c.hi[i] == c.lo[i] {
+			continue
+		}
+		d, err := c.depths(ctx, i, epoch)
+		if err != nil {
+			if errors.Is(err, errShardDead) {
+				// Died after its last round but before reporting: its
+				// slice is lost; degrade rather than fail.
+				log.Printf("coord: epoch %d: shard %d died before reporting depths; degrading", epoch, i)
+				res.Incomplete = true
+				res.DeadShards = append(res.DeadShards, i)
+				continue
+			}
+			return err
+		}
+		if d.Lo != c.lo[i] || d.Hi != c.hi[i] {
+			return fmt.Errorf("%w: shard %d reported depths for [%d,%d), owns [%d,%d)",
+				ErrWire, i, d.Lo, d.Hi, c.lo[i], c.hi[i])
+		}
+		copy(depth[d.Lo:d.Hi], d.Depth)
+		for _, v := range d.Depth {
+			if v >= 0 {
+				res.Visited++
+			}
+		}
+	}
+	res.Depth = depth
+	return nil
+}
+
+func allDead(dead []bool) bool {
+	for _, d := range dead {
+		if !d {
+			return false
+		}
+	}
+	return true
+}
+
+// expand delivers one round message to shard i, retrying transient
+// failures with jittered backoff until the shard answers, demands an
+// epoch restart, or exhausts its recovery budget.
+func (c *Coordinator) expand(ctx context.Context, i int, f *Frontier, res *Result) (*ExpandResponse, error) {
+	body, err := c.rpc(ctx, i, http.MethodPost, "/shard/expand", f.Encode(), res)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := DecodeExpandResponse(body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.Epoch != f.Epoch || resp.Round != f.Round || resp.Shard != uint32(i) {
+		return nil, fmt.Errorf("%w: shard %d answered (epoch %d, round %d) to (epoch %d, round %d)",
+			ErrWire, i, resp.Epoch, resp.Round, f.Epoch, f.Round)
+	}
+	return resp, nil
+}
+
+// depths fetches shard i's committed depth slice for epoch.
+func (c *Coordinator) depths(ctx context.Context, i int, epoch uint64) (*DepthSlice, error) {
+	body, err := c.rpc(ctx, i, http.MethodGet, fmt.Sprintf("/shard/depths?epoch=%d", epoch), nil, nil)
+	if err != nil {
+		return nil, err
+	}
+	return DecodeDepthSlice(body)
+}
+
+// rpc performs one logical request with the full fault-tolerance
+// stack: per-attempt deadline, injected send faults, bounded retry with
+// jittered backoff, heartbeat-informed liveness, and typed outcomes for
+// epoch conflicts (409 → errEpochRestart) and death (errShardDead).
+func (c *Coordinator) rpc(ctx context.Context, i int, method, path string, body []byte, res *Result) ([]byte, error) {
+	roundStart := time.Now()
+	// hardAttempts bounds pathological livelock: a shard whose health
+	// endpoint answers while its work endpoint fails forever would
+	// otherwise reset the recovery clock indefinitely.
+	hardAttempts := 8 * c.cfg.MaxAttempts
+	for attempt := 1; ; attempt++ {
+		reply, status, err := c.attempt(ctx, i, method, path, body)
+		if err == nil && status == http.StatusOK {
+			c.lastContact[i].Store(time.Now().UnixNano())
+			return reply, nil
+		}
+		if err == nil && status == http.StatusConflict {
+			// The shard is alive but lost (or never had) this epoch's
+			// round state: only a fresh epoch can proceed.
+			c.lastContact[i].Store(time.Now().UnixNano())
+			return nil, fmt.Errorf("%w: shard %d: %s", errEpochRestart, i, bytes.TrimSpace(reply))
+		}
+		if err == nil {
+			err = fmt.Errorf("shard %d: HTTP %d: %s", i, status, bytes.TrimSpace(reply))
+		}
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
+		// Liveness rule: a shard gets its guaranteed attempt budget, and
+		// after that stays retryable only while its last sign of life
+		// (round start or heartbeat) is within the recovery budget.
+		alive := time.Now()
+		ref := roundStart
+		if lc := time.Unix(0, c.lastContact[i].Load()); lc.After(ref) {
+			ref = lc
+		}
+		if attempt >= hardAttempts ||
+			(attempt >= c.cfg.MaxAttempts && alive.Sub(ref) > c.cfg.RecoveryBudget) {
+			return nil, fmt.Errorf("%w: shard %d after %d attempts over %v: %v",
+				errShardDead, i, attempt, time.Since(roundStart).Round(time.Millisecond), err)
+		}
+		if res != nil {
+			c.retries.Add(1)
+		}
+		if err := sleepCtx(ctx, c.cfg.Backoff.Delay(attempt, rpcBackoffKey(i, path, body))); err != nil {
+			return nil, err
+		}
+	}
+}
+
+// attempt issues one HTTP request with the per-attempt deadline,
+// consulting the fault injector first (an injected error simulates a
+// request lost on the wire; an injected delay a slow link).
+func (c *Coordinator) attempt(ctx context.Context, i int, method, path string, body []byte) ([]byte, int, error) {
+	if c.cfg.Injector != nil {
+		d := faultinject.Decide(c.cfg.Injector, faultinject.SiteCoordSend, c.seq.Next(faultinject.SiteCoordSend))
+		if d.Delay > 0 {
+			if err := sleepCtx(ctx, d.Delay); err != nil {
+				return nil, 0, err
+			}
+		}
+		if d.Err != nil {
+			return nil, 0, fmt.Errorf("shard %d: %w", i, d.Err)
+		}
+	}
+	rctx, cancel := context.WithTimeout(ctx, c.cfg.RPCTimeout)
+	defer cancel()
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(rctx, method, c.cfg.Shards[i]+path, rd)
+	if err != nil {
+		return nil, 0, err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/octet-stream")
+	}
+	resp, err := c.cfg.Client.Do(req)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer resp.Body.Close()
+	reply, err := io.ReadAll(io.LimitReader(resp.Body, maxShardBody))
+	if err != nil {
+		return nil, 0, err
+	}
+	return reply, resp.StatusCode, nil
+}
+
+// rpcBackoffKey decorrelates concurrent retriers: distinct shards and
+// requests jitter independently.
+func rpcBackoffKey(shard int, path string, body []byte) uint64 {
+	h := uint64(shard)<<32 ^ uint64(len(body))
+	for _, b := range []byte(path) {
+		h = h*131 + uint64(b)
+	}
+	return h
+}
+
+// sleepCtx sleeps for d or until ctx is done.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}

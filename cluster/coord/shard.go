@@ -1,0 +1,258 @@
+package coord
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"sync"
+
+	"fastbfs/graph"
+	"fastbfs/internal/faultinject"
+)
+
+// Shard is one worker of the distributed BFS: it owns the contiguous
+// vertex range [Lo, Hi) of its graph and answers the coordinator's
+// round protocol. All state transitions happen under one mutex — rounds
+// are level-synchronous, so the shard is never asked to do two things
+// at once by a healthy coordinator, and the lock makes a confused or
+// retrying coordinator safe too.
+//
+// The round protocol is strictly sequenced per epoch: the shard tracks
+// the next round it expects, replays its checkpointed response for the
+// immediately previous round (duplicate delivery), and rejects anything
+// else with a typed sequencing error the coordinator resolves by
+// restarting the epoch. Every processed round is checkpointed to disk
+// (when a checkpoint dir is configured) before the response leaves the
+// shard, so a crash after processing never loses a round the
+// coordinator believes happened.
+type Shard struct {
+	g      *graph.Graph
+	id     int
+	shards int
+	lo, hi uint32
+	dir    string // checkpoint dir; "" disables persistence
+
+	inj *faultinject.Plan
+	seq faultinject.Sequencer
+
+	mu    sync.Mutex
+	epoch uint64
+	next  uint32 // next round expected within epoch
+	src   uint32
+	depth []int32
+	resp  []byte // encoded response of round next-1
+}
+
+// ErrRoundSequence is a shard's typed refusal of an out-of-sequence
+// round message: wrong epoch, or a round that is neither the expected
+// one nor the immediately previous (replayable) one. The coordinator
+// treats it as "this shard lost state" and restarts the epoch.
+var ErrRoundSequence = errors.New("coord: round out of sequence")
+
+// NewShard builds the shard with id of shards over g, restoring state
+// from ckptDir when a valid checkpoint for this partition exists. A
+// missing or corrupt checkpoint is a fresh start (corruption is logged,
+// never fatal: refusing to boot would turn one torn write into a
+// permanently dead shard).
+func NewShard(g *graph.Graph, id, shards int, ckptDir string, inj *faultinject.Plan) (*Shard, error) {
+	if shards < 1 || id < 0 || id >= shards {
+		return nil, fmt.Errorf("coord: shard %d of %d invalid", id, shards)
+	}
+	lo, hi := PartitionRange(g.NumVertices(), shards, id)
+	s := &Shard{g: g, id: id, shards: shards, lo: lo, hi: hi, dir: ckptDir, inj: inj}
+	if ckptDir != "" {
+		c, err := LoadCheckpoint(ckptDir)
+		switch {
+		case errors.Is(err, ErrCheckpoint):
+			log.Printf("shard %d: discarding corrupt checkpoint: %v", id, err)
+		case err != nil:
+			return nil, err
+		case c != nil && (c.Lo != lo || c.Hi != hi):
+			log.Printf("shard %d: checkpoint covers [%d,%d), partition is [%d,%d); discarding",
+				id, c.Lo, c.Hi, lo, hi)
+		case c != nil:
+			s.epoch, s.next, s.src, s.depth, s.resp = c.Epoch, c.Round, c.Source, c.Depth, c.Resp
+			log.Printf("shard %d: restored checkpoint epoch %d round %d", id, c.Epoch, c.Round)
+		}
+	}
+	return s, nil
+}
+
+// Range returns the shard's owned vertex range [lo, hi).
+func (s *Shard) Range() (lo, hi uint32) { return s.lo, s.hi }
+
+// Expand answers one round message: claim the candidate vertices this
+// shard owns at depth == round, expand the claimed frontier, and return
+// the discoveries bucketed per destination shard. The returned bytes
+// are the encoded ExpandResponse (pre-encoded so replays are
+// byte-identical).
+func (s *Shard) Expand(req *Frontier) ([]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+
+	if s.inj != nil {
+		d := s.inj.Decide(faultinject.SiteShardExpand, s.seq.Next(faultinject.SiteShardExpand))
+		if d.Panic {
+			panic(faultinject.PanicValue{Site: faultinject.SiteShardExpand})
+		}
+		if d.Err != nil {
+			return nil, d.Err
+		}
+	}
+	if req.Shard != uint32(s.id) || req.Lo != s.lo || req.Hi != s.hi {
+		return nil, fmt.Errorf("%w: frontier for shard %d [%d,%d), this is shard %d [%d,%d)",
+			ErrWire, req.Shard, req.Lo, req.Hi, s.id, s.lo, s.hi)
+	}
+
+	switch {
+	case req.Epoch == s.epoch && req.Round+1 == s.next && s.resp != nil:
+		// Duplicate of the round just processed: replay the cached
+		// response byte-for-byte. The coordinator's retry after a lost
+		// response lands here.
+		return s.resp, nil
+	case req.Epoch == s.epoch && req.Round == s.next:
+		// The expected next round: process below.
+	case req.Round == 0:
+		// Round 0 of any epoch starts that epoch fresh: this is both how
+		// epochs begin and how the coordinator restarts one after a shard
+		// lost its state.
+		s.epoch, s.next, s.resp = req.Epoch, 0, nil
+		s.depth = nil
+	default:
+		return nil, fmt.Errorf("%w: shard %d at epoch %d round %d, message is epoch %d round %d",
+			ErrRoundSequence, s.id, s.epoch, s.next, req.Epoch, req.Round)
+	}
+
+	if s.depth == nil {
+		s.depth = make([]int32, s.hi-s.lo)
+		for i := range s.depth {
+			s.depth[i] = -1
+		}
+	}
+
+	resp := &ExpandResponse{Epoch: req.Epoch, Round: req.Round, Shard: uint32(s.id)}
+	out := make([]*Frontier, s.shards)
+	n := s.g.NumVertices()
+	req.ForEach(func(v uint32) {
+		if s.depth[v-s.lo] != -1 {
+			return // claimed in an earlier round; not a discovery now
+		}
+		s.depth[v-s.lo] = int32(req.Round)
+		resp.Claimed++
+		if req.Round == 0 {
+			s.src = v
+		}
+		for _, w := range s.g.Neighbors1(v) {
+			o := PartitionOwner(n, s.shards, w)
+			if out[o] == nil {
+				lo, hi := PartitionRange(n, s.shards, o)
+				out[o] = NewFrontier(req.Epoch, req.Round, uint32(o), lo, hi)
+			}
+			out[o].Set(w)
+		}
+	})
+	for _, f := range out {
+		if f != nil && !f.Empty() {
+			resp.Out = append(resp.Out, f)
+		}
+	}
+
+	enc := resp.Encode()
+	s.next = req.Round + 1
+	s.resp = enc
+	if s.dir != "" {
+		ck := &Checkpoint{
+			Epoch: s.epoch, Round: s.next, Source: s.src,
+			Lo: s.lo, Hi: s.hi, Depth: s.depth, Resp: enc,
+		}
+		if err := SaveCheckpoint(s.dir, ck); err != nil {
+			// An unsaveable checkpoint must fail the round: returning
+			// success without durability would break replay-after-crash.
+			return nil, fmt.Errorf("coord: shard %d checkpoint: %w", s.id, err)
+		}
+	}
+	return enc, nil
+}
+
+// Depths returns the shard's committed depth slice for epoch, refusing
+// other epochs (the coordinator must never mix epochs in one result).
+func (s *Shard) Depths(epoch uint64) (*DepthSlice, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if epoch != s.epoch || s.depth == nil {
+		return nil, fmt.Errorf("%w: depths requested for epoch %d, shard %d is at epoch %d",
+			ErrRoundSequence, epoch, s.id, s.epoch)
+	}
+	d := &DepthSlice{Epoch: s.epoch, Shard: uint32(s.id), Lo: s.lo, Hi: s.hi}
+	d.Depth = append([]int32(nil), s.depth...)
+	return d, nil
+}
+
+// maxShardBody bounds request payloads: a frontier over the largest
+// legal partition plus framing.
+const maxShardBody = 1 << 30
+
+// Handler returns the shard's HTTP API:
+//
+//	POST /shard/expand  — body: Frontier frame; 200: ExpandResponse
+//	GET  /shard/depths?epoch=E — 200: DepthSlice
+//	GET  /shard/health  — 200: shard id + partition (heartbeat target)
+//
+// Sequencing violations map to 409 (the coordinator's cue to restart
+// the epoch), malformed payloads to 400.
+func (s *Shard) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /shard/expand", func(w http.ResponseWriter, r *http.Request) {
+		body, err := io.ReadAll(io.LimitReader(r.Body, maxShardBody))
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		req, err := DecodeFrontier(body)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		resp, err := s.Expand(req)
+		if err != nil {
+			http.Error(w, err.Error(), shardStatus(err))
+			return
+		}
+		w.Header().Set("Content-Type", "application/octet-stream")
+		w.Write(resp)
+	})
+	mux.HandleFunc("GET /shard/depths", func(w http.ResponseWriter, r *http.Request) {
+		var epoch uint64
+		if _, err := fmt.Sscanf(r.URL.Query().Get("epoch"), "%d", &epoch); err != nil {
+			http.Error(w, "missing or bad epoch parameter", http.StatusBadRequest)
+			return
+		}
+		d, err := s.Depths(epoch)
+		if err != nil {
+			http.Error(w, err.Error(), shardStatus(err))
+			return
+		}
+		w.Header().Set("Content-Type", "application/octet-stream")
+		w.Write(d.Encode())
+	})
+	mux.HandleFunc("GET /shard/health", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintf(w, "shard %d [%d,%d)\n", s.id, s.lo, s.hi)
+	})
+	return mux
+}
+
+// shardStatus maps shard errors to HTTP statuses: sequencing conflicts
+// are 409 (retry cannot help; restart the epoch), wire garbage 400,
+// anything else 500.
+func shardStatus(err error) int {
+	switch {
+	case errors.Is(err, ErrRoundSequence):
+		return http.StatusConflict
+	case errors.Is(err, ErrWire):
+		return http.StatusBadRequest
+	default:
+		return http.StatusInternalServerError
+	}
+}

@@ -1,0 +1,351 @@
+package coord
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"reflect"
+	"testing"
+
+	"fastbfs/internal/xrand"
+)
+
+// TestPartition: ranges tile [0, n) exactly, owners agree with ranges,
+// and edge shapes (n < shards, n == 0 ranges, single shard) hold.
+func TestPartition(t *testing.T) {
+	for _, tc := range []struct{ n, shards int }{
+		{100, 3}, {1, 1}, {7, 3}, {8, 3}, {9, 3}, {2, 5}, {1 << 20, 7}, {16, 16}, {5, 8},
+	} {
+		prev := uint32(0)
+		for i := 0; i < tc.shards; i++ {
+			lo, hi := PartitionRange(tc.n, tc.shards, i)
+			if lo != prev {
+				t.Fatalf("n=%d shards=%d: shard %d starts at %d, want %d (ranges must tile)", tc.n, tc.shards, i, lo, prev)
+			}
+			if hi < lo {
+				t.Fatalf("n=%d shards=%d: shard %d range [%d,%d) inverted", tc.n, tc.shards, i, lo, hi)
+			}
+			for v := lo; v < hi; v++ {
+				if o := PartitionOwner(tc.n, tc.shards, v); o != i {
+					t.Fatalf("n=%d shards=%d: vertex %d in shard %d's range but owned by %d", tc.n, tc.shards, v, i, o)
+				}
+			}
+			prev = hi
+		}
+		if int(prev) != tc.n {
+			t.Fatalf("n=%d shards=%d: ranges cover [0,%d), want [0,%d)", tc.n, tc.shards, prev, tc.n)
+		}
+	}
+}
+
+// randomFrontier fills a frontier over [lo, hi) with a deterministic
+// pseudo-random vertex subset.
+func randomFrontier(epoch uint64, round, shard, lo, hi uint32, seed uint64, density int) *Frontier {
+	f := NewFrontier(epoch, round, shard, lo, hi)
+	h := seed
+	for v := lo; v < hi; v++ {
+		h = xrand.SplitMix64(h)
+		if density > 0 && h%uint64(density) == 0 {
+			f.Set(v)
+		}
+	}
+	return f
+}
+
+// TestFrontierRoundTrip: Encode/DecodeFrontier is the identity over
+// randomized ranges and densities, and set/count/iterate agree.
+func TestFrontierRoundTrip(t *testing.T) {
+	cases := []struct {
+		lo, hi  uint32
+		density int
+	}{
+		{0, 0, 0}, {0, 1, 1}, {0, 31, 2}, {0, 32, 2}, {0, 33, 2},
+		{100, 1000, 3}, {4096, 4096 + 277, 1}, {7, 64, 5}, {1 << 20, 1<<20 + 2048, 10},
+	}
+	for i, tc := range cases {
+		f := randomFrontier(uint64(i)+3, uint32(i), uint32(i%4), tc.lo, tc.hi, 99*uint64(i+1), tc.density)
+		var want []uint32
+		f.ForEach(func(v uint32) { want = append(want, v) })
+		if len(want) != f.Count() {
+			t.Fatalf("case %d: ForEach yielded %d vertices, Count says %d", i, len(want), f.Count())
+		}
+		if f.Empty() != (len(want) == 0) {
+			t.Fatalf("case %d: Empty()=%v with %d vertices", i, f.Empty(), len(want))
+		}
+		enc := f.Encode()
+		if len(enc) != frontierEncodedLen(tc.lo, tc.hi) {
+			t.Fatalf("case %d: encoded %d bytes, frontierEncodedLen says %d", i, len(enc), frontierEncodedLen(tc.lo, tc.hi))
+		}
+		g, err := DecodeFrontier(enc)
+		if err != nil {
+			t.Fatalf("case %d: decode: %v", i, err)
+		}
+		if g.Epoch != f.Epoch || g.Round != f.Round || g.Shard != f.Shard || g.Lo != f.Lo || g.Hi != f.Hi {
+			t.Fatalf("case %d: header mangled: %+v vs %+v", i, g, f)
+		}
+		var got []uint32
+		g.ForEach(func(v uint32) { got = append(got, v) })
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("case %d: decoded vertex set differs: %v vs %v", i, got, want)
+		}
+		for _, v := range want {
+			if !g.Has(v) {
+				t.Fatalf("case %d: decoded frontier missing %d", i, v)
+			}
+		}
+	}
+}
+
+// TestFrontierUnion: union is bitwise-or over identical ranges and
+// refuses mismatched ranges.
+func TestFrontierUnion(t *testing.T) {
+	a := NewFrontier(1, 2, 0, 10, 200)
+	b := NewFrontier(1, 2, 0, 10, 200)
+	a.Set(11)
+	a.Set(63)
+	b.Set(63)
+	b.Set(199)
+	if err := a.Union(b); err != nil {
+		t.Fatal(err)
+	}
+	if a.Count() != 3 || !a.Has(11) || !a.Has(63) || !a.Has(199) {
+		t.Fatalf("union produced wrong set (count %d)", a.Count())
+	}
+	c := NewFrontier(1, 2, 0, 0, 200)
+	if err := a.Union(c); err == nil {
+		t.Fatal("union over mismatched ranges must error")
+	}
+}
+
+// TestFrontierDecodeRejects: every class of malformed payload fails
+// with ErrWire — truncation at each boundary, bad magic, flipped bits,
+// trailing garbage, inconsistent word counts, and out-of-range bits.
+func TestFrontierDecodeRejects(t *testing.T) {
+	f := randomFrontier(9, 4, 1, 64, 300, 5, 2)
+	enc := f.Encode()
+	for cut := 0; cut < len(enc); cut++ {
+		if _, err := DecodeFrontier(enc[:cut]); !errors.Is(err, ErrWire) {
+			t.Fatalf("truncation to %d bytes: got %v, want ErrWire", cut, err)
+		}
+	}
+	for _, corrupt := range []func([]byte){
+		func(b []byte) { b[0] ^= 0xff },               // magic
+		func(b []byte) { b[len(b)-1] ^= 1 },           // crc
+		func(b []byte) { b[len(frontierMagic)] ^= 1 }, // epoch
+		func(b []byte) { b[40] ^= 0x80 },              // a bitmap word
+	} {
+		bad := append([]byte(nil), enc...)
+		corrupt(bad)
+		if _, err := DecodeFrontier(bad); !errors.Is(err, ErrWire) {
+			t.Fatalf("corrupted payload decoded: %v", err)
+		}
+	}
+	if _, err := DecodeFrontier(append(append([]byte(nil), enc...), 0)); !errors.Is(err, ErrWire) {
+		t.Fatal("trailing byte accepted")
+	}
+	// A frame whose bits spill past Hi must be refused even with a valid
+	// CRC: re-frame a wider bitmap under a narrower header.
+	g := NewFrontier(9, 4, 1, 0, 40)
+	g.Set(39)
+	raw := g.Encode()
+	// Set bit 41 (bit 9 of word 1 = bit 1 of that word's second byte,
+	// outside [0,40)) and re-checksum.
+	raw[len(frontierMagic)+8+5*4+4+1] |= 1 << 1
+	raw = appendCRC(raw[:len(raw)-4], 0)
+	if _, err := DecodeFrontier(raw); !errors.Is(err, ErrWire) {
+		t.Fatalf("out-of-range bit accepted: %v", err)
+	}
+}
+
+// TestExpandResponseRoundTrip: envelope round-trips with zero, one and
+// several embedded frames, and rejects frames tagged with a different
+// epoch or round than the envelope.
+func TestExpandResponseRoundTrip(t *testing.T) {
+	mk := func(n int) *ExpandResponse {
+		r := &ExpandResponse{Epoch: 77, Round: 5, Shard: 2, Claimed: 123456}
+		for i := 0; i < n; i++ {
+			lo := uint32(i * 100)
+			r.Out = append(r.Out, randomFrontier(77, 5, uint32(i), lo, lo+90, uint64(i)*13+1, 3))
+		}
+		return r
+	}
+	for _, n := range []int{0, 1, 3} {
+		r := mk(n)
+		got, err := DecodeExpandResponse(r.Encode())
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if got.Epoch != r.Epoch || got.Round != r.Round || got.Shard != r.Shard || got.Claimed != r.Claimed {
+			t.Fatalf("n=%d: header mangled: %+v", n, got)
+		}
+		if len(got.Out) != n {
+			t.Fatalf("n=%d: %d frames decoded", n, len(got.Out))
+		}
+		for i, f := range got.Out {
+			if !bytes.Equal(f.Encode(), r.Out[i].Encode()) {
+				t.Fatalf("n=%d: frame %d differs after round trip", n, i)
+			}
+		}
+	}
+	// Mis-tagged inner frame: valid CRCs everywhere, but the frame claims
+	// a different round than its envelope — exactly the replay confusion
+	// the tagging exists to catch.
+	r := mk(1)
+	r.Out[0].Round = 6
+	if _, err := DecodeExpandResponse(r.Encode()); !errors.Is(err, ErrWire) {
+		t.Fatalf("mis-tagged frame accepted: %v", err)
+	}
+	// Truncations of a healthy envelope.
+	enc := mk(2).Encode()
+	for _, cut := range []int{0, 5, 20, 35, len(enc) / 2, len(enc) - 1} {
+		if _, err := DecodeExpandResponse(enc[:cut]); !errors.Is(err, ErrWire) {
+			t.Fatalf("truncation to %d bytes accepted: %v", cut, err)
+		}
+	}
+}
+
+// TestDepthSliceRoundTrip: depth slices round-trip and reject size or
+// checksum lies.
+func TestDepthSliceRoundTrip(t *testing.T) {
+	d := &DepthSlice{Epoch: 3, Shard: 1, Lo: 50, Hi: 150, Depth: make([]int32, 100)}
+	for i := range d.Depth {
+		d.Depth[i] = int32(i%7) - 1
+	}
+	got, err := DecodeDepthSlice(d.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, d) {
+		t.Fatalf("round trip differs: %+v", got)
+	}
+	enc := d.Encode()
+	for _, cut := range []int{0, 10, len(enc) - 5} {
+		if _, err := DecodeDepthSlice(enc[:cut]); !errors.Is(err, ErrWire) {
+			t.Fatalf("truncation to %d accepted: %v", cut, err)
+		}
+	}
+	bad := append([]byte(nil), enc...)
+	bad[30] ^= 0x10
+	if _, err := DecodeDepthSlice(bad); !errors.Is(err, ErrWire) {
+		t.Fatalf("corrupt depth accepted: %v", err)
+	}
+}
+
+// FuzzDecodeFrontier: the decoder must never panic and must reject any
+// mutation that breaks the checksum — mirroring graph.ErrChecksum
+// discipline: garbage is an error, never a silently wrong frontier.
+func FuzzDecodeFrontier(f *testing.F) {
+	f.Add(randomFrontier(1, 0, 0, 0, 100, 5, 2).Encode())
+	f.Add(NewFrontier(2, 1, 1, 64, 64).Encode())
+	f.Add(randomFrontier(3, 2, 0, 1000, 1300, 17, 1).Encode())
+	f.Add([]byte{})
+	f.Add([]byte(frontierMagic))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fr, err := DecodeFrontier(data)
+		if err != nil {
+			if !errors.Is(err, ErrWire) {
+				t.Fatalf("non-ErrWire error: %v", err)
+			}
+			return
+		}
+		// Accepted payloads must re-encode to the identical bytes
+		// (canonical encoding) and carry a consistent vertex set.
+		if !bytes.Equal(fr.Encode(), data) {
+			t.Fatalf("accepted non-canonical encoding")
+		}
+		n := 0
+		fr.ForEach(func(v uint32) {
+			if v < fr.Lo || v >= fr.Hi {
+				t.Fatalf("vertex %d outside [%d,%d)", v, fr.Lo, fr.Hi)
+			}
+			n++
+		})
+		if n != fr.Count() {
+			t.Fatalf("ForEach/Count disagree: %d vs %d", n, fr.Count())
+		}
+	})
+}
+
+// FuzzDecodeExpandResponse: same discipline for the envelope decoder.
+func FuzzDecodeExpandResponse(f *testing.F) {
+	r := &ExpandResponse{Epoch: 4, Round: 2, Shard: 0, Claimed: 9}
+	r.Out = append(r.Out, randomFrontier(4, 2, 1, 0, 64, 3, 2))
+	f.Add(r.Encode())
+	f.Add((&ExpandResponse{Epoch: 1}).Encode())
+	f.Add([]byte(expandMagic))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		resp, err := DecodeExpandResponse(data)
+		if err != nil {
+			if !errors.Is(err, ErrWire) {
+				t.Fatalf("non-ErrWire error: %v", err)
+			}
+			return
+		}
+		if !bytes.Equal(resp.Encode(), data) {
+			t.Fatalf("accepted non-canonical encoding")
+		}
+	})
+}
+
+// TestCheckpointRoundTrip: save/load is the identity, missing files are
+// a clean fresh start, corrupt files are typed errors, and the cached
+// response survives intact.
+func TestCheckpointRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	if c, err := LoadCheckpoint(dir); c != nil || err != nil {
+		t.Fatalf("empty dir: got (%v, %v), want (nil, nil)", c, err)
+	}
+	resp := (&ExpandResponse{Epoch: 8, Round: 2, Shard: 1, Claimed: 40}).Encode()
+	want := &Checkpoint{
+		Epoch: 8, Round: 3, Source: 17, Lo: 100, Hi: 180,
+		Depth: make([]int32, 80), Resp: resp,
+	}
+	for i := range want.Depth {
+		want.Depth[i] = int32(i%5) - 1
+	}
+	if err := SaveCheckpoint(dir, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadCheckpoint(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("round trip differs:\n got %+v\nwant %+v", got, want)
+	}
+	// Overwrite with a later round: load must see the newer state.
+	want.Round = 4
+	want.Resp = nil
+	if err := SaveCheckpoint(dir, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err = LoadCheckpoint(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Round != 4 || len(got.Resp) != 0 {
+		t.Fatalf("overwrite not visible: %+v", got)
+	}
+	// Corruption: flip a byte, expect ErrCheckpoint (not a crash, not a
+	// silently wrong load).
+	raw, err := os.ReadFile(checkpointPath(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)/2] ^= 0x40
+	if err := os.WriteFile(checkpointPath(dir), raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadCheckpoint(dir); !errors.Is(err, ErrCheckpoint) {
+		t.Fatalf("corrupt checkpoint: got %v, want ErrCheckpoint", err)
+	}
+	// Truncations must also be typed errors.
+	for _, cut := range []int{0, 8, 20, len(raw) - 3} {
+		if err := os.WriteFile(checkpointPath(dir), raw[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := LoadCheckpoint(dir); !errors.Is(err, ErrCheckpoint) {
+			t.Fatalf("truncated checkpoint (%d bytes): got %v, want ErrCheckpoint", cut, err)
+		}
+	}
+}

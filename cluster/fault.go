@@ -43,9 +43,15 @@ type FaultPlan struct {
 	// committing a partial step. 0 means 8.
 	MaxAttempts int
 	// BackoffBase is the simulated first-retry backoff; attempt k waits
-	// BackoffBase << (k-1). It is accounted in RecoveryStats.Backoff,
-	// not slept. 0 means 1ms.
+	// up to BackoffBase << (k-1), jittered (see BackoffJitter). It is
+	// accounted in RecoveryStats.Backoff, not slept. 0 means 1ms.
 	BackoffBase time.Duration
+	// BackoffJitter randomizes each retry delay downward by up to this
+	// fraction (deterministically, keyed by the retry's coordinates), so
+	// simultaneous retransmissions across node pairs spread out instead
+	// of re-colliding on a fixed schedule. 0 means 0.5; negative
+	// disables jitter (the old fixed backoff).
+	BackoffJitter float64
 	// Slow injects per-step processing delay (actually slept) into the
 	// expand phase of the named nodes — the straggler scenario. It skews
 	// wall-clock only; metrics and depths stay deterministic.
@@ -82,7 +88,26 @@ func (p *FaultPlan) withDefaults() FaultPlan {
 	if q.BackoffBase == 0 {
 		q.BackoffBase = time.Millisecond
 	}
+	if q.BackoffJitter == 0 {
+		q.BackoffJitter = 0.5
+	}
+	if q.BackoffJitter < 0 {
+		q.BackoffJitter = 0
+	}
 	return q
+}
+
+// backoff returns the plan's retry-delay schedule: exponential from
+// BackoffBase with deterministic jitter, shared with the coordinator's
+// RPC client via cluster.Backoff.
+func (p *FaultPlan) backoff() Backoff {
+	return Backoff{Base: p.BackoffBase, Jitter: p.BackoffJitter, Seed: p.Seed}
+}
+
+// backoffKey packs a retry's coordinates into the jitter key: each
+// (step, round, from, to) stream jitters independently.
+func backoffKey(step, round, from, to int) uint64 {
+	return uint64(step)<<40 ^ uint64(round)<<28 ^ uint64(from)<<14 ^ uint64(to)
 }
 
 func (p *FaultPlan) validate(nodes int) error {

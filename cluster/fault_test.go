@@ -86,7 +86,7 @@ func TestFaultyMatchesFaultFree(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	clean, err := sim.Run(0)
+	clean, err := sim.Run(context.Background(), 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -196,7 +196,7 @@ func TestFaultySlowNode(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	clean, err := sim.Run(0)
+	clean, err := sim.Run(context.Background(), 0)
 	if err != nil {
 		t.Fatal(err)
 	}

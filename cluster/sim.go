@@ -106,9 +106,11 @@ func (r *SimResult) RemoteFraction() float64 {
 }
 
 // Run performs the distributed traversal from source. Each node runs as
-// a goroutine per step; exchanges are all-to-all message slices.
-func (s *Sim) Run(source uint32) (*SimResult, error) {
-	return s.RunFaulty(context.Background(), source, nil)
+// a goroutine per step; exchanges are all-to-all message slices. ctx is
+// checked at every step boundary, so simulated runs honor cancellation
+// and deadlines exactly like bfs.RunContext.
+func (s *Sim) Run(ctx context.Context, source uint32) (*SimResult, error) {
+	return s.RunFaulty(ctx, source, nil)
 }
 
 // RunFaulty performs the distributed traversal from source while
@@ -313,7 +315,7 @@ func (s *Sim) attemptStep(step int32, round int, plan *FaultPlan,
 				}
 				rec.RetriedBatches++
 				rec.ReshippedEntries += c
-				rec.Backoff += plan.BackoffBase << (attempt - 1)
+				rec.Backoff += plan.backoff().Delay(attempt, backoffKey(int(step), round, from, to))
 				attempt++
 			}
 			if plan.chance(plan.DupProb, faultDup, int(step), round, 0, from, to) {

@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -31,7 +32,7 @@ func TestSimMatchesSerial(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			res, err := sim.Run(0)
+			res, err := sim.Run(context.Background(), 0)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -64,7 +65,7 @@ func TestSimRemoteFraction(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		res, err := sim.Run(0)
+		res, err := sim.Run(context.Background(), 0)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -88,7 +89,7 @@ func TestSimSingleNodeNoTraffic(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := sim.Run(0)
+	res, err := sim.Run(context.Background(), 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -102,7 +103,7 @@ func TestSimSingleNodeNoTraffic(t *testing.T) {
 func TestSimParentsAreEdges(t *testing.T) {
 	g, _ := gen.RMAT(gen.Graph500Params(10, 8), 5)
 	sim, _ := NewSim(g, 4)
-	res, err := sim.Run(0)
+	res, err := sim.Run(context.Background(), 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -128,7 +129,7 @@ func TestSimValidation(t *testing.T) {
 		t.Error("non-power-of-two nodes accepted")
 	}
 	sim, _ := NewSim(g, 2)
-	if _, err := sim.Run(1000); err == nil {
+	if _, err := sim.Run(context.Background(), 1000); err == nil {
 		t.Error("out-of-range source accepted")
 	}
 }

@@ -1,0 +1,380 @@
+package main
+
+// Cluster modes: besides the standalone query daemon, bfsd can run as
+// one shard of a distributed BFS cluster (-shard-id/-shards) or as the
+// cluster's coordinator (-coordinate). Shards own a contiguous 1D
+// vertex partition of a shared graph (every shard loads the same graph
+// and serves only its slice); the coordinator drives level-synchronous
+// rounds over the shards' HTTP API with bitmap-compressed frontier
+// exchange, heartbeat failure detection, retried idempotent round
+// messages and checkpointed crash recovery (see cluster/coord).
+//
+//	# three shards + a coordinator over a generated scale-14 RMAT graph
+//	bfsd -addr :9001 -shard-id 0 -shards 3 -gen rmat -scale 14 -checkpoint-dir /tmp/s0 &
+//	bfsd -addr :9002 -shard-id 1 -shards 3 -gen rmat -scale 14 -checkpoint-dir /tmp/s1 &
+//	bfsd -addr :9003 -shard-id 2 -shards 3 -gen rmat -scale 14 -checkpoint-dir /tmp/s2 &
+//	bfsd -addr :9000 -coordinate http://127.0.0.1:9001,http://127.0.0.1:9002,http://127.0.0.1:9003
+//	curl -s -X POST localhost:9000/cluster/bfs -d '{"source":0}'
+//
+// With -coordinate auto the coordinator instead waits for -shards
+// shard processes to announce themselves at POST /cluster/register,
+// so shards can come up in any order on dynamic ports (each shard is
+// then started with -coordinator http://coordinator-addr).
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log"
+	"net/http"
+	"os/signal"
+	"strings"
+	"sync"
+	"syscall"
+	"time"
+
+	"fastbfs/cluster"
+	"fastbfs/cluster/coord"
+	"fastbfs/graph"
+	"fastbfs/graph/gen"
+	"fastbfs/internal/faultinject"
+)
+
+// clusterFlags carries the cluster-mode command line.
+type clusterFlags struct {
+	shardID     int
+	shards      int
+	coordinator string // shard: register with this coordinator URL
+	ckptDir     string
+
+	coordinate     string // coordinator: comma-separated shard URLs or "auto"
+	rpcTimeout     time.Duration
+	recoveryBudget time.Duration
+	heartbeat      time.Duration
+	maxAttempts    int
+
+	chaosSeed       uint64
+	chaosSendProb   float64
+	chaosExpandProb float64
+}
+
+// runShardMode serves one partition of the cluster: the shard API plus
+// /healthz and /readyz so standard probes (and the crash-test harness)
+// work unchanged. Blocks until SIGINT/SIGTERM.
+func runShardMode(addr string, cf clusterFlags, g *graph.Graph) error {
+	if cf.shards < 1 || cf.shardID >= cf.shards {
+		return fmt.Errorf("-shard-id %d requires -shards > %d", cf.shardID, cf.shardID)
+	}
+	var inj *faultinject.Plan
+	if cf.chaosExpandProb > 0 {
+		inj = &faultinject.Plan{Seed: cf.chaosSeed, Rules: map[faultinject.Site]faultinject.Rule{
+			faultinject.SiteShardExpand: {FaultProb: cf.chaosExpandProb},
+		}}
+		log.Printf("chaos: failing %.0f%% of expand rounds (seed %d)", 100*cf.chaosExpandProb, cf.chaosSeed)
+	}
+	s, err := coord.NewShard(g, cf.shardID, cf.shards, cf.ckptDir, inj)
+	if err != nil {
+		return err
+	}
+	lo, hi := s.Range()
+	log.Printf("shard %d/%d owns vertices [%d,%d) of %d", cf.shardID, cf.shards, lo, hi, g.NumVertices())
+
+	mux := http.NewServeMux()
+	mux.Handle("/shard/", s.Handler())
+	ok := func(w http.ResponseWriter, r *http.Request) { fmt.Fprintln(w, "ok") }
+	mux.HandleFunc("GET /healthz", ok)
+	mux.HandleFunc("GET /readyz", ok)
+
+	server := &http.Server{Addr: addr, Handler: mux}
+	errCh := make(chan error, 1)
+	go func() {
+		log.Printf("shard listening on %s", addr)
+		errCh <- server.ListenAndServe()
+	}()
+
+	if cf.coordinator != "" {
+		if err := registerWithCoordinator(cf.coordinator, cf.shardID, addr); err != nil {
+			server.Close()
+			return err
+		}
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	select {
+	case err := <-errCh:
+		return err
+	case <-ctx.Done():
+	}
+	sctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	return server.Shutdown(sctx)
+}
+
+// registerWithCoordinator announces this shard's reachable URL. The
+// coordinator may still be booting, so registration retries briefly.
+func registerWithCoordinator(coordURL string, id int, addr string) error {
+	if strings.HasPrefix(addr, ":") {
+		addr = "127.0.0.1" + addr
+	}
+	body, _ := json.Marshal(map[string]any{"id": id, "url": "http://" + addr})
+	var last error
+	for attempt := 0; attempt < 50; attempt++ {
+		resp, err := http.Post(coordURL+"/cluster/register", "application/json", strings.NewReader(string(body)))
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				log.Printf("registered with coordinator %s", coordURL)
+				return nil
+			}
+			last = fmt.Errorf("register: %s", resp.Status)
+		} else {
+			last = err
+		}
+		time.Sleep(200 * time.Millisecond)
+	}
+	return fmt.Errorf("registering with coordinator %s: %w", coordURL, last)
+}
+
+// clusterBFSRequest is the coordinator's query body.
+type clusterBFSRequest struct {
+	Source uint32 `json:"source"`
+	// IncludeDepth asks for the full depth array (one int32 per vertex)
+	// in the response — meant for validation harnesses, not production.
+	IncludeDepth bool `json:"include_depth,omitempty"`
+}
+
+// clusterBFSResponse mirrors coord.Result over JSON.
+type clusterBFSResponse struct {
+	Source          uint32  `json:"source"`
+	Visited         int64   `json:"visited"`
+	Rounds          int     `json:"rounds"`
+	ClaimedPerRound []int64 `json:"claimed_per_round"`
+	Epoch           uint64  `json:"epoch"`
+	Incomplete      bool    `json:"incomplete"`
+	DeadShards      []int   `json:"dead_shards,omitempty"`
+	Retries         int     `json:"retries"`
+	EpochRestarts   int     `json:"epoch_restarts"`
+	Depth           []int32 `json:"depth,omitempty"`
+	ElapsedMS       float64 `json:"elapsed_ms"`
+}
+
+// runCoordinatorMode runs the cluster coordinator. Blocks until
+// SIGINT/SIGTERM.
+func runCoordinatorMode(addr string, cf clusterFlags) error {
+	var inj *faultinject.Plan
+	if cf.chaosSendProb > 0 {
+		inj = &faultinject.Plan{Seed: cf.chaosSeed, Rules: map[faultinject.Site]faultinject.Rule{
+			faultinject.SiteCoordSend: {FaultProb: cf.chaosSendProb},
+		}}
+		log.Printf("chaos: dropping %.0f%% of round sends (seed %d)", 100*cf.chaosSendProb, cf.chaosSeed)
+	}
+	cfg := coord.Config{
+		RPCTimeout:        cf.rpcTimeout,
+		MaxAttempts:       cf.maxAttempts,
+		RecoveryBudget:    cf.recoveryBudget,
+		HeartbeatInterval: cf.heartbeat,
+		Backoff:           cluster.Backoff{Base: 25 * time.Millisecond, Max: time.Second, Jitter: 0.5, Seed: cf.chaosSeed},
+		Injector:          inj,
+	}
+
+	// reg collects shard URLs — fixed from the flag, or dynamically via
+	// POST /cluster/register in auto mode.
+	reg := &registry{want: cf.shards, done: make(chan struct{})}
+	if cf.coordinate != "auto" {
+		reg.fix(strings.Split(cf.coordinate, ","))
+	} else if cf.shards < 1 {
+		return errors.New("-coordinate auto requires -shards")
+	}
+
+	var (
+		mu sync.Mutex // serializes runs: the round protocol is one-at-a-time
+		co *coord.Coordinator
+	)
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /cluster/register", reg.handle)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) { fmt.Fprintln(w, "ok") })
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		ready := co != nil
+		mu.Unlock()
+		if !ready {
+			http.Error(w, "cluster not assembled", http.StatusServiceUnavailable)
+			return
+		}
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("POST /cluster/bfs", func(w http.ResponseWriter, r *http.Request) {
+		var req clusterBFSRequest
+		if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<16)).Decode(&req); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		mu.Lock()
+		defer mu.Unlock()
+		if co == nil {
+			http.Error(w, "cluster not assembled", http.StatusServiceUnavailable)
+			return
+		}
+		start := time.Now()
+		res, err := co.Run(r.Context(), req.Source)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		out := clusterBFSResponse{
+			Source: res.Source, Visited: res.Visited, Rounds: res.Rounds,
+			ClaimedPerRound: res.ClaimedPerRound, Epoch: res.Epoch,
+			Incomplete: res.Incomplete, DeadShards: res.DeadShards,
+			Retries: res.Retries, EpochRestarts: res.EpochRestarts,
+			ElapsedMS: float64(time.Since(start).Microseconds()) / 1000,
+		}
+		if req.IncludeDepth {
+			out.Depth = res.Depth
+		}
+		w.Header().Set("Content-Type", "application/json")
+		if res.Incomplete {
+			// A degraded answer is typed, not hidden: 206 tells callers
+			// the reachable subset excludes dead shards' vertices.
+			w.WriteHeader(http.StatusPartialContent)
+		}
+		json.NewEncoder(w).Encode(&out)
+	})
+
+	server := &http.Server{Addr: addr, Handler: mux}
+	errCh := make(chan error, 1)
+	go func() {
+		log.Printf("coordinator listening on %s", addr)
+		errCh <- server.ListenAndServe()
+	}()
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	// Assemble the cluster in the background so the listener (and
+	// /cluster/register) is up first.
+	go func() {
+		select {
+		case <-reg.done:
+		case <-ctx.Done():
+			return
+		}
+		cfg.Shards = reg.urls()
+		c, err := coord.Open(ctx, cfg)
+		if err != nil {
+			log.Printf("coordinator: assembling cluster: %v", err)
+			errCh <- err
+			return
+		}
+		mu.Lock()
+		co = c
+		mu.Unlock()
+		log.Printf("cluster assembled: %d shards, %d vertices", len(cfg.Shards), c.NumVertices())
+	}()
+
+	select {
+	case err := <-errCh:
+		return err
+	case <-ctx.Done():
+	}
+	sctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	return server.Shutdown(sctx)
+}
+
+// registry collects shard URLs until all expected shards have reported.
+type registry struct {
+	mu   sync.Mutex
+	want int
+	got  map[int]string
+	done chan struct{} // closed once the shard set is complete
+}
+
+func (r *registry) fix(urls []string) {
+	r.got = make(map[int]string, len(urls))
+	for i, u := range urls {
+		r.got[i] = strings.TrimSpace(u)
+	}
+	r.want = len(urls)
+	close(r.done)
+}
+
+func (r *registry) handle(w http.ResponseWriter, req *http.Request) {
+	var body struct {
+		ID  int    `json:"id"`
+		URL string `json:"url"`
+	}
+	if err := json.NewDecoder(http.MaxBytesReader(w, req.Body, 1<<12)).Decode(&body); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	select {
+	case <-r.done:
+		// Late or duplicate registration after assembly: accept a known
+		// URL (shard restart), refuse anything new.
+		if r.got[body.ID] != body.URL {
+			http.Error(w, "cluster already assembled", http.StatusConflict)
+			return
+		}
+		fmt.Fprintln(w, "ok")
+		return
+	default:
+	}
+	if body.ID < 0 || body.ID >= r.want || body.URL == "" {
+		http.Error(w, fmt.Sprintf("bad registration: id %d of %d, url %q", body.ID, r.want, body.URL), http.StatusBadRequest)
+		return
+	}
+	if r.got == nil {
+		r.got = make(map[int]string, r.want)
+	}
+	r.got[body.ID] = body.URL
+	log.Printf("shard %d registered at %s (%d/%d)", body.ID, body.URL, len(r.got), r.want)
+	if len(r.got) == r.want {
+		close(r.done)
+	}
+	fmt.Fprintln(w, "ok")
+}
+
+func (r *registry) urls() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	urls := make([]string, r.want)
+	for i := range urls {
+		urls[i] = r.got[i]
+	}
+	return urls
+}
+
+// loadClusterGraph builds the single shared graph a shard serves, from
+// the same -graph/-gen flags as standalone mode. Every shard of a
+// cluster must load the identical graph (same file, or same generator
+// and seed); the coordinator cross-checks only the partition ranges, so
+// mismatched graphs are the operator's failure to keep flags in sync.
+func loadClusterGraph(graphs graphFlags, genKind string, n, degree, scale, edgeFactor int, seed uint64, mmap bool) (*graph.Graph, error) {
+	if len(graphs) > 1 || (len(graphs) == 1 && genKind != "") {
+		return nil, errors.New("shard mode serves exactly one graph: pass one -graph or one -gen")
+	}
+	if len(graphs) == 1 {
+		path := graphs[0]
+		if _, p, ok := strings.Cut(path, "="); ok {
+			path = p
+		}
+		if mmap {
+			return graph.LoadMmap(path)
+		}
+		return graph.Load(path)
+	}
+	switch genKind {
+	case "ur":
+		return gen.UniformRandom(n, degree, seed)
+	case "rmat":
+		return gen.RMAT(gen.Graph500Params(scale, edgeFactor), seed)
+	case "":
+		return nil, errors.New("shard mode needs a graph: pass -graph or -gen")
+	default:
+		return nil, fmt.Errorf("unknown -gen kind %q", genKind)
+	}
+}

@@ -1,0 +1,360 @@
+//go:build unix
+
+package main
+
+// Process-level cluster harness: these tests build the real bfsd
+// binary, launch a coordinator plus three shard processes, and drive
+// distributed BFS queries against serially computed ground truth —
+// including SIGKILLing a shard mid-query-stream and asserting the
+// checkpointed restart converges back to exact depths, and a
+// permanently dead shard degrading to a typed partial result.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+
+	"fastbfs/bfs"
+	"fastbfs/cluster/coord"
+	"fastbfs/graph"
+	"fastbfs/graph/gen"
+)
+
+// clusterScale is the RMAT scale the cluster tests run at; the CI
+// cluster-smoke job raises it to 14 via BFSD_CLUSTER_SCALE.
+func clusterScale(t *testing.T) int {
+	if s := os.Getenv("BFSD_CLUSTER_SCALE"); s != "" {
+		v, err := strconv.Atoi(s)
+		if err != nil {
+			t.Fatalf("BFSD_CLUSTER_SCALE=%q: %v", s, err)
+		}
+		return v
+	}
+	return 10
+}
+
+const clusterSeed = 5
+
+// clusterGraph regenerates the exact graph the shard processes build
+// from the matching -gen flags.
+func clusterGraph(t *testing.T, scale int) *graph.Graph {
+	t.Helper()
+	g, err := gen.RMAT(gen.Graph500Params(scale, 16), clusterSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func serialClusterDepths(t *testing.T, g *graph.Graph, source uint32) []int32 {
+	t.Helper()
+	r, err := bfs.RunSerial(g, source)
+	if err != nil {
+		t.Fatal(err)
+	}
+	depth := make([]int32, g.NumVertices())
+	for v := range depth {
+		depth[v] = r.Depth(uint32(v))
+	}
+	return depth
+}
+
+// startShard launches one bfsd shard process on addr (reusing a port
+// pins a restarted shard to its old identity).
+func startShard(t *testing.T, addr string, id, shards, scale int, ckptDir string, extra ...string) *daemon {
+	t.Helper()
+	d := &daemon{addr: addr, logs: &bytes.Buffer{}}
+	args := []string{
+		"-addr", d.addr,
+		"-shard-id", strconv.Itoa(id), "-shards", strconv.Itoa(shards),
+		"-gen", "rmat", "-scale", strconv.Itoa(scale), "-edgefactor", "16", "-seed", strconv.Itoa(clusterSeed),
+	}
+	if ckptDir != "" {
+		args = append(args, "-checkpoint-dir", ckptDir)
+	}
+	d.cmd = exec.Command(bfsdBin, append(args, extra...)...)
+	d.cmd.Stdout = d.logs
+	d.cmd.Stderr = d.logs
+	if err := d.cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		if d.cmd.ProcessState == nil {
+			_ = d.cmd.Process.Kill()
+			_, _ = d.cmd.Process.Wait()
+		}
+	})
+	return d
+}
+
+// startCluster brings up nshards shard processes plus a coordinator and
+// waits until the cluster is assembled. ckptDirs may be nil.
+func startCluster(t *testing.T, nshards, scale int, ckptDirs []string, coordArgs ...string) (*daemon, []*daemon) {
+	t.Helper()
+	shards := make([]*daemon, nshards)
+	urls := ""
+	for i := range shards {
+		dir := ""
+		if ckptDirs != nil {
+			dir = ckptDirs[i]
+		}
+		shards[i] = startShard(t, freePort(t), i, nshards, scale, dir)
+		if i > 0 {
+			urls += ","
+		}
+		urls += "http://" + shards[i].addr
+	}
+	for _, s := range shards {
+		s.waitReady(t)
+	}
+	co := startDaemon(t, append([]string{"-coordinate", urls}, coordArgs...)...)
+	co.waitReady(t)
+	return co, shards
+}
+
+// clusterBFS posts one query and decodes the reply; 206 (degraded) is
+// returned alongside the response, any other non-200 fails the test.
+func clusterBFS(t *testing.T, co *daemon, source uint32, includeDepth bool) (*clusterBFSResponse, int) {
+	t.Helper()
+	body, _ := json.Marshal(clusterBFSRequest{Source: source, IncludeDepth: includeDepth})
+	resp, err := http.Post(co.url("/cluster/bfs"), "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST /cluster/bfs: %v", err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusPartialContent {
+		t.Fatalf("POST /cluster/bfs: HTTP %d: %s\ncoordinator logs:\n%s", resp.StatusCode, raw, co.logs)
+	}
+	var out clusterBFSResponse
+	if err := json.Unmarshal(raw, &out); err != nil {
+		t.Fatalf("decoding %q: %v", raw, err)
+	}
+	return &out, resp.StatusCode
+}
+
+func assertClusterExact(t *testing.T, res *clusterBFSResponse, want []int32) {
+	t.Helper()
+	if res.Incomplete {
+		t.Fatalf("healthy cluster returned incomplete result (dead shards %v)", res.DeadShards)
+	}
+	if len(res.Depth) != len(want) {
+		t.Fatalf("response depth covers %d vertices, want %d", len(res.Depth), len(want))
+	}
+	for v := range want {
+		if res.Depth[v] != want[v] {
+			t.Fatalf("vertex %d: distributed depth %d, serial depth %d", v, res.Depth[v], want[v])
+		}
+	}
+}
+
+// TestClusterExactDepths: a real 3-process cluster answers with exactly
+// the serial BFS depths, level sizes included, for multiple sources —
+// and stays exact when the coordinator's send path drops a fifth of its
+// round messages (deterministic chaos).
+func TestClusterExactDepths(t *testing.T) {
+	scale := clusterScale(t)
+	g := clusterGraph(t, scale)
+	co, _ := startCluster(t, 3, scale, nil)
+	for _, source := range []uint32{0, 2} {
+		want := serialClusterDepths(t, g, source)
+		res, status := clusterBFS(t, co, source, true)
+		if status != http.StatusOK {
+			t.Fatalf("healthy query: HTTP %d", status)
+		}
+		assertClusterExact(t, res, want)
+		var levels []int64
+		for _, d := range want {
+			if d >= 0 {
+				for int(d) >= len(levels) {
+					levels = append(levels, 0)
+				}
+				levels[d]++
+			}
+		}
+		if len(res.ClaimedPerRound) != len(levels) {
+			t.Fatalf("source %d: %d claiming rounds, serial BFS has %d levels", source, len(res.ClaimedPerRound), len(levels))
+		}
+		for r, n := range levels {
+			if res.ClaimedPerRound[r] != n {
+				t.Fatalf("source %d round %d: claimed %d, serial level size %d", source, r, res.ClaimedPerRound[r], n)
+			}
+		}
+	}
+
+	t.Run("chaotic-send", func(t *testing.T) {
+		coChaos, _ := startCluster(t, 3, scale, nil,
+			"-chaos-send-prob", "0.2", "-chaos-seed", "99", "-max-attempts", "8")
+		want := serialClusterDepths(t, g, 1)
+		res, _ := clusterBFS(t, coChaos, 1, true)
+		assertClusterExact(t, res, want)
+		if res.Retries == 0 {
+			t.Fatal("chaos plan produced no retries; injection is not reaching the send path")
+		}
+	})
+}
+
+// TestClusterShardSIGKILLRecovery: while a stream of queries runs, one
+// shard is SIGKILLed and relaunched (same port, same checkpoint dir).
+// Every query that completes must carry exact depths — the protocol may
+// retry or restart epochs, but it must never serve a wrong or partial
+// answer for a shard that comes back inside the recovery budget.
+func TestClusterShardSIGKILLRecovery(t *testing.T) {
+	scale := clusterScale(t)
+	g := clusterGraph(t, scale)
+	want := serialClusterDepths(t, g, 0)
+	dirs := []string{t.TempDir(), t.TempDir(), t.TempDir()}
+	co, shards := startCluster(t, 3, scale, dirs,
+		"-recovery-budget", "30s", "-heartbeat", "50ms")
+
+	var (
+		wg         sync.WaitGroup
+		stop       = make(chan struct{})
+		mu         sync.Mutex
+		queries    int
+		recoveries int
+		failure    error
+	)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			res, status := clusterBFSNoFatal(co, 0)
+			mu.Lock()
+			queries++
+			switch {
+			case res == nil:
+				failure = fmt.Errorf("query failed with HTTP %d", status)
+			case res.Incomplete:
+				failure = fmt.Errorf("query degraded (dead shards %v) though the shard came back in budget", res.DeadShards)
+			default:
+				for v := range want {
+					if res.Depth[v] != want[v] {
+						failure = fmt.Errorf("vertex %d: depth %d after recovery, serial %d", v, res.Depth[v], want[v])
+						break
+					}
+				}
+				if res.Retries > 0 || res.EpochRestarts > 0 {
+					recoveries++
+				}
+			}
+			done := failure != nil
+			mu.Unlock()
+			if done {
+				return
+			}
+		}
+	}()
+
+	// Let at least one healthy query land, then SIGKILL shard 1 mid-
+	// stream, leave it dead long enough for in-flight rounds to start
+	// retrying, and relaunch it from its checkpoint directory.
+	time.Sleep(150 * time.Millisecond)
+	victim := shards[1]
+	victim.kill(t)
+	time.Sleep(400 * time.Millisecond)
+	reborn := startShard(t, victim.addr, 1, 3, scale, dirs[1])
+	reborn.waitReady(t)
+
+	// Give the stream time to push queries through the recovered
+	// cluster, then stop it.
+	time.Sleep(1 * time.Second)
+	close(stop)
+	wg.Wait()
+
+	mu.Lock()
+	defer mu.Unlock()
+	if failure != nil {
+		t.Fatalf("%v\ncoordinator logs:\n%s\nvictim logs:\n%s", failure, co.logs, victim.logs)
+	}
+	if queries < 2 {
+		t.Fatalf("only %d queries completed; stream never straddled the crash", queries)
+	}
+	if recoveries == 0 {
+		t.Fatalf("none of %d queries observed retries or epoch restarts; the kill was invisible (logs:\n%s)", queries, co.logs)
+	}
+	t.Logf("%d queries, %d saw recovery machinery engage", queries, recoveries)
+}
+
+// clusterBFSNoFatal is clusterBFS for goroutines: returns nil on any
+// transport or status failure instead of failing the test.
+func clusterBFSNoFatal(co *daemon, source uint32) (*clusterBFSResponse, int) {
+	body, _ := json.Marshal(clusterBFSRequest{Source: source, IncludeDepth: true})
+	resp, err := http.Post(co.url("/cluster/bfs"), "application/json", bytes.NewReader(body))
+	if err != nil {
+		return nil, 0
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil || (resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusPartialContent) {
+		return nil, resp.StatusCode
+	}
+	var out clusterBFSResponse
+	if err := json.Unmarshal(raw, &out); err != nil {
+		return nil, resp.StatusCode
+	}
+	return &out, resp.StatusCode
+}
+
+// TestClusterDegradedPartialResult: a shard SIGKILLed and never
+// relaunched must not hang the cluster — past the recovery budget the
+// query returns HTTP 206 with the dead shard named and its vertex range
+// unreached, while the surviving shards' depths remain sound.
+func TestClusterDegradedPartialResult(t *testing.T) {
+	scale := clusterScale(t)
+	g := clusterGraph(t, scale)
+	serial := serialClusterDepths(t, g, 0)
+	co, shards := startCluster(t, 3, scale, nil,
+		"-recovery-budget", "500ms", "-max-attempts", "2", "-heartbeat", "50ms")
+
+	res, status := clusterBFS(t, co, 0, true) // healthy baseline
+	if status != http.StatusOK || res.Incomplete {
+		t.Fatalf("baseline query: HTTP %d, incomplete=%v", status, res.Incomplete)
+	}
+
+	shards[2].kill(t)
+	start := time.Now()
+	res, status = clusterBFS(t, co, 0, true)
+	if status != http.StatusPartialContent {
+		t.Fatalf("degraded query returned HTTP %d, want 206", status)
+	}
+	if !res.Incomplete || len(res.DeadShards) != 1 || res.DeadShards[0] != 2 {
+		t.Fatalf("degraded response: incomplete=%v dead=%v, want incomplete with shard 2 dead", res.Incomplete, res.DeadShards)
+	}
+	if elapsed := time.Since(start); elapsed > 60*time.Second {
+		t.Fatalf("degraded query took %v; the recovery budget is not bounding it", elapsed)
+	}
+	lo, hi := coord.PartitionRange(g.NumVertices(), 3, 2)
+	for v := lo; v < hi; v++ {
+		if res.Depth[v] != -1 {
+			t.Fatalf("vertex %d in dead shard's range has depth %d, want -1", v, res.Depth[v])
+		}
+	}
+	if res.Depth[0] != 0 {
+		t.Fatalf("source depth %d in degraded result", res.Depth[0])
+	}
+	for v, d := range res.Depth {
+		if d >= 0 && (serial[v] < 0 || d < serial[v]) {
+			t.Fatalf("vertex %d: degraded depth %d beats serial %d", v, d, serial[v])
+		}
+	}
+	if res.Visited == 0 || res.Visited >= int64(g.NumVertices()) {
+		t.Fatalf("degraded run visited %d of %d vertices; expected a proper subset", res.Visited, g.NumVertices())
+	}
+}

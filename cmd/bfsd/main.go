@@ -94,7 +94,38 @@ func main() {
 	stateDir := flag.String("state-dir", "", "durable control plane: journal graph load/unload mutations here and recover them at startup (empty = stateless, restart forgets loaded graphs)")
 	snapshotEvery := flag.Int("snapshot-every", serve.DefaultSnapshotEvery, "compact the state-dir journal into a snapshot after this many records")
 	mmapLoads := flag.Bool("mmap", false, "load graph files via read-only mmap: warm restarts hit page cache instead of re-parsing (CRC footer still verified)")
+
+	var cf clusterFlags
+	flag.IntVar(&cf.shardID, "shard-id", -1, "run as cluster shard with this id (requires -shards; see cluster/coord)")
+	flag.IntVar(&cf.shards, "shards", 0, "total shard count of the cluster")
+	flag.StringVar(&cf.coordinator, "coordinator", "", "shard mode: register with this coordinator URL (for -coordinate auto)")
+	flag.StringVar(&cf.ckptDir, "checkpoint-dir", "", "shard mode: persist per-round checkpoints here for crash recovery")
+	flag.StringVar(&cf.coordinate, "coordinate", "", "run as cluster coordinator over these comma-separated shard URLs, or 'auto' to await -shards registrations")
+	flag.DurationVar(&cf.rpcTimeout, "rpc-timeout", 5*time.Second, "coordinator: per-attempt deadline for shard RPCs")
+	flag.DurationVar(&cf.recoveryBudget, "recovery-budget", 15*time.Second, "coordinator: how long a failing shard may stay unreachable before the run degrades")
+	flag.DurationVar(&cf.heartbeat, "heartbeat", 500*time.Millisecond, "coordinator: shard health probe interval")
+	flag.IntVar(&cf.maxAttempts, "max-attempts", 4, "coordinator: guaranteed per-round delivery attempts per shard")
+	flag.Uint64Var(&cf.chaosSeed, "chaos-seed", 1, "seed for deterministic cluster fault injection")
+	flag.Float64Var(&cf.chaosSendProb, "chaos-send-prob", 0, "coordinator: inject this fraction of lost round sends")
+	flag.Float64Var(&cf.chaosExpandProb, "chaos-expand-prob", 0, "shard: fail this fraction of expand rounds")
 	flag.Parse()
+
+	if cf.coordinate != "" {
+		if err := runCoordinatorMode(*addr, cf); err != nil {
+			log.Fatalf("bfsd: %v", err)
+		}
+		return
+	}
+	if cf.shardID >= 0 {
+		g, err := loadClusterGraph(graphs, *genKind, *n, *degree, *scale, *edgeFactor, *seed, *mmapLoads)
+		if err != nil {
+			log.Fatalf("bfsd: %v", err)
+		}
+		if err := runShardMode(*addr, cf, g); err != nil {
+			log.Fatalf("bfsd: %v", err)
+		}
+		return
+	}
 
 	opts := bfs.Default(*sockets)
 	opts.Workers = *workers

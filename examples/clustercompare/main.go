@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -62,7 +63,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		res, err := sim.Run(root)
+		res, err := sim.Run(context.Background(), root)
 		if err != nil {
 			log.Fatal(err)
 		}

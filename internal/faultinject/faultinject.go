@@ -54,6 +54,16 @@ const (
 	// SiteClientStall is also client-side: a firing client sleeps
 	// before reading its response, simulating slow consumers.
 	SiteClientStall Site = "client.stall"
+	// SiteCoordSend fires in the cluster coordinator's RPC client just
+	// before each per-shard request attempt: errors there simulate
+	// requests lost on the wire (the client retries with jittered
+	// backoff), delays simulate slow links.
+	SiteCoordSend Site = "coord.send"
+	// SiteShardExpand fires in a shard's expand handler before a round
+	// is processed: errors fail the RPC (the coordinator retries
+	// against the shard's idempotent round protocol), panics crash the
+	// handler mid-round.
+	SiteShardExpand Site = "shard.expand"
 )
 
 // ErrInjected is the default error carried by injected failures; chaos
@@ -192,11 +202,13 @@ func (v PanicValue) String() string {
 // site, so each site sees the deterministic key sequence 0, 1, 2, ...
 // regardless of how occurrences interleave across sites.
 type Sequencer struct {
-	engineStep atomic.Uint64
-	acquire    atomic.Uint64
-	sweep      atomic.Uint64
-	graphLoad  atomic.Uint64
-	other      atomic.Uint64
+	engineStep  atomic.Uint64
+	acquire     atomic.Uint64
+	sweep       atomic.Uint64
+	graphLoad   atomic.Uint64
+	coordSend   atomic.Uint64
+	shardExpand atomic.Uint64
+	other       atomic.Uint64
 }
 
 // Next returns the next key for site.
@@ -210,6 +222,10 @@ func (s *Sequencer) Next(site Site) uint64 {
 		return s.sweep.Add(1) - 1
 	case SiteGraphLoad:
 		return s.graphLoad.Add(1) - 1
+	case SiteCoordSend:
+		return s.coordSend.Add(1) - 1
+	case SiteShardExpand:
+		return s.shardExpand.Add(1) - 1
 	default:
 		return s.other.Add(1) - 1
 	}
