@@ -6,7 +6,7 @@
 //	bfsbench [flags] <experiment>...
 //
 // Experiments: table1 table2 fig4 fig5 fig6 fig7 fig8 modelcheck ablate
-// hybrid all
+// hybrid index all
 //
 // Flags:
 //
@@ -51,11 +51,11 @@ func main() {
 
 	args := flag.Args()
 	if len(args) == 0 && !*jsonOut {
-		fmt.Fprintln(os.Stderr, "usage: bfsbench [flags] <table1|table2|fig4|fig5|fig6|fig7|fig8|modelcheck|scaling|ablate|hybrid|all>...")
+		fmt.Fprintln(os.Stderr, "usage: bfsbench [flags] <table1|table2|fig4|fig5|fig6|fig7|fig8|modelcheck|scaling|ablate|hybrid|index|all>...")
 		os.Exit(2)
 	}
 	if len(args) == 1 && args[0] == "all" {
-		args = []string{"table1", "modelcheck", "table2", "fig4", "fig5", "fig6", "fig7", "fig8", "scaling", "ablate", "hybrid"}
+		args = []string{"table1", "modelcheck", "table2", "fig4", "fig5", "fig6", "fig7", "fig8", "scaling", "ablate", "hybrid", "index"}
 	}
 
 	type runner func() (*stats.Table, error)
@@ -71,6 +71,7 @@ func main() {
 		"scaling":    func() (*stats.Table, error) { return experiments.Scaling(cfg) },
 		"ablate":     func() (*stats.Table, error) { return experiments.Ablate(cfg) },
 		"hybrid":     func() (*stats.Table, error) { return experiments.Hybrid(cfg) },
+		"index":      func() (*stats.Table, error) { return experiments.Index(cfg) },
 	}
 	titles := map[string]string{
 		"table1":     "Table I — platform characteristics (modeled machine)",
@@ -84,6 +85,7 @@ func main() {
 		"scaling":    "Section V-B — socket scaling, measured and projected",
 		"ablate":     "Section V-A — latency-hiding ablations",
 		"hybrid":     "Direction-optimizing hybrid vs top-down (comparable MTEPS*)",
+		"index":      "Distance-oracle index — build cost and point-query QPS vs per-query hybrid BFS",
 	}
 
 	for _, name := range args {

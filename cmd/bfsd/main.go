@@ -18,6 +18,17 @@
 //	  -d '{"graph":"default","source":0,"targets":[42],"path_to":42}'
 //	curl -s -X POST localhost:8080/graphs/load -d '{"name":"roads","path":"roads.csr"}'
 //	curl -s -X POST localhost:8080/graphs/unload -d '{"name":"roads"}'
+//	curl -s -X POST localhost:8080/graphs/default/index   # build distance index
+//	curl -s -X POST localhost:8080/query \
+//	  -d '{"graph":"default","source":0,"targets":[42],"distance_only":true}'
+//
+// With -index (or POST /graphs/{g}/index) the daemon builds a landmark
+// distance labeling per graph in the background, batched 64 sources at
+// a time with multi-source BFS; distance_only queries it certifies are
+// answered in microseconds without a traversal ("index":true,
+// "exact":true), everything else falls back to exact BFS. For file
+// graphs in durable mode the artifact is persisted next to the graph
+// (<path>.idx, CRC-footed) and journaled, so a restart remounts it.
 //
 // The daemon degrades rather than dies: per-graph circuit breakers
 // (-breaker-threshold) fail queries fast while a graph's engines are
@@ -94,6 +105,10 @@ func main() {
 	stateDir := flag.String("state-dir", "", "durable control plane: journal graph load/unload mutations here and recover them at startup (empty = stateless, restart forgets loaded graphs)")
 	snapshotEvery := flag.Int("snapshot-every", serve.DefaultSnapshotEvery, "compact the state-dir journal into a snapshot after this many records")
 	mmapLoads := flag.Bool("mmap", false, "load graph files via read-only mmap: warm restarts hit page cache instead of re-parsing (CRC footer still verified)")
+	buildIndex := flag.Bool("index", false, "build a landmark distance index for every served graph at startup (background; /query distance_only answers from it)")
+	idxLandmarks := flag.Int("index-landmarks", 64, "landmarks per index build")
+	idxPolicy := flag.String("index-policy", "degree", "landmark selection policy: degree | random")
+	idxSeed := flag.Uint64("index-seed", 1, "seed for the random landmark policy")
 
 	var cf clusterFlags
 	flag.IntVar(&cf.shardID, "shard-id", -1, "run as cluster shard with this id (requires -shards; see cluster/coord)")
@@ -171,6 +186,12 @@ func main() {
 		for _, name := range sum.Failed {
 			log.Printf("WARNING: journaled graph %q could not be reloaded; serving without it", name)
 		}
+		for _, name := range sum.Indexes {
+			log.Printf("remounted distance index for graph %q", name)
+		}
+		for _, name := range sum.IndexesRebuilding {
+			log.Printf("journaled index artifact for %q unusable; rebuilding in background", name)
+		}
 		if sum.Journal.TornBytes > 0 {
 			log.Printf("journal tail was torn: truncated %d bytes (crash mid-append)", sum.Journal.TornBytes)
 		}
@@ -181,6 +202,24 @@ func main() {
 	}
 	for _, gi := range svc.Graphs() {
 		log.Printf("serving graph %q: %d vertices, %d edges (mapped=%v)", gi.Name, gi.Vertices, gi.Edges, gi.Mapped)
+	}
+	if *buildIndex {
+		// Background builds; a remounted (recovered) index is kept as-is
+		// since BuildIndex without Force is a no-op on a ready index, and
+		// a recovery-triggered rebuild already in flight reports busy.
+		for _, gi := range svc.Graphs() {
+			_, err := svc.BuildIndex(gi.Name, serve.IndexOptions{
+				Landmarks: *idxLandmarks, Policy: *idxPolicy, Seed: *idxSeed,
+			})
+			switch {
+			case err == nil:
+				log.Printf("building distance index for graph %q (%d landmarks, %s policy)",
+					gi.Name, *idxLandmarks, *idxPolicy)
+			case errors.Is(err, serve.ErrIndexBusy):
+			default:
+				log.Printf("WARNING: index build for %q not started: %v", gi.Name, err)
+			}
+		}
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)

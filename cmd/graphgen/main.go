@@ -31,6 +31,7 @@ func main() {
 	shortcuts := flag.Int("shortcuts", 0, "grid shortcut edges per 1000 vertices")
 	rewire := flag.Float64("rewire", 0.1, "small-world rewiring probability")
 	seed := flag.Uint64("seed", 1, "generator seed")
+	symmetrize := flag.Bool("symmetrize", false, "add every reverse edge (serve with bfsd -symmetric)")
 	out := flag.String("o", "", "output path (required)")
 	flag.Parse()
 
@@ -71,6 +72,9 @@ func main() {
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "graphgen: %v\n", err)
 		os.Exit(1)
+	}
+	if *symmetrize {
+		g = g.Symmetrize()
 	}
 	if err := g.Save(*out); err != nil {
 		fmt.Fprintf(os.Stderr, "graphgen: saving: %v\n", err)

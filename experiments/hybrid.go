@@ -6,6 +6,7 @@ import (
 	"fastbfs/bfs"
 	"fastbfs/graph"
 	"fastbfs/graph/gen"
+	"fastbfs/index"
 	"fastbfs/internal/numa"
 	"fastbfs/internal/stats"
 	"fastbfs/internal/trace"
@@ -165,6 +166,10 @@ type HybridBench struct {
 	BytesPerEdgeModel    float64 `json:"bytes_per_edge_model"`
 	BytesPerEdgeMeasured float64 `json:"bytes_per_edge_measured"`
 	ModelMTEPS           float64 `json:"model_mteps"`
+
+	// Index is the distance-oracle benchmark on the same graph: landmark
+	// labeling build cost and point-query QPS vs per-query hybrid BFS.
+	Index *IndexBench `json:"index,omitempty"`
 }
 
 // HybridReport runs the hybrid benchmark and assembles the JSON report.
@@ -263,6 +268,12 @@ func HybridReport(cfg Config) (*HybridBench, error) {
 			b.BytesPerEdgeModel = hp.BytesPerEdge
 			b.ModelMTEPS = hp.MTEPS
 		}
+	}
+
+	// Distance-oracle section, on the same graph instance.
+	b.Index, err = indexBench(cfg, g, index.PolicyDegree)
+	if err != nil {
+		return nil, err
 	}
 	return b, nil
 }

@@ -1,0 +1,379 @@
+package index
+
+import (
+	"bytes"
+	"context"
+	"path/filepath"
+	"testing"
+
+	"fastbfs/bfs"
+	"fastbfs/graph"
+	"fastbfs/graph/gen"
+	"fastbfs/internal/xrand"
+)
+
+// refDist computes the exact distance s→t with the serial reference.
+func refDist(t *testing.T, g *graph.Graph, s, d uint32) int32 {
+	t.Helper()
+	res, err := bfs.RunSerial(g, s)
+	if err != nil {
+		t.Fatalf("serial BFS from %d: %v", s, err)
+	}
+	return res.Depth(d)
+}
+
+// refRow computes the full exact distance row from s.
+func refRow(t *testing.T, g *graph.Graph, s uint32) []int32 {
+	t.Helper()
+	res, err := bfs.RunSerial(g, s)
+	if err != nil {
+		t.Fatalf("serial BFS from %d: %v", s, err)
+	}
+	row := make([]int32, g.NumVertices())
+	for v := range row {
+		row[v] = res.Depth(uint32(v))
+	}
+	return row
+}
+
+// checkParity asserts the oracle's contract for one graph against the
+// serial reference over sampled sources: exact answers match serial
+// depths, bounds always bracket the truth, a UB join is always a real
+// path witness, and landmark endpoints are always exact.
+func checkParity(t *testing.T, g *graph.Graph, ix *Index, sources []uint32, rng *xrand.Gen) (exactPairs, totalPairs int) {
+	t.Helper()
+	n := g.NumVertices()
+	for _, s := range sources {
+		row := refRow(t, g, s)
+		targets := make([]uint32, 0, 64)
+		for i := 0; i < 48; i++ {
+			targets = append(targets, uint32(rng.Intn(n)))
+		}
+		// Landmark endpoints must be exact; probe a few explicitly.
+		for i := 0; i < 8 && i < len(ix.Landmarks); i++ {
+			targets = append(targets, ix.Landmarks[i])
+		}
+		for _, d := range targets {
+			ref := row[d]
+			a := ix.Query(s, d)
+			totalPairs++
+			if a.Exact {
+				exactPairs++
+				if a.Dist != ref {
+					t.Fatalf("Query(%d,%d): exact dist %d, serial %d", s, d, a.Dist, ref)
+				}
+			}
+			if a.UB >= 0 && (ref < 0 || a.UB < ref) {
+				t.Fatalf("Query(%d,%d): UB %d below serial %d (a join must witness a path)", s, d, a.UB, ref)
+			}
+			if ref >= 0 && a.LB > ref {
+				t.Fatalf("Query(%d,%d): LB %d above serial %d", s, d, a.LB, ref)
+			}
+			if ix.IsLandmark(s) || ix.IsLandmark(d) {
+				if !a.Exact {
+					t.Fatalf("Query(%d,%d): landmark endpoint not exact", s, d)
+				}
+			}
+			if ix.Symmetric && ix.Covered && !a.Exact && ref < 0 {
+				t.Fatalf("Query(%d,%d): covered symmetric index left unreachable pair inexact", s, d)
+			}
+		}
+	}
+	return exactPairs, totalPairs
+}
+
+func sampleSources(ix *Index, n int, rng *xrand.Gen) []uint32 {
+	srcs := []uint32{0, uint32(n - 1)}
+	for i := 0; i < 6; i++ {
+		srcs = append(srcs, uint32(rng.Intn(n)))
+	}
+	if len(ix.Landmarks) > 0 {
+		srcs = append(srcs, ix.Landmarks[0], ix.Landmarks[len(ix.Landmarks)-1])
+	}
+	return srcs
+}
+
+func TestParityRMATDirected(t *testing.T) {
+	g, err := gen.RMAT(gen.Graph500Params(10, 8), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pol := range []Policy{PolicyDegree, PolicyRandom} {
+		ix, err := Build(context.Background(), g, Options{Landmarks: 32, Policy: pol, Seed: 99})
+		if err != nil {
+			t.Fatalf("build (%v): %v", pol, err)
+		}
+		if ix.Symmetric || ix.Covered {
+			t.Fatalf("directed build marked symmetric=%v covered=%v", ix.Symmetric, ix.Covered)
+		}
+		rng := xrand.New(0xD1CE)
+		exact, total := checkParity(t, g, ix, sampleSources(ix, g.NumVertices(), rng), rng)
+		if exact == 0 {
+			t.Fatalf("policy %v: no exact answers out of %d pairs", pol, total)
+		}
+		t.Logf("policy %v: %d/%d pairs exact, %d landmarks, %d entries",
+			pol, exact, total, len(ix.Landmarks), ix.Entries())
+	}
+}
+
+func TestParityRMATSymmetric(t *testing.T) {
+	g0, err := gen.RMAT(gen.Graph500Params(10, 8), 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := g0.Symmetrize()
+	ix, err := Build(context.Background(), g, Options{Landmarks: 32, Symmetric: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ix.Covered {
+		t.Fatal("symmetric RMAT build not covered (coverage extension failed)")
+	}
+	rng := xrand.New(0xBEEF)
+	exact, total := checkParity(t, g, ix, sampleSources(ix, g.NumVertices(), rng), rng)
+	t.Logf("symmetric rmat: %d/%d exact, %d landmarks (incl. coverage)", exact, total, len(ix.Landmarks))
+}
+
+func TestParityGrid(t *testing.T) {
+	g, err := gen.Grid2D(30, 30, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix, err := Build(context.Background(), g, Options{Landmarks: 16, Symmetric: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := xrand.New(0x617D)
+	checkParity(t, g, ix, sampleSources(ix, g.NumVertices(), rng), rng)
+	// Grid distances are Manhattan by construction; a landmark endpoint
+	// query must reproduce that exactly.
+	corner := ix.Query(ix.Landmarks[0], 0)
+	if !corner.Exact {
+		t.Fatal("landmark corner query not exact")
+	}
+}
+
+func TestParityStar(t *testing.T) {
+	// Star: hub 0 connected to all spokes, undirected. Every pair is at
+	// distance ≤ 2 through the hub, and the degree policy must pick the
+	// hub first — making every query exact with one landmark.
+	n := 501
+	edges := make([]graph.Edge, 0, 2*(n-1))
+	for v := 1; v < n; v++ {
+		edges = append(edges, graph.Edge{U: 0, V: uint32(v)}, graph.Edge{U: uint32(v), V: 0})
+	}
+	g, err := graph.FromEdges(n, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix, err := Build(context.Background(), g, Options{Landmarks: 4, Symmetric: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix.Landmarks[0] != 0 {
+		t.Fatalf("degree policy picked %d over the hub", ix.Landmarks[0])
+	}
+	rng := xrand.New(0x57A7)
+	for i := 0; i < 400; i++ {
+		s, d := uint32(rng.Intn(n)), uint32(rng.Intn(n))
+		a := ix.Query(s, d)
+		want := int32(2)
+		switch {
+		case s == d:
+			want = 0
+		case s == 0 || d == 0:
+			want = 1
+		}
+		if a.Exact {
+			if a.Dist != want {
+				t.Fatalf("star Query(%d,%d) = %d, want %d", s, d, a.Dist, want)
+			}
+			continue
+		}
+		// Spoke-to-spoke pairs sit strictly between the bounds (UB 2
+		// through the hub, LB 1) unless both spokes are landmarks — the
+		// honest "fall back to BFS" case. The bounds must still pinch
+		// the truth.
+		if ix.IsLandmark(s) || ix.IsLandmark(d) {
+			t.Fatalf("star Query(%d,%d): landmark endpoint not exact", s, d)
+		}
+		if a.UB != 2 || a.LB != 1 {
+			t.Fatalf("star Query(%d,%d): bounds UB=%d LB=%d, want 2/1", s, d, a.UB, a.LB)
+		}
+	}
+}
+
+func TestParityDisconnectedAndSelfLoops(t *testing.T) {
+	// Three islands: a path 0-1-2-3, a triangle 10-11-12 with self-loops
+	// on every vertex, and isolated vertices (some with self-loops).
+	edges := []graph.Edge{}
+	und := func(u, v uint32) {
+		edges = append(edges, graph.Edge{U: u, V: v}, graph.Edge{U: v, V: u})
+	}
+	und(0, 1)
+	und(1, 2)
+	und(2, 3)
+	und(10, 11)
+	und(11, 12)
+	und(12, 10)
+	for _, v := range []uint32{10, 11, 12, 5, 7} {
+		edges = append(edges, graph.Edge{U: v, V: v})
+	}
+	g, err := graph.FromEdges(16, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix, err := Build(context.Background(), g, Options{Landmarks: 2, Symmetric: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ix.Covered {
+		t.Fatal("coverage extension failed on disconnected graph")
+	}
+	for s := uint32(0); s < 16; s++ {
+		row := refRow(t, g, s)
+		for d := uint32(0); d < 16; d++ {
+			a := ix.Query(s, d)
+			if !a.Exact {
+				t.Fatalf("Query(%d,%d) not exact on covered toy graph (UB=%d LB=%d)", s, d, a.UB, a.LB)
+			}
+			if a.Dist != row[d] {
+				t.Fatalf("Query(%d,%d) = %d, serial %d", s, d, a.Dist, row[d])
+			}
+		}
+	}
+}
+
+func TestParityDirectedReachability(t *testing.T) {
+	// Directed chain 0→1→2→3 plus a detached cycle 8→9→8: landmark
+	// endpoints must certify one-way unreachability exactly.
+	edges := []graph.Edge{{U: 0, V: 1}, {U: 1, V: 2}, {U: 2, V: 3}, {U: 8, V: 9}, {U: 9, V: 8}}
+	g, err := graph.FromEdges(10, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix, err := Build(context.Background(), g, Options{Landmarks: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := uint32(0); s < 10; s++ {
+		row := refRow(t, g, s)
+		for d := uint32(0); d < 10; d++ {
+			a := ix.Query(s, d)
+			// Every vertex is a landmark here, so everything is exact.
+			if !a.Exact {
+				t.Fatalf("Query(%d,%d) not exact with all-vertex landmarks", s, d)
+			}
+			if a.Dist != row[d] {
+				t.Fatalf("Query(%d,%d) = %d, serial %d", s, d, a.Dist, row[d])
+			}
+		}
+	}
+}
+
+func TestBuildDeterministic(t *testing.T) {
+	g, err := gen.RMAT(gen.Graph500Params(9, 8), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := Options{Landmarks: 24, Policy: PolicyRandom, Seed: 42}
+	a, err := Build(context.Background(), g, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Build(context.Background(), g, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Encode(), b.Encode()) {
+		t.Fatal("two builds with identical options produced different artifacts")
+	}
+}
+
+func TestBuildCancel(t *testing.T) {
+	g, err := gen.RMAT(gen.Graph500Params(10, 8), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := Build(ctx, g, Options{Landmarks: 64, Symmetric: true}); err == nil {
+		t.Fatal("build with canceled context succeeded")
+	}
+}
+
+// TestRoundTripQueriesIdentical is the unload/reload leg of the parity
+// harness: answers from the built index, a heap-decoded copy, and an
+// mmap-mounted artifact must be identical bit for bit.
+func TestRoundTripQueriesIdentical(t *testing.T) {
+	g0, err := gen.RMAT(gen.Graph500Params(10, 8), 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, cfg := range map[string]struct {
+		g   *graph.Graph
+		opt Options
+	}{
+		"symmetric": {g0.Symmetrize(), Options{Landmarks: 24, Symmetric: true}},
+		"directed":  {g0, Options{Landmarks: 24, Policy: PolicyRandom, Seed: 5}},
+	} {
+		built, err := Build(context.Background(), cfg.g, cfg.opt)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		path := filepath.Join(t.TempDir(), "g.idx")
+		if err := built.Save(path); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		heap, err := Load(path)
+		if err != nil {
+			t.Fatalf("%s: heap load: %v", name, err)
+		}
+		mapped, err := LoadMmap(path)
+		if err != nil {
+			t.Fatalf("%s: mmap load: %v", name, err)
+		}
+		if !heap.Matches(cfg.g) || !mapped.Matches(cfg.g) {
+			t.Fatalf("%s: reloaded index does not match its graph", name)
+		}
+		rng := xrand.New(0x10AD)
+		n := cfg.g.NumVertices()
+		for i := 0; i < 3000; i++ {
+			s, d := uint32(rng.Intn(n)), uint32(rng.Intn(n))
+			a0, a1, a2 := built.Query(s, d), heap.Query(s, d), mapped.Query(s, d)
+			if a0 != a1 || a0 != a2 {
+				t.Fatalf("%s: Query(%d,%d) diverges across load paths: built=%+v heap=%+v mmap=%+v",
+					name, s, d, a0, a1, a2)
+			}
+		}
+	}
+}
+
+func TestDepthRangeRejected(t *testing.T) {
+	// A directed path longer than maxDepth16 cannot be encoded.
+	n := maxDepth16 + 3
+	edges := make([]graph.Edge, 0, n-1)
+	for v := 0; v+1 < n; v++ {
+		edges = append(edges, graph.Edge{U: uint32(v), V: uint32(v + 1)})
+	}
+	g, err := graph.FromEdges(n, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = Build(context.Background(), g, Options{Landmarks: 1})
+	if err == nil {
+		t.Fatal("build on 65k-deep path succeeded; depths cannot fit 16 bits")
+	}
+}
+
+func TestParsePolicy(t *testing.T) {
+	for s, want := range map[string]Policy{"degree": PolicyDegree, "": PolicyDegree, "Random": PolicyRandom} {
+		got, err := ParsePolicy(s)
+		if err != nil || got != want {
+			t.Fatalf("ParsePolicy(%q) = %v, %v", s, got, err)
+		}
+	}
+	if _, err := ParsePolicy("closeness"); err == nil {
+		t.Fatal("unknown policy accepted")
+	}
+}

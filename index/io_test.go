@@ -1,0 +1,133 @@
+package index
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"fastbfs/graph/gen"
+	"fastbfs/internal/xrand"
+)
+
+// buildSmall builds a real artifact to seed corpus-based tests.
+func buildSmall(t testing.TB, symmetric bool) *Index {
+	t.Helper()
+	g, err := gen.RMAT(gen.Graph500Params(8, 8), 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := Options{Landmarks: 12}
+	if symmetric {
+		g = g.Symmetrize()
+		opt.Symmetric = true
+	}
+	ix, err := Build(context.Background(), g, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ix
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	for _, symmetric := range []bool{false, true} {
+		ix := buildSmall(t, symmetric)
+		enc := ix.Encode()
+		if int64(len(enc)) != ix.EncodedSize() {
+			t.Fatalf("EncodedSize %d, actual %d", ix.EncodedSize(), len(enc))
+		}
+		dec, err := Decode(enc)
+		if err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		if !bytes.Equal(dec.Encode(), enc) {
+			t.Fatal("re-encode not canonical")
+		}
+		if dec.Symmetric != ix.Symmetric || dec.Covered != ix.Covered ||
+			dec.Policy != ix.Policy || dec.Seed != ix.Seed {
+			t.Fatalf("metadata drift: %+v", dec)
+		}
+	}
+}
+
+// TestDecodeTornAndFlipped is the property half of the format contract:
+// every truncation is a typed error, and every single-bit flip is a
+// typed error (checksum or structural) — never a silent wrong answer,
+// never a panic.
+func TestDecodeTornAndFlipped(t *testing.T) {
+	ix := buildSmall(t, true)
+	enc := ix.Encode()
+
+	for _, cut := range []int{0, 1, idxHeaderLen - 1, idxHeaderLen, len(enc) / 2, len(enc) - 1} {
+		if _, err := Decode(enc[:cut]); err == nil {
+			t.Fatalf("torn file (%d of %d bytes) decoded", cut, len(enc))
+		} else if !errors.Is(err, ErrCorrupt) && !errors.Is(err, ErrChecksum) {
+			t.Fatalf("torn file (%d bytes): untyped error %v", cut, err)
+		}
+	}
+
+	rng := xrand.New(0xF11)
+	for i := 0; i < 200; i++ {
+		pos := rng.Intn(len(enc))
+		bit := byte(1) << uint(rng.Intn(8))
+		mut := append([]byte(nil), enc...)
+		mut[pos] ^= bit
+		if _, err := Decode(mut); err == nil {
+			t.Fatalf("bit flip at byte %d accepted", pos)
+		} else if !errors.Is(err, ErrCorrupt) && !errors.Is(err, ErrChecksum) {
+			t.Fatalf("bit flip at byte %d: untyped error %v", pos, err)
+		}
+	}
+}
+
+func TestLoadMissingAndTornFile(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := Load(filepath.Join(dir, "absent.idx")); err == nil {
+		t.Fatal("loading a missing artifact succeeded")
+	}
+	ix := buildSmall(t, false)
+	path := filepath.Join(dir, "g.idx")
+	if err := ix.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	enc := ix.Encode()
+	if err := os.WriteFile(path, enc[:len(enc)-7], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	for _, load := range []func(string) (*Index, error){Load, LoadMmap} {
+		if _, err := load(path); !errors.Is(err, ErrCorrupt) && !errors.Is(err, ErrChecksum) {
+			t.Fatalf("torn artifact load: got %v, want typed corruption", err)
+		}
+	}
+}
+
+// FuzzDecodeIndex mirrors FuzzManifestReplay: arbitrary bytes must
+// never panic, and any input that decodes must re-encode to the exact
+// same bytes (the format has one canonical representation).
+func FuzzDecodeIndex(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte(idxMagic))
+	for _, symmetric := range []bool{false, true} {
+		ix := buildSmall(f, symmetric)
+		enc := ix.Encode()
+		f.Add(enc)
+		f.Add(enc[:len(enc)-3])
+		mut := append([]byte(nil), enc...)
+		mut[idxHeaderLen+5] ^= 0x40
+		f.Add(mut)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ix, err := Decode(data)
+		if err != nil {
+			if !errors.Is(err, ErrCorrupt) && !errors.Is(err, ErrChecksum) {
+				t.Fatalf("untyped decode error: %v", err)
+			}
+			return
+		}
+		if !bytes.Equal(ix.Encode(), data) {
+			t.Fatal("accepted input is not canonical")
+		}
+	})
+}

@@ -1,0 +1,9 @@
+//go:build !unix
+
+package index
+
+// LoadMmap falls back to the heap loader on platforms without the mmap
+// syscall surface this package targets.
+func LoadMmap(path string) (*Index, error) {
+	return Load(path)
+}

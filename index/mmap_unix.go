@@ -1,0 +1,56 @@
+//go:build unix
+
+package index
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"syscall"
+)
+
+// LoadMmap loads an index artifact by mapping it read-only: the label
+// CSR arrays alias the mapping directly, so remounting a multi-hundred-
+// megabyte labeling on warm restart costs page-cache hits, not a parse.
+// Validation is identical to Load — the CRC32 footer and all structural
+// invariants are checked over the mapped bytes before the index is
+// returned, so a torn or bit-rotted artifact is rejected here exactly
+// like a heap load would.
+//
+// The file must not be modified or truncated while mapped (MAP_SHARED;
+// truncation turns reads into SIGBUS). The mapping is released by a
+// finalizer when the Index becomes unreachable. Big-endian hosts fall
+// back to the heap loader.
+func LoadMmap(path string) (*Index, error) {
+	if !hostLittleEndian() {
+		return Load(path)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	size := st.Size()
+	if size < int64(idxHeaderLen+idxFooterLen) {
+		return nil, fmt.Errorf("index: mmap %s: %w: %d bytes is shorter than header+footer", path, ErrCorrupt, size)
+	}
+	if size > int64(^uint(0)>>1) {
+		return nil, fmt.Errorf("index: mmap %s: file size %d overflows the address space", path, size)
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, fmt.Errorf("index: mmap %s: %w", path, err)
+	}
+	ix, err := decode(data, true)
+	if err != nil {
+		_ = syscall.Munmap(data)
+		return nil, fmt.Errorf("index: mmap %s: %w", path, err)
+	}
+	ix.mappedBytes = int(size)
+	runtime.SetFinalizer(ix, func(*Index) { _ = syscall.Munmap(data) })
+	return ix, nil
+}

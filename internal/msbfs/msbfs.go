@@ -90,6 +90,41 @@ func (r *Result) Parent(lane int, v uint32) int64 {
 	return int64(dp >> 32)
 }
 
+// ErrDepthOverflow reports a lane whose BFS depth does not fit the
+// caller's compact depth encoding (DepthsInto).
+var ErrDepthOverflow = errors.New("msbfs: lane depth exceeds encoding range")
+
+// DepthsInto extracts one lane's depth array into dst as compact uint16
+// values, writing unreached for unvisited vertices. It is the handoff
+// from a sweep's packed parent/depth arrays to consumers that only need
+// distances — notably the landmark-labeling index builder, which keeps
+// 2-byte distances per (landmark, vertex) pair and releases the 8-byte
+// DP arrays as soon as a batch is extracted. Returns the lane's maximum
+// reached depth; a depth >= unreached cannot be represented and yields
+// ErrDepthOverflow. len(dst) must equal the vertex count of the sweep.
+func (r *Result) DepthsInto(lane int, dst []uint16, unreached uint16) (uint32, error) {
+	dp := r.DP[lane]
+	if len(dst) != len(dp) {
+		return 0, fmt.Errorf("msbfs: DepthsInto dst has %d entries, lane has %d", len(dst), len(dp))
+	}
+	var maxDepth uint32
+	for v, x := range dp {
+		if x == core.INF {
+			dst[v] = unreached
+			continue
+		}
+		d := uint32(x)
+		if d >= uint32(unreached) {
+			return 0, fmt.Errorf("%w: depth %d at vertex %d (limit %d)", ErrDepthOverflow, d, v, unreached)
+		}
+		if d > maxDepth {
+			maxDepth = d
+		}
+		dst[v] = uint16(d)
+	}
+	return maxDepth, nil
+}
+
 // AggregateMTEPS is the batch throughput in millions of per-lane
 // equivalent edges per second — directly comparable to summing the
 // MTEPS of len(Sources) independent runs.

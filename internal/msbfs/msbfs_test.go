@@ -1,6 +1,7 @@
 package msbfs
 
 import (
+	"errors"
 	"context"
 	"testing"
 
@@ -158,5 +159,51 @@ func TestLaneEdgesEqualSumOfSerialRuns(t *testing.T) {
 	}
 	if res.LaneEdges != want {
 		t.Fatalf("LaneEdges = %d, want Σ serial EdgesTraversed = %d", res.LaneEdges, want)
+	}
+}
+
+func TestDepthsInto(t *testing.T) {
+	g, err := gen.RMAT(gen.Graph500Params(9, 8), 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sources := []uint32{0, 5, 100}
+	res, err := Run(g, sources, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := g.NumVertices()
+	dst := make([]uint16, n)
+	for lane := range sources {
+		maxD, err := res.DepthsInto(lane, dst, 0xFFFF)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var wantMax uint32
+		for v := 0; v < n; v++ {
+			want := res.Depth(lane, uint32(v))
+			if want < 0 {
+				if dst[v] != 0xFFFF {
+					t.Fatalf("lane %d vertex %d: got %d, want unreached", lane, v, dst[v])
+				}
+				continue
+			}
+			if int32(dst[v]) != want {
+				t.Fatalf("lane %d vertex %d: got %d, want %d", lane, v, dst[v], want)
+			}
+			if uint32(want) > wantMax {
+				wantMax = uint32(want)
+			}
+		}
+		if maxD != wantMax {
+			t.Fatalf("lane %d: max depth %d, want %d", lane, maxD, wantMax)
+		}
+	}
+	// Length mismatch and unrepresentable depths are typed errors.
+	if _, err := res.DepthsInto(0, dst[:n-1], 0xFFFF); err == nil {
+		t.Fatal("short dst accepted")
+	}
+	if _, err := res.DepthsInto(0, dst, 1); !errors.Is(err, ErrDepthOverflow) {
+		t.Fatalf("unreached=1 on a multi-level BFS: got %v, want ErrDepthOverflow", err)
 	}
 }

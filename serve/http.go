@@ -4,6 +4,7 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
+	"io"
 	"net/http"
 	"strconv"
 	"time"
@@ -28,10 +29,17 @@ const maxRequestBody = 1 << 20
 //	POST /graphs/unload  — {"name"}: remove a graph from serving
 //	GET  /stats          — StatsSnapshot
 //
-// Error mapping: bad request 400, unknown graph 404, overload/shed 429
-// (+ Retry-After), load failure 422, resident budget 507, breaker open
-// 503 (+ Retry-After), draining 503, watchdog/deadline 504, engine
-// fault 500.
+// Distance-oracle index tier (see index.go):
+//
+//	POST   /graphs/{g}/index — {"landmarks"?,"policy"?,"seed"?,"force"?}:
+//	                           start a background build; 202 Accepted
+//	GET    /graphs/{g}/index — IndexStatus for one graph
+//	DELETE /graphs/{g}/index — cancel a building index or drop a ready one
+//
+// Error mapping: bad request 400, unknown graph or index 404, index
+// build already running 409, overload/shed 429 (+ Retry-After), load
+// failure 422, resident budget 507, breaker open 503 (+ Retry-After),
+// draining 503, watchdog/deadline 504, engine fault 500.
 func NewHandler(s *Service) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /query", func(w http.ResponseWriter, r *http.Request) {
@@ -115,6 +123,38 @@ func NewHandler(s *Service) http.Handler {
 		}
 		writeJSON(w, http.StatusOK, map[string]string{"status": "unloaded", "name": req.Name})
 	})
+	mux.HandleFunc("POST /graphs/{g}/index", func(w http.ResponseWriter, r *http.Request) {
+		var opt IndexOptions
+		dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBody))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&opt); err != nil && !errors.Is(err, io.EOF) {
+			writeError(w, http.StatusBadRequest, "bad request body: "+err.Error())
+			return
+		}
+		st, err := s.BuildIndex(r.PathValue("g"), opt)
+		if err != nil {
+			writeError(w, statusFor(err), err.Error())
+			return
+		}
+		// 202: the build runs in the background; poll GET for progress.
+		writeJSON(w, http.StatusAccepted, st)
+	})
+	mux.HandleFunc("GET /graphs/{g}/index", func(w http.ResponseWriter, r *http.Request) {
+		st, err := s.IndexStatus(r.PathValue("g"))
+		if err != nil {
+			writeError(w, statusFor(err), err.Error())
+			return
+		}
+		writeJSON(w, http.StatusOK, st)
+	})
+	mux.HandleFunc("DELETE /graphs/{g}/index", func(w http.ResponseWriter, r *http.Request) {
+		name := r.PathValue("g")
+		if err := s.DropIndex(name); err != nil {
+			writeError(w, statusFor(err), err.Error())
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]string{"status": "dropped", "graph": name})
+	})
 	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, s.Stats())
 	})
@@ -127,8 +167,10 @@ func statusFor(err error) int {
 	switch {
 	case errors.Is(err, ErrBadRequest):
 		return http.StatusBadRequest
-	case errors.Is(err, ErrUnknownGraph):
+	case errors.Is(err, ErrUnknownGraph), errors.Is(err, ErrNoIndex):
 		return http.StatusNotFound
+	case errors.Is(err, ErrIndexBusy):
+		return http.StatusConflict
 	case errors.Is(err, ErrOverloaded), errors.Is(err, ErrShed):
 		return http.StatusTooManyRequests
 	case errors.Is(err, ErrLoadFailed):

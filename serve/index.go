@@ -1,0 +1,416 @@
+// Distance-oracle tier: landmark labelings (package index) built as
+// budget-accounted background jobs and served on the query fast path.
+//
+// A build is one cancellable goroutine per graph: it sweeps the graph
+// with the MS-BFS kernel (sharing the engines' cached transpose on
+// directed graphs), persists the artifact next to the graph file with
+// the same CRC-footer discipline as the graph format, journals the
+// completed build in the durable manifest, and only then mounts the
+// labeling into the serving state — so a crash at any point either
+// recovers a complete, checksummed artifact or nothing. Builds are
+// isolated like engine runs: a panic inside a build is recovered,
+// recorded as a failed build, and fed to the graph's circuit breaker;
+// it never disturbs query serving or other graphs.
+//
+// On the query path, a distance-only request consults the mounted
+// labeling first. Certified answers (see index.Answer) return without
+// any traversal, marked "index":true and "exact":true; uncertified
+// ones fall back to the exact BFS flight path and count as fallbacks.
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime/debug"
+	"sort"
+	"time"
+
+	"fastbfs/bfs"
+	"fastbfs/index"
+	"fastbfs/internal/par"
+)
+
+// Index lifecycle states as reported by /stats and GraphInfo.
+const (
+	IndexNone     = "none"
+	IndexBuilding = "building"
+	IndexReady    = "ready"
+	IndexFailed   = "failed"
+)
+
+// indexStateName maps the internal zero value onto the reported one.
+func indexStateName(state string) string {
+	if state == "" {
+		return IndexNone
+	}
+	return state
+}
+
+var (
+	// ErrIndexBusy rejects a build request for a graph whose index is
+	// already building.
+	ErrIndexBusy = errors.New("serve: index build already in progress")
+	// ErrNoIndex rejects a drop or status request for a graph that has
+	// no index state at all.
+	ErrNoIndex = errors.New("serve: graph has no index")
+)
+
+// IndexOptions parameterize a build request.
+type IndexOptions struct {
+	// Landmarks is the primary landmark count (default 64 — one MS-BFS
+	// batch).
+	Landmarks int `json:"landmarks,omitempty"`
+	// Policy is the landmark selection policy: "degree" (default) or
+	// "random".
+	Policy string `json:"policy,omitempty"`
+	// Seed drives the random policy.
+	Seed uint64 `json:"seed,omitempty"`
+	// Force rebuilds even when a ready index is already mounted (the
+	// old one keeps serving until the new one swaps in).
+	Force bool `json:"force,omitempty"`
+}
+
+// IndexStatus is one graph's distance-oracle state for /stats and the
+// index endpoints.
+type IndexStatus struct {
+	Graph string `json:"graph"`
+	State string `json:"state"` // none | building | ready | failed
+	// Ready-state detail (zero until mounted).
+	Landmarks  int    `json:"landmarks,omitempty"`
+	Covered    bool   `json:"covered,omitempty"`
+	LabelBytes int64  `json:"label_bytes,omitempty"`
+	Mapped     bool   `json:"mapped,omitempty"`
+	Artifact   string `json:"artifact,omitempty"`
+	Policy     string `json:"policy,omitempty"`
+	Seed       uint64 `json:"seed,omitempty"`
+	// Serving counters.
+	Hits      int64 `json:"hits"`
+	Fallbacks int64 `json:"fallbacks"`
+	// Error is the failure message when State is failed.
+	Error string `json:"error,omitempty"`
+}
+
+// indexStatusLocked snapshots one graph's index state under Service.mu.
+func indexStatusLocked(gs *graphState) IndexStatus {
+	st := IndexStatus{
+		Graph:     gs.name,
+		State:     indexStateName(gs.idxState),
+		Hits:      gs.idxHits.Load(),
+		Fallbacks: gs.idxFallbacks.Load(),
+		Error:     gs.idxErr,
+	}
+	if ix := gs.idx.Load(); ix != nil {
+		st.Landmarks = len(ix.Landmarks)
+		st.Covered = ix.Covered
+		st.LabelBytes = ix.LabelBytes()
+		st.Mapped = gs.idxMapped
+		st.Policy = ix.Policy.String()
+		st.Seed = ix.Seed
+	}
+	if gs.idxSpec != nil {
+		st.Artifact = gs.idxSpec.Path
+	}
+	return st
+}
+
+// IndexStatus reports the named graph's distance-oracle state.
+func (s *Service) IndexStatus(name string) (IndexStatus, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	gs := s.graphs[name]
+	if gs == nil {
+		return IndexStatus{}, fmt.Errorf("%w: %q", ErrUnknownGraph, name)
+	}
+	return indexStatusLocked(gs), nil
+}
+
+// IndexStatuses lists index state for every graph that has any (for
+// /stats), sorted by graph name.
+func (s *Service) IndexStatuses() []IndexStatus {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []IndexStatus
+	for _, gs := range s.graphs {
+		if gs.idxState == "" {
+			continue
+		}
+		out = append(out, indexStatusLocked(gs))
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Graph < out[j].Graph })
+	return out
+}
+
+// BuildIndex starts a background index build for the named graph and
+// returns immediately with the building status. A second request while
+// one is in flight fails with ErrIndexBusy; a request against a ready
+// index is a no-op unless opt.Force. The build is cancellable (drop
+// the index, unload the graph, or drain the service) and its failure
+// modes — including panics — are contained to the index state.
+func (s *Service) BuildIndex(name string, opt IndexOptions) (IndexStatus, error) {
+	pol, err := index.ParsePolicy(opt.Policy)
+	if err != nil {
+		return IndexStatus{}, fmt.Errorf("%w: %v", ErrBadRequest, err)
+	}
+	if opt.Landmarks < 0 || opt.Landmarks > index.MaxLandmarks {
+		return IndexStatus{}, fmt.Errorf("%w: landmarks %d out of range [0, %d]", ErrBadRequest, opt.Landmarks, index.MaxLandmarks)
+	}
+	landmarks := opt.Landmarks
+	if landmarks == 0 {
+		landmarks = 64
+	}
+
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		return IndexStatus{}, ErrDraining
+	}
+	gs := s.graphs[name]
+	if gs == nil {
+		s.mu.Unlock()
+		return IndexStatus{}, fmt.Errorf("%w: %q", ErrUnknownGraph, name)
+	}
+	switch gs.idxState {
+	case IndexBuilding:
+		st := indexStatusLocked(gs)
+		s.mu.Unlock()
+		return st, ErrIndexBusy
+	case IndexReady:
+		if !opt.Force {
+			st := indexStatusLocked(gs)
+			s.mu.Unlock()
+			return st, nil
+		}
+	}
+	ctx, cancel := context.WithCancel(s.baseCtx)
+	gs.idxState = IndexBuilding
+	gs.idxErr = ""
+	gs.idxCancel = cancel
+	st := indexStatusLocked(gs)
+	s.stats.indexBuilds.Add(1)
+	s.wg.Add(1)
+	s.mu.Unlock()
+
+	go s.runIndexBuild(ctx, cancel, gs, landmarks, pol, opt.Seed)
+	return st, nil
+}
+
+// runIndexBuild is the background build job for one graph snapshot. It
+// never touches the serving table until the very end, and only under
+// the lock after re-checking that gs is still the graph being served.
+func (s *Service) runIndexBuild(ctx context.Context, cancel context.CancelFunc, gs *graphState, landmarks int, pol index.Policy, seed uint64) {
+	defer s.wg.Done()
+	defer cancel()
+
+	ix, err := func() (ix *index.Index, err error) {
+		defer func() {
+			if rec := recover(); rec != nil {
+				err = &par.PanicError{Worker: -1, Value: rec, Stack: debug.Stack()}
+			}
+		}()
+		opts := index.Options{
+			Landmarks: landmarks,
+			Policy:    pol,
+			Seed:      seed,
+			Symmetric: s.opts.Symmetric,
+			Workers:   s.cfg.Workers,
+		}
+		if !s.opts.Symmetric {
+			// Share the per-graph cached transpose with the engines.
+			opts.In = bfs.InAdjacency(gs.g)
+		}
+		return index.Build(ctx, gs.g, opts)
+	}()
+
+	// Persist BEFORE journaling and mounting: the artifact is written to
+	// a temp file, fsync'd, and renamed into place, so the journal never
+	// points at a file that was not completely written. A torn write
+	// from a crash mid-Save leaves either no file or a CRC-failing one —
+	// both trigger a fresh rebuild at recovery, never wrong answers.
+	artifact := ""
+	if err == nil && gs.path != "" {
+		artifact = gs.path + ".idx"
+		if serr := ix.Save(artifact); serr != nil {
+			err = fmt.Errorf("serve: persisting index artifact: %w", serr)
+		}
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.graphs[gs.name] != gs {
+		// The graph was unloaded or replaced mid-build; this labeling
+		// describes a snapshot nobody serves anymore.
+		return
+	}
+	if gs.idxState != IndexBuilding {
+		// DropIndex won the race: the build was disowned before it
+		// finished, so neither its result nor its error is published.
+		return
+	}
+	gs.idxCancel = nil
+	if err != nil {
+		if errors.Is(err, context.Canceled) {
+			// A cancelled build is not a failure: back to "none".
+			gs.idxState, gs.idxErr = "", ""
+			return
+		}
+		gs.idxState = IndexFailed
+		gs.idxErr = err.Error()
+		s.stats.indexBuildsFailed.Add(1)
+		if poisoned(err) {
+			// Same containment as an engine run that died mid-traversal:
+			// count the recovered panic and feed the graph's breaker.
+			s.stats.panicsRecovered.Add(1)
+			gs.breaker.onFailure(false)
+		}
+		return
+	}
+	if s.draining {
+		gs.idxState, gs.idxErr = "", ""
+		return
+	}
+
+	spec := &IndexSpec{
+		Path:      artifact,
+		Landmarks: landmarks,
+		Policy:    pol.String(),
+		Seed:      seed,
+		Mmap:      s.cfg.MmapLoads,
+	}
+	// Journal-before-mount, mirroring graph loads: once mounted (and so
+	// observable through /query), the build survives a restart.
+	if s.manifest != nil && s.manifest.Contains(gs.name) && artifact != "" {
+		if jerr := s.manifest.AppendIndex(gs.name, *spec); jerr != nil {
+			gs.idxState = IndexFailed
+			gs.idxErr = fmt.Sprintf("index built but not durable: %v", jerr)
+			s.stats.indexBuildsFailed.Add(1)
+			return
+		}
+	}
+	if merr := s.mountIndexLocked(gs, ix, spec); merr != nil {
+		gs.idxState = IndexFailed
+		gs.idxErr = merr.Error()
+		s.stats.indexBuildsFailed.Add(1)
+	}
+}
+
+// mountIndexLocked installs a labeling as gs's serving index, charging
+// its label bytes to the resident budget (evicting idle graphs
+// LRU-first, like a graph load) and replacing any previous index.
+func (s *Service) mountIndexLocked(gs *graphState, ix *index.Index, spec *IndexSpec) error {
+	resident := ix.LabelBytes()
+	mapped := ix.MappedBytes() > 0
+	if budget := s.cfg.MaxResidentBytes; budget > 0 {
+		for s.resident-gs.idxResident+resident > budget {
+			if !s.evictOneLocked(gs.name) {
+				return fmt.Errorf("%w: index for %q needs %d bytes but %d of %d budget are resident and nothing is idle",
+					ErrResidentBudget, gs.name, resident, s.resident, budget)
+			}
+		}
+	}
+	s.unmountIndexLocked(gs)
+	s.resident += resident
+	if mapped {
+		s.residentMapped += resident
+	}
+	gs.idxResident = resident
+	gs.idxMapped = mapped
+	gs.idxSpec = spec
+	gs.idxState = IndexReady
+	gs.idxErr = ""
+	gs.idx.Store(ix)
+	return nil
+}
+
+// unmountIndexLocked detaches gs's mounted index (if any) and releases
+// its resident accounting. Queries that already loaded the pointer
+// finish against the detached labeling.
+func (s *Service) unmountIndexLocked(gs *graphState) {
+	s.resident -= gs.idxResident
+	if gs.idxMapped {
+		s.residentMapped -= gs.idxResident
+	}
+	gs.idxResident, gs.idxMapped = 0, false
+	gs.idxSpec = nil
+	gs.idxState, gs.idxErr = "", ""
+	gs.idx.Store(nil)
+}
+
+// DropIndex removes the named graph's index: a building one is
+// cancelled, a ready one is unmounted (journaled first in durable
+// mode, so a restart does not resurrect it), a failed one is cleared.
+func (s *Service) DropIndex(name string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	gs := s.graphs[name]
+	if gs == nil {
+		return fmt.Errorf("%w: %q", ErrUnknownGraph, name)
+	}
+	switch gs.idxState {
+	case IndexBuilding:
+		if gs.idxCancel != nil {
+			gs.idxCancel()
+			gs.idxCancel = nil
+		}
+		// A force-rebuild keeps the previous index serving while it
+		// builds; dropping mid-build drops that one too.
+		if gs.idx.Load() != nil && s.manifest != nil && s.manifest.Contains(name) {
+			if err := s.manifest.AppendDropIndex(name); err != nil {
+				return fmt.Errorf("serve: index drop for %q not durable: %w", name, err)
+			}
+		}
+		s.unmountIndexLocked(gs)
+		return nil
+	case IndexReady:
+		if s.manifest != nil && s.manifest.Contains(name) {
+			if err := s.manifest.AppendDropIndex(name); err != nil {
+				return fmt.Errorf("serve: index drop for %q not durable: %w", name, err)
+			}
+		}
+		s.unmountIndexLocked(gs)
+		return nil
+	case IndexFailed:
+		gs.idxState, gs.idxErr = "", ""
+		return nil
+	}
+	return fmt.Errorf("%w: %q", ErrNoIndex, name)
+}
+
+// answerFromIndex tries to serve a distance-only request from the
+// mounted labeling. nil means "no certified answer here" — the caller
+// proceeds down the exact BFS path. With req.Approx the oracle's
+// upper bounds are accepted for uncertified pairs and the response
+// carries "exact":false.
+func (s *Service) answerFromIndex(gs *graphState, req Request) *Response {
+	ix := gs.idx.Load()
+	if ix == nil || !ix.Matches(gs.g) {
+		return nil
+	}
+	start := time.Now()
+	targets := make([]TargetResult, len(req.Targets))
+	exact := true
+	for i, t := range req.Targets {
+		a := ix.Query(req.Source, t)
+		d := a.Dist
+		if !a.Exact {
+			if !req.Approx {
+				gs.idxFallbacks.Add(1)
+				s.stats.indexFallbacks.Add(1)
+				return nil
+			}
+			exact = false
+			d = a.UB // may be -1: the oracle cannot prove reachability
+		}
+		targets[i] = TargetResult{Vertex: t, Reached: d >= 0, Depth: d, Parent: -1}
+	}
+	gs.idxHits.Add(1)
+	s.stats.indexHits.Add(1)
+	return &Response{
+		Graph:     gs.name,
+		Source:    req.Source,
+		Index:     true,
+		Exact:     &exact,
+		ElapsedUS: time.Since(start).Microseconds(),
+		Targets:   targets,
+	}
+}

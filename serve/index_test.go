@@ -1,0 +1,543 @@
+package serve
+
+// Tests of the distance-oracle index tier wired through the service:
+// parity of index-answered distances against serial BFS (including
+// after a restart remounts the journaled artifact), build lifecycle
+// (busy, cancel, drop, failure containment), torn-artifact rejection
+// with fresh rebuild, and the HTTP surface.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strings"
+	"testing"
+	"time"
+
+	"fastbfs/bfs"
+	"fastbfs/graph"
+	"fastbfs/graph/gen"
+	"fastbfs/internal/xrand"
+)
+
+// waitIndexState polls until the graph's index reaches want.
+func waitIndexState(t *testing.T, s *Service, name, want string) IndexStatus {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		st, err := s.IndexStatus(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.State == want {
+			return st
+		}
+		if st.State == IndexFailed && want != IndexFailed {
+			t.Fatalf("index build failed: %s", st.Error)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("index state %q (want %q) after timeout (err %q)", st.State, want, st.Error)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// checkDistanceOnly queries distances for targets and requires the
+// response — whichever path served it — to be certified exact and
+// byte-identical to what serial BFS says.
+func checkDistanceOnly(t *testing.T, s *Service, name string, g *graph.Graph, src uint32, targets []uint32) *Response {
+	t.Helper()
+	resp, err := s.Query(context.Background(), Request{Graph: name, Source: src, Targets: targets, DistanceOnly: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Exact == nil || !*resp.Exact {
+		t.Fatalf("distance-only response is not certified exact: %+v", resp)
+	}
+	ref, err := bfs.RunSerial(g, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make([]TargetResult, len(targets))
+	for i, v := range targets {
+		d := ref.Depth(v)
+		want[i] = TargetResult{Vertex: v, Reached: d >= 0, Depth: d, Parent: -1}
+	}
+	gotJSON, _ := json.Marshal(resp.Targets)
+	wantJSON, _ := json.Marshal(want)
+	if !bytes.Equal(gotJSON, wantJSON) {
+		t.Fatalf("source %d: distance-only targets diverge from serial BFS\n got %s\nwant %s", src, gotJSON, wantJSON)
+	}
+	return resp
+}
+
+// randomPairs draws query load: sources and small target sets.
+func randomPairs(n int, count int, seed uint64) [][2][]uint32 {
+	rng := xrand.New(seed)
+	out := make([][2][]uint32, count)
+	for i := range out {
+		src := uint32(rng.Intn(n))
+		targets := make([]uint32, 1+rng.Intn(4))
+		for j := range targets {
+			targets[j] = uint32(rng.Intn(n))
+		}
+		out[i] = [2][]uint32{{src}, targets}
+	}
+	return out
+}
+
+func symmetricOpts() *bfs.Options {
+	opts := bfs.Default(1)
+	opts.Hybrid = true
+	opts.Symmetric = true
+	return &opts
+}
+
+// TestIndexParityAndRestart is the serve-level half of the parity
+// harness: on a symmetric RMAT graph and a grid, index-served distances
+// must match serial BFS exactly, the index must keep matching after a
+// restart remounts the journaled artifact, and a dropped index must
+// stay dropped across a restart.
+func TestIndexParityAndRestart(t *testing.T) {
+	rmat, err := gen.RMAT(gen.Graph500Params(9, 8), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	grid, err := gen.Grid2D(24, 24, 0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	graphs := map[string]*graph.Graph{
+		"rmat": rmat.Symmetrize(),
+		"grid": grid,
+	}
+	paths := map[string]string{
+		"rmat": saveGraph(t, graphs["rmat"], "rmat.csr"),
+		"grid": saveGraph(t, graphs["grid"], "grid.csr"),
+	}
+	stateDir := t.TempDir()
+	cfg := Config{StateDir: stateDir, Options: symmetricOpts()}
+
+	s1 := New(cfg)
+	if _, err := s1.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	for name, p := range paths {
+		if _, err := s1.LoadGraph(name, p); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s1.BuildIndex(name, IndexOptions{Landmarks: 16}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for name, g := range graphs {
+		st := waitIndexState(t, s1, name, IndexReady)
+		if !st.Covered {
+			t.Fatalf("%s: symmetric index not covered", name)
+		}
+		if st.Artifact != paths[name]+".idx" {
+			t.Fatalf("%s: artifact %q, want %q", name, st.Artifact, paths[name]+".idx")
+		}
+		for _, pair := range randomPairs(g.NumVertices(), 60, 0xA11CE) {
+			checkDistanceOnly(t, s1, name, g, pair[0][0], pair[1])
+		}
+	}
+	stats := s1.Stats()
+	if stats.IndexHits == 0 {
+		t.Fatal("no distance-only query was served by the index")
+	}
+	if got := len(stats.Indexes); got != 2 {
+		t.Fatalf("/stats lists %d indexes, want 2", got)
+	}
+	shutdown(t, s1)
+
+	// Restart: the journal must remount both artifacts with the graphs.
+	s2 := New(cfg)
+	sum, err := s2.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sum.Indexes) != 2 || len(sum.IndexesRebuilding) != 0 {
+		t.Fatalf("recovery remounted %v (rebuilding %v), want both remounted", sum.Indexes, sum.IndexesRebuilding)
+	}
+	for name, g := range graphs {
+		before := s2.Stats().IndexHits
+		for _, pair := range randomPairs(g.NumVertices(), 40, 0xBEE) {
+			checkDistanceOnly(t, s2, name, g, pair[0][0], pair[1])
+		}
+		if s2.Stats().IndexHits == before {
+			t.Fatalf("%s: remounted index served nothing", name)
+		}
+	}
+	if err := s2.DropIndex("grid"); err != nil {
+		t.Fatal(err)
+	}
+	shutdown(t, s2)
+
+	// Restart again: the dropped index must not resurrect.
+	s3 := New(cfg)
+	sum, err = s3.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sum.Indexes) != 1 || sum.Indexes[0] != "rmat" {
+		t.Fatalf("after drop, recovery remounted %v, want [rmat]", sum.Indexes)
+	}
+	if st, err := s3.IndexStatus("grid"); err != nil || st.State != IndexNone {
+		t.Fatalf("dropped index state = %v (%v), want none", st.State, err)
+	}
+	shutdown(t, s3)
+}
+
+// TestIndexTornArtifactRebuilt corrupts the persisted artifact between
+// runs: recovery must CRC-reject it (never serving a byte of it) and
+// start a fresh rebuild with the journaled parameters.
+func TestIndexTornArtifactRebuilt(t *testing.T) {
+	g, err := gen.RMAT(gen.Graph500Params(9, 8), 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g = g.Symmetrize()
+	path := saveGraph(t, g, "g.csr")
+	stateDir := t.TempDir()
+	cfg := Config{StateDir: stateDir, Options: symmetricOpts()}
+
+	s1 := New(cfg)
+	if _, err := s1.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s1.LoadGraph("g", path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s1.BuildIndex("g", IndexOptions{Landmarks: 12, Policy: "random", Seed: 9}); err != nil {
+		t.Fatal(err)
+	}
+	waitIndexState(t, s1, "g", IndexReady)
+	shutdown(t, s1)
+
+	// Tear the artifact the way a crash mid-write would.
+	artifact := path + ".idx"
+	raw, err := os.ReadFile(artifact)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(artifact, raw[:len(raw)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := New(cfg)
+	sum, err := s2.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sum.Indexes) != 0 || len(sum.IndexesRebuilding) != 1 {
+		t.Fatalf("torn artifact: remounted %v, rebuilding %v; want rebuild only", sum.Indexes, sum.IndexesRebuilding)
+	}
+	st := waitIndexState(t, s2, "g", IndexReady)
+	if st.Seed != 9 || st.Policy != "random" {
+		t.Fatalf("rebuild lost its journaled parameters: %+v", st)
+	}
+	for _, pair := range randomPairs(g.NumVertices(), 40, 0xD00F) {
+		checkDistanceOnly(t, s2, "g", g, pair[0][0], pair[1])
+	}
+	// The rebuild must have replaced the torn artifact with a valid one.
+	raw2, err := os.ReadFile(artifact)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(raw2, raw[:len(raw)/2]) {
+		t.Fatal("torn artifact was not rewritten")
+	}
+	shutdown(t, s2)
+}
+
+// TestIndexDirectedParityAndApprox exercises the directed (two-sided)
+// labeling through the service, plus approx mode semantics.
+func TestIndexDirectedParityAndApprox(t *testing.T) {
+	g, err := gen.RMAT(gen.Graph500Params(9, 8), 31)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(Config{})
+	defer func() { _ = s.Shutdown(context.Background()) }()
+	if err := s.AddGraph("d", g); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.BuildIndex("d", IndexOptions{Landmarks: 24}); err != nil {
+		t.Fatal(err)
+	}
+	st := waitIndexState(t, s, "d", IndexReady)
+	if st.Artifact != "" {
+		t.Fatalf("in-process graph grew an artifact: %q", st.Artifact)
+	}
+	n := g.NumVertices()
+	for _, pair := range randomPairs(n, 80, 0xCAFE) {
+		checkDistanceOnly(t, s, "d", g, pair[0][0], pair[1])
+	}
+
+	// Approx accepts upper bounds: any reported distance must be ≥ the
+	// true one (and reachability claims must be true).
+	rng := xrand.New(7)
+	for i := 0; i < 40; i++ {
+		src, dst := uint32(rng.Intn(n)), uint32(rng.Intn(n))
+		resp, err := s.Query(context.Background(), Request{
+			Graph: "d", Source: src, Targets: []uint32{dst}, DistanceOnly: true, Approx: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref, err := bfs.RunSerial(g, src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, want := resp.Targets[0].Depth, ref.Depth(dst)
+		if resp.Exact != nil && *resp.Exact {
+			if got != want {
+				t.Fatalf("exact approx answer %d != %d for %d→%d", got, want, src, dst)
+			}
+		} else if got >= 0 && (want < 0 || got < want) {
+			t.Fatalf("approx bound %d below true distance %d for %d→%d", got, want, src, dst)
+		}
+	}
+}
+
+// TestIndexBuildFailureContained builds over a graph whose BFS depth
+// exceeds the 16-bit label encoding: the build must fail into the
+// failed state without disturbing query serving.
+func TestIndexBuildFailureContained(t *testing.T) {
+	const n = 66000 // one past maxDepth16 as a path
+	edges := make([]graph.Edge, n-1)
+	for i := range edges {
+		edges[i] = graph.Edge{U: uint32(i), V: uint32(i + 1)}
+	}
+	g, err := graph.FromEdges(n, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(Config{})
+	defer func() { _ = s.Shutdown(context.Background()) }()
+	if err := s.AddGraph("deep", g); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.BuildIndex("deep", IndexOptions{Landmarks: 1}); err != nil {
+		t.Fatal(err)
+	}
+	st := waitIndexState(t, s, "deep", IndexFailed)
+	if !strings.Contains(st.Error, "depth") {
+		t.Fatalf("failure reason %q does not mention depth", st.Error)
+	}
+	if got := s.Stats().IndexBuildsFailed; got != 1 {
+		t.Fatalf("index_builds_failed = %d, want 1", got)
+	}
+	// Serving is untouched: distance-only falls back to exact BFS.
+	resp := checkDistanceOnly(t, s, "deep", g, 0, []uint32{uint32(n - 1)})
+	if resp.Index {
+		t.Fatal("failed index somehow answered a query")
+	}
+	// A failed state can be cleared and rebuilt.
+	if err := s.DropIndex("deep"); err != nil {
+		t.Fatal(err)
+	}
+	if st, _ := s.IndexStatus("deep"); st.State != IndexNone {
+		t.Fatalf("state after dropping failed index = %s", st.State)
+	}
+}
+
+// TestIndexLifecycleErrors covers the request-validation and state
+// machine edges: busy, unknown graph, bad parameters, drop of nothing,
+// and cancel-by-drop mid-build.
+func TestIndexLifecycleErrors(t *testing.T) {
+	g, err := gen.Grid2D(16, 16, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(Config{Options: symmetricOpts()})
+	defer func() { _ = s.Shutdown(context.Background()) }()
+	if err := s.AddGraph("g", g); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := s.BuildIndex("missing", IndexOptions{}); !errors.Is(err, ErrUnknownGraph) {
+		t.Fatalf("build on unknown graph: %v", err)
+	}
+	if _, err := s.BuildIndex("g", IndexOptions{Policy: "bogus"}); !errors.Is(err, ErrBadRequest) {
+		t.Fatalf("bad policy: %v", err)
+	}
+	if _, err := s.BuildIndex("g", IndexOptions{Landmarks: -1}); !errors.Is(err, ErrBadRequest) {
+		t.Fatalf("negative landmarks: %v", err)
+	}
+	if err := s.DropIndex("g"); !errors.Is(err, ErrNoIndex) {
+		t.Fatalf("drop of absent index: %v", err)
+	}
+	if err := s.DropIndex("missing"); !errors.Is(err, ErrUnknownGraph) {
+		t.Fatalf("drop on unknown graph: %v", err)
+	}
+
+	// Busy: fake a building state (deterministic, no race with a real
+	// build), then verify a second request bounces and drop cancels.
+	s.mu.Lock()
+	gs := s.graphs["g"]
+	gs.idxState = IndexBuilding
+	s.mu.Unlock()
+	if _, err := s.BuildIndex("g", IndexOptions{}); !errors.Is(err, ErrIndexBusy) {
+		t.Fatalf("second build: %v", err)
+	}
+	if err := s.DropIndex("g"); err != nil {
+		t.Fatalf("drop of building index: %v", err)
+	}
+	if st, _ := s.IndexStatus("g"); st.State != IndexNone {
+		t.Fatalf("state after cancelling build = %s", st.State)
+	}
+
+	// Malformed distance-only requests.
+	for _, req := range []Request{
+		{Graph: "g", Source: 0, DistanceOnly: true},
+		{Graph: "g", Source: 0, DistanceOnly: true, Targets: []uint32{1}, AllDepths: true},
+		{Graph: "g", Source: 0, Targets: []uint32{1}, Approx: true},
+	} {
+		if _, err := s.Query(context.Background(), req); !errors.Is(err, ErrBadRequest) {
+			t.Fatalf("request %+v: %v, want bad request", req, err)
+		}
+	}
+}
+
+// TestIndexHTTP drives the index tier through its HTTP surface.
+func TestIndexHTTP(t *testing.T) {
+	g, err := gen.Grid2D(20, 20, 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(Config{Options: symmetricOpts()})
+	defer func() { _ = s.Shutdown(context.Background()) }()
+	if err := s.AddGraph("g", g); err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(NewHandler(s))
+	defer srv.Close()
+
+	post := func(path, body string) (*http.Response, error) {
+		return http.Post(srv.URL+path, "application/json", strings.NewReader(body))
+	}
+	resp, err := post("/graphs/g/index", `{"landmarks": 8}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("POST index = %d, want 202", resp.StatusCode)
+	}
+	waitIndexState(t, s, "g", IndexReady)
+
+	var st IndexStatus
+	resp, err = http.Get(srv.URL + "/graphs/g/index")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if st.State != IndexReady || st.Landmarks == 0 {
+		t.Fatalf("GET index = %+v", st)
+	}
+
+	// A certified distance-only query over HTTP carries the index/exact
+	// markers. Query source→landmark: landmark endpoints are always
+	// certified, so this is guaranteed to be an index hit.
+	lm := s.graphs["g"].idx.Load().Landmarks[0]
+	body := fmt.Sprintf(`{"graph":"g","source":0,"targets":[%d],"distance_only":true}`, lm)
+	resp, err = post("/query", body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var qr Response
+	if err := json.NewDecoder(resp.Body).Decode(&qr); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if !qr.Index || qr.Exact == nil || !*qr.Exact {
+		t.Fatalf("HTTP distance-only response lacks index markers: %+v", qr)
+	}
+	ref, err := bfs.RunSerial(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(qr.Targets) != 1 || qr.Targets[0].Depth != ref.Depth(lm) {
+		t.Fatalf("HTTP index answer %+v, want depth %d", qr.Targets, ref.Depth(lm))
+	}
+
+	// /graphs and /stats surface the index state.
+	for _, gi := range s.Graphs() {
+		if gi.Name == "g" && gi.Index != IndexReady {
+			t.Fatalf("GraphInfo.Index = %q", gi.Index)
+		}
+	}
+	if got := s.Stats().IndexHits; got == 0 {
+		t.Fatal("stats report no index hits")
+	}
+
+	req, _ := http.NewRequest(http.MethodDelete, srv.URL+"/graphs/g/index", nil)
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("DELETE index = %d, want 200", resp.StatusCode)
+	}
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("second DELETE = %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestIndexSmokeScale is the CI index-smoke parity check: a scale-N
+// symmetric R-MAT (INDEX_SMOKE_SCALE, skipped when unset) served
+// through the full stack, with every index-answered distance compared
+// against serial BFS. Run under -race in CI at scale 14.
+func TestIndexSmokeScale(t *testing.T) {
+	scale := 0
+	if v := os.Getenv("INDEX_SMOKE_SCALE"); v != "" {
+		if _, err := fmt.Sscanf(v, "%d", &scale); err != nil {
+			t.Fatalf("bad INDEX_SMOKE_SCALE %q: %v", v, err)
+		}
+	}
+	if scale == 0 {
+		t.Skip("set INDEX_SMOKE_SCALE to run the large parity smoke")
+	}
+	rmat, err := gen.RMAT(gen.Graph500Params(scale, 16), 20120563)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := rmat.Symmetrize()
+	s := New(Config{Options: symmetricOpts()})
+	defer func() { _ = s.Shutdown(context.Background()) }()
+	if err := s.AddGraph("g", g); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.BuildIndex("g", IndexOptions{Landmarks: 64}); err != nil {
+		t.Fatal(err)
+	}
+	st := waitIndexState(t, s, "g", IndexReady)
+	if !st.Covered {
+		t.Fatalf("symmetric build not covered: %+v", st)
+	}
+	for _, p := range randomPairs(g.NumVertices(), 120, 7) {
+		checkDistanceOnly(t, s, "g", g, p[0][0], p[1])
+	}
+	sn := s.Stats()
+	if sn.IndexHits == 0 {
+		t.Fatal("no index hits recorded during parity sweep")
+	}
+	t.Logf("scale %d: %d hits, %d fallbacks, %d label bytes",
+		scale, sn.IndexHits, sn.IndexFallbacks, st.LabelBytes)
+}

@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"fastbfs/graph"
+	"fastbfs/index"
 )
 
 var (
@@ -114,7 +115,7 @@ func (s *Service) LoadGraphOptions(name, path string, opt LoadOptions) (GraphInf
 	if s.manifest != nil {
 		spec = &GraphSpec{Name: name, Path: path, Mmap: mmap}
 	}
-	err = s.registerGraphLocked(name, g, true, spec)
+	err = s.registerGraphLocked(name, g, true, path, spec)
 	var info GraphInfo
 	if err == nil {
 		gs := s.graphs[name]
@@ -183,6 +184,15 @@ type RecoverySummary struct {
 	// missing, corrupt, or over budget); the service boots without
 	// them rather than refusing to start.
 	Failed []string
+	// Indexes are the graphs whose journaled index artifact was
+	// remounted and is serving again.
+	Indexes []string
+	// IndexesRebuilding are the graphs whose journaled index artifact
+	// could not be remounted (missing, torn/CRC-rejected, or built for
+	// a different graph snapshot); the artifact is never served — a
+	// fresh background rebuild with the journaled parameters was
+	// started instead.
+	IndexesRebuilding []string
 	// Duration is the wall time recovery took, including graph loads.
 	Duration time.Duration
 	// Journal is the manifest state after replay.
@@ -219,12 +229,13 @@ func (s *Service) Recover() (RecoverySummary, error) {
 	s.mu.Unlock()
 
 	var sum RecoverySummary
+	var rebuilds []GraphSpec // graphs whose index artifact must be rebuilt
 	for _, spec := range m.State() {
 		g, err := s.loadGraphFile(spec.Path, spec.Mmap)
 		if err == nil {
 			s.mu.Lock()
 			// Already journaled — spec nil keeps replay idempotent.
-			err = s.registerGraphLocked(spec.Name, g, true, nil)
+			err = s.registerGraphLocked(spec.Name, g, true, spec.Path, nil)
 			s.mu.Unlock()
 		}
 		if err != nil {
@@ -233,12 +244,61 @@ func (s *Service) Recover() (RecoverySummary, error) {
 			continue
 		}
 		sum.Graphs = append(sum.Graphs, spec.Name)
+		if spec.Index == nil {
+			continue
+		}
+		// Remount the journaled index artifact. Whatever goes wrong —
+		// missing file, torn write (CRC-rejected by Decode), or an
+		// artifact for a different graph snapshot — the artifact is
+		// never served; the index is rebuilt fresh instead.
+		if err := s.remountIndex(spec.Name, g, *spec.Index); err != nil {
+			rebuilds = append(rebuilds, spec)
+			continue
+		}
+		sum.Indexes = append(sum.Indexes, spec.Name)
 	}
 	s.recovering.Store(false)
+	// Rebuilds kick off only after recovering clears: they journal a
+	// fresh opIndex record on completion, which must not interleave
+	// with replay.
+	for _, spec := range rebuilds {
+		opt := IndexOptions{Landmarks: spec.Index.Landmarks, Policy: spec.Index.Policy, Seed: spec.Index.Seed, Force: true}
+		if _, err := s.BuildIndex(spec.Name, opt); err == nil {
+			sum.IndexesRebuilding = append(sum.IndexesRebuilding, spec.Name)
+		}
+	}
 	sum.Duration = time.Since(start)
 	s.recoveryDur.Store(int64(sum.Duration))
 	sum.Journal = m.Stats()
 	return sum, nil
+}
+
+// remountIndex loads one journaled index artifact and mounts it for an
+// already-recovered graph. The artifact passes the same gauntlet a
+// fresh load of the graph file does: structural validation, the CRC32
+// footer, and a shape check against the graph it claims to serve.
+func (s *Service) remountIndex(name string, g *graph.Graph, spec IndexSpec) error {
+	if spec.Path == "" {
+		return fmt.Errorf("serve: index record for %q has no artifact path", name)
+	}
+	load := index.Load
+	if spec.Mmap {
+		load = index.LoadMmap
+	}
+	ix, err := load(spec.Path)
+	if err != nil {
+		return err
+	}
+	if !ix.Matches(g) {
+		return fmt.Errorf("serve: index artifact %s was built for a different graph snapshot", spec.Path)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	gs := s.graphs[name]
+	if gs == nil {
+		return fmt.Errorf("%w: %q", ErrUnknownGraph, name)
+	}
+	return s.mountIndexLocked(gs, ix, &spec)
 }
 
 // GraphReady is one graph's contribution to readiness.
@@ -260,7 +320,10 @@ type ReadyState struct {
 	// Recovering is true on a durable (StateDir) service until Recover
 	// has replayed the journal and reloaded the recorded graphs; load
 	// balancers must not route here before then.
-	Recovering    bool         `json:"recovering,omitempty"`
+	Recovering bool `json:"recovering,omitempty"`
+	// IndexBuilds is the number of index builds currently running.
+	// Builds are background work and do not gate Ready.
+	IndexBuilds   int          `json:"index_builds,omitempty"`
 	ResidentBytes int64        `json:"resident_bytes"`
 	Graphs        []GraphReady `json:"graphs"`
 }
@@ -281,6 +344,9 @@ func (s *Service) Ready() ReadyState {
 		state, opens := gs.breaker.snapshot()
 		if state != BreakerClosed {
 			ready = false
+		}
+		if gs.idxState == IndexBuilding {
+			rs.IndexBuilds++
 		}
 		rs.Graphs = append(rs.Graphs, GraphReady{Name: gs.name, Breaker: state, BreakerOpens: opens})
 	}

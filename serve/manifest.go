@@ -60,9 +60,25 @@ const (
 
 // Manifest operations, as recorded in the journal.
 const (
-	opLoad   = "load"
-	opUnload = "unload"
+	opLoad      = "load"
+	opUnload    = "unload"
+	opIndex     = "index"
+	opDropIndex = "dropindex"
 )
+
+// IndexSpec is one durable index registration: where the artifact lives
+// and the build parameters, so a restart can remount it — or rebuild it
+// with identical parameters if the artifact is torn.
+type IndexSpec struct {
+	// Path is the index artifact file (conventionally <graph>.idx).
+	Path string `json:"path"`
+	// Landmarks/Policy/Seed are the build parameters.
+	Landmarks int    `json:"landmarks"`
+	Policy    string `json:"policy"`
+	Seed      uint64 `json:"seed,omitempty"`
+	// Mmap records whether the artifact is remounted via mmap.
+	Mmap bool `json:"mmap,omitempty"`
+}
 
 // GraphSpec is one durable graph registration: enough to reload the
 // graph after a restart. Generated (in-memory) graphs have no path and
@@ -71,6 +87,10 @@ type GraphSpec struct {
 	Name string `json:"name"`
 	Path string `json:"path"`
 	Mmap bool   `json:"mmap,omitempty"`
+	// Index, when non-nil, records a completed index build for this
+	// graph (an opIndex journal record folds it in; a fresh opLoad
+	// replaces the spec wholesale and so drops it).
+	Index *IndexSpec `json:"index,omitempty"`
 }
 
 // manifestRecord is one journal entry. Seq is assigned at append time
@@ -313,6 +333,19 @@ func (m *Manifest) apply(rec manifestRecord) {
 				}
 			}
 		}
+	case opIndex:
+		// An index is only meaningful attached to a durably loaded
+		// graph; an orphan record (graph unloaded by a later-lost
+		// journal suffix, or hand-edited state) is skipped.
+		if spec, exists := m.state[rec.Name]; exists && rec.Index != nil {
+			spec.Index = rec.Index
+			m.state[rec.Name] = spec
+		}
+	case opDropIndex:
+		if spec, exists := m.state[rec.Name]; exists {
+			spec.Index = nil
+			m.state[rec.Name] = spec
+		}
 	}
 	// Unknown ops are skipped: a newer writer's record must not stop an
 	// older reader from recovering the rest of the journal.
@@ -363,6 +396,20 @@ func (m *Manifest) AppendLoad(spec GraphSpec) error {
 // table (explicit unload or budget eviction).
 func (m *Manifest) AppendUnload(name string) error {
 	return m.append(manifestRecord{Op: opUnload, GraphSpec: GraphSpec{Name: name, Path: "-"}})
+}
+
+// AppendIndex durably records a completed index build for the named
+// graph. Callers persist the artifact (fsync'd, atomically renamed)
+// BEFORE appending, so a recovered record always points at a complete
+// file — or at worst one that fails its CRC and triggers a rebuild.
+func (m *Manifest) AppendIndex(name string, idx IndexSpec) error {
+	return m.append(manifestRecord{Op: opIndex, GraphSpec: GraphSpec{Name: name, Path: "-", Index: &idx}})
+}
+
+// AppendDropIndex durably records that the named graph's index was
+// dropped; a restart will not remount it.
+func (m *Manifest) AppendDropIndex(name string) error {
+	return m.append(manifestRecord{Op: opDropIndex, GraphSpec: GraphSpec{Name: name, Path: "-"}})
 }
 
 func (m *Manifest) append(rec manifestRecord) error {

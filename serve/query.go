@@ -23,6 +23,16 @@ type Request struct {
 	// AllDepths asks for the full depth array (8 bytes/vertex on the
 	// wire as JSON; meant for small graphs and testing).
 	AllDepths bool `json:"all_depths,omitempty"`
+	// DistanceOnly asks only for target distances (no parents, paths or
+	// depth arrays), which lets the service answer from the graph's
+	// distance-oracle index — when one is mounted and certifies every
+	// target — without running any traversal. Requires Targets; the
+	// response says how it was answered via "index" and "exact".
+	DistanceOnly bool `json:"distance_only,omitempty"`
+	// Approx (with DistanceOnly) accepts the oracle's upper bounds for
+	// pairs it cannot certify instead of falling back to an exact BFS;
+	// such responses carry "exact":false.
+	Approx bool `json:"approx,omitempty"`
 	// TimeoutMS overrides the service's default per-query deadline.
 	TimeoutMS int64 `json:"timeout_ms,omitempty"`
 }
@@ -39,6 +49,17 @@ func (r Request) validate(g *graph.Graph) error {
 	}
 	if r.PathTo != nil && int(*r.PathTo) >= n {
 		return fmt.Errorf("%w: path_to %d out of range", ErrBadRequest, *r.PathTo)
+	}
+	if r.DistanceOnly {
+		if len(r.Targets) == 0 {
+			return fmt.Errorf("%w: distance_only requires targets", ErrBadRequest)
+		}
+		if r.PathTo != nil || r.AllDepths {
+			return fmt.Errorf("%w: distance_only excludes path_to and all_depths", ErrBadRequest)
+		}
+	}
+	if r.Approx && !r.DistanceOnly {
+		return fmt.Errorf("%w: approx requires distance_only", ErrBadRequest)
 	}
 	return nil
 }
@@ -62,8 +83,14 @@ type Response struct {
 	Visited int64  `json:"visited"`
 	// Batched reports that the traversal ran inside a multi-source
 	// sweep; Cached that it was served from the LRU without running.
-	Batched   bool           `json:"batched"`
-	Cached    bool           `json:"cached"`
+	Batched bool `json:"batched"`
+	Cached  bool `json:"cached"`
+	// Index reports that the distance-oracle label join answered this
+	// query with no traversal at all; Exact (set on distance-only
+	// responses, from either path) certifies the reported distances —
+	// false only for approx requests served from uncertified bounds.
+	Index     bool           `json:"index,omitempty"`
+	Exact     *bool          `json:"exact,omitempty"`
 	ElapsedUS int64          `json:"elapsed_us"`
 	Targets   []TargetResult `json:"targets,omitempty"`
 	// Path is a shortest path Source..PathTo inclusive; PathFound
@@ -190,8 +217,18 @@ func buildResponse(gs *graphState, req Request, tr *Traversal, cached bool) (*Re
 		resp.Targets = make([]TargetResult, len(req.Targets))
 		for i, v := range req.Targets {
 			d := tr.Depth(v)
-			resp.Targets[i] = TargetResult{Vertex: v, Reached: d >= 0, Depth: d, Parent: tr.Parent(v)}
+			parent := tr.Parent(v)
+			if req.DistanceOnly {
+				// Distances only: elide parents so the BFS-fallback
+				// targets array is byte-identical to an index-path one.
+				parent = -1
+			}
+			resp.Targets[i] = TargetResult{Vertex: v, Reached: d >= 0, Depth: d, Parent: parent}
 		}
+	}
+	if req.DistanceOnly {
+		exact := true // a real traversal is exact by construction
+		resp.Exact = &exact
 	}
 	if req.PathTo != nil {
 		path := tr.PathTo(*req.PathTo)

@@ -63,6 +63,7 @@ import (
 
 	"fastbfs/bfs"
 	"fastbfs/graph"
+	"fastbfs/index"
 	"fastbfs/internal/faultinject"
 	"fastbfs/internal/msbfs"
 	"fastbfs/internal/par"
@@ -264,11 +265,26 @@ type Service struct {
 type graphState struct {
 	name     string
 	g        *graph.Graph
+	path     string // source file; "" for graphs added in-process
 	pool     *EnginePool
 	cache    *lruCache
 	breaker  *breaker
 	resident int64
 	mapped   bool // resident bytes alias a read-only file mapping
+
+	// Distance-oracle tier (see index.go). idx is the serving pointer —
+	// the query fast path reads it lock-free; hit/fallback counters are
+	// atomics for the same reason. The remaining idx* fields are guarded
+	// by Service.mu.
+	idx          atomic.Pointer[index.Index]
+	idxHits      atomic.Int64
+	idxFallbacks atomic.Int64
+	idxState     string // "" (none), IndexBuilding, IndexReady, IndexFailed
+	idxErr       string
+	idxSpec      *IndexSpec
+	idxCancel    context.CancelFunc
+	idxResident  int64
+	idxMapped    bool // idxResident aliases a read-only file mapping
 
 	lastUsed    time.Time
 	flights     map[uint32]*flight // in-flight + queued, by source
@@ -339,7 +355,7 @@ func (s *Service) AddGraph(name string, g *graph.Graph) error {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.registerGraphLocked(name, g, false, nil)
+	return s.registerGraphLocked(name, g, false, "", nil)
 }
 
 // registerGraphLocked installs g under name, enforcing the resident-
@@ -350,7 +366,7 @@ func (s *Service) AddGraph(name string, g *graph.Graph) error {
 // written and fsync'd BEFORE the serving table changes, so a crash at
 // any point either recovers the old table or the new one, never an
 // acknowledged-then-forgotten load.
-func (s *Service) registerGraphLocked(name string, g *graph.Graph, replace bool, spec *GraphSpec) error {
+func (s *Service) registerGraphLocked(name string, g *graph.Graph, replace bool, path string, spec *GraphSpec) error {
 	if s.draining {
 		return ErrDraining
 	}
@@ -387,6 +403,7 @@ func (s *Service) registerGraphLocked(name string, g *graph.Graph, replace bool,
 	s.graphs[name] = &graphState{
 		name:     name,
 		g:        g,
+		path:     path,
 		pool:     NewEnginePool(g, s.opts, s.cfg.PoolSize),
 		cache:    newLRUCache(s.cfg.CacheEntries),
 		breaker:  newBreaker(s.cfg.BreakerThreshold, s.cfg.BreakerCooldown),
@@ -409,6 +426,14 @@ func (s *Service) retireLocked(gs *graphState) {
 	s.resident -= gs.resident
 	if gs.mapped {
 		s.residentMapped -= gs.resident
+	}
+	s.resident -= gs.idxResident
+	if gs.idxMapped {
+		s.residentMapped -= gs.idxResident
+	}
+	gs.idxResident, gs.idxMapped = 0, false
+	if gs.idxCancel != nil {
+		gs.idxCancel() // abort an in-flight index build for this snapshot
 	}
 	bfs.ReleaseInAdjacency(gs.g)
 }
@@ -452,6 +477,9 @@ type GraphInfo struct {
 	// (page cache) rather than heap.
 	Mapped  bool   `json:"mapped,omitempty"`
 	Breaker string `json:"breaker"`
+	// Index is the graph's distance-oracle state: none, building, ready
+	// or failed (see IndexStatus for detail).
+	Index string `json:"index,omitempty"`
 }
 
 // Graphs lists the resident graphs.
@@ -468,6 +496,7 @@ func (s *Service) Graphs() []GraphInfo {
 			ResidentBytes: gs.resident,
 			Mapped:        gs.mapped,
 			Breaker:       state,
+			Index:         indexStateName(gs.idxState),
 		})
 	}
 	return out
@@ -496,9 +525,16 @@ func (s *Service) ResidentBytes() int64 {
 }
 
 // BeginDrain stops admitting queries; already-admitted flights complete.
+// In-flight index builds are cancelled — a build's result could not be
+// mounted into a draining table anyway.
 func (s *Service) BeginDrain() {
 	s.mu.Lock()
 	s.draining = true
+	for _, gs := range s.graphs {
+		if gs.idxCancel != nil {
+			gs.idxCancel()
+		}
+	}
 	s.mu.Unlock()
 }
 
@@ -552,6 +588,16 @@ func (s *Service) Query(ctx context.Context, req Request) (*Response, error) {
 	}
 	if err := req.validate(gs.g); err != nil {
 		return nil, err
+	}
+
+	// Distance-only queries try the landmark oracle first: a certified
+	// answer costs two label merge-joins per target instead of any
+	// traversal at all. Uncertified answers fall through to the exact
+	// BFS path below (cache, then flight).
+	if req.DistanceOnly {
+		if resp := s.answerFromIndex(gs, req); resp != nil {
+			return resp, nil
+		}
 	}
 
 	if tr, ok := gs.cache.get(req.Source); ok {

@@ -24,6 +24,11 @@ type stats struct {
 	graphLoadsFailed atomic.Int64
 	graphUnloads     atomic.Int64
 	graphEvictions   atomic.Int64
+
+	indexBuilds       atomic.Int64
+	indexBuildsFailed atomic.Int64
+	indexHits         atomic.Int64
+	indexFallbacks    atomic.Int64
 }
 
 // StatsSnapshot is a point-in-time copy of the service counters.
@@ -66,6 +71,16 @@ type StatsSnapshot struct {
 	// ResidentMappedBytes is the portion of ResidentBytes that aliases
 	// read-only file mappings (reclaimable page cache) rather than heap.
 	ResidentMappedBytes int64 `json:"resident_mapped_bytes"`
+	// Distance-oracle tier: IndexBuilds counts build jobs started (and
+	// IndexBuildsFailed the ones that errored or panicked); IndexHits
+	// counts distance-only queries fully answered by a label join with
+	// no traversal; IndexFallbacks the ones the oracle could not certify
+	// that fell back to an exact BFS. Indexes is the per-graph state.
+	IndexBuilds       int64         `json:"index_builds,omitempty"`
+	IndexBuildsFailed int64         `json:"index_builds_failed,omitempty"`
+	IndexHits         int64         `json:"index_hits,omitempty"`
+	IndexFallbacks    int64         `json:"index_fallbacks,omitempty"`
+	Indexes           []IndexStatus `json:"indexes,omitempty"`
 	// QueueDepth is the current admitted-but-unresolved count.
 	QueueDepth int  `json:"queue_depth"`
 	Draining   bool `json:"draining"`
@@ -106,6 +121,11 @@ func (s *Service) Stats() StatsSnapshot {
 		GraphLoadsFailed:    s.stats.graphLoadsFailed.Load(),
 		GraphUnloads:        s.stats.graphUnloads.Load(),
 		GraphEvictions:      s.stats.graphEvictions.Load(),
+		IndexBuilds:         s.stats.indexBuilds.Load(),
+		IndexBuildsFailed:   s.stats.indexBuildsFailed.Load(),
+		IndexHits:           s.stats.indexHits.Load(),
+		IndexFallbacks:      s.stats.indexFallbacks.Load(),
+		Indexes:             s.IndexStatuses(),
 		ResidentBytes:       s.ResidentBytes(),
 		ResidentMappedBytes: mapped,
 		QueueDepth:          s.QueueDepth(),
