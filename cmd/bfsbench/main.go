@@ -6,7 +6,7 @@
 //	bfsbench [flags] <experiment>...
 //
 // Experiments: table1 table2 fig4 fig5 fig6 fig7 fig8 modelcheck ablate
-// hybrid index all
+// hybrid index tune all
 //
 // Flags:
 //
@@ -51,11 +51,11 @@ func main() {
 
 	args := flag.Args()
 	if len(args) == 0 && !*jsonOut {
-		fmt.Fprintln(os.Stderr, "usage: bfsbench [flags] <table1|table2|fig4|fig5|fig6|fig7|fig8|modelcheck|scaling|ablate|hybrid|index|all>...")
+		fmt.Fprintln(os.Stderr, "usage: bfsbench [flags] <table1|table2|fig4|fig5|fig6|fig7|fig8|modelcheck|scaling|ablate|hybrid|index|tune|all>...")
 		os.Exit(2)
 	}
 	if len(args) == 1 && args[0] == "all" {
-		args = []string{"table1", "modelcheck", "table2", "fig4", "fig5", "fig6", "fig7", "fig8", "scaling", "ablate", "hybrid", "index"}
+		args = []string{"table1", "modelcheck", "table2", "fig4", "fig5", "fig6", "fig7", "fig8", "scaling", "ablate", "hybrid", "index", "tune"}
 	}
 
 	type runner func() (*stats.Table, error)
@@ -72,6 +72,7 @@ func main() {
 		"ablate":     func() (*stats.Table, error) { return experiments.Ablate(cfg) },
 		"hybrid":     func() (*stats.Table, error) { return experiments.Hybrid(cfg) },
 		"index":      func() (*stats.Table, error) { return experiments.Index(cfg) },
+		"tune":       func() (*stats.Table, error) { return experiments.Tune(cfg) },
 	}
 	titles := map[string]string{
 		"table1":     "Table I — platform characteristics (modeled machine)",
@@ -86,6 +87,7 @@ func main() {
 		"ablate":     "Section V-A — latency-hiding ablations",
 		"hybrid":     "Direction-optimizing hybrid vs top-down (comparable MTEPS*)",
 		"index":      "Distance-oracle index — build cost and point-query QPS vs per-query hybrid BFS",
+		"tune":       "Model-driven auto-tuning — calibrated profile vs engine defaults (analogue suite)",
 	}
 
 	for _, name := range args {

@@ -30,6 +30,16 @@
 // graphs in durable mode the artifact is persisted next to the graph
 // (<path>.idx, CRC-footed) and journaled, so a restart remounts it.
 //
+// Each graph entering the serving table is auto-tuned by default: a
+// short calibration pass prices the paper's analytical model against
+// the graph's measured shape and picks the VIS variant, hybrid α/β,
+// prefetch distance, batched binning and MS-BFS lane width per graph
+// (see the tune package). The profile is journaled with the graph in
+// durable mode, so a kill -9 restart reuses it without re-calibrating;
+// /stats and /readyz expose the chosen knobs and predicted-vs-measured
+// MTEPS. -no-tune (or "tune":false on POST /graphs/load) pins the
+// engine defaults instead.
+//
 // The daemon degrades rather than dies: per-graph circuit breakers
 // (-breaker-threshold) fail queries fast while a graph's engines are
 // crashing, a watchdog (-watchdog-mult) hard-cancels wedged traversals,
@@ -105,6 +115,7 @@ func main() {
 	stateDir := flag.String("state-dir", "", "durable control plane: journal graph load/unload mutations here and recover them at startup (empty = stateless, restart forgets loaded graphs)")
 	snapshotEvery := flag.Int("snapshot-every", serve.DefaultSnapshotEvery, "compact the state-dir journal into a snapshot after this many records")
 	mmapLoads := flag.Bool("mmap", false, "load graph files via read-only mmap: warm restarts hit page cache instead of re-parsing (CRC footer still verified)")
+	noTune := flag.Bool("no-tune", false, "disable model-driven auto-tuning: serve every graph on the engine defaults instead of calibrating a per-graph profile at load")
 	buildIndex := flag.Bool("index", false, "build a landmark distance index for every served graph at startup (background; /query distance_only answers from it)")
 	idxLandmarks := flag.Int("index-landmarks", 64, "landmarks per index build")
 	idxPolicy := flag.String("index-policy", "degree", "landmark selection policy: degree | random")
@@ -164,6 +175,8 @@ func main() {
 		StateDir:         *stateDir,
 		SnapshotEvery:    *snapshotEvery,
 		MmapLoads:        *mmapLoads,
+		AutoTune:         !*noTune,
+		Logf:             log.Printf,
 	})
 
 	// The listener comes up before recovery so /readyz is observable

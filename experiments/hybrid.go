@@ -170,6 +170,11 @@ type HybridBench struct {
 	// Index is the distance-oracle benchmark on the same graph: landmark
 	// labeling build cost and point-query QPS vs per-query hybrid BFS.
 	Index *IndexBench `json:"index,omitempty"`
+
+	// Tuning is the auto-tuning ablation over the analogue suite:
+	// tuned-vs-default comparable MTEPS per graph plus the profile the
+	// model chose (see experiments/tune.go).
+	Tuning *TuneBench `json:"tuning,omitempty"`
 }
 
 // HybridReport runs the hybrid benchmark and assembles the JSON report.
@@ -272,6 +277,12 @@ func HybridReport(cfg Config) (*HybridBench, error) {
 
 	// Distance-oracle section, on the same graph instance.
 	b.Index, err = indexBench(cfg, g, index.PolicyDegree)
+	if err != nil {
+		return nil, err
+	}
+
+	// Auto-tuning ablation over the full analogue suite.
+	b.Tuning, err = TuneReport(cfg)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,209 @@
+package experiments
+
+import (
+	"fmt"
+
+	"fastbfs/bfs"
+	"fastbfs/graph"
+	"fastbfs/graph/gen"
+	"fastbfs/internal/stats"
+	"fastbfs/tune"
+)
+
+// Auto-tuning ablation: does the model-picked profile beat the fixed
+// defaults? Each analogue graph is measured twice — engine defaults
+// versus tune.Calibrate's profile applied to the same options — with
+// the default run's examined-edge counts as the shared TEPS numerator
+// (the hybrid-comparable accounting of hybrid.go). Graphs the tuner
+// declines to calibrate (too small, degenerate) serve as the corner
+// cases: their profile IS the default, so the ratio is measurement
+// noise around 1.0 by construction.
+
+// tuneCase is one analogue-suite graph for the ablation.
+type tuneCase struct {
+	name string
+	g    *graph.Graph
+}
+
+// tuneSuite builds the ablation workloads: the R-MAT hybrid workload,
+// a high-diameter grid, an extreme-skew star, and a disconnected
+// forest of chains — the four shapes that stress different knobs
+// (direction switching, binning, degenerate probes, unreachable mass).
+func tuneSuite(cfg Config) ([]tuneCase, error) {
+	n := cfg.scaled(16 << 20)
+	rmat, err := hybridGraph(cfg)
+	if err != nil {
+		return nil, err
+	}
+	side := 1
+	for side*side < n {
+		side++
+	}
+	grid, err := gen.Grid2D(side, side, 2, cfg.Seed+7)
+	if err != nil {
+		return nil, err
+	}
+	star, err := starGraph(n)
+	if err != nil {
+		return nil, err
+	}
+	forest, err := chainForest(n, 64)
+	if err != nil {
+		return nil, err
+	}
+	return []tuneCase{
+		{"rmat", rmat},
+		{"grid", grid},
+		{"star", star},
+		{"forest", forest},
+	}, nil
+}
+
+// starGraph builds a symmetric star: hub 0 adjacent to every spoke.
+// Maximum degree skew — the mean degree is ~2 while the hub holds half
+// of all adjacency entries.
+func starGraph(n int) (*graph.Graph, error) {
+	if n < 2 {
+		n = 2
+	}
+	degrees := make([]int32, n)
+	degrees[0] = int32(n - 1)
+	for v := 1; v < n; v++ {
+		degrees[v] = 1
+	}
+	return graph.FromDegrees(degrees, func(v uint32, adj []uint32) {
+		if v == 0 {
+			for i := range adj {
+				adj[i] = uint32(i + 1)
+			}
+			return
+		}
+		adj[0] = 0
+	})
+}
+
+// chainForest builds `chains` disjoint bidirectional chains over n
+// vertices: a disconnected, diameter-heavy forest where any single
+// probe sees only 1/chains of the graph.
+func chainForest(n, chains int) (*graph.Graph, error) {
+	if chains < 1 {
+		chains = 1
+	}
+	per := n / chains
+	if per < 2 {
+		per = 2
+	}
+	var edges []graph.Edge
+	for c := 0; c < chains; c++ {
+		base := c * per
+		if base+per > n {
+			break
+		}
+		for i := 0; i < per-1; i++ {
+			u, v := uint32(base+i), uint32(base+i+1)
+			edges = append(edges, graph.Edge{U: u, V: v}, graph.Edge{U: v, V: u})
+		}
+	}
+	return graph.FromEdges(n, edges)
+}
+
+// TuneGraphBench is one graph's tuned-vs-default measurement.
+type TuneGraphBench struct {
+	Graph    string `json:"graph"`
+	Vertices int    `json:"vertices"`
+	Edges    int64  `json:"edges"`
+	// DefaultMTEPS and TunedMTEPS share the default run's examined-edge
+	// numerator (comparable accounting); Ratio is tuned/default.
+	DefaultMTEPS float64 `json:"default_mteps"`
+	TunedMTEPS   float64 `json:"tuned_mteps"`
+	Ratio        float64 `json:"ratio"`
+	// Profile is what the tuner chose (Source "default" = declined).
+	Profile *tune.Profile `json:"profile"`
+}
+
+// TuneBench is the auto-tuning section of BENCH_<scale>.json.
+type TuneBench struct {
+	Graphs []TuneGraphBench `json:"graphs"`
+}
+
+// tuneRepeats is the best-of count per configuration; the max filters
+// scheduler noise from short scaled-down runs.
+const tuneRepeats = 3
+
+// measureTuned measures one graph under defaults and under the tuned
+// profile, best-of-tuneRepeats each, on the shared numerator.
+func measureTuned(cfg Config, tc tuneCase) (TuneGraphBench, error) {
+	def := cfg.options(bfs.VISPartitioned, bfs.SchemeLoadBalanced, 1)
+	roots := pickRoots(tc.g, cfg.Roots)
+
+	prof := tune.Calibrate(tc.g, tune.Options{
+		Sockets:    1,
+		CacheBytes: def.CacheBytes,
+		L2Bytes:    def.L2Bytes,
+	})
+	tuned := prof.Apply(def)
+
+	var defMTEPS, tunedMTEPS float64
+	var refEdges []int64
+	for i := 0; i < tuneRepeats; i++ {
+		m, edges, err := tdReference(tc.g, def, roots)
+		if err != nil {
+			return TuneGraphBench{}, fmt.Errorf("%s default: %w", tc.name, err)
+		}
+		if m > defMTEPS {
+			defMTEPS, refEdges = m, edges
+		}
+	}
+	for i := 0; i < tuneRepeats; i++ {
+		m, _, err := comparable(tc.g, tuned, roots, refEdges)
+		if err != nil {
+			return TuneGraphBench{}, fmt.Errorf("%s tuned: %w", tc.name, err)
+		}
+		if m > tunedMTEPS {
+			tunedMTEPS = m
+		}
+	}
+	return TuneGraphBench{
+		Graph:        tc.name,
+		Vertices:     tc.g.NumVertices(),
+		Edges:        tc.g.NumEdges(),
+		DefaultMTEPS: defMTEPS,
+		TunedMTEPS:   tunedMTEPS,
+		Ratio:        stats.Ratio(tunedMTEPS, defMTEPS),
+		Profile:      prof,
+	}, nil
+}
+
+// TuneReport runs the ablation over the analogue suite.
+func TuneReport(cfg Config) (*TuneBench, error) {
+	cfg = cfg.withDefaults()
+	suite, err := tuneSuite(cfg)
+	if err != nil {
+		return nil, err
+	}
+	rep := &TuneBench{}
+	for _, tc := range suite {
+		row, err := measureTuned(cfg, tc)
+		if err != nil {
+			return nil, err
+		}
+		cfg.logf("tune: %s: default %.1f vs tuned %.1f MTEPS* (%.2fx) [%s]",
+			row.Graph, row.DefaultMTEPS, row.TunedMTEPS, row.Ratio, row.Profile.Summary())
+		rep.Graphs = append(rep.Graphs, row)
+	}
+	return rep, nil
+}
+
+// Tune renders the auto-tuning ablation as a table.
+func Tune(cfg Config) (*stats.Table, error) {
+	rep, err := TuneReport(cfg)
+	if err != nil {
+		return nil, err
+	}
+	t := stats.NewTable("graph", "|V|", "|E|", "default MTEPS*", "tuned MTEPS*", "ratio", "profile")
+	for _, row := range rep.Graphs {
+		t.AddRow(row.Graph, row.Vertices, row.Edges,
+			row.DefaultMTEPS, row.TunedMTEPS, row.Ratio, row.Profile.Summary())
+	}
+	return t, nil
+}

@@ -1,0 +1,112 @@
+package experiments
+
+import (
+	"encoding/json"
+	"os"
+	"testing"
+
+	"fastbfs/bfs"
+	"fastbfs/tune"
+)
+
+// TestTuneReportTiny smoke-tests the ablation plumbing at toy scale:
+// all four analogue graphs measured, profiles attached, JSON-clean
+// (this is what rides into BENCH_<scale>.json).
+func TestTuneReportTiny(t *testing.T) {
+	rep, err := TuneReport(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Graphs) != 4 {
+		t.Fatalf("suite rows = %d, want 4 (rmat, grid, star, forest)", len(rep.Graphs))
+	}
+	for _, row := range rep.Graphs {
+		if row.Profile == nil {
+			t.Fatalf("%s: nil profile", row.Graph)
+		}
+		if row.DefaultMTEPS <= 0 || row.TunedMTEPS <= 0 {
+			t.Errorf("%s: degenerate measurement %+v", row.Graph, row)
+		}
+		// The skew/disconnection corner cases fall under the tuner's edge
+		// guard at toy scale, so their profile must be the zero-risk
+		// default (the R-MAT's edge factor keeps it above the guard).
+		if row.Graph == "star" || row.Graph == "forest" {
+			if row.Profile.Source != tune.SourceDefault {
+				t.Errorf("%s: degenerate graph calibrated (%s)", row.Graph, row.Profile.Summary())
+			}
+		}
+	}
+	if _, err := json.Marshal(rep); err != nil {
+		t.Fatal(err)
+	}
+
+	tab, err := Tune(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.NumRows() != 4 {
+		t.Fatalf("Tune table rows = %d, want 4", tab.NumRows())
+	}
+}
+
+// TestTuneSmoke is the CI acceptance gate (TUNE_SMOKE=1, skipped when
+// unset): on the scale-14 analogue suite the tuned profile must hold
+// >= default throughput within noise on every graph, enable the hybrid
+// on the R-MAT, and — exactness first — depths from a tuned engine must
+// byte-match the serial reference.
+func TestTuneSmoke(t *testing.T) {
+	if os.Getenv("TUNE_SMOKE") == "" {
+		t.Skip("set TUNE_SMOKE=1 to run the scale-14 tuning smoke")
+	}
+	cfg := Config{Scale: 1024, Roots: 3, Seed: 20120521}
+	rep, err := TuneReport(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sawHybrid bool
+	for _, row := range rep.Graphs {
+		t.Logf("%s: default %.1f vs tuned %.1f MTEPS* (%.2fx) [%s]",
+			row.Graph, row.DefaultMTEPS, row.TunedMTEPS, row.Ratio, row.Profile.Summary())
+		// "Within noise": best-of-N runs under the race detector still
+		// jitter; 0.8x is the same floor the bench-trajectory job uses.
+		if row.Ratio < 0.8 {
+			t.Errorf("%s: tuned profile regressed beyond noise: %.2fx", row.Graph, row.Ratio)
+		}
+		if row.Graph == "rmat" {
+			sawHybrid = row.Profile.Hybrid
+			if row.Ratio < 1.0 {
+				t.Errorf("rmat: tuned slower than default (%.2fx); the headline win is gone", row.Ratio)
+			}
+		}
+	}
+	if !sawHybrid {
+		t.Error("tuner did not enable the hybrid on the scale-14 R-MAT")
+	}
+
+	// Exactness: tuned engine depths byte-match the serial reference.
+	g, err := hybridGraph(cfg.withDefaults())
+	if err != nil {
+		t.Fatal(err)
+	}
+	def := cfg.withDefaults().options(bfs.VISPartitioned, bfs.SchemeLoadBalanced, 1)
+	prof := tune.Calibrate(g, tune.Options{Sockets: 1, CacheBytes: def.CacheBytes, L2Bytes: def.L2Bytes})
+	e, err := bfs.NewEngine(g, prof.Apply(def))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, root := range pickRoots(g, 2) {
+		res, err := e.Run(root)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref, err := bfs.RunSerial(g, root)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for v := 0; v < g.NumVertices(); v++ {
+			if got, want := res.Depth(uint32(v)), ref.Depth(uint32(v)); got != want {
+				t.Fatalf("root %d: tuned depth(%d) = %d, want %d", root, v, got, want)
+			}
+		}
+	}
+}

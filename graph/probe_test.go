@@ -1,0 +1,93 @@
+package graph
+
+import "testing"
+
+// chain builds a directed path 0 -> 1 -> ... -> n-1.
+func chain(t *testing.T, n int) *Graph {
+	t.Helper()
+	edges := make([]Edge, 0, n-1)
+	for i := 0; i < n-1; i++ {
+		edges = append(edges, Edge{U: uint32(i), V: uint32(i + 1)})
+	}
+	return mustFromEdges(t, n, edges)
+}
+
+// TestProbeBFSUnbounded pins the per-level profile on a known shape: a
+// directed chain has one vertex and one edge per level (none at the
+// tail) and the probe must report the whole component as Complete.
+func TestProbeBFSUnbounded(t *testing.T) {
+	g := chain(t, 6)
+	p := ProbeBFS(g, 0, 0)
+	if !p.Complete {
+		t.Fatal("unbounded probe not Complete")
+	}
+	if len(p.Frontier) != 6 {
+		t.Fatalf("levels = %d, want 6", len(p.Frontier))
+	}
+	for l, f := range p.Frontier {
+		if f != 1 {
+			t.Errorf("frontier[%d] = %d, want 1", l, f)
+		}
+		wantEdges := int64(1)
+		if l == 5 {
+			wantEdges = 0 // tail vertex has no out-edges
+		}
+		if p.Edges[l] != wantEdges {
+			t.Errorf("edges[%d] = %d, want %d", l, p.Edges[l], wantEdges)
+		}
+	}
+	if p.Visited != 6 || p.EdgesSeen != 5 {
+		t.Errorf("totals visited=%d edges=%d, want 6/5", p.Visited, p.EdgesSeen)
+	}
+}
+
+// TestProbeBFSBounded pins the level bound: the profile covers exactly
+// the expanded prefix and is marked incomplete.
+func TestProbeBFSBounded(t *testing.T) {
+	g := chain(t, 10)
+	p := ProbeBFS(g, 0, 3)
+	if p.Complete {
+		t.Fatal("bounded probe on a longer chain claims Complete")
+	}
+	if len(p.Frontier) != 3 || p.Visited != 3 || p.EdgesSeen != 3 {
+		t.Fatalf("bounded profile = %+v, want 3 levels of 1 vertex / 1 edge", p)
+	}
+	// A bound past the eccentricity still completes.
+	if p = ProbeBFS(g, 0, 100); !p.Complete || p.Visited != 10 {
+		t.Errorf("generous bound: %+v, want complete 10-vertex profile", p)
+	}
+}
+
+// TestProbeBFSDegenerate: empty graphs and out-of-range sources return
+// an empty Complete profile rather than panicking.
+func TestProbeBFSDegenerate(t *testing.T) {
+	empty := mustFromEdges(t, 0, nil)
+	if p := ProbeBFS(empty, 0, 3); !p.Complete || p.Visited != 0 || len(p.Frontier) != 0 {
+		t.Errorf("empty graph probe = %+v", p)
+	}
+	g := chain(t, 4)
+	if p := ProbeBFS(g, 99, 3); !p.Complete || p.Visited != 0 {
+		t.Errorf("out-of-range source probe = %+v", p)
+	}
+}
+
+// TestProbeBFSMatchesBFSDepth: on a disconnected graph the probe's
+// totals agree with the BFSDepth reference for the same component.
+func TestProbeBFSMatchesBFSDepth(t *testing.T) {
+	// Two components: a 4-cycle and an isolated pair.
+	g := mustFromEdges(t, 6, []Edge{
+		{U: 0, V: 1}, {U: 1, V: 2}, {U: 2, V: 3}, {U: 3, V: 0},
+		{U: 4, V: 5}, {U: 5, V: 4},
+	})
+	p := ProbeBFS(g, 0, 0)
+	depth, reached := BFSDepth(g, 0)
+	if int64(reached) != p.Visited {
+		t.Errorf("probe visited %d, BFSDepth reached %d", p.Visited, reached)
+	}
+	if len(p.Frontier) != depth+1 {
+		t.Errorf("probe levels %d, eccentricity %d", len(p.Frontier), depth)
+	}
+	if p.Visited != 4 {
+		t.Errorf("probe leaked across components: visited %d, want 4", p.Visited)
+	}
+}

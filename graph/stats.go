@@ -114,6 +114,68 @@ func BFSDepth(g *Graph, source uint32) (depth int, reached int) {
 	return depth, reached
 }
 
+// Probe is the outcome of a level-bounded serial BFS: the per-level
+// frontier and examined-edge profile the auto-tuner feeds to the
+// analytical model (model.PredictDirections replays the α/β switch rule
+// over exactly this shape).
+type Probe struct {
+	// Frontier[l] is the number of vertices expanded at level l
+	// (Frontier[0] is 1, the source); Edges[l] is the adjacency entries
+	// their expansion examined.
+	Frontier []int64
+	Edges    []int64
+	// Visited and EdgesSeen total the profile.
+	Visited   int64
+	EdgesSeen int64
+	// Complete reports that the traversal exhausted its frontier within
+	// the level bound — the profile is the whole reachable component.
+	Complete bool
+}
+
+// ProbeBFS runs a serial BFS from source for at most maxLevels levels
+// (maxLevels <= 0 removes the bound) and returns the per-level profile.
+// It allocates one int32 per vertex and touches only the edges of the
+// levels it expands, so a bounded probe on a huge graph costs a few
+// frontier expansions, not a full traversal.
+func ProbeBFS(g *Graph, source uint32, maxLevels int) Probe {
+	var p Probe
+	n := g.NumVertices()
+	if n == 0 || int(source) >= n {
+		p.Complete = true
+		return p
+	}
+	dist := make([]int32, n)
+	for i := range dist {
+		dist[i] = -1
+	}
+	frontier := []uint32{source}
+	dist[source] = 0
+	for level := 0; len(frontier) > 0; level++ {
+		if maxLevels > 0 && level >= maxLevels {
+			return p // bounded: profile covers the expanded prefix only
+		}
+		var edges int64
+		var next []uint32
+		for _, u := range frontier {
+			adj := g.Neighbors1(u)
+			edges += int64(len(adj))
+			for _, v := range adj {
+				if dist[v] < 0 {
+					dist[v] = int32(level + 1)
+					next = append(next, v)
+				}
+			}
+		}
+		p.Frontier = append(p.Frontier, int64(len(frontier)))
+		p.Edges = append(p.Edges, edges)
+		p.Visited += int64(len(frontier))
+		p.EdgesSeen += edges
+		frontier = next
+	}
+	p.Complete = true
+	return p
+}
+
 // LargestReach returns a source vertex whose BFS reaches the most
 // vertices among `tries` deterministic candidates, along with the reach.
 // Generators with isolated vertices (R-MAT) use it to pick good roots.

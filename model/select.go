@@ -1,0 +1,39 @@
+package model
+
+// Configuration selection: the model stops merely predicting and starts
+// deciding. SelectVIS turns the Figure 4 family of predictions into a
+// choice — the paper's central claim is exactly that Eqns IV.1–IV.4 are
+// accurate enough to pick the right representation per graph instead of
+// hardcoding one (§IV, §V-C).
+
+// selectableVariants are the representations the tuner may pick among,
+// in preference order for ties. The atomic bitmap is excluded: its
+// LOCK-prefix penalty makes it dominated by AF-bit at every size, and
+// the engine keeps it only as the Agarwal et al. baseline.
+var selectableVariants = []VISVariant{
+	VariantPartitioned, VariantBit, VariantByte, VariantNone,
+}
+
+// SelectVIS evaluates PredictVIS for every atomic-free Figure 4 variant
+// and returns the one with the lowest predicted cycles per traversed
+// edge, with its prediction. Ties (and near-ties within one part in a
+// thousand) keep the earlier variant in preference order, so the
+// paper's partitioned scheme wins unless the model sees a real gap —
+// e.g. no-VIS on graphs whose depth array is cache-resident anyway.
+func SelectVIS(p Platform, w Workload, sockets int) (VISVariant, Prediction, error) {
+	var (
+		best     VISVariant
+		bestPred Prediction
+		have     bool
+	)
+	for _, v := range selectableVariants {
+		pred, err := PredictVIS(p, w, sockets, v)
+		if err != nil {
+			return 0, Prediction{}, err
+		}
+		if !have || pred.CyclesPerEdge < bestPred.CyclesPerEdge*0.999 {
+			best, bestPred, have = v, pred, true
+		}
+	}
+	return best, bestPred, nil
+}

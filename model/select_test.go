@@ -1,0 +1,60 @@
+package model
+
+import "testing"
+
+// TestSelectVISAgreesWithArgmin pins that SelectVIS returns the true
+// cycles/edge argmin over the selectable variants (modulo the 0.1%
+// near-tie preference for earlier variants) across workload scales.
+func TestSelectVISAgreesWithArgmin(t *testing.T) {
+	p := NehalemX5570()
+	for _, vertices := range []int64{1 << 20, 16 << 20, 64 << 20, 256 << 20} {
+		nvis := 1
+		if vertices >= 256<<20 {
+			nvis = 2
+		}
+		w := urWorkload(vertices, 8, nvis)
+		got, gotPred, err := SelectVIS(p, w, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, v := range selectableVariants {
+			pred, err := PredictVIS(p, w, 2, v)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if pred.CyclesPerEdge < gotPred.CyclesPerEdge*0.999 {
+				t.Errorf("|V|=%dM: selected %v (%.2f cyc/edge) but %v is cheaper (%.2f)",
+					vertices>>20, got, gotPred.CyclesPerEdge, v, pred.CyclesPerEdge)
+			}
+		}
+	}
+}
+
+// TestSelectVISLargeGraphAvoidsNone: the Figure 4 regime the selector
+// exists for — once DP outgrows the LLC, no-VIS pays the paper's
+// 1.7-2.7x penalty and must not be chosen.
+func TestSelectVISLargeGraphAvoidsNone(t *testing.T) {
+	w := urWorkload(256<<20, 8, 2)
+	got, _, err := SelectVIS(NehalemX5570(), w, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got == VariantNone {
+		t.Error("selector picked no-VIS on an LLC-overflowing graph")
+	}
+}
+
+// TestSelectVISNeverAtomic: the atomic bitmap is the baseline the paper
+// beats, not a candidate; it must stay out of selections.
+func TestSelectVISNeverAtomic(t *testing.T) {
+	for _, vertices := range []int64{1 << 16, 1 << 20, 64 << 20} {
+		w := urWorkload(vertices, 16, 1)
+		got, _, err := SelectVIS(NehalemX5570(), w, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got == VariantAtomicBit {
+			t.Fatalf("|V|=%d: selector picked the atomic baseline", vertices)
+		}
+	}
+}

@@ -24,8 +24,10 @@ const maxRequestBody = 1 << 20
 //	                       in progress, and every circuit breaker closed;
 //	                       503 with the full ReadyState otherwise
 //	GET  /graphs         — resident graphs with sizes and breaker states
-//	POST /graphs/load    — {"name","path","mmap"?}: load or atomically
-//	                       replace; journaled first in durable mode
+//	POST /graphs/load    — {"name","path","mmap"?,"tune"?}: load or
+//	                       atomically replace; journaled first in durable
+//	                       mode; "tune":false pins engine defaults
+//	                       (skips auto-calibration) for this graph
 //	POST /graphs/unload  — {"name"}: remove a graph from serving
 //	GET  /stats          — StatsSnapshot
 //
@@ -89,6 +91,9 @@ func NewHandler(s *Service) http.Handler {
 			// Mmap overrides the service's default load mode: map the
 			// file read-only instead of decoding it onto the heap.
 			Mmap *bool `json:"mmap,omitempty"`
+			// Tune overrides Config.AutoTune for this load: false pins
+			// the engine defaults, true forces a calibration pass.
+			Tune *bool `json:"tune,omitempty"`
 		}
 		dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBody))
 		dec.DisallowUnknownFields()
@@ -100,7 +105,7 @@ func NewHandler(s *Service) http.Handler {
 			writeError(w, http.StatusBadRequest, "missing graph path")
 			return
 		}
-		info, err := s.LoadGraphOptions(req.Name, req.Path, LoadOptions{Mmap: req.Mmap})
+		info, err := s.LoadGraphOptions(req.Name, req.Path, LoadOptions{Mmap: req.Mmap, Tune: req.Tune})
 		if err != nil {
 			writeError(w, statusFor(err), err.Error())
 			return

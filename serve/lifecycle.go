@@ -20,6 +20,7 @@ import (
 
 	"fastbfs/graph"
 	"fastbfs/index"
+	"fastbfs/tune"
 )
 
 var (
@@ -68,6 +69,10 @@ type LoadOptions struct {
 	// Mmap maps the file read-only (graph.LoadMmap) instead of decoding
 	// it onto the heap; nil means Config.MmapLoads decides.
 	Mmap *bool
+	// Tune overrides Config.AutoTune for this load: false pins the
+	// engine defaults (no calibration), true forces a calibration pass
+	// even on a service with AutoTune off. nil defers to the config.
+	Tune *bool
 }
 
 // LoadGraph reads a CSR graph file and makes it queryable under name,
@@ -110,12 +115,18 @@ func (s *Service) LoadGraphOptions(name, path string, opt LoadOptions) (GraphInf
 		return GraphInfo{}, &LoadError{Name: name, Path: path, Err: err}
 	}
 
+	// Calibrate before taking the service lock: the pass is pure CPU
+	// work against the freshly loaded graph. The profile travels inside
+	// the load's journal record, so the same fsync that makes the load
+	// durable makes the tuning durable.
+	prof := s.maybeCalibrate(name, g, opt.Tune)
+
 	s.mu.Lock()
 	var spec *GraphSpec
 	if s.manifest != nil {
-		spec = &GraphSpec{Name: name, Path: path, Mmap: mmap}
+		spec = &GraphSpec{Name: name, Path: path, Mmap: mmap, Tune: prof}
 	}
-	err = s.registerGraphLocked(name, g, true, path, spec)
+	err = s.registerGraphLocked(name, g, true, path, spec, prof)
 	var info GraphInfo
 	if err == nil {
 		gs := s.graphs[name]
@@ -193,6 +204,13 @@ type RecoverySummary struct {
 	// fresh background rebuild with the journaled parameters was
 	// started instead.
 	IndexesRebuilding []string
+	// Tuned are the graphs whose journaled tuning profile was reused
+	// as-is — the kill -9 restart path that skips re-calibration.
+	Tuned []string
+	// Recalibrated are the graphs that had no journaled profile (specs
+	// written before tuning existed) and were calibrated fresh during
+	// recovery, with the new profile journaled via an opTune record.
+	Recalibrated []string
 	// Duration is the wall time recovery took, including graph loads.
 	Duration time.Duration
 	// Journal is the manifest state after replay.
@@ -229,13 +247,33 @@ func (s *Service) Recover() (RecoverySummary, error) {
 	s.mu.Unlock()
 
 	var sum RecoverySummary
-	var rebuilds []GraphSpec // graphs whose index artifact must be rebuilt
+	var rebuilds []GraphSpec             // graphs whose index artifact must be rebuilt
+	var retunes map[string]*tune.Profile // fresh profiles to journal post-replay
 	for _, spec := range m.State() {
 		g, err := s.loadGraphFile(spec.Path, spec.Mmap)
+		var prof *tune.Profile
 		if err == nil {
+			if spec.Tune != nil {
+				// The whole point of journaling the profile: reuse it
+				// verbatim, no calibration pass on the restart path.
+				reused := *spec.Tune
+				reused.Source = tune.SourceJournal
+				prof = &reused
+				sum.Tuned = append(sum.Tuned, spec.Name)
+				s.logf("serve: graph %q: reusing journaled tuning profile: %s", spec.Name, prof.Summary())
+			} else if s.cfg.AutoTune {
+				// Spec journaled before tuning existed: calibrate now
+				// and make it durable once replay has finished.
+				prof = s.calibrateProfile(spec.Name, g)
+				if retunes == nil {
+					retunes = make(map[string]*tune.Profile)
+				}
+				retunes[spec.Name] = prof
+				sum.Recalibrated = append(sum.Recalibrated, spec.Name)
+			}
 			s.mu.Lock()
 			// Already journaled — spec nil keeps replay idempotent.
-			err = s.registerGraphLocked(spec.Name, g, true, spec.Path, nil)
+			err = s.registerGraphLocked(spec.Name, g, true, spec.Path, nil, prof)
 			s.mu.Unlock()
 		}
 		if err != nil {
@@ -258,6 +296,12 @@ func (s *Service) Recover() (RecoverySummary, error) {
 		sum.Indexes = append(sum.Indexes, spec.Name)
 	}
 	s.recovering.Store(false)
+	// Post-replay journaling (must not interleave with replay): fresh
+	// profiles for pre-tuning specs become durable opTune records, so
+	// the NEXT restart reuses them instead of calibrating again.
+	for name, prof := range retunes {
+		_ = m.AppendTune(name, prof) // best effort; next boot just recalibrates
+	}
 	// Rebuilds kick off only after recovering clears: they journal a
 	// fresh opIndex record on completion, which must not interleave
 	// with replay.
@@ -306,6 +350,15 @@ type GraphReady struct {
 	Name         string `json:"name"`
 	Breaker      string `json:"breaker"`
 	BreakerOpens int64  `json:"breaker_opens"`
+	// Tune is the provenance of the graph's tuning profile ("default",
+	// "calibrated" or "journal"; empty = untuned service).
+	Tune string `json:"tune,omitempty"`
+	// TunePredictedMTEPS is the model's throughput for the profile;
+	// TuneMeasuredMTEPS the observed serving throughput so far (0 until
+	// the graph has served a traversal). Their ratio is the model's
+	// live report card.
+	TunePredictedMTEPS float64 `json:"tune_predicted_mteps,omitempty"`
+	TuneMeasuredMTEPS  float64 `json:"tune_measured_mteps,omitempty"`
 }
 
 // ReadyState is the /readyz payload: Ready is the single bit a load
@@ -348,7 +401,13 @@ func (s *Service) Ready() ReadyState {
 		if gs.idxState == IndexBuilding {
 			rs.IndexBuilds++
 		}
-		rs.Graphs = append(rs.Graphs, GraphReady{Name: gs.name, Breaker: state, BreakerOpens: opens})
+		gr := GraphReady{Name: gs.name, Breaker: state, BreakerOpens: opens}
+		if gs.profile != nil {
+			gr.Tune = gs.profile.Source
+			gr.TunePredictedMTEPS = gs.profile.PredictedMTEPS
+			gr.TuneMeasuredMTEPS = measuredMTEPS(&gs.qEdges, &gs.qNanos)
+		}
+		rs.Graphs = append(rs.Graphs, gr)
 	}
 	sort.Slice(rs.Graphs, func(i, j int) bool { return rs.Graphs[i].Name < rs.Graphs[j].Name })
 	rs.Ready = ready

@@ -40,6 +40,8 @@ import (
 	"path/filepath"
 	"sync"
 	"time"
+
+	"fastbfs/tune"
 )
 
 const (
@@ -64,6 +66,7 @@ const (
 	opUnload    = "unload"
 	opIndex     = "index"
 	opDropIndex = "dropindex"
+	opTune      = "tune"
 )
 
 // IndexSpec is one durable index registration: where the artifact lives
@@ -91,6 +94,13 @@ type GraphSpec struct {
 	// graph (an opIndex journal record folds it in; a fresh opLoad
 	// replaces the spec wholesale and so drops it).
 	Index *IndexSpec `json:"index,omitempty"`
+	// Tune, when non-nil, is the graph's calibrated tuning profile
+	// (tune package). A fresh load journals it inline with the load
+	// record — one fsync covers both — so a restart reuses the profile
+	// without re-calibrating; an opTune record folds a profile into an
+	// already-journaled spec (the recovery-time retune path for records
+	// written before tuning existed).
+	Tune *tune.Profile `json:"tune,omitempty"`
 }
 
 // manifestRecord is one journal entry. Seq is assigned at append time
@@ -346,6 +356,13 @@ func (m *Manifest) apply(rec manifestRecord) {
 			spec.Index = nil
 			m.state[rec.Name] = spec
 		}
+	case opTune:
+		// Like opIndex: a tuning profile only means something attached
+		// to a durably loaded graph; orphan records are skipped.
+		if spec, exists := m.state[rec.Name]; exists && rec.Tune != nil {
+			spec.Tune = rec.Tune
+			m.state[rec.Name] = spec
+		}
 	}
 	// Unknown ops are skipped: a newer writer's record must not stop an
 	// older reader from recovering the rest of the journal.
@@ -404,6 +421,14 @@ func (m *Manifest) AppendUnload(name string) error {
 // file — or at worst one that fails its CRC and triggers a rebuild.
 func (m *Manifest) AppendIndex(name string, idx IndexSpec) error {
 	return m.append(manifestRecord{Op: opIndex, GraphSpec: GraphSpec{Name: name, Path: "-", Index: &idx}})
+}
+
+// AppendTune durably records a calibrated tuning profile for the named
+// graph. Fresh loads journal their profile inside the load record
+// instead (one fsync); AppendTune exists for recovery-time retunes of
+// specs journaled before tuning existed.
+func (m *Manifest) AppendTune(name string, prof *tune.Profile) error {
+	return m.append(manifestRecord{Op: opTune, GraphSpec: GraphSpec{Name: name, Path: "-", Tune: prof}})
 }
 
 // AppendDropIndex durably records that the named graph's index was

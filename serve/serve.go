@@ -67,6 +67,7 @@ import (
 	"fastbfs/internal/faultinject"
 	"fastbfs/internal/msbfs"
 	"fastbfs/internal/par"
+	"fastbfs/tune"
 )
 
 // Service errors, mapped onto HTTP statuses by the handler in http.go.
@@ -185,6 +186,17 @@ type Config struct {
 	// Mapped loads verify the same CRC footer and traverse to byte-
 	// identical results; warm restarts are bounded by page cache.
 	MmapLoads bool
+	// AutoTune calibrates a tuning profile for every graph entering the
+	// serving table (see the tune package): a short model-driven pass
+	// picks the VIS variant, hybrid α/β, prefetch distance, batched
+	// binning and MS-BFS lane width per graph, and the profile is
+	// journaled with the graph in durable mode so restarts reuse it
+	// without re-calibrating. Per-load requests can override with
+	// "tune":false. Off by default.
+	AutoTune bool
+	// Logf, when set, receives daemon-level notices (calibration
+	// outcomes, journaled-profile reuse). nil discards them.
+	Logf func(format string, args ...any)
 	// Injector enables deterministic fault injection at the serving
 	// stack's chaos sites (see chaos.go and internal/faultinject).
 	// nil — the production value — disables every site.
@@ -272,6 +284,20 @@ type graphState struct {
 	resident int64
 	mapped   bool // resident bytes alias a read-only file mapping
 
+	// Tuning state (see tuning.go). profile is the graph's serving
+	// profile (nil = untuned, pure service defaults); opts is the
+	// service options with the profile applied — the pool and the
+	// batched sweeps both run on it, so single-source and multi-source
+	// paths agree on every knob. batchWidth clamps dispatch rounds to
+	// the tuned MS-BFS lane count. qEdges/qNanos accumulate traversed
+	// edges and busy nanos across completed traversals; their quotient
+	// is the measured MTEPS /stats reports next to the prediction.
+	profile    *tune.Profile
+	opts       bfs.Options
+	batchWidth int
+	qEdges     atomic.Int64
+	qNanos     atomic.Int64
+
 	// Distance-oracle tier (see index.go). idx is the serving pointer —
 	// the query fast path reads it lock-free; hit/fallback counters are
 	// atomics for the same reason. The remaining idx* fields are guarded
@@ -353,9 +379,10 @@ func (s *Service) AddGraph(name string, g *graph.Graph) error {
 	if err := g.Validate(); err != nil {
 		return fmt.Errorf("serve: graph %q: %w", name, err)
 	}
+	prof := s.maybeCalibrate(name, g, nil) // before the lock: pure CPU work
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.registerGraphLocked(name, g, false, "", nil)
+	return s.registerGraphLocked(name, g, false, "", nil, prof)
 }
 
 // registerGraphLocked installs g under name, enforcing the resident-
@@ -365,8 +392,10 @@ func (s *Service) AddGraph(name string, g *graph.Graph) error {
 // non-nil spec makes the mutation durable: the journal record is
 // written and fsync'd BEFORE the serving table changes, so a crash at
 // any point either recovers the old table or the new one, never an
-// acknowledged-then-forgotten load.
-func (s *Service) registerGraphLocked(name string, g *graph.Graph, replace bool, path string, spec *GraphSpec) error {
+// acknowledged-then-forgotten load. A non-nil prof is the graph's
+// tuning profile: the engine pool is built with it applied, and the
+// dispatcher clamps batch rounds to its lane width.
+func (s *Service) registerGraphLocked(name string, g *graph.Graph, replace bool, path string, spec *GraphSpec, prof *tune.Profile) error {
 	if s.draining {
 		return ErrDraining
 	}
@@ -400,17 +429,25 @@ func (s *Service) registerGraphLocked(name string, g *graph.Graph, replace bool,
 	if mapped {
 		s.residentMapped += resident
 	}
+	opts := prof.Apply(s.opts) // nil profile is the identity
+	batchWidth := s.cfg.MaxBatch
+	if prof != nil && prof.BatchWidth > 0 && prof.BatchWidth < batchWidth {
+		batchWidth = prof.BatchWidth
+	}
 	s.graphs[name] = &graphState{
-		name:     name,
-		g:        g,
-		path:     path,
-		pool:     NewEnginePool(g, s.opts, s.cfg.PoolSize),
-		cache:    newLRUCache(s.cfg.CacheEntries),
-		breaker:  newBreaker(s.cfg.BreakerThreshold, s.cfg.BreakerCooldown),
-		resident: resident,
-		mapped:   mapped,
-		lastUsed: time.Now(),
-		flights:  make(map[uint32]*flight),
+		name:       name,
+		g:          g,
+		path:       path,
+		pool:       NewEnginePool(g, opts, s.cfg.PoolSize),
+		cache:      newLRUCache(s.cfg.CacheEntries),
+		breaker:    newBreaker(s.cfg.BreakerThreshold, s.cfg.BreakerCooldown),
+		resident:   resident,
+		mapped:     mapped,
+		profile:    prof,
+		opts:       opts,
+		batchWidth: batchWidth,
+		lastUsed:   time.Now(),
+		flights:    make(map[uint32]*flight),
 	}
 	return nil
 }
@@ -749,7 +786,11 @@ func (s *Service) dispatch(gs *graphState) {
 			continue
 		}
 		gs.lingered = false
-		k := min(len(gs.pending), s.cfg.MaxBatch)
+		width := s.cfg.MaxBatch
+		if gs.batchWidth > 0 && gs.batchWidth < width {
+			width = gs.batchWidth // tuned MS-BFS lane cap for this graph
+		}
+		k := min(len(gs.pending), width)
 		round := append([]*flight(nil), gs.pending[:k]...)
 		gs.pending = append(gs.pending[:0:0], gs.pending[k:]...)
 		// Snapshot each flight's deadline while holding the lock (late
@@ -831,9 +872,11 @@ func (s *Service) runBatched(gs *graphState, ctx context.Context, round []*fligh
 		if err := s.chaosSweep(); err != nil {
 			return fmt.Errorf("serve: sweep: %w", err)
 		}
-		if s.opts.Hybrid {
+		// gs.opts — the service options with the graph's tuning profile
+		// applied — so batched sweeps honor the per-graph hybrid choice.
+		if gs.opts.Hybrid {
 			var in *graph.Graph
-			if !s.opts.Symmetric {
+			if !gs.opts.Symmetric {
 				in = bfs.InAdjacency(gs.g)
 			}
 			res, err = msbfs.RunHybridContext(ctx, gs.g, in, sources, s.cfg.Workers)
@@ -854,6 +897,11 @@ func (s *Service) runBatched(gs *graphState, ctx context.Context, round []*fligh
 	}
 	s.stats.sweeps.Add(1)
 	s.stats.batchedQueries.Add(int64(len(round)))
+	// Measured-throughput accounting: LaneEdges is the aggregate-TEPS
+	// numerator (what independent per-source runs would have traversed),
+	// so the quotient stays comparable with the model's prediction.
+	gs.qEdges.Add(res.LaneEdges)
+	gs.qNanos.Add(int64(res.Elapsed))
 	perLane := res.Elapsed / time.Duration(len(round))
 	for k, f := range round {
 		s.resolve(gs, f, newLaneTraversal(res, k, perLane), nil)
@@ -891,6 +939,8 @@ func (s *Service) runSingles(gs *graphState, rctx context.Context, round []*flig
 			var tr *Traversal
 			if err == nil {
 				tr = newEngineTraversal(r)
+				gs.qEdges.Add(r.EdgesTraversed)
+				gs.qNanos.Add(int64(r.Elapsed))
 			}
 			if poisoned(err) {
 				gs.pool.Discard(e)

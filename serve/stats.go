@@ -29,6 +29,8 @@ type stats struct {
 	indexBuildsFailed atomic.Int64
 	indexHits         atomic.Int64
 	indexFallbacks    atomic.Int64
+
+	tuneCalibrations atomic.Int64
 }
 
 // StatsSnapshot is a point-in-time copy of the service counters.
@@ -81,6 +83,12 @@ type StatsSnapshot struct {
 	IndexHits         int64         `json:"index_hits,omitempty"`
 	IndexFallbacks    int64         `json:"index_fallbacks,omitempty"`
 	Indexes           []IndexStatus `json:"indexes,omitempty"`
+	// Auto-tuning: TuneCalibrations counts calibration passes run by
+	// this process (a journaled-profile reuse does NOT count — that is
+	// the point of journaling); Tunings is the per-graph profile plus
+	// predicted-vs-measured MTEPS.
+	TuneCalibrations int64        `json:"tune_calibrations,omitempty"`
+	Tunings          []TuneStatus `json:"tunings,omitempty"`
 	// QueueDepth is the current admitted-but-unresolved count.
 	QueueDepth int  `json:"queue_depth"`
 	Draining   bool `json:"draining"`
@@ -126,6 +134,8 @@ func (s *Service) Stats() StatsSnapshot {
 		IndexHits:           s.stats.indexHits.Load(),
 		IndexFallbacks:      s.stats.indexFallbacks.Load(),
 		Indexes:             s.IndexStatuses(),
+		TuneCalibrations:    s.stats.tuneCalibrations.Load(),
+		Tunings:             s.TuneStatuses(),
 		ResidentBytes:       s.ResidentBytes(),
 		ResidentMappedBytes: mapped,
 		QueueDepth:          s.QueueDepth(),

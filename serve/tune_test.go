@@ -1,0 +1,193 @@
+package serve
+
+// Serving-layer tests of model-driven auto-tuning: profiles enter the
+// serving table at load, ride the durable journal across restarts, pin
+// to defaults on request, and never change query answers.
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"fastbfs/graph"
+	"fastbfs/graph/gen"
+	"fastbfs/tune"
+)
+
+// tuneGraph is large enough to clear the tuner's degeneracy guards
+// (|V| >= 1024, |E| >= 32768) so calibration actually runs.
+func tuneGraph(t testing.TB) *graph.Graph {
+	t.Helper()
+	g, err := gen.RMAT(gen.Graph500Params(12, 16), 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// sameKnobs compares the engine-facing knobs of two profiles,
+// ignoring provenance (Source, CalibrationMS).
+func sameKnobs(a, b *tune.Profile) bool {
+	return a.Hybrid == b.Hybrid && a.Alpha == b.Alpha && a.Beta == b.Beta &&
+		a.VIS == b.VIS && a.PrefetchDist == b.PrefetchDist &&
+		a.BatchBinning == b.BatchBinning && a.BatchWidth == b.BatchWidth
+}
+
+// TestAutoTuneQueryParity: with auto-tuning on, queries still match the
+// serial reference (tuning may change speed, never answers), and the
+// profile is visible through /stats and /readyz surfaces.
+func TestAutoTuneQueryParity(t *testing.T) {
+	g := tuneGraph(t)
+	s := newTestService(t, g, Config{AutoTune: true})
+
+	prof := s.TuneProfile("g")
+	if prof == nil || prof.Source != tune.SourceCalibrated {
+		t.Fatalf("profile = %+v, want calibrated", prof)
+	}
+	want := serialDepths(t, g, 3)
+	resp, err := s.Query(context.Background(), Request{Graph: "g", Source: 3, AllDepths: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range want {
+		if resp.Depths[v] != want[v] {
+			t.Fatalf("tuned depth(%d) = %d, want %d", v, resp.Depths[v], want[v])
+		}
+	}
+
+	st := s.Stats()
+	if st.TuneCalibrations != 1 {
+		t.Errorf("tune_calibrations = %d, want 1", st.TuneCalibrations)
+	}
+	if len(st.Tunings) != 1 || st.Tunings[0].Graph != "g" {
+		t.Fatalf("stats tunings = %+v, want one entry for g", st.Tunings)
+	}
+	if st.Tunings[0].MeasuredMTEPS <= 0 {
+		t.Errorf("measured MTEPS not accumulating after a query: %+v", st.Tunings[0])
+	}
+	rs := s.Ready()
+	if len(rs.Graphs) != 1 || rs.Graphs[0].Tune != tune.SourceCalibrated {
+		t.Errorf("readyz tune provenance = %+v, want calibrated", rs.Graphs)
+	}
+	if rs.Graphs[0].TuneMeasuredMTEPS <= 0 {
+		t.Errorf("readyz measured MTEPS = %v, want > 0", rs.Graphs[0].TuneMeasuredMTEPS)
+	}
+}
+
+// TestAutoTuneOffNoProfile: the default configuration is unchanged by
+// this feature — no profile, no stats entries, no readyz fields.
+func TestAutoTuneOffNoProfile(t *testing.T) {
+	s := newTestService(t, tuneGraph(t), Config{})
+	if prof := s.TuneProfile("g"); prof != nil {
+		t.Fatalf("profile = %+v, want nil with AutoTune off", prof)
+	}
+	st := s.Stats()
+	if st.TuneCalibrations != 0 || len(st.Tunings) != 0 {
+		t.Errorf("untuned service leaked tuning stats: %+v", st)
+	}
+	if rs := s.Ready(); rs.Graphs[0].Tune != "" {
+		t.Errorf("untuned readyz reports provenance %q", rs.Graphs[0].Tune)
+	}
+}
+
+// TestTuneProfileDurableReuse is the kill-and-restart guarantee: the
+// journaled profile is reused verbatim (Source flipped to "journal")
+// and the restarted service runs zero calibrations.
+func TestTuneProfileDurableReuse(t *testing.T) {
+	stateDir := t.TempDir()
+	path := saveGraph(t, tuneGraph(t), "g.csr")
+
+	s1 := New(Config{StateDir: stateDir, AutoTune: true})
+	if _, err := s1.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s1.LoadGraph("g", path); err != nil {
+		t.Fatal(err)
+	}
+	prof1 := s1.TuneProfile("g")
+	if prof1 == nil || prof1.Source != tune.SourceCalibrated {
+		t.Fatalf("first boot profile = %+v, want calibrated", prof1)
+	}
+	seq := s1.Stats().JournalSeq
+	shutdown(t, s1)
+
+	s2 := New(Config{StateDir: stateDir, AutoTune: true})
+	defer shutdown(t, s2)
+	sum, err := s2.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sum.Tuned) != 1 || sum.Tuned[0] != "g" || len(sum.Recalibrated) != 0 {
+		t.Fatalf("recovery summary tuned=%v recalibrated=%v, want journal reuse of g",
+			sum.Tuned, sum.Recalibrated)
+	}
+	if got := s2.Stats().TuneCalibrations; got != 0 {
+		t.Errorf("restart ran %d calibrations, want 0 (journal reuse)", got)
+	}
+	if got := s2.Stats().JournalSeq; got != seq {
+		t.Errorf("restart moved the journal: seq %d -> %d", seq, got)
+	}
+	prof2 := s2.TuneProfile("g")
+	if prof2 == nil || prof2.Source != tune.SourceJournal {
+		t.Fatalf("restart profile = %+v, want journal provenance", prof2)
+	}
+	if !sameKnobs(prof1, prof2) {
+		t.Errorf("journal round trip changed knobs:\n s1=%+v\n s2=%+v", prof1, prof2)
+	}
+	if prof2.PredictedMTEPS != prof1.PredictedMTEPS {
+		t.Errorf("predicted MTEPS drifted across restart: %v -> %v",
+			prof1.PredictedMTEPS, prof2.PredictedMTEPS)
+	}
+}
+
+// TestLoadTuneOverride: the per-load Tune field wins over Config in
+// both directions — false pins defaults under AutoTune, true forces a
+// calibration on an untuned service.
+func TestLoadTuneOverride(t *testing.T) {
+	path := saveGraph(t, tuneGraph(t), "g.csr")
+	no, yes := false, true
+
+	s1 := New(Config{AutoTune: true})
+	defer func() { _ = s1.Shutdown(context.Background()) }()
+	if _, err := s1.LoadGraphOptions("pinned", path, LoadOptions{Tune: &no}); err != nil {
+		t.Fatal(err)
+	}
+	if prof := s1.TuneProfile("pinned"); prof != nil {
+		t.Fatalf(`"tune":false still produced a profile: %+v`, prof)
+	}
+
+	s2 := New(Config{})
+	defer func() { _ = s2.Shutdown(context.Background()) }()
+	if _, err := s2.LoadGraphOptions("forced", path, LoadOptions{Tune: &yes}); err != nil {
+		t.Fatal(err)
+	}
+	if prof := s2.TuneProfile("forced"); prof == nil || prof.Source != tune.SourceCalibrated {
+		t.Fatalf(`"tune":true did not calibrate: %+v`, prof)
+	}
+}
+
+// TestHTTPLoadTuneField: the JSON load body accepts "tune" (the handler
+// rejects unknown fields, so this pins the wire contract) and the
+// override reaches the serving table.
+func TestHTTPLoadTuneField(t *testing.T) {
+	path := saveGraph(t, tuneGraph(t), "g.csr")
+	s := New(Config{AutoTune: true})
+	defer func() { _ = s.Shutdown(context.Background()) }()
+	srv := httptest.NewServer(NewHandler(s))
+	defer srv.Close()
+
+	resp, err := http.Post(srv.URL+"/graphs/load", "application/json",
+		strings.NewReader(`{"name":"g","path":"`+path+`","tune":false}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf(`load with "tune":false = %d`, resp.StatusCode)
+	}
+	if prof := s.TuneProfile("g"); prof != nil {
+		t.Fatalf("HTTP tune:false ignored, profile = %+v", prof)
+	}
+}

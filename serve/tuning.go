@@ -1,0 +1,118 @@
+// Model-driven auto-tuning at graph load (see the tune package). The
+// service calibrates once per loaded graph — off to the side, before
+// the serving-table swap — and the resulting profile becomes serving
+// state: the graph's engine pool is built with the tuned options, the
+// batching scheduler clamps its round width to the tuned lane count,
+// and the durable manifest journals the profile inside the graph's
+// record so a kill -9 restart reuses it without re-calibrating.
+package serve
+
+import (
+	"sync/atomic"
+
+	"fastbfs/graph"
+	"fastbfs/tune"
+)
+
+// logf routes daemon-visible notices (calibration results, journal
+// reuse) to Config.Logf; nil drops them.
+func (s *Service) logf(format string, args ...any) {
+	if s.cfg.Logf != nil {
+		s.cfg.Logf(format, args...)
+	}
+}
+
+// calibrateOptions derives the tuner's view of the engine configuration
+// this service builds pools with.
+func (s *Service) calibrateOptions() tune.Options {
+	return tune.Options{
+		Sockets:    max(s.opts.Sockets, 1),
+		CacheBytes: s.opts.CacheBytes,
+		L2Bytes:    s.opts.L2Bytes,
+		MaxBatch:   s.cfg.MaxBatch,
+	}
+}
+
+// calibrateProfile runs the calibration pass for one graph. It never
+// fails a load: any panic out of the tuner (a bug, not an expected
+// path) is contained here and demoted to the default profile — serving
+// a graph on defaults always beats not serving it.
+func (s *Service) calibrateProfile(name string, g *graph.Graph) (prof *tune.Profile) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			prof = tune.Defaults()
+			s.logf("serve: graph %q: calibration panicked (%v); serving on defaults", name, rec)
+		}
+	}()
+	prof = tune.Calibrate(g, s.calibrateOptions())
+	s.stats.tuneCalibrations.Add(1)
+	s.logf("serve: graph %q: calibrated tuning profile: %s (%.1fms)", name, prof.Summary(), prof.CalibrationMS)
+	return prof
+}
+
+// maybeCalibrate decides the profile for a graph entering the serving
+// table. reqTune is the per-load override ("tune":false pins defaults);
+// nil defers to Config.AutoTune. A nil return means "no tuning state at
+// all" (pure defaults, nothing journaled beyond the spec).
+func (s *Service) maybeCalibrate(name string, g *graph.Graph, reqTune *bool) *tune.Profile {
+	enabled := s.cfg.AutoTune
+	if reqTune != nil {
+		enabled = *reqTune
+	}
+	if !enabled {
+		return nil
+	}
+	return s.calibrateProfile(name, g)
+}
+
+// TuneStatus is one graph's tuning state as /stats reports it.
+type TuneStatus struct {
+	Graph string `json:"graph"`
+	// Profile is the serving profile (Source says whether it came from a
+	// fresh calibration, the journal, or is the pinned default).
+	Profile *tune.Profile `json:"profile"`
+	// MeasuredMTEPS is the graph's observed serving throughput —
+	// traversed edges over busy traversal time across batched sweeps and
+	// single-source runs — comparable against Profile.PredictedMTEPS.
+	// 0 until the graph has served at least one traversal.
+	MeasuredMTEPS float64 `json:"measured_mteps,omitempty"`
+}
+
+// measuredMTEPS reads a graph's serving-throughput accumulators.
+func measuredMTEPS(edges, nanos *atomic.Int64) float64 {
+	e, n := edges.Load(), nanos.Load()
+	if e <= 0 || n <= 0 {
+		return 0
+	}
+	return float64(e) * 1e3 / float64(n) // edges/ns × 1e3 = M edges/s
+}
+
+// TuneStatuses reports the tuning state of every resident graph, sorted
+// is left to the caller (Stats sorts by graph name for stable output).
+func (s *Service) TuneStatuses() []TuneStatus {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]TuneStatus, 0, len(s.graphs))
+	for _, gs := range s.graphs {
+		if gs.profile == nil {
+			continue
+		}
+		out = append(out, TuneStatus{
+			Graph:         gs.name,
+			Profile:       gs.profile,
+			MeasuredMTEPS: measuredMTEPS(&gs.qEdges, &gs.qNanos),
+		})
+	}
+	return out
+}
+
+// TuneProfile returns the serving profile for one graph (nil when the
+// graph is untuned or unknown). Tests and ops tooling.
+func (s *Service) TuneProfile(name string) *tune.Profile {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if gs := s.graphs[name]; gs != nil {
+		return gs.profile
+	}
+	return nil
+}

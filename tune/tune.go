@@ -1,0 +1,428 @@
+package tune
+
+import (
+	"time"
+
+	"fastbfs/graph"
+	"fastbfs/internal/bitmap"
+	"fastbfs/model"
+)
+
+// Calibration thresholds. Below them Calibrate returns pure defaults:
+// on tiny or degenerate graphs (empty, single-vertex, a small star, a
+// disconnected forest of twigs) every configuration finishes in
+// microseconds, timing noise dwarfs any model signal, and the safest
+// profile is exactly the paper's fixed best configuration.
+const (
+	// MinVertices and MinEdges gate calibration.
+	MinVertices = 1024
+	MinEdges    = 32 << 10
+
+	// ExhaustiveProbeEdges is the graph size up to which the probe runs
+	// the BFS to completion (an exact per-level profile costs under ~20ms
+	// serial); larger graphs get ProbeLevels levels plus extrapolation.
+	ExhaustiveProbeEdges = 4 << 20
+
+	// HybridMargin is the predicted-MTEPS factor by which the hybrid
+	// blend must beat the top-down prediction before the tuner enables
+	// direction-optimizing traversal (which also costs a transpose on
+	// directed graphs).
+	HybridMargin = 1.1
+
+	// DefaultLaneMemBudget bounds the transient memory of one MS-BFS
+	// sweep (8 bytes per vertex per lane); BatchWidth is clamped so a
+	// full-width sweep stays under it.
+	DefaultLaneMemBudget = 1 << 30
+
+	// DefaultMmapMinBytes is the graph payload beyond which read-only
+	// file mapping is recommended over heap decode.
+	DefaultMmapMinBytes = 256 << 20
+
+	// maxProfileLevels bounds the extrapolated per-level profile.
+	maxProfileLevels = 128
+)
+
+// Options parameterizes Calibrate. The zero value calibrates for the
+// engine's own defaults: one simulated socket, the paper's 8 MiB LLC.
+type Options struct {
+	// Sockets is the engine's simulated socket count (default 1).
+	Sockets int
+	// CacheBytes is the LLC budget driving VIS partitioning and the
+	// model's residency terms; 0 means the engine default (8 MiB).
+	CacheBytes int64
+	// L2Bytes is the per-core L2; 0 means the engine default (256 KiB).
+	L2Bytes int64
+	// ProbeSources is how many sampled sources to probe (default 3).
+	ProbeSources int
+	// ProbeLevels bounds each probe BFS on large graphs (default 3).
+	ProbeLevels int
+	// MaxBatch caps BatchWidth (default 64, the MS-BFS lane count).
+	MaxBatch int
+	// LaneMemBudget and MmapMinBytes override the package defaults.
+	LaneMemBudget int64
+	MmapMinBytes  int64
+}
+
+func (o Options) withDefaults() Options {
+	if o.Sockets <= 0 {
+		o.Sockets = 1
+	}
+	if o.CacheBytes <= 0 {
+		o.CacheBytes = 8 << 20
+	}
+	if o.L2Bytes <= 0 {
+		o.L2Bytes = 256 << 10
+	}
+	if o.ProbeSources <= 0 {
+		o.ProbeSources = 3
+	}
+	if o.ProbeLevels <= 0 {
+		o.ProbeLevels = 3
+	}
+	if o.MaxBatch <= 0 || o.MaxBatch > 64 {
+		o.MaxBatch = 64
+	}
+	if o.LaneMemBudget <= 0 {
+		o.LaneMemBudget = DefaultLaneMemBudget
+	}
+	if o.MmapMinBytes <= 0 {
+		o.MmapMinBytes = DefaultMmapMinBytes
+	}
+	return o
+}
+
+// platform returns the model platform the decisions are priced on: the
+// paper's calibrated Nehalem with the engine's actual cache geometry
+// substituted, so the model's residency crossovers (VIS partitions,
+// depth-array overflow, adjacency fit) land where the engine's will.
+// The paper platform is used deliberately instead of host measurement:
+// every choice below is a RATIO of two predictions on the same machine
+// constants, which makes calibration deterministic and host-independent.
+func (o Options) platform() model.Platform {
+	p := model.NehalemX5570()
+	p.Sockets = o.Sockets
+	p.LLCBytes = o.CacheBytes
+	p.L2Bytes = o.L2Bytes
+	return p
+}
+
+// Calibrate runs the calibration pass and returns the tuned profile.
+// It never returns nil and never panics on degenerate input: graphs too
+// small for the model's signal to beat timing noise get the engine
+// defaults verbatim (Source == SourceDefault). The pass costs one
+// degree scan plus a few bounded serial BFS probes — microseconds to
+// low milliseconds, paid once per graph load.
+func Calibrate(g *graph.Graph, opt Options) *Profile {
+	opt = opt.withDefaults()
+	start := time.Now()
+	prof := Defaults()
+	if g == nil {
+		return prof
+	}
+	st := graph.ComputeStats(g)
+	prof.Vertices = st.Vertices
+	prof.Edges = st.Edges
+	prof.MeanDegree = st.MeanDegree
+	if st.MeanDegree > 0 {
+		prof.DegreeCV = st.DegreeStdDev / st.MeanDegree
+	}
+	payload := 8*int64(st.Vertices+1) + 4*st.Edges
+	prof.MmapRecommended = payload >= opt.MmapMinBytes
+	prof.BatchWidth = laneWidth(st.Vertices, opt)
+	if st.Vertices < MinVertices || st.Edges < MinEdges {
+		prof.CalibrationMS = float64(time.Since(start)) / 1e6
+		return prof
+	}
+
+	// Micro-probe: per-level frontier/edge profile from sampled sources.
+	probe := bestProbe(g, st, opt)
+	if probe.Visited <= 1 || probe.EdgesSeen == 0 {
+		// Every sampled source dead-ends immediately (e.g. a forest of
+		// isolated twigs): nothing to model, serve on defaults.
+		prof.CalibrationMS = float64(time.Since(start)) / 1e6
+		return prof
+	}
+	frontier, edges := extendProfile(probe, st)
+	prof.ProbeDepth = len(probe.Frontier)
+	prof.ProbeComplete = probe.Complete
+
+	// Model workload with the engine's own cache geometry (the nVIS and
+	// nPBV the engine would derive from these options).
+	nVIS := bitmap.Partitions(st.Vertices, opt.CacheBytes)
+	w := model.Workload{
+		Vertices: int64(st.Vertices),
+		Visited:  sum(frontier),
+		Edges:    sum(edges),
+		Depth:    len(frontier),
+		NVIS:     nVIS,
+		NPBV:     opt.Sockets << uint(bitmap.Log2(bitmap.NextPow2(nVIS))),
+	}
+	p := opt.platform()
+
+	// Knob 1 — VIS representation: argmin predicted cycles/edge across
+	// the atomic-free Figure 4 family.
+	defPred, derr := model.PredictVIS(p, w, opt.Sockets, model.VariantPartitioned)
+	variant, bestPred, err := model.SelectVIS(p, w, opt.Sockets)
+	if err != nil || derr != nil {
+		prof.CalibrationMS = float64(time.Since(start)) / 1e6
+		return prof
+	}
+	prof.VIS = visName(variant)
+	prof.DefaultPredictedMTEPS = defPred.MTEPS
+	prof.PredictedMTEPS = bestPred.MTEPS
+
+	// Knob 2 — hybrid and α/β: replay the direction rule over the
+	// profile for a small candidate grid and price each split with
+	// PredictHybrid; enable only on a clear predicted win over the
+	// chosen top-down configuration.
+	if a, b, hMTEPS, ok := pickHybrid(p, w, frontier, edges, int64(st.Vertices), st.Edges, opt.Sockets); ok &&
+		hMTEPS > HybridMargin*bestPred.MTEPS {
+		prof.Hybrid = true
+		prof.Alpha, prof.Beta = a, b
+		prof.PredictedMTEPS = hMTEPS
+	}
+
+	// Knob 3 — prefetch distance: software prefetch exists to hide DRAM
+	// latency on adjacency reads (§III-B); when the whole adjacency fits
+	// the model's LLC residency budget (N_S·|C|/2) there is no DRAM
+	// latency to hide and the prefetch instructions are pure overhead.
+	adjBytes := float64(8*int64(st.Vertices+1) + 4*st.Edges)
+	if adjBytes <= float64(opt.Sockets)*float64(opt.CacheBytes)/2 {
+		prof.PrefetchDist = 0
+	}
+
+	// Knob 4 — batched binning amortizes per-entry bin computation over
+	// blocks; levels averaging fewer than a cache line of frontier
+	// entries never fill a block and pay setup for nothing.
+	if w.Depth > 0 && w.Visited/int64(w.Depth) < 64 {
+		prof.BatchBinning = false
+	}
+
+	prof.Source = SourceCalibrated
+	prof.CalibrationMS = float64(time.Since(start)) / 1e6
+	return prof
+}
+
+// bestProbe probes up to opt.ProbeSources sampled above-average-degree
+// sources and returns the probe that visited the most vertices — the
+// one most representative of queries into the giant component. Small
+// graphs are probed to completion (exact profile); large ones for
+// ProbeLevels levels.
+func bestProbe(g *graph.Graph, st graph.Stats, opt Options) graph.Probe {
+	levels := opt.ProbeLevels
+	if st.Edges <= ExhaustiveProbeEdges {
+		levels = 0 // run to completion: exact per-level profile
+	}
+	var best graph.Probe
+	for _, src := range probeSources(g, st, opt.ProbeSources) {
+		p := graph.ProbeBFS(g, src, levels)
+		if p.Visited > best.Visited {
+			best = p
+		}
+	}
+	return best
+}
+
+// probeSources samples up to k deterministic sources with at least
+// average degree, falling back to any non-isolated vertex.
+func probeSources(g *graph.Graph, st graph.Stats, k int) []uint32 {
+	n := st.Vertices
+	if n == 0 {
+		return nil
+	}
+	srcs := make([]uint32, 0, k)
+	step := n/(k*8) + 1
+	for v := 0; v < n && len(srcs) < k; v += step {
+		if float64(g.Degree(uint32(v))) >= st.MeanDegree {
+			srcs = append(srcs, uint32(v))
+		}
+	}
+	for v := 0; v < n && len(srcs) < k; v++ {
+		if g.Degree(uint32(v)) > 0 {
+			srcs = append(srcs, uint32(v))
+		}
+	}
+	return srcs
+}
+
+// extendProfile turns a (possibly level-bounded) probe into a full-depth
+// per-level profile for the model replay. A complete probe is used
+// verbatim. A bounded one is extrapolated: the frontier keeps growing at
+// the last observed branching factor until the estimated reachable set
+// (the non-isolated vertices) is covered, with the remaining edges
+// spread proportionally — the geometric-growth-then-absorption shape of
+// low-diameter graphs, which is exactly the class big enough to need a
+// bounded probe.
+func extendProfile(p graph.Probe, st graph.Stats) (frontier, edges []int64) {
+	frontier = append([]int64(nil), p.Frontier...)
+	edges = append([]int64(nil), p.Edges...)
+	if p.Complete || len(frontier) == 0 {
+		return frontier, edges
+	}
+	reach := int64(st.Vertices - st.Isolated)
+	remV := reach - p.Visited
+	remE := st.Edges - p.EdgesSeen
+	if remV <= 0 || remE <= 0 {
+		return frontier, edges
+	}
+	growth := 2.0
+	if n := len(frontier); n >= 2 && frontier[n-2] > 0 {
+		if r := float64(frontier[n-1]) / float64(frontier[n-2]); r > growth {
+			growth = r
+		}
+	}
+	rho := float64(remE) / float64(remV)
+	if rho < 1 {
+		rho = 1
+	}
+	f := frontier[len(frontier)-1]
+	for remV > 0 && len(frontier) < maxProfileLevels {
+		next := int64(float64(f) * growth)
+		if next < 1 {
+			next = 1
+		}
+		if next > remV {
+			next = remV
+		}
+		e := int64(float64(next) * rho)
+		if e > remE {
+			e = remE
+		}
+		if e < next {
+			e = next
+		}
+		frontier = append(frontier, next)
+		edges = append(edges, e)
+		remV -= next
+		remE -= e
+		f = next
+	}
+	if remE > 0 && len(edges) > 0 {
+		edges[len(edges)-1] += remE
+	}
+	return frontier, edges
+}
+
+// hybridCandidates is the α/β grid the tuner prices. 0 selects the
+// engine default (α=15, β=18); the others bracket it: α=8 switches
+// later (top-down runs longer), α=30 earlier, β=24 returns to top-down
+// later on the tail.
+var hybridCandidates = [][2]float64{{0, 0}, {8, 0}, {30, 0}, {0, 24}}
+
+// pickHybrid replays the α/β direction rule over the per-level profile
+// for each candidate, splits the profile into the implied top-down and
+// bottom-up workloads, and returns the candidate with the best
+// predicted throughput. ok is false when no candidate produces a
+// priceable hybrid split (the rule never switches).
+//
+// The returned MTEPS uses COMPARABLE accounting: PredictHybrid's MTEPS
+// is per edge the hybrid EXAMINES, but the hybrid's whole win is
+// examining fewer edges, so comparing that number against the top-down
+// prediction would hide the speedup entirely. Each candidate's total
+// predicted cycles (blended cycles/edge × its own examined edges) is
+// re-divided by the FULL top-down edge count — the same numerator the
+// top-down prediction uses — making the two directly comparable.
+func pickHybrid(p model.Platform, w model.Workload, frontier, edges []int64, vertices, totalEdges int64, sockets int) (alpha, beta, mteps float64, ok bool) {
+	for _, cand := range hybridCandidates {
+		dirs := model.PredictDirections(vertices, totalEdges, frontier, edges, cand[0], cand[1])
+		td, bu := splitProfile(w, frontier, edges, dirs)
+		if bu.Levels == 0 || bu.Claimed == 0 || bu.Edges == 0 || bu.Scanned == 0 {
+			continue
+		}
+		hp, err := model.PredictHybrid(p, td, bu, sockets)
+		if err != nil || hp.CyclesPerEdge <= 0 {
+			continue
+		}
+		cycles := hp.CyclesPerEdge * float64(td.Edges+bu.Edges)
+		comparable := p.FreqGHz * 1e9 * float64(w.Edges) / cycles / 1e6
+		if !ok || comparable > mteps {
+			alpha, beta, mteps, ok = cand[0], cand[1], comparable, true
+		}
+	}
+	return alpha, beta, mteps, ok
+}
+
+// splitProfile separates the per-level profile into the model's two
+// workloads under a direction assignment. Bottom-up edge counts are
+// re-estimated with the early-exit bound — each scanned vertex tests a
+// couple of in-neighbors before finding a frontier parent (that bound,
+// not the full in-degree, is the hybrid win) — and capped by the
+// top-down volume of the same level.
+func splitProfile(base model.Workload, frontier, edges []int64, dirs []bool) (model.Workload, model.BUWorkload) {
+	td := base
+	td.Visited, td.Edges, td.Depth = 1, 0, 0
+	bu := model.BUWorkload{Vertices: base.Vertices}
+	visited := int64(0)
+	for l := range frontier {
+		if l < len(dirs) && dirs[l] {
+			var claimed int64
+			if l+1 < len(frontier) {
+				claimed = frontier[l+1]
+			}
+			scanned := base.Vertices - visited - frontier[l]
+			if scanned < 1 {
+				scanned = 1
+			}
+			est := scanned + 2*claimed
+			if est > edges[l] && edges[l] > 0 {
+				est = edges[l]
+			}
+			bu.Levels++
+			bu.Claimed += claimed
+			bu.Scanned += scanned
+			bu.Edges += est
+		} else {
+			td.Depth++
+			td.Edges += edges[l]
+			td.Visited += frontier[l]
+		}
+		visited += frontier[l]
+	}
+	if td.Depth == 0 {
+		td.Depth = 1
+	}
+	if td.Edges == 0 {
+		td.Edges = 1
+	}
+	return td, bu
+}
+
+// laneWidth clamps the MS-BFS batch width so one sweep's per-lane
+// depth/parent arrays (8 bytes per vertex per lane) stay under the lane
+// memory budget.
+func laneWidth(vertices int, opt Options) int {
+	if vertices <= 0 {
+		return opt.MaxBatch
+	}
+	w := int(opt.LaneMemBudget / (8 * int64(vertices)))
+	if w > opt.MaxBatch {
+		w = opt.MaxBatch
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// visName maps a model Figure 4 variant to the profile's VIS name.
+func visName(v model.VISVariant) string {
+	switch v {
+	case model.VariantNone:
+		return VISNameNone
+	case model.VariantAtomicBit:
+		return VISNameAtomicBit
+	case model.VariantByte:
+		return VISNameByte
+	case model.VariantBit:
+		return VISNameBit
+	}
+	return VISNamePartitioned
+}
+
+func sum(xs []int64) int64 {
+	var t int64
+	for _, x := range xs {
+		t += x
+	}
+	return t
+}
