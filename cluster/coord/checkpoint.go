@@ -19,13 +19,21 @@ type Checkpoint struct {
 	Epoch  uint64
 	Round  uint32 // next round the shard expects
 	Source uint32
+	// Fence is the highest fencing token the shard has admitted; it
+	// rides the round checkpoint so a restarted replica keeps rejecting
+	// a deposed coordinator's stale rounds (best effort: the token is
+	// only as durable as the last checkpointed round).
+	Fence  uint64
 	Lo, Hi uint32
 	Depth  []int32
 	Resp   []byte // encoded ExpandResponse of round Round-1; may be empty
 }
 
 const (
-	checkpointMagic = "FBFSCKP1"
+	checkpointMagic = "FBFSCKP2"
+	// checkpointMagicV1 is the pre-fencing format, still loadable
+	// (fence defaults to 0) so an upgraded shard keeps its round state.
+	checkpointMagicV1 = "FBFSCKP1"
 	// maxCheckpointResp bounds the cached-response field on load; a
 	// larger value is a corrupt length, not a real response.
 	maxCheckpointResp = 1 << 30
@@ -46,11 +54,12 @@ func SaveCheckpoint(dir string, c *Checkpoint) error {
 	if uint32(len(c.Depth)) != c.Hi-c.Lo {
 		return fmt.Errorf("coord: checkpoint depth length %d does not cover [%d,%d)", len(c.Depth), c.Lo, c.Hi)
 	}
-	buf := make([]byte, 0, len(checkpointMagic)+8+4*4+4*len(c.Depth)+4+len(c.Resp)+4)
+	buf := make([]byte, 0, len(checkpointMagic)+8+8+4*4+4*len(c.Depth)+4+len(c.Resp)+4)
 	buf = append(buf, checkpointMagic...)
 	buf = binary.LittleEndian.AppendUint64(buf, c.Epoch)
 	buf = binary.LittleEndian.AppendUint32(buf, c.Round)
 	buf = binary.LittleEndian.AppendUint32(buf, c.Source)
+	buf = binary.LittleEndian.AppendUint64(buf, c.Fence)
 	buf = binary.LittleEndian.AppendUint32(buf, c.Lo)
 	buf = binary.LittleEndian.AppendUint32(buf, c.Hi)
 	for _, d := range c.Depth {
@@ -82,12 +91,21 @@ func LoadCheckpoint(dir string) (*Checkpoint, error) {
 		}
 		return nil, err
 	}
-	const fixed = len(checkpointMagic) + 8 + 4*4
-	if len(b) < fixed+4+4 {
+	if len(b) < len(checkpointMagic) {
 		return nil, fmt.Errorf("%w: truncated at %d bytes", ErrCheckpoint, len(b))
 	}
-	if string(b[:len(checkpointMagic)]) != checkpointMagic {
+	// fixed is the byte length of magic + scalar header for the format
+	// at hand; v1 files lack the 8-byte fence field.
+	fixed := len(checkpointMagic) + 8 + 8 + 4*4
+	switch string(b[:len(checkpointMagic)]) {
+	case checkpointMagic:
+	case checkpointMagicV1:
+		fixed -= 8
+	default:
 		return nil, fmt.Errorf("%w: bad magic", ErrCheckpoint)
+	}
+	if len(b) < fixed+4+4 {
+		return nil, fmt.Errorf("%w: truncated at %d bytes", ErrCheckpoint, len(b))
 	}
 	body, tail := b[:len(b)-4], b[len(b)-4:]
 	if crc32.ChecksumIEEE(body) != binary.LittleEndian.Uint32(tail) {
@@ -97,9 +115,14 @@ func LoadCheckpoint(dir string) (*Checkpoint, error) {
 		Epoch:  binary.LittleEndian.Uint64(b[8:]),
 		Round:  binary.LittleEndian.Uint32(b[16:]),
 		Source: binary.LittleEndian.Uint32(b[20:]),
-		Lo:     binary.LittleEndian.Uint32(b[24:]),
-		Hi:     binary.LittleEndian.Uint32(b[28:]),
 	}
+	off := 24
+	if string(b[:len(checkpointMagic)]) == checkpointMagic {
+		c.Fence = binary.LittleEndian.Uint64(b[off:])
+		off += 8
+	}
+	c.Lo = binary.LittleEndian.Uint32(b[off:])
+	c.Hi = binary.LittleEndian.Uint32(b[off+4:])
 	if c.Hi < c.Lo {
 		return nil, fmt.Errorf("%w: range [%d,%d) invalid", ErrCheckpoint, c.Lo, c.Hi)
 	}
@@ -111,7 +134,7 @@ func LoadCheckpoint(dir string) (*Checkpoint, error) {
 	for i := range c.Depth {
 		c.Depth[i] = int32(binary.LittleEndian.Uint32(b[fixed+4*i:]))
 	}
-	off := fixed + 4*ndepth
+	off = fixed + 4*ndepth
 	rlen := binary.LittleEndian.Uint32(b[off:])
 	off += 4
 	if rlen > maxCheckpointResp || off+int(rlen)+4 != len(b) {

@@ -8,6 +8,7 @@ import (
 	"io"
 	"log"
 	"net/http"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -19,8 +20,27 @@ import (
 // Config parameterizes a Coordinator. The zero value of every field is
 // replaced with a usable default, so Coordinator{Shards: urls} works.
 type Config struct {
-	// Shards lists the shard base URLs in shard-id order.
+	// Shards lists the shard base URLs in group-major order: with R
+	// replicas per group, Shards[g*R+r] is replica r of group g. Every
+	// replica of a group serves the same vertex partition with the same
+	// round protocol, so the coordinator can use any of them
+	// interchangeably within a round.
 	Shards []string
+	// Replicas is the replica-group width R (default 1: every group is
+	// a single shard, the pre-replication topology). len(Shards) must
+	// be a multiple of Replicas.
+	Replicas int
+	// Fence is the coordinator's fencing token, carried in every shard
+	// request. Shards remember the highest token they have admitted and
+	// reject lower ones with ErrFenced, so a deposed coordinator whose
+	// lease was taken over cannot corrupt its successor's rounds. 0 is
+	// the legacy unfenced protocol.
+	Fence uint64
+	// Journal, when non-nil, durably records the in-flight epoch's
+	// per-round candidate frontiers before each round is sent and a
+	// completion marker when the traversal finishes, so a standby
+	// coordinator can Resume the query without an epoch restart.
+	Journal *Journal
 	// RPCTimeout bounds each individual request attempt (default 5s).
 	RPCTimeout time.Duration
 	// MaxAttempts is the guaranteed per-round attempt budget per shard
@@ -31,8 +51,9 @@ type Config struct {
 	Backoff cluster.Backoff
 	// RecoveryBudget is how long past its last sign of life (heartbeat
 	// or round start, whichever is later) a failing shard may stay
-	// unreachable before it is declared dead and the run degrades
-	// (default 15s).
+	// unreachable before it is declared dead and the round fails over
+	// to the group's surviving replicas — or, when none remain, the run
+	// degrades (default 15s).
 	RecoveryBudget time.Duration
 	// HeartbeatInterval paces the health prober (default 500ms).
 	HeartbeatInterval time.Duration
@@ -47,6 +68,9 @@ type Config struct {
 }
 
 func (c Config) withDefaults() Config {
+	if c.Replicas <= 0 {
+		c.Replicas = 1
+	}
 	if c.RPCTimeout <= 0 {
 		c.RPCTimeout = 5 * time.Second
 	}
@@ -71,13 +95,14 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// Result is a distributed traversal's outcome. When every shard
-// survived (or recovered within budget), Depth is exactly the serial
-// BFS depth array. When a shard stayed dead past the recovery budget,
-// Incomplete is set and Depth covers only the reachable subset the
-// surviving shards computed — dead shards' ranges read -1, and vertices
-// whose only paths ran through dead shards may read -1 or an
-// overestimate of their true depth.
+// Result is a distributed traversal's outcome. When every replica group
+// kept at least one live member (failures failed over within the
+// group), Depth is exactly the serial BFS depth array. When an entire
+// group stayed dead past the recovery budget, Incomplete is set and
+// Depth covers only the reachable subset the surviving groups computed
+// — dead groups' ranges read -1, and vertices whose only paths ran
+// through dead groups may read -1 or an overestimate of their true
+// depth.
 type Result struct {
 	Source uint32
 	Depth  []int32
@@ -87,34 +112,46 @@ type Result struct {
 	Visited int64
 	// ClaimedPerRound[r] is the cluster-wide number of vertices first
 	// reached at depth r — the BFS level sizes, for round-for-round
-	// validation against a serial run.
+	// validation against a serial run. (A resumed traversal only
+	// observes the rounds from its resume point on.)
 	ClaimedPerRound []int64
 	// Epoch identifies the (final) epoch that produced Depth.
 	Epoch uint64
-	// Incomplete marks a degraded result (some shard stayed dead).
+	// Incomplete marks a degraded result (a whole group stayed dead).
 	Incomplete bool
-	// DeadShards lists the shard ids declared dead, in id order.
+	// DeadShards lists the replica-group ids declared fully dead, in id
+	// order. (With Replicas == 1 a group is a single shard, matching
+	// the field's historical meaning.)
 	DeadShards []int
 	// Retries counts failed request attempts that were retried.
 	Retries int
 	// EpochRestarts counts full-traversal restarts.
 	EpochRestarts int
+	// Failovers counts replicas declared dead for the epoch while their
+	// group stayed usable — each one is a failure the replication layer
+	// absorbed without degrading the result.
+	Failovers int
 }
 
 // Coordinator drives level-synchronous distributed BFS over HTTP shard
-// workers, surviving shard crashes, lost messages and restarts.
+// workers, surviving shard crashes, lost messages and restarts. With
+// Replicas > 1 it additionally fails rounds over to secondary replicas,
+// keeping results exact through the loss of any proper subset of a
+// group.
 type Coordinator struct {
 	cfg Config
 	seq faultinject.Sequencer
 
 	// Discovered at Open: the cluster-wide vertex count and each
-	// shard's owned range (validated to tile [0, n)).
-	n  int
-	lo []uint32
-	hi []uint32
+	// group's owned range (validated to tile [0, n)).
+	groups int
+	n      int
+	lo     []uint32
+	hi     []uint32
 
-	lastContact []atomic.Int64 // unix nanos of last successful contact per shard
+	lastContact []atomic.Int64 // unix nanos of last successful contact per URL
 	retries     atomic.Int64   // failed attempts retried this Run (parallel senders)
+	failovers   atomic.Int64   // replicas declared dead while their group survived
 }
 
 // errEpochRestart is the internal signal that a shard lost its round
@@ -125,50 +162,79 @@ var errEpochRestart = errors.New("coord: shard lost round state; epoch restart r
 // recovery budget this round.
 var errShardDead = errors.New("coord: shard declared dead")
 
-// Open validates cfg, probes every shard's health endpoint to learn the
-// partitioning, and returns a ready Coordinator. Probing retries within
-// the recovery budget, so shards may still be booting when Open runs.
+// Open validates cfg, probes every replica's health endpoint to learn
+// the partitioning, and returns a ready Coordinator. Probing retries
+// within the recovery budget, so shards may still be booting when Open
+// runs. With Replicas > 1, a group only needs one reachable replica to
+// be usable; unreachable replicas are logged and picked up by the
+// heartbeat prober once they appear.
 func Open(ctx context.Context, cfg Config) (*Coordinator, error) {
 	if len(cfg.Shards) == 0 {
 		return nil, fmt.Errorf("coord: no shard URLs configured")
 	}
 	cfg = cfg.withDefaults()
+	if len(cfg.Shards)%cfg.Replicas != 0 {
+		return nil, fmt.Errorf("coord: %d shard URLs do not divide into groups of %d replicas",
+			len(cfg.Shards), cfg.Replicas)
+	}
+	groups := len(cfg.Shards) / cfg.Replicas
 	c := &Coordinator{
 		cfg:         cfg,
-		lo:          make([]uint32, len(cfg.Shards)),
-		hi:          make([]uint32, len(cfg.Shards)),
+		groups:      groups,
+		lo:          make([]uint32, groups),
+		hi:          make([]uint32, groups),
 		lastContact: make([]atomic.Int64, len(cfg.Shards)),
 	}
+	haveRange := make([]bool, groups)
 	deadline := time.Now().Add(cfg.RecoveryBudget)
-	for i := range cfg.Shards {
+	for u := range cfg.Shards {
+		g := u / cfg.Replicas
 		for attempt := 1; ; attempt++ {
-			id, lo, hi, err := c.probeHealth(ctx, i)
+			id, lo, hi, err := c.probeHealth(ctx, u)
 			if err == nil {
-				if id != i {
+				if id != g {
 					return nil, fmt.Errorf("coord: URL %q configured as shard %d but reports id %d (shard order must match ids)",
-						cfg.Shards[i], i, id)
+						cfg.Shards[u], g, id)
 				}
-				c.lo[i], c.hi[i] = lo, hi
+				if haveRange[g] && (c.lo[g] != lo || c.hi[g] != hi) {
+					return nil, fmt.Errorf("coord: group %d replicas disagree on their range: [%d,%d) vs [%d,%d)",
+						g, c.lo[g], c.hi[g], lo, hi)
+				}
+				c.lo[g], c.hi[g] = lo, hi
+				haveRange[g] = true
 				break
 			}
 			if ctx.Err() != nil {
 				return nil, ctx.Err()
 			}
 			if time.Now().After(deadline) {
-				return nil, fmt.Errorf("coord: shard %d (%s) unreachable: %w", i, cfg.Shards[i], err)
+				if cfg.Replicas == 1 {
+					return nil, fmt.Errorf("coord: shard %d (%s) unreachable: %w", g, cfg.Shards[u], err)
+				}
+				// A replicated group tolerates unreachable members as long
+				// as one answers — required for a standby taking over a
+				// cluster that is mid-failure.
+				log.Printf("coord: group %d replica %d (%s) unreachable at open: %v",
+					g, u%cfg.Replicas, cfg.Shards[u], err)
+				break
 			}
-			sleepCtx(ctx, cfg.Backoff.Delay(attempt, uint64(i)))
+			sleepCtx(ctx, cfg.Backoff.Delay(attempt, uint64(u)))
 		}
 	}
-	// Ranges must tile [0, n) in shard order — anything else means the
+	for g, ok := range haveRange {
+		if !ok {
+			return nil, fmt.Errorf("coord: group %d has no reachable replica", g)
+		}
+	}
+	// Ranges must tile [0, n) in group order — anything else means the
 	// shards were launched with inconsistent -shards/-shard-id flags.
 	prev := uint32(0)
-	for i := range c.lo {
-		if c.lo[i] != prev || c.hi[i] < c.lo[i] {
+	for g := range c.lo {
+		if c.lo[g] != prev || c.hi[g] < c.lo[g] {
 			return nil, fmt.Errorf("coord: shard %d owns [%d,%d) but the previous shard ends at %d; partitions must tile",
-				i, c.lo[i], c.hi[i], prev)
+				g, c.lo[g], c.hi[g], prev)
 		}
-		prev = c.hi[i]
+		prev = c.hi[g]
 	}
 	c.n = int(prev)
 	if c.n == 0 {
@@ -180,11 +246,12 @@ func Open(ctx context.Context, cfg Config) (*Coordinator, error) {
 // NumVertices returns the cluster-wide vertex count the shards report.
 func (c *Coordinator) NumVertices() int { return c.n }
 
-// probeHealth parses one shard's health line and records the contact.
-func (c *Coordinator) probeHealth(ctx context.Context, i int) (id int, lo, hi uint32, err error) {
+// probeHealth parses replica u's health line and records the contact.
+// The returned id is the shard's group id.
+func (c *Coordinator) probeHealth(ctx context.Context, u int) (id int, lo, hi uint32, err error) {
 	rctx, cancel := context.WithTimeout(ctx, c.cfg.RPCTimeout)
 	defer cancel()
-	req, err := http.NewRequestWithContext(rctx, http.MethodGet, c.cfg.Shards[i]+"/shard/health", nil)
+	req, err := http.NewRequestWithContext(rctx, http.MethodGet, c.cfg.Shards[u]+"/shard/health", nil)
 	if err != nil {
 		return 0, 0, 0, err
 	}
@@ -200,18 +267,62 @@ func (c *Coordinator) probeHealth(ctx context.Context, i int) (id int, lo, hi ui
 	if resp.StatusCode != http.StatusOK {
 		return 0, 0, 0, fmt.Errorf("health: %s: %s", resp.Status, bytes.TrimSpace(body))
 	}
+	// Sscanf matches the prefix, so both the legacy line and the
+	// replica-suffixed one parse.
 	if _, err := fmt.Sscanf(string(body), "shard %d [%d,%d)", &id, &lo, &hi); err != nil {
 		return 0, 0, 0, fmt.Errorf("health: unparseable reply %q", bytes.TrimSpace(body))
 	}
-	c.lastContact[i].Store(time.Now().UnixNano())
+	c.lastContact[u].Store(time.Now().UnixNano())
 	return id, lo, hi, nil
 }
 
 // Run executes one distributed BFS from source, restarting the epoch
 // (bounded) when shards lose state and degrading to a partial result
-// when shards stay dead. Concurrent Runs are not supported — the round
-// protocol is per-coordinator sequential.
+// when whole groups stay dead. Concurrent Runs are not supported — the
+// round protocol is per-coordinator sequential.
 func (c *Coordinator) Run(ctx context.Context, source uint32) (*Result, error) {
+	return c.run(ctx, source, 0, 0, nil)
+}
+
+// Resume continues the in-flight traversal recorded in the configured
+// journal: it re-sends the journaled round's candidate frontiers under
+// the journaled epoch id, relying on the shards' idempotent round
+// protocol (replicas that already processed that round replay their
+// cached responses byte-exactly; the rest process it normally). Returns
+// (nil, nil) when the journal holds no unfinished epoch.
+func (c *Coordinator) Resume(ctx context.Context) (*Result, error) {
+	if c.cfg.Journal == nil {
+		return nil, fmt.Errorf("coord: Resume requires a journal")
+	}
+	e := c.cfg.Journal.State().Epoch
+	if e == nil || e.Done {
+		return nil, nil
+	}
+	if len(e.Cand) != c.groups {
+		return nil, fmt.Errorf("coord: journaled epoch has %d candidate frontiers, cluster has %d groups",
+			len(e.Cand), c.groups)
+	}
+	cand := make([]*Frontier, c.groups)
+	for g, enc := range e.Cand {
+		f, err := DecodeFrontier(enc)
+		if err != nil {
+			return nil, fmt.Errorf("coord: journaled candidate for group %d: %w", g, err)
+		}
+		if f.Lo != c.lo[g] || f.Hi != c.hi[g] {
+			return nil, fmt.Errorf("coord: journaled candidate for group %d covers [%d,%d), group owns [%d,%d)",
+				g, f.Lo, f.Hi, c.lo[g], c.hi[g])
+		}
+		cand[g] = f
+	}
+	log.Printf("coord: resuming in-flight epoch %d from round %d (source %d)", e.Epoch, e.Round, e.Source)
+	return c.run(ctx, e.Source, e.Epoch, e.Round, cand)
+}
+
+// run is the shared engine behind Run and Resume: heartbeats, the
+// bounded epoch-restart loop, and result assembly. A non-nil resumeCand
+// makes the first attempt continue epoch resumeEpoch at resumeRound;
+// restarts after that fall back to fresh epochs.
+func (c *Coordinator) run(ctx context.Context, source uint32, resumeEpoch uint64, resumeRound uint32, resumeCand []*Frontier) (*Result, error) {
 	if int(source) >= c.n {
 		return nil, fmt.Errorf("coord: source %d out of range [0,%d)", source, c.n)
 	}
@@ -220,8 +331,8 @@ func (c *Coordinator) Run(ctx context.Context, source uint32) (*Result, error) {
 	// rule; they stop when the run does.
 	hbCtx, stopHB := context.WithCancel(ctx)
 	defer stopHB()
-	for i := range c.cfg.Shards {
-		go func(i int) {
+	for u := range c.cfg.Shards {
+		go func(u int) {
 			t := time.NewTicker(c.cfg.HeartbeatInterval)
 			defer t.Stop()
 			for {
@@ -229,20 +340,29 @@ func (c *Coordinator) Run(ctx context.Context, source uint32) (*Result, error) {
 				case <-hbCtx.Done():
 					return
 				case <-t.C:
-					c.probeHealth(hbCtx, i) // success updates lastContact
+					c.probeHealth(hbCtx, u) // success updates lastContact
 				}
 			}
-		}(i)
+		}(u)
 	}
 
 	res := &Result{Source: source}
 	c.retries.Store(0)
-	defer func() { res.Retries = int(c.retries.Load()) }()
+	c.failovers.Store(0)
+	defer func() {
+		res.Retries = int(c.retries.Load())
+		res.Failovers = int(c.failovers.Load())
+	}()
 	for restart := 0; ; restart++ {
 		// Epochs are wall-clock-derived so a restarted coordinator never
 		// reuses an epoch id some shard still holds state for.
 		epoch := uint64(time.Now().UnixNano()) + uint64(restart)
-		err := c.runEpoch(ctx, epoch, source, res)
+		startRound := uint32(0)
+		var cand []*Frontier
+		if restart == 0 && resumeCand != nil {
+			epoch, startRound, cand = resumeEpoch, resumeRound, resumeCand
+		}
+		err := c.runEpoch(ctx, epoch, source, res, startRound, cand)
 		if err == nil {
 			res.Epoch = epoch
 			return res, nil
@@ -258,61 +378,115 @@ func (c *Coordinator) Run(ctx context.Context, source uint32) (*Result, error) {
 	}
 }
 
-// runEpoch drives one complete traversal attempt under one epoch id,
-// filling res on success.
-func (c *Coordinator) runEpoch(ctx context.Context, epoch uint64, source uint32, res *Result) error {
-	nshards := len(c.cfg.Shards)
-	dead := make([]bool, nshards)
+// journalRound durably records the about-to-be-sent round's candidate
+// frontiers, so a standby coordinator can resume from exactly here.
+func (c *Coordinator) journalRound(epoch uint64, source, round uint32, cand []*Frontier) error {
+	j := c.cfg.Journal
+	if j == nil {
+		return nil
+	}
+	e := &EpochState{Epoch: epoch, Fence: c.cfg.Fence, Source: source, Round: round}
+	e.Cand = make([][]byte, len(cand))
+	for g, f := range cand {
+		e.Cand[g] = f.Encode()
+	}
+	if err := j.AppendEpoch(e); err != nil && !errors.Is(err, errStaleRecord) {
+		// A stale refusal happens only when resuming the already-journaled
+		// round — the state is as durable as we need it.
+		return fmt.Errorf("coord: journaling round %d: %w", round, err)
+	}
+	return nil
+}
+
+// journalDone marks the journaled epoch finished.
+func (c *Coordinator) journalDone(epoch uint64, source, lastRound uint32) error {
+	j := c.cfg.Journal
+	if j == nil {
+		return nil
+	}
+	e := &EpochState{Epoch: epoch, Fence: c.cfg.Fence, Source: source, Round: lastRound, Done: true}
+	if err := j.AppendEpoch(e); err != nil && !errors.Is(err, errStaleRecord) {
+		return fmt.Errorf("coord: journaling epoch completion: %w", err)
+	}
+	return nil
+}
+
+// runEpoch drives one traversal attempt under one epoch id, starting at
+// startRound with the given candidate frontiers (nil = fresh epoch from
+// round 0), filling res on success.
+func (c *Coordinator) runEpoch(ctx context.Context, epoch uint64, source uint32, res *Result, startRound uint32, cand []*Frontier) error {
+	ngroups := c.groups
+	// dead is per replica URL, for this epoch: a dead replica missed
+	// rounds and cannot rejoin until the next epoch.
+	dead := make([]bool, len(c.cfg.Shards))
+	for u := range dead {
+		// Replicas never yet contacted (down since before Open) start
+		// dead for the epoch rather than stalling round 0 for the full
+		// recovery budget; the heartbeat prober readmits them next epoch.
+		if c.cfg.Replicas > 1 && c.lastContact[u].Load() == 0 {
+			dead[u] = true
+		}
+	}
 	res.ClaimedPerRound = nil
 	res.Rounds = 0
 	res.Incomplete = false
 	res.DeadShards = nil
 
-	// cand[i] is shard i's candidate frontier for the current round.
-	cand := make([]*Frontier, nshards)
-	for i := range cand {
-		cand[i] = NewFrontier(epoch, 0, uint32(i), c.lo[i], c.hi[i])
+	if cand == nil {
+		// cand[g] is group g's candidate frontier for the current round.
+		cand = make([]*Frontier, ngroups)
+		for g := range cand {
+			cand[g] = NewFrontier(epoch, 0, uint32(g), c.lo[g], c.hi[g])
+		}
+		cand[PartitionOwner(c.n, ngroups, source)].Set(source)
 	}
-	cand[PartitionOwner(c.n, nshards, source)].Set(source)
 
-	for round := uint32(0); ; round++ {
-		// Every live shard gets a round message every round — empty
-		// frontiers included — so round sequencing never gaps.
+	lastRound := startRound
+	for round := startRound; ; round++ {
+		lastRound = round
+		if err := c.journalRound(epoch, source, round, cand); err != nil {
+			return err
+		}
+		// Every live group gets a round message every round — empty
+		// frontiers included — so round sequencing never gaps. All live
+		// replicas of a group receive the same message (the barrier keeps
+		// them in lockstep, which is what makes mid-epoch failover
+		// possible).
 		type reply struct {
-			shard int
+			group int
 			resp  *ExpandResponse
 			err   error
 		}
-		replies := make([]reply, 0, nshards)
+		replies := make([]reply, 0, ngroups)
 		var mu sync.Mutex
 		var wg sync.WaitGroup
-		for i := 0; i < nshards; i++ {
-			if dead[i] {
+		for g := 0; g < ngroups; g++ {
+			if c.groupDead(g, dead) {
 				continue
 			}
 			wg.Add(1)
-			go func(i int) {
+			go func(g int) {
 				defer wg.Done()
-				resp, err := c.expand(ctx, i, cand[i], res)
+				resp, err := c.expandGroup(ctx, g, cand[g], dead, res)
 				mu.Lock()
-				replies = append(replies, reply{i, resp, err})
+				replies = append(replies, reply{g, resp, err})
 				mu.Unlock()
-			}(i)
+			}(g)
 		}
 		wg.Wait()
 
 		var claimed int64
-		next := make([]*Frontier, nshards)
-		for i := range next {
-			next[i] = NewFrontier(epoch, round+1, uint32(i), c.lo[i], c.hi[i])
+		next := make([]*Frontier, ngroups)
+		for g := range next {
+			next[g] = NewFrontier(epoch, round+1, uint32(g), c.lo[g], c.hi[g])
 		}
 		for _, r := range replies {
 			switch {
 			case r.err == nil:
 				claimed += int64(r.resp.Claimed)
 				for _, f := range r.resp.Out {
-					if int(f.Shard) >= nshards {
-						return fmt.Errorf("%w: discovery frame for shard %d of %d", ErrWire, f.Shard, nshards)
+					if int(f.Shard) >= ngroups {
+						return fmt.Errorf("%w: discovery frame for shard %d of %d", ErrWire, f.Shard, ngroups)
 					}
 					if err := next[f.Shard].Union(f); err != nil {
 						return err
@@ -321,8 +495,7 @@ func (c *Coordinator) runEpoch(ctx context.Context, epoch uint64, source uint32,
 			case errors.Is(r.err, errEpochRestart):
 				return r.err
 			case errors.Is(r.err, errShardDead):
-				log.Printf("coord: epoch %d round %d: shard %d dead (%v); degrading", epoch, round, r.shard, r.err)
-				dead[r.shard] = true
+				log.Printf("coord: epoch %d round %d: group %d fully dead (%v); degrading", epoch, round, r.group, r.err)
 			default:
 				return r.err
 			}
@@ -332,14 +505,14 @@ func (c *Coordinator) runEpoch(ctx context.Context, epoch uint64, source uint32,
 			res.ClaimedPerRound = append(res.ClaimedPerRound, claimed)
 			res.Rounds = int(round) + 1
 		}
-		if claimed == 0 || allDead(dead) {
+		if claimed == 0 || c.allGroupsDead(dead) {
 			break
 		}
-		for i := range next {
-			// Candidates owned by dead shards are dropped: nobody can
+		for g := range next {
+			// Candidates owned by dead groups are dropped: nobody can
 			// claim them. (Bumping round tags on the survivors happens
 			// via the fresh frontiers above.)
-			cand[i] = next[i]
+			cand[g] = next[g]
 		}
 	}
 
@@ -349,30 +522,30 @@ func (c *Coordinator) runEpoch(ctx context.Context, epoch uint64, source uint32,
 		depth[i] = -1
 	}
 	res.Visited = 0
-	for i := 0; i < nshards; i++ {
-		if dead[i] {
+	for g := 0; g < ngroups; g++ {
+		if c.groupDead(g, dead) {
 			res.Incomplete = true
-			res.DeadShards = append(res.DeadShards, i)
+			res.DeadShards = append(res.DeadShards, g)
 			continue
 		}
-		if c.hi[i] == c.lo[i] {
+		if c.hi[g] == c.lo[g] {
 			continue
 		}
-		d, err := c.depths(ctx, i, epoch)
+		d, err := c.depthsGroup(ctx, g, epoch, dead)
 		if err != nil {
 			if errors.Is(err, errShardDead) {
-				// Died after its last round but before reporting: its
-				// slice is lost; degrade rather than fail.
-				log.Printf("coord: epoch %d: shard %d died before reporting depths; degrading", epoch, i)
+				// The whole group died after its last round but before
+				// reporting: its slice is lost; degrade rather than fail.
+				log.Printf("coord: epoch %d: group %d died before reporting depths; degrading", epoch, g)
 				res.Incomplete = true
-				res.DeadShards = append(res.DeadShards, i)
+				res.DeadShards = append(res.DeadShards, g)
 				continue
 			}
 			return err
 		}
-		if d.Lo != c.lo[i] || d.Hi != c.hi[i] {
+		if d.Lo != c.lo[g] || d.Hi != c.hi[g] {
 			return fmt.Errorf("%w: shard %d reported depths for [%d,%d), owns [%d,%d)",
-				ErrWire, i, d.Lo, d.Hi, c.lo[i], c.hi[i])
+				ErrWire, g, d.Lo, d.Hi, c.lo[g], c.hi[g])
 		}
 		copy(depth[d.Lo:d.Hi], d.Depth)
 		for _, v := range d.Depth {
@@ -382,23 +555,148 @@ func (c *Coordinator) runEpoch(ctx context.Context, epoch uint64, source uint32,
 		}
 	}
 	res.Depth = depth
-	return nil
+	return c.journalDone(epoch, source, lastRound)
 }
 
-func allDead(dead []bool) bool {
-	for _, d := range dead {
-		if !d {
+// groupDead reports whether every replica of group g is dead.
+func (c *Coordinator) groupDead(g int, dead []bool) bool {
+	for r := 0; r < c.cfg.Replicas; r++ {
+		if !dead[g*c.cfg.Replicas+r] {
 			return false
 		}
 	}
 	return true
 }
 
-// expand delivers one round message to shard i, retrying transient
+func (c *Coordinator) allGroupsDead(dead []bool) bool {
+	for g := 0; g < c.groups; g++ {
+		if !c.groupDead(g, dead) {
+			return false
+		}
+	}
+	return true
+}
+
+// expandGroup delivers one round message to every live replica of group
+// g in parallel and returns the first successful response (replicas are
+// deterministic, so all successes are byte-identical). Replicas that
+// fail — exhausted recovery budget, or lost their round state while a
+// sibling still has it — are marked dead for the epoch and the round
+// proceeds on the survivors: that is the failover. Typed outcomes:
+//
+//   - ErrFenced from any replica is fatal (this coordinator is deposed);
+//   - errEpochRestart when no replica succeeded but at least one is
+//     alive-but-stateless (only a fresh epoch can proceed);
+//   - errShardDead when the entire group is dead (caller degrades).
+func (c *Coordinator) expandGroup(ctx context.Context, g int, f *Frontier, dead []bool, res *Result) (*ExpandResponse, error) {
+	R := c.cfg.Replicas
+	type reply struct {
+		u    int
+		resp *ExpandResponse
+		err  error
+	}
+	var live []int
+	for r := 0; r < R; r++ {
+		if u := g*R + r; !dead[u] {
+			live = append(live, u)
+		}
+	}
+	replies := make([]reply, 0, len(live))
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for _, u := range live {
+		wg.Add(1)
+		go func(u int) {
+			defer wg.Done()
+			resp, err := c.expand(ctx, u, f, res)
+			mu.Lock()
+			replies = append(replies, reply{u, resp, err})
+			mu.Unlock()
+		}(u)
+	}
+	wg.Wait()
+
+	var best *ExpandResponse
+	restartable := false
+	for _, r := range replies {
+		switch {
+		case r.err == nil:
+			if best == nil {
+				best = r.resp
+			}
+		case errors.Is(r.err, ErrFenced):
+			return nil, r.err
+		case errors.Is(r.err, errEpochRestart):
+			restartable = true
+		case errors.Is(r.err, errShardDead):
+		default:
+			return nil, r.err
+		}
+	}
+	if best != nil {
+		for _, r := range replies {
+			if r.err != nil {
+				dead[r.u] = true
+				c.failovers.Add(1)
+				log.Printf("coord: epoch %d round %d: group %d replica %d dead for epoch (%v); failing over",
+					f.Epoch, f.Round, g, r.u%R, r.err)
+			}
+		}
+		return best, nil
+	}
+	for _, r := range replies {
+		if errors.Is(r.err, errShardDead) {
+			dead[r.u] = true
+			if restartable {
+				c.failovers.Add(1)
+			}
+		}
+	}
+	if restartable {
+		return nil, fmt.Errorf("%w: group %d has live replicas but none hold epoch %d round %d state",
+			errEpochRestart, g, f.Epoch, f.Round)
+	}
+	return nil, fmt.Errorf("%w: all %d replicas of group %d", errShardDead, R, g)
+}
+
+// depthsGroup fetches group g's committed depth slice for epoch from
+// any live replica, failing over in replica order. The round barrier
+// guarantees every live replica processed every round, so any of them
+// holds the complete slice.
+func (c *Coordinator) depthsGroup(ctx context.Context, g int, epoch uint64, dead []bool) (*DepthSlice, error) {
+	R := c.cfg.Replicas
+	var lastErr error
+	for r := 0; r < R; r++ {
+		u := g*R + r
+		if dead[u] {
+			continue
+		}
+		d, err := c.depths(ctx, u, epoch)
+		switch {
+		case err == nil:
+			return d, nil
+		case errors.Is(err, ErrFenced):
+			return nil, err
+		case errors.Is(err, errShardDead), errors.Is(err, errEpochRestart):
+			// Dead, or alive but lost the epoch post-round: either way this
+			// replica cannot report; try a sibling.
+			dead[u] = true
+			lastErr = err
+		default:
+			return nil, err
+		}
+	}
+	if lastErr == nil {
+		lastErr = errors.New("no live replica")
+	}
+	return nil, fmt.Errorf("%w: group %d depths: %v", errShardDead, g, lastErr)
+}
+
+// expand delivers one round message to replica u, retrying transient
 // failures with jittered backoff until the shard answers, demands an
 // epoch restart, or exhausts its recovery budget.
-func (c *Coordinator) expand(ctx context.Context, i int, f *Frontier, res *Result) (*ExpandResponse, error) {
-	body, err := c.rpc(ctx, i, http.MethodPost, "/shard/expand", f.Encode(), res)
+func (c *Coordinator) expand(ctx context.Context, u int, f *Frontier, res *Result) (*ExpandResponse, error) {
+	body, err := c.rpc(ctx, u, http.MethodPost, "/shard/expand", f.Encode(), res)
 	if err != nil {
 		return nil, err
 	}
@@ -406,16 +704,16 @@ func (c *Coordinator) expand(ctx context.Context, i int, f *Frontier, res *Resul
 	if err != nil {
 		return nil, err
 	}
-	if resp.Epoch != f.Epoch || resp.Round != f.Round || resp.Shard != uint32(i) {
-		return nil, fmt.Errorf("%w: shard %d answered (epoch %d, round %d) to (epoch %d, round %d)",
-			ErrWire, i, resp.Epoch, resp.Round, f.Epoch, f.Round)
+	if resp.Epoch != f.Epoch || resp.Round != f.Round || resp.Shard != f.Shard {
+		return nil, fmt.Errorf("%w: replica %s answered (epoch %d, round %d, shard %d) to (epoch %d, round %d, shard %d)",
+			ErrWire, c.cfg.Shards[u], resp.Epoch, resp.Round, resp.Shard, f.Epoch, f.Round, f.Shard)
 	}
 	return resp, nil
 }
 
-// depths fetches shard i's committed depth slice for epoch.
-func (c *Coordinator) depths(ctx context.Context, i int, epoch uint64) (*DepthSlice, error) {
-	body, err := c.rpc(ctx, i, http.MethodGet, fmt.Sprintf("/shard/depths?epoch=%d", epoch), nil, nil)
+// depths fetches replica u's committed depth slice for epoch.
+func (c *Coordinator) depths(ctx context.Context, u int, epoch uint64) (*DepthSlice, error) {
+	body, err := c.rpc(ctx, u, http.MethodGet, fmt.Sprintf("/shard/depths?epoch=%d", epoch), nil, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -425,27 +723,33 @@ func (c *Coordinator) depths(ctx context.Context, i int, epoch uint64) (*DepthSl
 // rpc performs one logical request with the full fault-tolerance
 // stack: per-attempt deadline, injected send faults, bounded retry with
 // jittered backoff, heartbeat-informed liveness, and typed outcomes for
-// epoch conflicts (409 → errEpochRestart) and death (errShardDead).
-func (c *Coordinator) rpc(ctx context.Context, i int, method, path string, body []byte, res *Result) ([]byte, error) {
+// epoch conflicts (409 → errEpochRestart), fencing rejections (409 with
+// FencedHeader → ErrFenced) and death (errShardDead).
+func (c *Coordinator) rpc(ctx context.Context, u int, method, path string, body []byte, res *Result) ([]byte, error) {
 	roundStart := time.Now()
 	// hardAttempts bounds pathological livelock: a shard whose health
 	// endpoint answers while its work endpoint fails forever would
 	// otherwise reset the recovery clock indefinitely.
 	hardAttempts := 8 * c.cfg.MaxAttempts
 	for attempt := 1; ; attempt++ {
-		reply, status, err := c.attempt(ctx, i, method, path, body)
+		reply, status, fenced, err := c.attempt(ctx, u, method, path, body)
 		if err == nil && status == http.StatusOK {
-			c.lastContact[i].Store(time.Now().UnixNano())
+			c.lastContact[u].Store(time.Now().UnixNano())
 			return reply, nil
 		}
 		if err == nil && status == http.StatusConflict {
+			c.lastContact[u].Store(time.Now().UnixNano())
+			if fenced {
+				// A newer coordinator holds the lease: stop coordinating,
+				// do not retry, do not restart the epoch.
+				return nil, fmt.Errorf("%w: replica %s: %s", ErrFenced, c.cfg.Shards[u], bytes.TrimSpace(reply))
+			}
 			// The shard is alive but lost (or never had) this epoch's
 			// round state: only a fresh epoch can proceed.
-			c.lastContact[i].Store(time.Now().UnixNano())
-			return nil, fmt.Errorf("%w: shard %d: %s", errEpochRestart, i, bytes.TrimSpace(reply))
+			return nil, fmt.Errorf("%w: replica %s: %s", errEpochRestart, c.cfg.Shards[u], bytes.TrimSpace(reply))
 		}
 		if err == nil {
-			err = fmt.Errorf("shard %d: HTTP %d: %s", i, status, bytes.TrimSpace(reply))
+			err = fmt.Errorf("replica %s: HTTP %d: %s", c.cfg.Shards[u], status, bytes.TrimSpace(reply))
 		}
 		if ctx.Err() != nil {
 			return nil, ctx.Err()
@@ -455,18 +759,18 @@ func (c *Coordinator) rpc(ctx context.Context, i int, method, path string, body 
 		// (round start or heartbeat) is within the recovery budget.
 		alive := time.Now()
 		ref := roundStart
-		if lc := time.Unix(0, c.lastContact[i].Load()); lc.After(ref) {
+		if lc := time.Unix(0, c.lastContact[u].Load()); lc.After(ref) {
 			ref = lc
 		}
 		if attempt >= hardAttempts ||
 			(attempt >= c.cfg.MaxAttempts && alive.Sub(ref) > c.cfg.RecoveryBudget) {
-			return nil, fmt.Errorf("%w: shard %d after %d attempts over %v: %v",
-				errShardDead, i, attempt, time.Since(roundStart).Round(time.Millisecond), err)
+			return nil, fmt.Errorf("%w: replica %s after %d attempts over %v: %v",
+				errShardDead, c.cfg.Shards[u], attempt, time.Since(roundStart).Round(time.Millisecond), err)
 		}
 		if res != nil {
 			c.retries.Add(1)
 		}
-		if err := sleepCtx(ctx, c.cfg.Backoff.Delay(attempt, rpcBackoffKey(i, path, body))); err != nil {
+		if err := sleepCtx(ctx, c.cfg.Backoff.Delay(attempt, rpcBackoffKey(u, path, body))); err != nil {
 			return nil, err
 		}
 	}
@@ -474,17 +778,18 @@ func (c *Coordinator) rpc(ctx context.Context, i int, method, path string, body 
 
 // attempt issues one HTTP request with the per-attempt deadline,
 // consulting the fault injector first (an injected error simulates a
-// request lost on the wire; an injected delay a slow link).
-func (c *Coordinator) attempt(ctx context.Context, i int, method, path string, body []byte) ([]byte, int, error) {
+// request lost on the wire; an injected delay a slow link). fenced
+// reports whether the reply carried the fencing-rejection marker.
+func (c *Coordinator) attempt(ctx context.Context, u int, method, path string, body []byte) (reply []byte, status int, fenced bool, err error) {
 	if c.cfg.Injector != nil {
 		d := faultinject.Decide(c.cfg.Injector, faultinject.SiteCoordSend, c.seq.Next(faultinject.SiteCoordSend))
 		if d.Delay > 0 {
 			if err := sleepCtx(ctx, d.Delay); err != nil {
-				return nil, 0, err
+				return nil, 0, false, err
 			}
 		}
 		if d.Err != nil {
-			return nil, 0, fmt.Errorf("shard %d: %w", i, d.Err)
+			return nil, 0, false, fmt.Errorf("replica %s: %w", c.cfg.Shards[u], d.Err)
 		}
 	}
 	rctx, cancel := context.WithTimeout(ctx, c.cfg.RPCTimeout)
@@ -493,29 +798,32 @@ func (c *Coordinator) attempt(ctx context.Context, i int, method, path string, b
 	if body != nil {
 		rd = bytes.NewReader(body)
 	}
-	req, err := http.NewRequestWithContext(rctx, method, c.cfg.Shards[i]+path, rd)
+	req, err := http.NewRequestWithContext(rctx, method, c.cfg.Shards[u]+path, rd)
 	if err != nil {
-		return nil, 0, err
+		return nil, 0, false, err
 	}
 	if body != nil {
 		req.Header.Set("Content-Type", "application/octet-stream")
 	}
+	if c.cfg.Fence > 0 {
+		req.Header.Set(FenceHeader, strconv.FormatUint(c.cfg.Fence, 10))
+	}
 	resp, err := c.cfg.Client.Do(req)
 	if err != nil {
-		return nil, 0, err
+		return nil, 0, false, err
 	}
 	defer resp.Body.Close()
-	reply, err := io.ReadAll(io.LimitReader(resp.Body, maxShardBody))
+	reply, err = io.ReadAll(io.LimitReader(resp.Body, maxShardBody))
 	if err != nil {
-		return nil, 0, err
+		return nil, 0, false, err
 	}
-	return reply, resp.StatusCode, nil
+	return reply, resp.StatusCode, resp.Header.Get(FencedHeader) == "1", nil
 }
 
-// rpcBackoffKey decorrelates concurrent retriers: distinct shards and
+// rpcBackoffKey decorrelates concurrent retriers: distinct replicas and
 // requests jitter independently.
-func rpcBackoffKey(shard int, path string, body []byte) uint64 {
-	h := uint64(shard)<<32 ^ uint64(len(body))
+func rpcBackoffKey(u int, path string, body []byte) uint64 {
+	h := uint64(u)<<32 ^ uint64(len(body))
 	for _, b := range []byte(path) {
 		h = h*131 + uint64(b)
 	}

@@ -7,6 +7,7 @@ import (
 	"log"
 	"net/http"
 	"sync"
+	"time"
 
 	"fastbfs/graph"
 	"fastbfs/internal/faultinject"
@@ -28,21 +29,24 @@ import (
 // shard, so a crash after processing never loses a round the
 // coordinator believes happened.
 type Shard struct {
-	g      *graph.Graph
-	id     int
-	shards int
-	lo, hi uint32
-	dir    string // checkpoint dir; "" disables persistence
+	g       *graph.Graph
+	id      int
+	replica int
+	shards  int
+	lo, hi  uint32
+	dir     string // checkpoint dir; "" disables persistence
 
 	inj *faultinject.Plan
 	seq faultinject.Sequencer
 
-	mu    sync.Mutex
-	epoch uint64
-	next  uint32 // next round expected within epoch
-	src   uint32
-	depth []int32
-	resp  []byte // encoded response of round next-1
+	mu     sync.Mutex
+	epoch  uint64
+	next   uint32 // next round expected within epoch
+	src    uint32
+	depth  []int32
+	resp   []byte // encoded response of round next-1
+	fence  uint64 // highest fencing token admitted
+	resets uint64 // round-0 epoch resets observed (fresh epochs + restarts)
 }
 
 // ErrRoundSequence is a shard's typed refusal of an out-of-sequence
@@ -51,17 +55,35 @@ type Shard struct {
 // treats it as "this shard lost state" and restarts the epoch.
 var ErrRoundSequence = errors.New("coord: round out of sequence")
 
+// ErrFenced is a shard's typed refusal of a request whose fencing token
+// is lower than one it has already admitted: the sender is a deposed
+// coordinator whose lease was taken over. Unlike ErrRoundSequence this
+// is not a cue to restart the epoch — the sender must stop coordinating
+// entirely.
+var ErrFenced = errors.New("coord: request fenced off by a newer coordinator")
+
 // NewShard builds the shard with id of shards over g, restoring state
 // from ckptDir when a valid checkpoint for this partition exists. A
 // missing or corrupt checkpoint is a fresh start (corruption is logged,
 // never fatal: refusing to boot would turn one torn write into a
 // permanently dead shard).
 func NewShard(g *graph.Graph, id, shards int, ckptDir string, inj *faultinject.Plan) (*Shard, error) {
+	return NewReplicaShard(g, id, 0, shards, ckptDir, inj)
+}
+
+// NewReplicaShard is NewShard with an explicit replica index inside the
+// shard's group. The replica index is identity only — the partition
+// range depends solely on the group id, so every replica of a group
+// owns the same [lo, hi) and runs the identical round protocol.
+func NewReplicaShard(g *graph.Graph, id, replica, shards int, ckptDir string, inj *faultinject.Plan) (*Shard, error) {
 	if shards < 1 || id < 0 || id >= shards {
 		return nil, fmt.Errorf("coord: shard %d of %d invalid", id, shards)
 	}
+	if replica < 0 {
+		return nil, fmt.Errorf("coord: replica %d invalid", replica)
+	}
 	lo, hi := PartitionRange(g.NumVertices(), shards, id)
-	s := &Shard{g: g, id: id, shards: shards, lo: lo, hi: hi, dir: ckptDir, inj: inj}
+	s := &Shard{g: g, id: id, replica: replica, shards: shards, lo: lo, hi: hi, dir: ckptDir, inj: inj}
 	if ckptDir != "" {
 		c, err := LoadCheckpoint(ckptDir)
 		switch {
@@ -74,7 +96,8 @@ func NewShard(g *graph.Graph, id, shards int, ckptDir string, inj *faultinject.P
 				id, c.Lo, c.Hi, lo, hi)
 		case c != nil:
 			s.epoch, s.next, s.src, s.depth, s.resp = c.Epoch, c.Round, c.Source, c.Depth, c.Resp
-			log.Printf("shard %d: restored checkpoint epoch %d round %d", id, c.Epoch, c.Round)
+			s.fence = c.Fence
+			log.Printf("shard %d: restored checkpoint epoch %d round %d fence %d", id, c.Epoch, c.Round, c.Fence)
 		}
 	}
 	return s, nil
@@ -83,17 +106,86 @@ func NewShard(g *graph.Graph, id, shards int, ckptDir string, inj *faultinject.P
 // Range returns the shard's owned vertex range [lo, hi).
 func (s *Shard) Range() (lo, hi uint32) { return s.lo, s.hi }
 
+// ShardStatus is a snapshot of a shard's protocol state for readiness
+// probes: group identity and role, last checkpointed position, and the
+// fencing token currently in force.
+type ShardStatus struct {
+	Group   int    `json:"group"`
+	Replica int    `json:"replica"`
+	Role    string `json:"role"` // "primary" (replica 0) or "secondary"
+	Lo      uint32 `json:"lo"`
+	Hi      uint32 `json:"hi"`
+	Epoch   uint64 `json:"epoch"`
+	Round   uint32 `json:"round"`
+	Fence   uint64 `json:"fence"`
+	Resets  uint64 `json:"resets"`
+}
+
+// Status returns the shard's current protocol snapshot.
+func (s *Shard) Status() ShardStatus {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	role := "primary"
+	if s.replica != 0 {
+		role = "secondary"
+	}
+	return ShardStatus{
+		Group: s.id, Replica: s.replica, Role: role,
+		Lo: s.lo, Hi: s.hi,
+		Epoch: s.epoch, Round: s.next, Fence: s.fence, Resets: s.resets,
+	}
+}
+
+// admitFence runs the fencing check under s.mu: requests carrying a
+// token below the highest one seen are from a deposed coordinator and
+// are refused; a higher token raises the bar. Token 0 is the legacy
+// unfenced protocol — it is admitted only until a fenced coordinator
+// (token >= 1) has been seen. The raised bar is persisted with the next
+// round checkpoint (best effort: a fence learned between checkpoints
+// dies with the process, and the standby's strictly-higher token makes
+// that safe).
+func (s *Shard) admitFence(fence uint64) error {
+	if s.inj != nil {
+		d := s.inj.Decide(faultinject.SiteShardLease, s.seq.Next(faultinject.SiteShardLease))
+		if d.Delay > 0 {
+			s.mu.Unlock()
+			time.Sleep(d.Delay)
+			s.mu.Lock()
+		}
+		if d.Err != nil {
+			return d.Err
+		}
+	}
+	if fence < s.fence {
+		return fmt.Errorf("%w: token %d below admitted %d", ErrFenced, fence, s.fence)
+	}
+	if fence > s.fence {
+		s.fence = fence
+	}
+	return nil
+}
+
 // Expand answers one round message: claim the candidate vertices this
 // shard owns at depth == round, expand the claimed frontier, and return
 // the discoveries bucketed per destination shard. The returned bytes
 // are the encoded ExpandResponse (pre-encoded so replays are
-// byte-identical).
-func (s *Shard) Expand(req *Frontier) ([]byte, error) {
+// byte-identical). fence is the sender's fencing token (0 = legacy
+// unfenced).
+func (s *Shard) Expand(req *Frontier, fence uint64) ([]byte, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 
+	if err := s.admitFence(fence); err != nil {
+		return nil, err
+	}
 	if s.inj != nil {
 		d := s.inj.Decide(faultinject.SiteShardExpand, s.seq.Next(faultinject.SiteShardExpand))
+		if d.Delay > 0 {
+			// Deliberately slept under s.mu: the injected latency slows the
+			// whole round, which is what crash harnesses need to land a
+			// SIGKILL mid-epoch deterministically.
+			time.Sleep(d.Delay)
+		}
 		if d.Panic {
 			panic(faultinject.PanicValue{Site: faultinject.SiteShardExpand})
 		}
@@ -120,6 +212,7 @@ func (s *Shard) Expand(req *Frontier) ([]byte, error) {
 		// lost its state.
 		s.epoch, s.next, s.resp = req.Epoch, 0, nil
 		s.depth = nil
+		s.resets++
 	default:
 		return nil, fmt.Errorf("%w: shard %d at epoch %d round %d, message is epoch %d round %d",
 			ErrRoundSequence, s.id, s.epoch, s.next, req.Epoch, req.Round)
@@ -164,7 +257,7 @@ func (s *Shard) Expand(req *Frontier) ([]byte, error) {
 	s.resp = enc
 	if s.dir != "" {
 		ck := &Checkpoint{
-			Epoch: s.epoch, Round: s.next, Source: s.src,
+			Epoch: s.epoch, Round: s.next, Source: s.src, Fence: s.fence,
 			Lo: s.lo, Hi: s.hi, Depth: s.depth, Resp: enc,
 		}
 		if err := SaveCheckpoint(s.dir, ck); err != nil {
@@ -176,11 +269,23 @@ func (s *Shard) Expand(req *Frontier) ([]byte, error) {
 	return enc, nil
 }
 
-// Depths returns the shard's committed depth slice for epoch, refusing
-// other epochs (the coordinator must never mix epochs in one result).
-func (s *Shard) Depths(epoch uint64) (*DepthSlice, error) {
+// Resets returns how many round-0 epoch resets the shard has absorbed;
+// resume tests use it to prove a standby takeover did NOT restart the
+// in-flight epoch.
+func (s *Shard) Resets() uint64 {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	return s.resets
+}
+
+// Depths returns the shard's committed depth slice for epoch, refusing
+// other epochs (the coordinator must never mix epochs in one result).
+func (s *Shard) Depths(epoch uint64, fence uint64) (*DepthSlice, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.admitFence(fence); err != nil {
+		return nil, err
+	}
 	if epoch != s.epoch || s.depth == nil {
 		return nil, fmt.Errorf("%w: depths requested for epoch %d, shard %d is at epoch %d",
 			ErrRoundSequence, epoch, s.id, s.epoch)
@@ -194,14 +299,48 @@ func (s *Shard) Depths(epoch uint64) (*DepthSlice, error) {
 // legal partition plus framing.
 const maxShardBody = 1 << 30
 
+// Fencing travels in HTTP headers, not the wire records: the records
+// stay coordinator-agnostic (a replayed response is byte-identical no
+// matter who asked) while every request still declares its sender's
+// authority.
+const (
+	// FenceHeader carries the sender's fencing token on shard requests.
+	// Absent means token 0, the legacy unfenced protocol.
+	FenceHeader = "X-Fastbfs-Fence"
+	// FencedHeader marks a 409 as a fencing rejection (value "1"), so
+	// clients can tell ErrFenced from an ErrRoundSequence conflict
+	// without parsing error strings.
+	FencedHeader = "X-Fastbfs-Fenced"
+)
+
+// requestFence extracts the sender's fencing token from a request.
+func requestFence(r *http.Request) uint64 {
+	h := r.Header.Get(FenceHeader)
+	if h == "" {
+		return 0
+	}
+	var fence uint64
+	fmt.Sscanf(h, "%d", &fence)
+	return fence
+}
+
+// shardError writes err with its mapped status, tagging fencing
+// rejections with FencedHeader.
+func shardError(w http.ResponseWriter, err error) {
+	if errors.Is(err, ErrFenced) {
+		w.Header().Set(FencedHeader, "1")
+	}
+	http.Error(w, err.Error(), shardStatus(err))
+}
+
 // Handler returns the shard's HTTP API:
 //
 //	POST /shard/expand  — body: Frontier frame; 200: ExpandResponse
 //	GET  /shard/depths?epoch=E — 200: DepthSlice
-//	GET  /shard/health  — 200: shard id + partition (heartbeat target)
+//	GET  /shard/health  — 200: shard id + partition + replica (heartbeat target)
 //
-// Sequencing violations map to 409 (the coordinator's cue to restart
-// the epoch), malformed payloads to 400.
+// Sequencing violations and fencing rejections map to 409 (fencing ones
+// additionally carry FencedHeader), malformed payloads to 400.
 func (s *Shard) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /shard/expand", func(w http.ResponseWriter, r *http.Request) {
@@ -215,9 +354,9 @@ func (s *Shard) Handler() http.Handler {
 			http.Error(w, err.Error(), http.StatusBadRequest)
 			return
 		}
-		resp, err := s.Expand(req)
+		resp, err := s.Expand(req, requestFence(r))
 		if err != nil {
-			http.Error(w, err.Error(), shardStatus(err))
+			shardError(w, err)
 			return
 		}
 		w.Header().Set("Content-Type", "application/octet-stream")
@@ -229,26 +368,28 @@ func (s *Shard) Handler() http.Handler {
 			http.Error(w, "missing or bad epoch parameter", http.StatusBadRequest)
 			return
 		}
-		d, err := s.Depths(epoch)
+		d, err := s.Depths(epoch, requestFence(r))
 		if err != nil {
-			http.Error(w, err.Error(), shardStatus(err))
+			shardError(w, err)
 			return
 		}
 		w.Header().Set("Content-Type", "application/octet-stream")
 		w.Write(d.Encode())
 	})
 	mux.HandleFunc("GET /shard/health", func(w http.ResponseWriter, r *http.Request) {
-		fmt.Fprintf(w, "shard %d [%d,%d)\n", s.id, s.lo, s.hi)
+		// The trailing "replica %d" is new; coordinators parsing only the
+		// "shard %d [%d,%d)" prefix (via Sscanf) still match.
+		fmt.Fprintf(w, "shard %d [%d,%d) replica %d\n", s.id, s.lo, s.hi, s.replica)
 	})
 	return mux
 }
 
 // shardStatus maps shard errors to HTTP statuses: sequencing conflicts
-// are 409 (retry cannot help; restart the epoch), wire garbage 400,
+// and fencing rejections are 409 (retry cannot help), wire garbage 400,
 // anything else 500.
 func shardStatus(err error) int {
 	switch {
-	case errors.Is(err, ErrRoundSequence):
+	case errors.Is(err, ErrRoundSequence), errors.Is(err, ErrFenced):
 		return http.StatusConflict
 	case errors.Is(err, ErrWire):
 		return http.StatusBadRequest

@@ -1,13 +1,14 @@
 package main
 
 // Cluster modes: besides the standalone query daemon, bfsd can run as
-// one shard of a distributed BFS cluster (-shard-id/-shards) or as the
-// cluster's coordinator (-coordinate). Shards own a contiguous 1D
-// vertex partition of a shared graph (every shard loads the same graph
-// and serves only its slice); the coordinator drives level-synchronous
-// rounds over the shards' HTTP API with bitmap-compressed frontier
-// exchange, heartbeat failure detection, retried idempotent round
-// messages and checkpointed crash recovery (see cluster/coord).
+// one shard of a distributed BFS cluster (-shard-id/-shards), as the
+// cluster's coordinator (-coordinate), or as a standby coordinator
+// (-standby-of, see ha.go). Shards own a contiguous 1D vertex partition
+// of a shared graph (every shard loads the same graph and serves only
+// its slice); the coordinator drives level-synchronous rounds over the
+// shards' HTTP API with bitmap-compressed frontier exchange, heartbeat
+// failure detection, retried idempotent round messages and checkpointed
+// crash recovery (see cluster/coord).
 //
 //	# three shards + a coordinator over a generated scale-14 RMAT graph
 //	bfsd -addr :9001 -shard-id 0 -shards 3 -gen rmat -scale 14 -checkpoint-dir /tmp/s0 &
@@ -16,19 +17,31 @@ package main
 //	bfsd -addr :9000 -coordinate http://127.0.0.1:9001,http://127.0.0.1:9002,http://127.0.0.1:9003
 //	curl -s -X POST localhost:9000/cluster/bfs -d '{"source":0}'
 //
-// With -coordinate auto the coordinator instead waits for -shards
-// shard processes to announce themselves at POST /cluster/register,
-// so shards can come up in any order on dynamic ports (each shard is
-// then started with -coordinator http://coordinator-addr).
+// With -coordinate auto the coordinator instead waits for shard
+// processes to announce themselves at POST /cluster/register, so shards
+// can come up in any order on dynamic ports (each shard is then started
+// with -coordinator http://coordinator-addr; registration retries with
+// backoff, so the coordinator may even boot last).
+//
+// With -replicas R every partition is served by a replica group of R
+// shards (launch R shards per -shard-id, distinguished by -replica-id;
+// with explicit -coordinate URLs list them group-major). The
+// coordinator fails mid-round over to a group's surviving replicas, so
+// killing any single shard leaves results exact — only whole-group loss
+// degrades to a 206 partial result.
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"log"
 	"net/http"
+	"os"
 	"os/signal"
+	"path/filepath"
 	"strings"
 	"sync"
 	"syscall"
@@ -44,47 +57,144 @@ import (
 // clusterFlags carries the cluster-mode command line.
 type clusterFlags struct {
 	shardID     int
+	replicaID   int
 	shards      int
 	coordinator string // shard: register with this coordinator URL
 	ckptDir     string
 
 	coordinate     string // coordinator: comma-separated shard URLs or "auto"
+	replicas       int
+	standbyOf      string // standby: active coordinator URL to watch
+	leaseTTL       time.Duration
+	stateDir       string // coordinator/standby: journal dir (from -state-dir)
 	rpcTimeout     time.Duration
 	recoveryBudget time.Duration
 	heartbeat      time.Duration
 	maxAttempts    int
 
-	chaosSeed       uint64
-	chaosSendProb   float64
-	chaosExpandProb float64
+	chaosSeed         uint64
+	chaosSendProb     float64
+	chaosExpandProb   float64
+	chaosExpandDelay  time.Duration
+	chaosFailoverProb float64
+}
+
+// signalContext is the shared SIGINT/SIGTERM context for the blocking
+// cluster modes.
+func signalContext() (context.Context, context.CancelFunc) {
+	return signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+}
+
+// openCoordJournal opens the coordinator state journal under stateDir
+// (in a subdirectory, so the dir can be shared with a serve daemon's
+// control-plane journal without name collisions).
+func openCoordJournal(stateDir string) (*coord.Journal, error) {
+	dir := filepath.Join(stateDir, "coord")
+	j, err := coord.OpenJournal(dir, 0)
+	if err != nil {
+		return nil, fmt.Errorf("opening coordinator journal in %s: %w", dir, err)
+	}
+	if j.TornBytes > 0 {
+		log.Printf("coordinator journal tail was torn: truncated %d bytes (crash mid-append)", j.TornBytes)
+	}
+	if j.SnapshotCorrupt {
+		log.Printf("coordinator journal snapshot was corrupt; recovered from the log alone")
+	}
+	return j, nil
+}
+
+// shardReadyz is the shard-mode /readyz body: replica identity, the
+// last checkpointed protocol position, the fencing token in force, and
+// whether the checkpoint directory accepts writes (a shard that cannot
+// checkpoint fails every round, so it is not ready).
+type shardReadyz struct {
+	Role               string `json:"role"`
+	Group              int    `json:"group"`
+	Replica            int    `json:"replica"`
+	Lo                 uint32 `json:"lo"`
+	Hi                 uint32 `json:"hi"`
+	Epoch              uint64 `json:"epoch"`
+	Round              uint32 `json:"round"`
+	Fence              uint64 `json:"fence"`
+	CheckpointDir      string `json:"checkpoint_dir,omitempty"`
+	CheckpointWritable bool   `json:"checkpoint_writable"`
+	CheckpointError    string `json:"checkpoint_error,omitempty"`
+}
+
+// probeDirWritable verifies dir accepts a small write (created, synced
+// via Close, removed) — the same operations a round checkpoint needs.
+func probeDirWritable(dir string) error {
+	f, err := os.CreateTemp(dir, ".readyz-probe-*")
+	if err != nil {
+		return err
+	}
+	name := f.Name()
+	_, werr := f.Write([]byte("ok"))
+	cerr := f.Close()
+	os.Remove(name)
+	if werr != nil {
+		return werr
+	}
+	return cerr
+}
+
+// shardInjector builds the shard-side chaos plan from the flags.
+func shardInjector(cf clusterFlags) *faultinject.Plan {
+	rules := map[faultinject.Site]faultinject.Rule{}
+	if cf.chaosExpandProb > 0 {
+		rules[faultinject.SiteShardExpand] = faultinject.Rule{FaultProb: cf.chaosExpandProb}
+		log.Printf("chaos: failing %.0f%% of expand rounds (seed %d)", 100*cf.chaosExpandProb, cf.chaosSeed)
+	}
+	if cf.chaosExpandDelay > 0 {
+		r := rules[faultinject.SiteShardExpand]
+		r.DelayProb, r.MaxDelay = 1, cf.chaosExpandDelay
+		rules[faultinject.SiteShardExpand] = r
+		log.Printf("chaos: delaying every expand round by up to %v (seed %d)", cf.chaosExpandDelay, cf.chaosSeed)
+	}
+	if len(rules) == 0 {
+		return nil
+	}
+	return &faultinject.Plan{Seed: cf.chaosSeed, Rules: rules}
 }
 
 // runShardMode serves one partition of the cluster: the shard API plus
-// /healthz and /readyz so standard probes (and the crash-test harness)
-// work unchanged. Blocks until SIGINT/SIGTERM.
+// /healthz and a /readyz that reports replica role, checkpoint position
+// and checkpoint-dir writability. Blocks until SIGINT/SIGTERM.
 func runShardMode(addr string, cf clusterFlags, g *graph.Graph) error {
 	if cf.shards < 1 || cf.shardID >= cf.shards {
 		return fmt.Errorf("-shard-id %d requires -shards > %d", cf.shardID, cf.shardID)
 	}
-	var inj *faultinject.Plan
-	if cf.chaosExpandProb > 0 {
-		inj = &faultinject.Plan{Seed: cf.chaosSeed, Rules: map[faultinject.Site]faultinject.Rule{
-			faultinject.SiteShardExpand: {FaultProb: cf.chaosExpandProb},
-		}}
-		log.Printf("chaos: failing %.0f%% of expand rounds (seed %d)", 100*cf.chaosExpandProb, cf.chaosSeed)
-	}
-	s, err := coord.NewShard(g, cf.shardID, cf.shards, cf.ckptDir, inj)
+	s, err := coord.NewReplicaShard(g, cf.shardID, cf.replicaID, cf.shards, cf.ckptDir, shardInjector(cf))
 	if err != nil {
 		return err
 	}
 	lo, hi := s.Range()
-	log.Printf("shard %d/%d owns vertices [%d,%d) of %d", cf.shardID, cf.shards, lo, hi, g.NumVertices())
+	log.Printf("shard %d/%d replica %d owns vertices [%d,%d) of %d",
+		cf.shardID, cf.shards, cf.replicaID, lo, hi, g.NumVertices())
 
 	mux := http.NewServeMux()
 	mux.Handle("/shard/", s.Handler())
-	ok := func(w http.ResponseWriter, r *http.Request) { fmt.Fprintln(w, "ok") }
-	mux.HandleFunc("GET /healthz", ok)
-	mux.HandleFunc("GET /readyz", ok)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) { fmt.Fprintln(w, "ok") })
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
+		st := s.Status()
+		out := shardReadyz{
+			Role: st.Role, Group: st.Group, Replica: st.Replica,
+			Lo: st.Lo, Hi: st.Hi, Epoch: st.Epoch, Round: st.Round, Fence: st.Fence,
+			CheckpointDir: cf.ckptDir,
+		}
+		status := http.StatusOK
+		if cf.ckptDir != "" {
+			if err := probeDirWritable(cf.ckptDir); err != nil {
+				out.CheckpointError = err.Error()
+				status = http.StatusServiceUnavailable
+			} else {
+				out.CheckpointWritable = true
+			}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(status)
+		json.NewEncoder(w).Encode(&out)
+	})
 
 	server := &http.Server{Addr: addr, Handler: mux}
 	errCh := make(chan error, 1)
@@ -94,13 +204,13 @@ func runShardMode(addr string, cf clusterFlags, g *graph.Graph) error {
 	}()
 
 	if cf.coordinator != "" {
-		if err := registerWithCoordinator(cf.coordinator, cf.shardID, addr); err != nil {
+		if err := registerWithCoordinator(cf.coordinator, cf.shardID, cf.replicaID, addr); err != nil {
 			server.Close()
 			return err
 		}
 	}
 
-	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	ctx, stop := signalContext()
 	defer stop()
 	select {
 	case err := <-errCh:
@@ -112,29 +222,40 @@ func runShardMode(addr string, cf clusterFlags, g *graph.Graph) error {
 	return server.Shutdown(sctx)
 }
 
-// registerWithCoordinator announces this shard's reachable URL. The
-// coordinator may still be booting, so registration retries briefly.
-func registerWithCoordinator(coordURL string, id int, addr string) error {
-	if strings.HasPrefix(addr, ":") {
-		addr = "127.0.0.1" + addr
-	}
-	body, _ := json.Marshal(map[string]any{"id": id, "url": "http://" + addr})
+// registerWithCoordinator announces this shard's reachable URL,
+// retrying with jittered backoff so shard/coordinator boot order does
+// not matter (the coordinator may take a while to start listening).
+// Registrations the coordinator actively refuses (bad id, conflicting
+// URL after assembly) fail fast: retrying an invalid registration
+// cannot succeed.
+func registerWithCoordinator(coordURL string, id, replica int, addr string) error {
+	body, _ := json.Marshal(map[string]any{"id": id, "replica": replica, "url": selfURL(addr)})
+	bo := cluster.Backoff{Base: 50 * time.Millisecond, Max: 2 * time.Second, Jitter: 0.5}
+	deadline := time.Now().Add(2 * time.Minute)
 	var last error
-	for attempt := 0; attempt < 50; attempt++ {
+	for attempt := 1; ; attempt++ {
 		resp, err := http.Post(coordURL+"/cluster/register", "application/json", strings.NewReader(string(body)))
 		if err == nil {
+			msg, _ := io.ReadAll(io.LimitReader(resp.Body, 256))
 			resp.Body.Close()
-			if resp.StatusCode == http.StatusOK {
+			switch resp.StatusCode {
+			case http.StatusOK:
 				log.Printf("registered with coordinator %s", coordURL)
 				return nil
+			case http.StatusBadRequest, http.StatusConflict:
+				return fmt.Errorf("registering with coordinator %s: %s: %s",
+					coordURL, resp.Status, bytes.TrimSpace(msg))
+			default:
+				last = fmt.Errorf("register: %s: %s", resp.Status, bytes.TrimSpace(msg))
 			}
-			last = fmt.Errorf("register: %s", resp.Status)
 		} else {
 			last = err
 		}
-		time.Sleep(200 * time.Millisecond)
+		if time.Now().After(deadline) {
+			return fmt.Errorf("registering with coordinator %s: %w", coordURL, last)
+		}
+		time.Sleep(bo.Delay(attempt, uint64(id)<<8|uint64(replica)))
 	}
-	return fmt.Errorf("registering with coordinator %s: %w", coordURL, last)
 }
 
 // clusterBFSRequest is the coordinator's query body.
@@ -156,91 +277,59 @@ type clusterBFSResponse struct {
 	DeadShards      []int   `json:"dead_shards,omitempty"`
 	Retries         int     `json:"retries"`
 	EpochRestarts   int     `json:"epoch_restarts"`
+	Failovers       int     `json:"failovers"`
 	Depth           []int32 `json:"depth,omitempty"`
 	ElapsedMS       float64 `json:"elapsed_ms"`
 }
 
-// runCoordinatorMode runs the cluster coordinator. Blocks until
+// runCoordinatorMode runs the active cluster coordinator. With
+// -state-dir it journals membership, its lease and per-round epoch
+// state so a -standby-of coordinator can take over. Blocks until
 // SIGINT/SIGTERM.
 func runCoordinatorMode(addr string, cf clusterFlags) error {
-	var inj *faultinject.Plan
-	if cf.chaosSendProb > 0 {
-		inj = &faultinject.Plan{Seed: cf.chaosSeed, Rules: map[faultinject.Site]faultinject.Rule{
-			faultinject.SiteCoordSend: {FaultProb: cf.chaosSendProb},
-		}}
-		log.Printf("chaos: dropping %.0f%% of round sends (seed %d)", 100*cf.chaosSendProb, cf.chaosSeed)
-	}
-	cfg := coord.Config{
-		RPCTimeout:        cf.rpcTimeout,
-		MaxAttempts:       cf.maxAttempts,
-		RecoveryBudget:    cf.recoveryBudget,
-		HeartbeatInterval: cf.heartbeat,
-		Backoff:           cluster.Backoff{Base: 25 * time.Millisecond, Max: time.Second, Jitter: 0.5, Seed: cf.chaosSeed},
-		Injector:          inj,
+	inj := coordInjector(cf)
+	cs := newCoordServer(addr, cf, inj)
+	if cf.stateDir != "" {
+		j, err := openCoordJournal(cf.stateDir)
+		if err != nil {
+			return err
+		}
+		defer j.Close()
+		cs.journal = j
+		j.Mirror = cs.mirrorHook
+		// The fencing token must exceed every token this journal has ever
+		// held a lease for, so a restart (or takeover of our old standby
+		// role) can never reuse one the shards already admitted.
+		cs.fence = 1
+		if l := j.State().Lease; l != nil {
+			cs.fence = l.Token + 1
+		}
+		log.Printf("coordinator: journaling state under %s (fencing token %d, lease TTL %v)",
+			j.Dir(), cs.fence, cs.leaseTTL)
 	}
 
 	// reg collects shard URLs — fixed from the flag, or dynamically via
 	// POST /cluster/register in auto mode.
-	reg := &registry{want: cf.shards, done: make(chan struct{})}
+	replicas := cf.replicas
+	if replicas < 1 {
+		replicas = 1
+	}
+	reg := &registry{replicas: replicas, groups: cf.shards, done: make(chan struct{})}
 	if cf.coordinate != "auto" {
-		reg.fix(strings.Split(cf.coordinate, ","))
+		if err := reg.fix(strings.Split(cf.coordinate, ",")); err != nil {
+			return err
+		}
 	} else if cf.shards < 1 {
 		return errors.New("-coordinate auto requires -shards")
 	}
 
-	var (
-		mu sync.Mutex // serializes runs: the round protocol is one-at-a-time
-		co *coord.Coordinator
-	)
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /cluster/register", reg.handle)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) { fmt.Fprintln(w, "ok") })
-	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
-		mu.Lock()
-		ready := co != nil
-		mu.Unlock()
-		if !ready {
-			http.Error(w, "cluster not assembled", http.StatusServiceUnavailable)
-			return
-		}
-		fmt.Fprintln(w, "ok")
-	})
-	mux.HandleFunc("POST /cluster/bfs", func(w http.ResponseWriter, r *http.Request) {
-		var req clusterBFSRequest
-		if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<16)).Decode(&req); err != nil {
-			http.Error(w, err.Error(), http.StatusBadRequest)
-			return
-		}
-		mu.Lock()
-		defer mu.Unlock()
-		if co == nil {
-			http.Error(w, "cluster not assembled", http.StatusServiceUnavailable)
-			return
-		}
-		start := time.Now()
-		res, err := co.Run(r.Context(), req.Source)
-		if err != nil {
-			http.Error(w, err.Error(), http.StatusInternalServerError)
-			return
-		}
-		out := clusterBFSResponse{
-			Source: res.Source, Visited: res.Visited, Rounds: res.Rounds,
-			ClaimedPerRound: res.ClaimedPerRound, Epoch: res.Epoch,
-			Incomplete: res.Incomplete, DeadShards: res.DeadShards,
-			Retries: res.Retries, EpochRestarts: res.EpochRestarts,
-			ElapsedMS: float64(time.Since(start).Microseconds()) / 1000,
-		}
-		if req.IncludeDepth {
-			out.Depth = res.Depth
-		}
-		w.Header().Set("Content-Type", "application/json")
-		if res.Incomplete {
-			// A degraded answer is typed, not hidden: 206 tells callers
-			// the reachable subset excludes dead shards' vertices.
-			w.WriteHeader(http.StatusPartialContent)
-		}
-		json.NewEncoder(w).Encode(&out)
-	})
+	mux.HandleFunc("GET /readyz", cs.handleReadyz)
+	mux.HandleFunc("POST /cluster/bfs", cs.handleBFS)
+	mux.HandleFunc("GET /cluster/state", cs.handleState)
+	mux.HandleFunc("POST /cluster/mirror", cs.handleMirror)
 
 	server := &http.Server{Addr: addr, Handler: mux}
 	errCh := make(chan error, 1)
@@ -249,8 +338,16 @@ func runCoordinatorMode(addr string, cf clusterFlags) error {
 		errCh <- server.ListenAndServe()
 	}()
 
-	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	ctx, stop := signalContext()
 	defer stop()
+
+	if cs.journal != nil {
+		if err := cs.publishLease(); err != nil {
+			return fmt.Errorf("publishing initial lease: %w", err)
+		}
+		go cs.renewLoop(ctx)
+		go cs.mirrorPusher(ctx)
+	}
 
 	// Assemble the cluster in the background so the listener (and
 	// /cluster/register) is up first.
@@ -260,17 +357,31 @@ func runCoordinatorMode(addr string, cf clusterFlags) error {
 		case <-ctx.Done():
 			return
 		}
-		cfg.Shards = reg.urls()
-		c, err := coord.Open(ctx, cfg)
-		if err != nil {
+		urls := reg.urls()
+		if cs.journal != nil {
+			a := &coord.GroupAssignment{
+				Groups:   uint32(len(urls) / replicas),
+				Replicas: uint32(replicas),
+				URLs:     urls,
+			}
+			if err := cs.journal.AppendAssignment(a); err != nil {
+				errCh <- fmt.Errorf("journaling shard assignment: %w", err)
+				return
+			}
+		}
+		cfg := clusterCoordConfig(cf, inj)
+		cfg.Shards = urls
+		if err := cs.activate(ctx, cfg); err != nil {
+			if errors.Is(err, coord.ErrFenced) {
+				// Deposed before we even got going (a standby took over
+				// while we were down): keep serving 409s rather than exit,
+				// so clients get a typed answer.
+				log.Printf("coordinator: %v", err)
+				return
+			}
 			log.Printf("coordinator: assembling cluster: %v", err)
 			errCh <- err
-			return
 		}
-		mu.Lock()
-		co = c
-		mu.Unlock()
-		log.Printf("cluster assembled: %d shards, %d vertices", len(cfg.Shards), c.NumVertices())
 	}()
 
 	select {
@@ -283,39 +394,51 @@ func runCoordinatorMode(addr string, cf clusterFlags) error {
 	return server.Shutdown(sctx)
 }
 
-// registry collects shard URLs until all expected shards have reported.
+// registry collects shard URLs until every replica of every group has
+// reported. Keys are group-major flat indices (group*replicas+replica),
+// matching coord.Config.Shards order.
 type registry struct {
-	mu   sync.Mutex
-	want int
-	got  map[int]string
-	done chan struct{} // closed once the shard set is complete
+	mu       sync.Mutex
+	groups   int
+	replicas int
+	got      map[int]string
+	done     chan struct{} // closed once the shard set is complete
 }
 
-func (r *registry) fix(urls []string) {
+func (r *registry) want() int { return r.groups * r.replicas }
+
+// fix seeds the registry from an explicit group-major URL list.
+func (r *registry) fix(urls []string) error {
+	if len(urls)%r.replicas != 0 {
+		return fmt.Errorf("-coordinate lists %d URLs, not divisible into groups of %d replicas", len(urls), r.replicas)
+	}
 	r.got = make(map[int]string, len(urls))
 	for i, u := range urls {
 		r.got[i] = strings.TrimSpace(u)
 	}
-	r.want = len(urls)
+	r.groups = len(urls) / r.replicas
 	close(r.done)
+	return nil
 }
 
 func (r *registry) handle(w http.ResponseWriter, req *http.Request) {
 	var body struct {
-		ID  int    `json:"id"`
-		URL string `json:"url"`
+		ID      int    `json:"id"`
+		Replica int    `json:"replica"`
+		URL     string `json:"url"`
 	}
 	if err := json.NewDecoder(http.MaxBytesReader(w, req.Body, 1<<12)).Decode(&body); err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
+	key := body.ID*r.replicas + body.Replica
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	select {
 	case <-r.done:
 		// Late or duplicate registration after assembly: accept a known
 		// URL (shard restart), refuse anything new.
-		if r.got[body.ID] != body.URL {
+		if r.got[key] != body.URL {
 			http.Error(w, "cluster already assembled", http.StatusConflict)
 			return
 		}
@@ -323,16 +446,17 @@ func (r *registry) handle(w http.ResponseWriter, req *http.Request) {
 		return
 	default:
 	}
-	if body.ID < 0 || body.ID >= r.want || body.URL == "" {
-		http.Error(w, fmt.Sprintf("bad registration: id %d of %d, url %q", body.ID, r.want, body.URL), http.StatusBadRequest)
+	if body.ID < 0 || body.ID >= r.groups || body.Replica < 0 || body.Replica >= r.replicas || body.URL == "" {
+		http.Error(w, fmt.Sprintf("bad registration: shard %d replica %d of %dx%d, url %q",
+			body.ID, body.Replica, r.groups, r.replicas, body.URL), http.StatusBadRequest)
 		return
 	}
 	if r.got == nil {
-		r.got = make(map[int]string, r.want)
+		r.got = make(map[int]string, r.want())
 	}
-	r.got[body.ID] = body.URL
-	log.Printf("shard %d registered at %s (%d/%d)", body.ID, body.URL, len(r.got), r.want)
-	if len(r.got) == r.want {
+	r.got[key] = body.URL
+	log.Printf("shard %d replica %d registered at %s (%d/%d)", body.ID, body.Replica, body.URL, len(r.got), r.want())
+	if len(r.got) == r.want() {
 		close(r.done)
 	}
 	fmt.Fprintln(w, "ok")
@@ -341,7 +465,7 @@ func (r *registry) handle(w http.ResponseWriter, req *http.Request) {
 func (r *registry) urls() []string {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	urls := make([]string, r.want)
+	urls := make([]string, r.want())
 	for i := range urls {
 		urls[i] = r.got[i]
 	}

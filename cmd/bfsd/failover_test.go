@@ -1,0 +1,401 @@
+//go:build unix
+
+package main
+
+// Process-level HA harness: replicated shard groups surviving SIGKILL
+// with exact results, a journaled standby coordinator taking over an
+// in-flight epoch, fencing of a deposed-but-alive coordinator, boot
+// order independence of registration, and the shard /readyz probe.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+)
+
+// startCoordinatorAt launches a bfsd coordinator pinned to addr (the
+// boot-order test needs shards dialing the address before the process
+// exists).
+func startCoordinatorAt(t *testing.T, addr string, args ...string) *daemon {
+	t.Helper()
+	d := &daemon{addr: addr, logs: &bytes.Buffer{}}
+	d.cmd = exec.Command(bfsdBin, append([]string{"-addr", addr}, args...)...)
+	d.cmd.Stdout = d.logs
+	d.cmd.Stderr = d.logs
+	if err := d.cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		if d.cmd.ProcessState == nil {
+			_ = d.cmd.Process.Kill()
+			_, _ = d.cmd.Process.Wait()
+		}
+	})
+	return d
+}
+
+// stopAndLogs SIGKILLs a daemon, reaps it via cmd.Wait — which also
+// joins the goroutines copying its output into d.logs — and returns
+// the complete log text, race-free.
+func stopAndLogs(d *daemon) string {
+	_ = d.cmd.Process.Kill()
+	_ = d.cmd.Wait()
+	return d.logs.String()
+}
+
+// startReplicaCluster launches groups x replicas shard processes
+// (group-major) plus a coordinator with -replicas, and waits for
+// assembly.
+func startReplicaCluster(t *testing.T, groups, replicas, scale int, shardExtra []string, coordArgs ...string) (*daemon, []*daemon) {
+	t.Helper()
+	var shards []*daemon
+	urls := ""
+	for g := 0; g < groups; g++ {
+		for r := 0; r < replicas; r++ {
+			extra := append([]string{"-replica-id", strconv.Itoa(r)}, shardExtra...)
+			s := startShard(t, freePort(t), g, groups, scale, "", extra...)
+			if len(shards) > 0 {
+				urls += ","
+			}
+			urls += "http://" + s.addr
+			shards = append(shards, s)
+		}
+	}
+	for _, s := range shards {
+		s.waitReady(t)
+	}
+	co := startDaemon(t, append([]string{
+		"-coordinate", urls, "-replicas", strconv.Itoa(replicas),
+	}, coordArgs...)...)
+	co.waitReady(t)
+	return co, shards
+}
+
+// TestClusterReplicaFailover: with R=2, SIGKILLing one replica mid-
+// query-stream costs nothing — every query that completes carries exact
+// depths over HTTP 200, with the coordinator recording failovers
+// instead of degrading. Killing the group's second replica then
+// degrades to the typed 206 path with the dead group named.
+func TestClusterReplicaFailover(t *testing.T) {
+	scale := clusterScale(t)
+	g := clusterGraph(t, scale)
+	want := serialClusterDepths(t, g, 0)
+	co, shards := startReplicaCluster(t, 2, 2, scale, nil,
+		"-recovery-budget", "1s", "-max-attempts", "2", "-heartbeat", "50ms")
+
+	res, status := clusterBFS(t, co, 0, true)
+	if status != http.StatusOK {
+		t.Fatalf("baseline query: HTTP %d", status)
+	}
+	assertClusterExact(t, res, want)
+
+	var (
+		wg        sync.WaitGroup
+		stop      = make(chan struct{})
+		mu        sync.Mutex
+		queries   int
+		failovers int
+		failure   error
+	)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			res, status := clusterBFSNoFatal(co, 0)
+			mu.Lock()
+			queries++
+			switch {
+			case res == nil:
+				failure = fmt.Errorf("query failed with HTTP %d", status)
+			case status != http.StatusOK || res.Incomplete:
+				failure = fmt.Errorf("query degraded (HTTP %d, dead groups %v) though a replica survives", status, res.DeadShards)
+			default:
+				for v := range want {
+					if res.Depth[v] != want[v] {
+						failure = fmt.Errorf("vertex %d: depth %d after failover, serial %d", v, res.Depth[v], want[v])
+						break
+					}
+				}
+				if res.Failovers > 0 {
+					failovers++
+				}
+			}
+			done := failure != nil
+			mu.Unlock()
+			if done {
+				return
+			}
+		}
+	}()
+
+	// SIGKILL group 0's primary replica mid-stream; it never comes back.
+	time.Sleep(150 * time.Millisecond)
+	shards[0].kill(t)
+	time.Sleep(2500 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+
+	mu.Lock()
+	if failure != nil {
+		mu.Unlock()
+		t.Fatalf("%v\ncoordinator logs:\n%s", failure, co.logs)
+	}
+	q, f := queries, failovers
+	mu.Unlock()
+	if q < 2 {
+		t.Fatalf("only %d queries completed; stream never straddled the kill", q)
+	}
+	if f == 0 {
+		t.Fatalf("none of %d queries recorded a failover; the kill was invisible", q)
+	}
+	t.Logf("%d queries, %d failed over to the surviving replica", q, f)
+
+	// Kill the surviving sibling: the whole group is gone, so the next
+	// query must degrade (206) with group 0 listed dead.
+	shards[1].kill(t)
+	res, status = clusterBFS(t, co, 0, true)
+	if status != http.StatusPartialContent {
+		t.Fatalf("whole-group death returned HTTP %d, want 206", status)
+	}
+	if !res.Incomplete || len(res.DeadShards) != 1 || res.DeadShards[0] != 0 {
+		t.Fatalf("degraded response: incomplete=%v dead=%v, want incomplete with group 0 dead", res.Incomplete, res.DeadShards)
+	}
+}
+
+// TestClusterStandbyTakeover: the active coordinator journals per-round
+// epoch state and mirrors it to a standby; SIGKILLing the active mid-
+// query promotes the standby, which finishes the in-flight epoch from
+// the journaled round (no epoch restart — shards replay their cached
+// rounds) and then serves fresh queries exactly.
+func TestClusterStandbyTakeover(t *testing.T) {
+	scale := clusterScale(t)
+	g := clusterGraph(t, scale)
+	want := serialClusterDepths(t, g, 0)
+	// The expand delay slows rounds so the SIGKILL lands mid-epoch.
+	var shards []*daemon
+	urls := ""
+	for i := 0; i < 2; i++ {
+		s := startShard(t, freePort(t), i, 2, scale, "", "-chaos-expand-delay", "100ms")
+		if i > 0 {
+			urls += ","
+		}
+		urls += "http://" + s.addr
+		shards = append(shards, s)
+	}
+	for _, s := range shards {
+		s.waitReady(t)
+	}
+	active := startDaemon(t, "-coordinate", urls,
+		"-state-dir", t.TempDir(), "-lease-ttl", "1s", "-heartbeat", "50ms")
+	active.waitReady(t)
+	standby := startDaemon(t, "-standby-of", active.url(""),
+		"-state-dir", t.TempDir(), "-lease-ttl", "1s", "-heartbeat", "50ms")
+	// Let the standby register with the active for mirror pushes.
+	time.Sleep(500 * time.Millisecond)
+
+	res, status := clusterBFS(t, active, 0, true)
+	if status != http.StatusOK {
+		t.Fatalf("baseline query: HTTP %d", status)
+	}
+	assertClusterExact(t, res, want)
+
+	// Launch a slow query and SIGKILL the active mid-epoch; the client's
+	// connection dies with it.
+	go func() {
+		body, _ := json.Marshal(clusterBFSRequest{Source: 0})
+		resp, err := http.Post(active.url("/cluster/bfs"), "application/json", bytes.NewReader(body))
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+	}()
+	time.Sleep(250 * time.Millisecond)
+	active.kill(t)
+
+	// The standby notices the unrenewed lease, takes over, and resumes
+	// the journaled epoch; /readyz flips to 200 only after that.
+	standby.waitReady(t)
+	res, status = clusterBFS(t, standby, 0, true)
+	if status != http.StatusOK {
+		t.Fatalf("post-takeover query: HTTP %d", status)
+	}
+	assertClusterExact(t, res, want)
+
+	// Log assertions want the process fully reaped first: cmd.Wait (not
+	// Process.Wait) joins the output-copier goroutines feeding d.logs.
+	logs := stopAndLogs(standby)
+	if !bytes.Contains([]byte(logs), []byte("standby: takeover complete")) {
+		t.Fatalf("standby never logged its takeover:\n%s", logs)
+	}
+	if !bytes.Contains([]byte(logs), []byte("resumed in-flight epoch")) {
+		t.Fatalf("standby never resumed the journaled epoch:\n%s", logs)
+	}
+	if !bytes.Contains([]byte(logs), []byte("epoch restarts 0")) {
+		t.Fatalf("resume restarted the epoch instead of replaying checkpointed rounds:\n%s", logs)
+	}
+}
+
+// TestClusterStaleCoordinatorFenced: chaos suppresses every lease
+// renewal, so the standby takes over while the old coordinator is still
+// alive. Once the new coordinator's fencing token has reached the
+// shards, the deposed one's queries come back as typed 409s — never
+// half-applied rounds.
+func TestClusterStaleCoordinatorFenced(t *testing.T) {
+	scale := clusterScale(t)
+	g := clusterGraph(t, scale)
+	want := serialClusterDepths(t, g, 0)
+	var shards []*daemon
+	urls := ""
+	for i := 0; i < 2; i++ {
+		s := startShard(t, freePort(t), i, 2, scale, "")
+		if i > 0 {
+			urls += ","
+		}
+		urls += "http://" + s.addr
+		shards = append(shards, s)
+	}
+	for _, s := range shards {
+		s.waitReady(t)
+	}
+	active := startDaemon(t, "-coordinate", urls,
+		"-state-dir", t.TempDir(), "-lease-ttl", "700ms", "-heartbeat", "50ms",
+		"-chaos-failover-prob", "1", "-chaos-seed", "3")
+	active.waitReady(t)
+	standby := startDaemon(t, "-standby-of", active.url(""),
+		"-state-dir", t.TempDir(), "-lease-ttl", "700ms", "-heartbeat", "50ms")
+
+	// Every renewal is suppressed, so the standby promotes itself while
+	// the old coordinator keeps running.
+	standby.waitReady(t)
+
+	// The new coordinator's first query raises the shards' fencing bar.
+	res, status := clusterBFS(t, standby, 0, true)
+	if status != http.StatusOK {
+		t.Fatalf("promoted standby query: HTTP %d", status)
+	}
+	assertClusterExact(t, res, want)
+
+	// The deposed coordinator's next round is fenced: typed 409, and it
+	// marks itself deposed (503 on /readyz) rather than retrying.
+	if res, status := clusterBFSNoFatal(active, 0); res != nil || status != http.StatusConflict {
+		t.Fatalf("stale coordinator answered HTTP %d, want 409", status)
+	}
+	resp, err := http.Get(active.url("/readyz"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("deposed coordinator /readyz returned %d, want 503", resp.StatusCode)
+	}
+
+	// The promoted coordinator keeps serving exactly.
+	res, status = clusterBFS(t, standby, 0, true)
+	if status != http.StatusOK {
+		t.Fatalf("second standby query: HTTP %d", status)
+	}
+	assertClusterExact(t, res, want)
+}
+
+// TestClusterBootOrder: shards started before the coordinator even
+// listens keep retrying registration with backoff, so boot order does
+// not matter — the cluster assembles once the coordinator appears.
+func TestClusterBootOrder(t *testing.T) {
+	scale := clusterScale(t)
+	g := clusterGraph(t, scale)
+	want := serialClusterDepths(t, g, 0)
+	coordAddr := freePort(t)
+	for gid := 0; gid < 2; gid++ {
+		for r := 0; r < 2; r++ {
+			startShard(t, freePort(t), gid, 2, scale, "",
+				"-replica-id", strconv.Itoa(r), "-coordinator", "http://"+coordAddr)
+		}
+	}
+	// Shards are now dialing a coordinator that does not exist yet.
+	time.Sleep(400 * time.Millisecond)
+	co := startCoordinatorAt(t, coordAddr, "-coordinate", "auto", "-shards", "2", "-replicas", "2")
+	co.waitReady(t)
+	res, status := clusterBFS(t, co, 0, true)
+	if status != http.StatusOK {
+		t.Fatalf("query after late assembly: HTTP %d", status)
+	}
+	assertClusterExact(t, res, want)
+}
+
+// TestShardReadyz: the shard readiness probe reports replica identity,
+// protocol position, fencing token and checkpoint-dir writability — and
+// flips to 503 when the checkpoint directory stops accepting writes.
+func TestShardReadyz(t *testing.T) {
+	scale := clusterScale(t)
+	dir := t.TempDir()
+	ckpt := dir + "/ckpt"
+	if err := os.Mkdir(ckpt, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	primary := startShard(t, freePort(t), 0, 2, scale, ckpt)
+	primary.waitReady(t)
+
+	var out shardReadyz
+	getReadyz := func(d *daemon) int {
+		t.Helper()
+		resp, err := http.Get(d.url("/readyz"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		out = shardReadyz{}
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode
+	}
+	if status := getReadyz(primary); status != http.StatusOK {
+		t.Fatalf("/readyz returned %d: %+v", status, out)
+	}
+	if out.Role != "primary" || out.Group != 0 || out.Replica != 0 {
+		t.Fatalf("identity %q group %d replica %d, want primary 0/0", out.Role, out.Group, out.Replica)
+	}
+	if out.Lo != 0 || out.Hi == 0 || out.Epoch != 0 || out.Fence != 0 {
+		t.Fatalf("fresh shard reports lo=%d hi=%d epoch=%d fence=%d", out.Lo, out.Hi, out.Epoch, out.Fence)
+	}
+	if !out.CheckpointWritable || out.CheckpointDir != ckpt {
+		t.Fatalf("checkpoint probe: writable=%v dir=%q", out.CheckpointWritable, out.CheckpointDir)
+	}
+
+	secondary := startShard(t, freePort(t), 1, 2, scale, "", "-replica-id", "1")
+	secondary.waitReady(t)
+	if status := getReadyz(secondary); status != http.StatusOK {
+		t.Fatalf("secondary /readyz returned %d: %+v", status, out)
+	}
+	if out.Role != "secondary" || out.Group != 1 || out.Replica != 1 {
+		t.Fatalf("identity %q group %d replica %d, want secondary 1/1", out.Role, out.Group, out.Replica)
+	}
+
+	// Break the checkpoint directory (a file now occupies its path): the
+	// shard can no longer persist rounds, so it must stop claiming ready.
+	if err := os.RemoveAll(ckpt); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(ckpt, []byte("not a directory"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if status := getReadyz(primary); status != http.StatusServiceUnavailable {
+		t.Fatalf("/readyz with broken checkpoint dir returned %d, want 503 (%+v)", status, out)
+	}
+	if out.CheckpointWritable || out.CheckpointError == "" {
+		t.Fatalf("broken checkpoint dir not reported: %+v", out)
+	}
+}

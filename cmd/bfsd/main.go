@@ -123,19 +123,32 @@ func main() {
 
 	var cf clusterFlags
 	flag.IntVar(&cf.shardID, "shard-id", -1, "run as cluster shard with this id (requires -shards; see cluster/coord)")
-	flag.IntVar(&cf.shards, "shards", 0, "total shard count of the cluster")
+	flag.IntVar(&cf.replicaID, "replica-id", 0, "shard mode: replica index within this shard's group")
+	flag.IntVar(&cf.shards, "shards", 0, "total shard-group count of the cluster")
 	flag.StringVar(&cf.coordinator, "coordinator", "", "shard mode: register with this coordinator URL (for -coordinate auto)")
 	flag.StringVar(&cf.ckptDir, "checkpoint-dir", "", "shard mode: persist per-round checkpoints here for crash recovery")
-	flag.StringVar(&cf.coordinate, "coordinate", "", "run as cluster coordinator over these comma-separated shard URLs, or 'auto' to await -shards registrations")
+	flag.StringVar(&cf.coordinate, "coordinate", "", "run as cluster coordinator over these comma-separated shard URLs (group-major with -replicas), or 'auto' to await registrations")
+	flag.IntVar(&cf.replicas, "replicas", 1, "coordinator: replicas per shard group; any single replica may die without degrading results")
+	flag.StringVar(&cf.standbyOf, "standby-of", "", "run as standby coordinator watching this active coordinator URL (requires -state-dir)")
+	flag.DurationVar(&cf.leaseTTL, "lease-ttl", 3*time.Second, "coordinator lease duration; the standby takes over once it expires unrenewed")
 	flag.DurationVar(&cf.rpcTimeout, "rpc-timeout", 5*time.Second, "coordinator: per-attempt deadline for shard RPCs")
-	flag.DurationVar(&cf.recoveryBudget, "recovery-budget", 15*time.Second, "coordinator: how long a failing shard may stay unreachable before the run degrades")
+	flag.DurationVar(&cf.recoveryBudget, "recovery-budget", 15*time.Second, "coordinator: how long a failing shard may stay unreachable before failover/degradation")
 	flag.DurationVar(&cf.heartbeat, "heartbeat", 500*time.Millisecond, "coordinator: shard health probe interval")
 	flag.IntVar(&cf.maxAttempts, "max-attempts", 4, "coordinator: guaranteed per-round delivery attempts per shard")
 	flag.Uint64Var(&cf.chaosSeed, "chaos-seed", 1, "seed for deterministic cluster fault injection")
 	flag.Float64Var(&cf.chaosSendProb, "chaos-send-prob", 0, "coordinator: inject this fraction of lost round sends")
 	flag.Float64Var(&cf.chaosExpandProb, "chaos-expand-prob", 0, "shard: fail this fraction of expand rounds")
+	flag.DurationVar(&cf.chaosExpandDelay, "chaos-expand-delay", 0, "shard: delay every expand round by up to this duration (slows queries so crash harnesses can kill mid-epoch)")
+	flag.Float64Var(&cf.chaosFailoverProb, "chaos-failover-prob", 0, "coordinator: suppress this fraction of lease renewals (forces standby takeover while alive)")
 	flag.Parse()
+	cf.stateDir = *stateDir
 
+	if cf.standbyOf != "" {
+		if err := runStandbyMode(*addr, cf); err != nil {
+			log.Fatalf("bfsd: %v", err)
+		}
+		return
+	}
 	if cf.coordinate != "" {
 		if err := runCoordinatorMode(*addr, cf); err != nil {
 			log.Fatalf("bfsd: %v", err)

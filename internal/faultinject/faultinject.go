@@ -64,6 +64,18 @@ const (
 	// against the shard's idempotent round protocol), panics crash the
 	// handler mid-round.
 	SiteShardExpand Site = "shard.expand"
+	// SiteCoordFailover fires on each lease renewal tick of an active
+	// coordinator: an injected error suppresses that renewal, so a
+	// healthy standby observes an expiring lease and takes over — the
+	// deterministic way to force a coordinator failover without killing
+	// the process (the deposed coordinator then exercises the fencing
+	// path).
+	SiteCoordFailover Site = "coord.failover"
+	// SiteShardLease fires in a shard's fence-admission check, before
+	// the fencing token of a round request is compared: errors fail the
+	// request (a retryable 500, not a fencing rejection), delays slow
+	// admission to widen failover races.
+	SiteShardLease Site = "shard.lease"
 )
 
 // ErrInjected is the default error carried by injected failures; chaos
@@ -202,13 +214,15 @@ func (v PanicValue) String() string {
 // site, so each site sees the deterministic key sequence 0, 1, 2, ...
 // regardless of how occurrences interleave across sites.
 type Sequencer struct {
-	engineStep  atomic.Uint64
-	acquire     atomic.Uint64
-	sweep       atomic.Uint64
-	graphLoad   atomic.Uint64
-	coordSend   atomic.Uint64
-	shardExpand atomic.Uint64
-	other       atomic.Uint64
+	engineStep    atomic.Uint64
+	acquire       atomic.Uint64
+	sweep         atomic.Uint64
+	graphLoad     atomic.Uint64
+	coordSend     atomic.Uint64
+	shardExpand   atomic.Uint64
+	coordFailover atomic.Uint64
+	shardLease    atomic.Uint64
+	other         atomic.Uint64
 }
 
 // Next returns the next key for site.
@@ -226,6 +240,10 @@ func (s *Sequencer) Next(site Site) uint64 {
 		return s.coordSend.Add(1) - 1
 	case SiteShardExpand:
 		return s.shardExpand.Add(1) - 1
+	case SiteCoordFailover:
+		return s.coordFailover.Add(1) - 1
+	case SiteShardLease:
+		return s.shardLease.Add(1) - 1
 	default:
 		return s.other.Add(1) - 1
 	}
