@@ -5,9 +5,11 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"log"
 	"net/http"
+	"sort"
 	"strconv"
 	"sync"
 	"sync/atomic"
@@ -60,6 +62,21 @@ type Config struct {
 	// MaxEpochRestarts bounds full-traversal restarts caused by shards
 	// that lost their round state (default 3).
 	MaxEpochRestarts int
+	// HedgeAfter is how long past a round's first valid replica response
+	// a group keeps waiting for its stragglers before abandoning them
+	// for the epoch (the hedge, protecting rounds from gray-failed
+	// slow-but-alive replicas). Zero derives the budget adaptively from
+	// the p99 of recently observed healthy RPC latencies; negative
+	// disables hedging.
+	HedgeAfter time.Duration
+	// AuditReplicas makes the coordinator cross-check every replica's
+	// expand response (CRC32 of the canonical frame bytes) instead of
+	// serving the first success. Replicas run the round protocol in
+	// deterministic lockstep, so honest responses are byte-identical and
+	// any divergence is proof of silent corruption: the quorum answer is
+	// served and divergent minority replicas are marked dead for the
+	// epoch with ErrDiverged. Meaningful only with Replicas >= 2.
+	AuditReplicas bool
 	// Injector, when non-nil, disturbs the coordinator's send path
 	// (faultinject.SiteCoordSend) for chaos tests.
 	Injector *faultinject.Plan
@@ -131,6 +148,16 @@ type Result struct {
 	// group stayed usable — each one is a failure the replication layer
 	// absorbed without degrading the result.
 	Failovers int
+	// Divergences counts replica responses outvoted by their group's
+	// quorum under AuditReplicas — with deterministic lockstep replicas,
+	// each one is a silent corruption that was detected and never served.
+	Divergences int
+	// Hedges counts rounds where a group stopped waiting for a straggler
+	// replica after the hedge budget elapsed; HedgeWins counts those
+	// where an already-arrived sibling response let the round proceed
+	// without the straggler.
+	Hedges    int
+	HedgeWins int
 }
 
 // Coordinator drives level-synchronous distributed BFS over HTTP shard
@@ -152,6 +179,14 @@ type Coordinator struct {
 	lastContact []atomic.Int64 // unix nanos of last successful contact per URL
 	retries     atomic.Int64   // failed attempts retried this Run (parallel senders)
 	failovers   atomic.Int64   // replicas declared dead while their group survived
+	divergences atomic.Int64   // replica responses outvoted by their group's quorum
+	hedges      atomic.Int64   // rounds that abandoned a straggler after the hedge budget
+	hedgeWins   atomic.Int64   // hedged rounds that proceeded on a sibling's response
+
+	latMu   sync.Mutex
+	latRing [64]time.Duration // recent successful expand RPC latencies
+	latLen  int
+	latPos  int
 }
 
 // errEpochRestart is the internal signal that a shard lost its round
@@ -161,6 +196,16 @@ var errEpochRestart = errors.New("coord: shard lost round state; epoch restart r
 // errShardDead is the internal signal that a shard exhausted its
 // recovery budget this round.
 var errShardDead = errors.New("coord: shard declared dead")
+
+// ErrDiverged marks a replica whose expand response disagreed with its
+// group's quorum answer under AuditReplicas. Replicas execute the round
+// protocol in deterministic lockstep, so honest responses to one round
+// are byte-identical and any divergence is proof of silent corruption;
+// the quorum answer is served and the divergent replica is dead for the
+// epoch. Wrapped into a returned error only when no strict majority
+// exists (e.g. two replicas, two different answers) — the coordinator
+// then restarts the epoch rather than risk serving a corrupted result.
+var ErrDiverged = errors.New("coord: replica response diverged from quorum")
 
 // Open validates cfg, probes every replica's health endpoint to learn
 // the partitioning, and returns a ready Coordinator. Probing retries
@@ -349,9 +394,15 @@ func (c *Coordinator) run(ctx context.Context, source uint32, resumeEpoch uint64
 	res := &Result{Source: source}
 	c.retries.Store(0)
 	c.failovers.Store(0)
+	c.divergences.Store(0)
+	c.hedges.Store(0)
+	c.hedgeWins.Store(0)
 	defer func() {
 		res.Retries = int(c.retries.Load())
 		res.Failovers = int(c.failovers.Load())
+		res.Divergences = int(c.divergences.Load())
+		res.Hedges = int(c.hedges.Load())
+		res.HedgeWins = int(c.hedgeWins.Load())
 	}()
 	for restart := 0; ; restart++ {
 		// Epochs are wall-clock-derived so a restarted coordinator never
@@ -367,7 +418,10 @@ func (c *Coordinator) run(ctx context.Context, source uint32, resumeEpoch uint64
 			res.Epoch = epoch
 			return res, nil
 		}
-		if !errors.Is(err, errEpochRestart) {
+		// A no-quorum divergence poisons the epoch the same way lost round
+		// state does: nothing trustworthy can be served from it, but a
+		// fresh epoch may succeed (transient corruption, replica now dead).
+		if !errors.Is(err, errEpochRestart) && !errors.Is(err, ErrDiverged) {
 			return nil, err
 		}
 		if restart+1 >= c.cfg.MaxEpochRestarts {
@@ -578,13 +632,23 @@ func (c *Coordinator) allGroupsDead(dead []bool) bool {
 }
 
 // expandGroup delivers one round message to every live replica of group
-// g in parallel and returns the first successful response (replicas are
-// deterministic, so all successes are byte-identical). Replicas that
-// fail — exhausted recovery budget, or lost their round state while a
-// sibling still has it — are marked dead for the epoch and the round
-// proceeds on the survivors: that is the failover. Typed outcomes:
+// g in parallel and returns the group's answer for the round. Replicas
+// are deterministic lockstep copies, so honest responses to one round
+// are byte-identical; with AuditReplicas set the successful responses
+// are cross-checked (CRC32 of canonical bytes) and the strict-majority
+// quorum is served — divergent minority replicas are silent corruption,
+// marked dead for the epoch with ErrDiverged. After the first valid
+// response the group waits at most hedgeDelay for stragglers (the
+// hedge): a gray-failed slow-but-alive replica cannot stall the epoch —
+// its request is cancelled, it is abandoned for the epoch, and the round
+// proceeds on its siblings' answers. Replicas that fail — exhausted
+// recovery budget, or lost their round state while a sibling still has
+// it — are marked dead for the epoch and the round proceeds on the
+// survivors: that is the failover. Typed outcomes:
 //
 //   - ErrFenced from any replica is fatal (this coordinator is deposed);
+//   - ErrDiverged (wrapped) when auditing found no strict majority to
+//     serve (caller restarts the epoch rather than serve corruption);
 //   - errEpochRestart when no replica succeeded but at least one is
 //     alive-but-stateless (only a fresh epoch can proceed);
 //   - errShardDead when the entire group is dead (caller degrades).
@@ -593,6 +657,7 @@ func (c *Coordinator) expandGroup(ctx context.Context, g int, f *Frontier, dead 
 	type reply struct {
 		u    int
 		resp *ExpandResponse
+		crc  uint32
 		err  error
 	}
 	var live []int
@@ -601,20 +666,115 @@ func (c *Coordinator) expandGroup(ctx context.Context, g int, f *Frontier, dead 
 			live = append(live, u)
 		}
 	}
-	replies := make([]reply, 0, len(live))
-	var mu sync.Mutex
-	var wg sync.WaitGroup
+	// Stragglers are cancelled when the group stops waiting; the buffered
+	// channel lets their goroutines deliver and exit regardless, so a
+	// hedged round leaks no in-flight request goroutine.
+	gctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	ch := make(chan reply, len(live))
 	for _, u := range live {
-		wg.Add(1)
 		go func(u int) {
-			defer wg.Done()
-			resp, err := c.expand(ctx, u, f, res)
-			mu.Lock()
-			replies = append(replies, reply{u, resp, err})
-			mu.Unlock()
+			start := time.Now()
+			resp, crc, err := c.expand(gctx, u, f, res)
+			if err == nil {
+				c.recordLatency(time.Since(start))
+			}
+			ch <- reply{u, resp, crc, err}
 		}(u)
 	}
-	wg.Wait()
+
+	replies := make([]reply, 0, len(live))
+	succ := 0
+	var hedgeTimer *time.Timer
+	var hedgeC <-chan time.Time
+	defer func() {
+		if hedgeTimer != nil {
+			hedgeTimer.Stop()
+		}
+	}()
+	hedged := false
+	for outstanding := len(live); outstanding > 0; {
+		select {
+		case r := <-ch:
+			outstanding--
+			replies = append(replies, r)
+			if errors.Is(r.err, ErrFenced) {
+				return nil, r.err
+			}
+			if r.err == nil {
+				succ++
+				if hedgeC == nil && outstanding > 0 {
+					if d := c.hedgeDelay(); d > 0 {
+						hedgeTimer = time.NewTimer(d)
+						hedgeC = hedgeTimer.C
+					}
+				}
+			}
+		case <-hedgeC:
+			// The hedge: a valid response is in hand and a straggler has
+			// overstayed its budget. Stop waiting — the round proceeds on
+			// the responses already held.
+			hedged = true
+			c.hedges.Add(1)
+			outstanding = 0
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	if hedged {
+		cancel() // release stragglers' in-flight requests now, not at return
+		answered := make(map[int]bool, len(replies))
+		for _, r := range replies {
+			answered[r.u] = true
+		}
+		for _, u := range live {
+			if !answered[u] {
+				// A straggler misses this round, so lockstep is broken for
+				// it: dead for the epoch, readmitted next epoch.
+				dead[u] = true
+				c.failovers.Add(1)
+				log.Printf("coord: epoch %d round %d: group %d replica %d overstayed the hedge budget; abandoned for epoch",
+					f.Epoch, f.Round, g, u%R)
+			}
+		}
+	}
+
+	// The audit: bucket successful responses by canonical-bytes CRC and
+	// serve only a strict majority. Divergent minorities are marked dead
+	// with ErrDiverged; with no strict majority (two replicas that
+	// disagree, or a three-way split) nothing trustworthy can be served
+	// and the epoch restarts.
+	if c.cfg.AuditReplicas && succ > 1 {
+		counts := make(map[uint32]int, 2)
+		for _, r := range replies {
+			if r.err == nil {
+				counts[r.crc]++
+			}
+		}
+		if len(counts) > 1 {
+			var winner uint32
+			haveQuorum := false
+			for crc, n := range counts {
+				if 2*n > succ {
+					winner, haveQuorum = crc, true
+				}
+			}
+			if !haveQuorum {
+				return nil, fmt.Errorf("%w: group %d round %d: %d distinct answers among %d replicas, no quorum",
+					ErrDiverged, g, f.Round, len(counts), succ)
+			}
+			for i := range replies {
+				r := &replies[i]
+				if r.err == nil && r.crc != winner {
+					dead[r.u] = true
+					c.divergences.Add(1)
+					r.err = fmt.Errorf("%w: group %d round %d replica %d outvoted %d-to-%d",
+						ErrDiverged, g, f.Round, r.u%R, counts[winner], counts[r.crc])
+					log.Printf("coord: %v; replica dead for epoch", r.err)
+				}
+			}
+		}
+	}
 
 	var best *ExpandResponse
 	restartable := false
@@ -628,19 +788,23 @@ func (c *Coordinator) expandGroup(ctx context.Context, g int, f *Frontier, dead 
 			return nil, r.err
 		case errors.Is(r.err, errEpochRestart):
 			restartable = true
-		case errors.Is(r.err, errShardDead):
+		case errors.Is(r.err, errShardDead), errors.Is(r.err, ErrDiverged):
 		default:
 			return nil, r.err
 		}
 	}
 	if best != nil {
 		for _, r := range replies {
-			if r.err != nil {
+			// Diverged replicas were already marked and counted above.
+			if r.err != nil && !errors.Is(r.err, ErrDiverged) {
 				dead[r.u] = true
 				c.failovers.Add(1)
 				log.Printf("coord: epoch %d round %d: group %d replica %d dead for epoch (%v); failing over",
 					f.Epoch, f.Round, g, r.u%R, r.err)
 			}
+		}
+		if hedged {
+			c.hedgeWins.Add(1)
 		}
 		return best, nil
 	}
@@ -657,6 +821,52 @@ func (c *Coordinator) expandGroup(ctx context.Context, g int, f *Frontier, dead 
 			errEpochRestart, g, f.Epoch, f.Round)
 	}
 	return nil, fmt.Errorf("%w: all %d replicas of group %d", errShardDead, R, g)
+}
+
+// recordLatency feeds a successful expand round-trip into the latency
+// window the adaptive hedge budget is derived from.
+func (c *Coordinator) recordLatency(d time.Duration) {
+	c.latMu.Lock()
+	c.latRing[c.latPos] = d
+	c.latPos = (c.latPos + 1) % len(c.latRing)
+	if c.latLen < len(c.latRing) {
+		c.latLen++
+	}
+	c.latMu.Unlock()
+}
+
+// hedgeDelay is how long past a round's first valid response a group
+// keeps waiting for stragglers: the configured HedgeAfter, or (when
+// zero) an adaptive budget of 4× the p99 of recently observed healthy
+// RPC latencies — generous enough that ordinary jitter never trips it,
+// tight enough that a gray-failed replica cannot stall the epoch for the
+// full recovery budget. Returns 0 (hedging disabled) for negative
+// HedgeAfter or before any latency has been observed.
+func (c *Coordinator) hedgeDelay() time.Duration {
+	if c.cfg.HedgeAfter != 0 {
+		if c.cfg.HedgeAfter < 0 {
+			return 0
+		}
+		return c.cfg.HedgeAfter
+	}
+	c.latMu.Lock()
+	n := c.latLen
+	lats := make([]time.Duration, n)
+	copy(lats, c.latRing[:n])
+	c.latMu.Unlock()
+	if n == 0 {
+		return 0
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	d := 4 * lats[(n*99)/100]
+	const floor = 25 * time.Millisecond
+	if d < floor {
+		d = floor
+	}
+	if d > c.cfg.RPCTimeout {
+		d = c.cfg.RPCTimeout
+	}
+	return d
 }
 
 // depthsGroup fetches group g's committed depth slice for epoch from
@@ -694,21 +904,50 @@ func (c *Coordinator) depthsGroup(ctx context.Context, g int, epoch uint64, dead
 
 // expand delivers one round message to replica u, retrying transient
 // failures with jittered backoff until the shard answers, demands an
-// epoch restart, or exhausts its recovery budget.
-func (c *Coordinator) expand(ctx context.Context, u int, f *Frontier, res *Result) (*ExpandResponse, error) {
+// epoch restart, or exhausts its recovery budget. The returned uint32 is
+// the CRC32 of the response's canonical payload bytes — the quantity the
+// replica audit compares: shards cache and replay their encoded response
+// bytes, so honest replies to one round are byte-identical across a
+// group.
+func (c *Coordinator) expand(ctx context.Context, u int, f *Frontier, res *Result) (*ExpandResponse, uint32, error) {
 	body, err := c.rpc(ctx, u, http.MethodPost, "/shard/expand", f.Encode(), res)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	resp, err := DecodeExpandResponse(body)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	if resp.Epoch != f.Epoch || resp.Round != f.Round || resp.Shard != f.Shard {
-		return nil, fmt.Errorf("%w: replica %s answered (epoch %d, round %d, shard %d) to (epoch %d, round %d, shard %d)",
+		return nil, 0, fmt.Errorf("%w: replica %s answered (epoch %d, round %d, shard %d) to (epoch %d, round %d, shard %d)",
 			ErrWire, c.cfg.Shards[u], resp.Epoch, resp.Round, resp.Shard, f.Epoch, f.Round, f.Shard)
 	}
-	return resp, nil
+	if c.cfg.Injector != nil {
+		// The coord.diverge site simulates silent corruption of this one
+		// replica's answer after it passed the wire checks. The key is
+		// structured as (replica, round) rather than drawn from a shared
+		// sequence so a given replica diverges on the same rounds
+		// regardless of goroutine scheduling.
+		key := uint64(u)<<32 | uint64(f.Round)
+		if d := faultinject.Decide(c.cfg.Injector, faultinject.SiteCoordDiverge, key); d.Fault() {
+			resp.Claimed++
+			return resp, auditCRC(resp.Encode()), nil
+		}
+	}
+	return resp, auditCRC(body), nil
+}
+
+// auditCRC hashes a response frame's payload for the replica audit. The
+// frame's last 4 bytes are its own CRC32 trailer; hashing the whole
+// frame would fold the trailer back in and yield the CRC-32 residue
+// constant (0x2144DF1C) for every intact frame, collapsing all replies
+// into one audit bucket. Hashing the payload alone keeps distinct
+// contents distinct.
+func auditCRC(frame []byte) uint32 {
+	if len(frame) >= 4 {
+		frame = frame[:len(frame)-4]
+	}
+	return crc32.ChecksumIEEE(frame)
 }
 
 // depths fetches replica u's committed depth slice for epoch.

@@ -193,6 +193,16 @@ func (s *Shard) Expand(req *Frontier, fence uint64) ([]byte, error) {
 			return nil, d.Err
 		}
 	}
+	if s.inj != nil {
+		// shard.stall is a delay-only gray failure: the replica stays
+		// alive (health still answers; nothing errors) but holds its round
+		// response long enough that an unhedged coordinator would stall
+		// the whole epoch on it. The hedge is what absorbs this.
+		d := s.inj.Decide(faultinject.SiteShardStall, s.seq.Next(faultinject.SiteShardStall))
+		if d.Delay > 0 {
+			time.Sleep(d.Delay)
+		}
+	}
 	if req.Shard != uint32(s.id) || req.Lo != s.lo || req.Hi != s.hi {
 		return nil, fmt.Errorf("%w: frontier for shard %d [%d,%d), this is shard %d [%d,%d)",
 			ErrWire, req.Shard, req.Lo, req.Hi, s.id, s.lo, s.hi)

@@ -287,6 +287,36 @@ func FuzzDecodeExpandResponse(f *testing.F) {
 	})
 }
 
+// FuzzDecodeDepthSlice: same discipline for the final-answer frame —
+// never panic, reject everything malformed with ErrWire, and accept
+// only the canonical encoding with a depth array matching the range.
+func FuzzDecodeDepthSlice(f *testing.F) {
+	d := &DepthSlice{Epoch: 3, Shard: 1, Lo: 50, Hi: 150, Depth: make([]int32, 100)}
+	for i := range d.Depth {
+		d.Depth[i] = int32(i%7) - 1
+	}
+	f.Add(d.Encode())
+	f.Add((&DepthSlice{Epoch: 1, Shard: 0, Lo: 0, Hi: 0}).Encode())
+	f.Add((&DepthSlice{Epoch: 2, Shard: 2, Lo: 64, Hi: 65, Depth: []int32{-1}}).Encode())
+	f.Add([]byte{})
+	f.Add([]byte(depthsMagic))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ds, err := DecodeDepthSlice(data)
+		if err != nil {
+			if !errors.Is(err, ErrWire) {
+				t.Fatalf("non-ErrWire error: %v", err)
+			}
+			return
+		}
+		if !bytes.Equal(ds.Encode(), data) {
+			t.Fatalf("accepted non-canonical encoding")
+		}
+		if len(ds.Depth) != int(ds.Hi-ds.Lo) {
+			t.Fatalf("depth array length %d for range [%d,%d)", len(ds.Depth), ds.Lo, ds.Hi)
+		}
+	})
+}
+
 // TestCheckpointRoundTrip: save/load is the identity, missing files are
 // a clean fresh start, corrupt files are typed errors, and the cached
 // response survives intact.

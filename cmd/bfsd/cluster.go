@@ -71,12 +71,16 @@ type clusterFlags struct {
 	recoveryBudget time.Duration
 	heartbeat      time.Duration
 	maxAttempts    int
+	hedgeAfter     time.Duration
+	auditReplicas  bool
 
 	chaosSeed         uint64
 	chaosSendProb     float64
 	chaosExpandProb   float64
 	chaosExpandDelay  time.Duration
 	chaosFailoverProb float64
+	chaosDivergeProb  float64
+	chaosStallDelay   time.Duration
 }
 
 // signalContext is the shared SIGINT/SIGTERM context for the blocking
@@ -150,6 +154,10 @@ func shardInjector(cf clusterFlags) *faultinject.Plan {
 		r.DelayProb, r.MaxDelay = 1, cf.chaosExpandDelay
 		rules[faultinject.SiteShardExpand] = r
 		log.Printf("chaos: delaying every expand round by up to %v (seed %d)", cf.chaosExpandDelay, cf.chaosSeed)
+	}
+	if cf.chaosStallDelay > 0 {
+		rules[faultinject.SiteShardStall] = faultinject.Rule{DelayProb: 1, MaxDelay: cf.chaosStallDelay}
+		log.Printf("chaos: stalling every expand round by up to %v with heartbeats healthy (seed %d)", cf.chaosStallDelay, cf.chaosSeed)
 	}
 	if len(rules) == 0 {
 		return nil
@@ -278,6 +286,9 @@ type clusterBFSResponse struct {
 	Retries         int     `json:"retries"`
 	EpochRestarts   int     `json:"epoch_restarts"`
 	Failovers       int     `json:"failovers"`
+	Divergences     int     `json:"divergences,omitempty"`
+	Hedges          int     `json:"hedges,omitempty"`
+	HedgeWins       int     `json:"hedge_wins,omitempty"`
 	Depth           []int32 `json:"depth,omitempty"`
 	ElapsedMS       float64 `json:"elapsed_ms"`
 }

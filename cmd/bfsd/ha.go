@@ -224,6 +224,13 @@ func (cs *coordServer) handleBFS(w http.ResponseWriter, r *http.Request) {
 			http.Error(w, err.Error(), http.StatusConflict)
 			return
 		}
+		if errors.Is(err, coord.ErrDiverged) {
+			// Replicas answered but disagreed with no quorum to arbitrate:
+			// the upstream response is untrustworthy, which is exactly what
+			// 502 means. Serving either answer would be a coin flip.
+			http.Error(w, err.Error(), http.StatusBadGateway)
+			return
+		}
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
 	}
@@ -232,7 +239,8 @@ func (cs *coordServer) handleBFS(w http.ResponseWriter, r *http.Request) {
 		ClaimedPerRound: res.ClaimedPerRound, Epoch: res.Epoch,
 		Incomplete: res.Incomplete, DeadShards: res.DeadShards,
 		Retries: res.Retries, EpochRestarts: res.EpochRestarts,
-		Failovers: res.Failovers,
+		Failovers: res.Failovers, Divergences: res.Divergences,
+		Hedges: res.Hedges, HedgeWins: res.HedgeWins,
 		ElapsedMS: float64(time.Since(start).Microseconds()) / 1000,
 	}
 	if req.IncludeDepth {
@@ -384,6 +392,8 @@ func clusterCoordConfig(cf clusterFlags, inj *faultinject.Plan) coord.Config {
 		MaxAttempts:       cf.maxAttempts,
 		RecoveryBudget:    cf.recoveryBudget,
 		HeartbeatInterval: cf.heartbeat,
+		HedgeAfter:        cf.hedgeAfter,
+		AuditReplicas:     cf.auditReplicas,
 		Backoff:           cluster.Backoff{Base: 25 * time.Millisecond, Max: time.Second, Jitter: 0.5, Seed: cf.chaosSeed},
 		Injector:          inj,
 	}
@@ -399,6 +409,10 @@ func coordInjector(cf clusterFlags) *faultinject.Plan {
 	if cf.chaosFailoverProb > 0 {
 		rules[faultinject.SiteCoordFailover] = faultinject.Rule{FaultProb: cf.chaosFailoverProb}
 		log.Printf("chaos: suppressing %.0f%% of lease renewals (seed %d)", 100*cf.chaosFailoverProb, cf.chaosSeed)
+	}
+	if cf.chaosDivergeProb > 0 {
+		rules[faultinject.SiteCoordDiverge] = faultinject.Rule{FaultProb: cf.chaosDivergeProb}
+		log.Printf("chaos: corrupting %.0f%% of received replica responses pre-audit (seed %d)", 100*cf.chaosDivergeProb, cf.chaosSeed)
 	}
 	if len(rules) == 0 {
 		return nil

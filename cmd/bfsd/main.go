@@ -120,6 +120,8 @@ func main() {
 	idxLandmarks := flag.Int("index-landmarks", 64, "landmarks per index build")
 	idxPolicy := flag.String("index-policy", "degree", "landmark selection policy: degree | random")
 	idxSeed := flag.Uint64("index-seed", 1, "seed for the random landmark policy")
+	scrubInterval := flag.Duration("scrub-interval", time.Minute, "background integrity scrub period: re-hash every resident graph/index against its CRC footer, quarantining and remounting on mismatch (0 disables)")
+	scrubRate := flag.Int64("scrub-rate", 0, "scrub hash throughput cap in bytes/sec so the walk stays low-priority (0 = default 256 MiB/s, negative = unthrottled)")
 
 	var cf clusterFlags
 	flag.IntVar(&cf.shardID, "shard-id", -1, "run as cluster shard with this id (requires -shards; see cluster/coord)")
@@ -135,11 +137,15 @@ func main() {
 	flag.DurationVar(&cf.recoveryBudget, "recovery-budget", 15*time.Second, "coordinator: how long a failing shard may stay unreachable before failover/degradation")
 	flag.DurationVar(&cf.heartbeat, "heartbeat", 500*time.Millisecond, "coordinator: shard health probe interval")
 	flag.IntVar(&cf.maxAttempts, "max-attempts", 4, "coordinator: guaranteed per-round delivery attempts per shard")
+	flag.DurationVar(&cf.hedgeAfter, "hedge-after", 0, "coordinator: stop waiting for straggler replicas this long after a round's first valid response (0 = adaptive from observed p99, negative disables hedging)")
+	flag.BoolVar(&cf.auditReplicas, "audit-replicas", true, "coordinator: with -replicas >= 2, cross-check replica responses byte-for-byte and serve the quorum answer (diverging replicas are evicted for the epoch)")
 	flag.Uint64Var(&cf.chaosSeed, "chaos-seed", 1, "seed for deterministic cluster fault injection")
 	flag.Float64Var(&cf.chaosSendProb, "chaos-send-prob", 0, "coordinator: inject this fraction of lost round sends")
 	flag.Float64Var(&cf.chaosExpandProb, "chaos-expand-prob", 0, "shard: fail this fraction of expand rounds")
 	flag.DurationVar(&cf.chaosExpandDelay, "chaos-expand-delay", 0, "shard: delay every expand round by up to this duration (slows queries so crash harnesses can kill mid-epoch)")
 	flag.Float64Var(&cf.chaosFailoverProb, "chaos-failover-prob", 0, "coordinator: suppress this fraction of lease renewals (forces standby takeover while alive)")
+	flag.Float64Var(&cf.chaosDivergeProb, "chaos-diverge-prob", 0, "coordinator: corrupt this fraction of received replica responses before auditing (exercises quorum outvoting)")
+	flag.DurationVar(&cf.chaosStallDelay, "chaos-stall-delay", 0, "shard: stall every expand round by up to this duration while heartbeats stay healthy (gray failure; exercises hedging)")
 	flag.Parse()
 	cf.stateDir = *stateDir
 
@@ -189,6 +195,8 @@ func main() {
 		SnapshotEvery:    *snapshotEvery,
 		MmapLoads:        *mmapLoads,
 		AutoTune:         !*noTune,
+		ScrubInterval:    *scrubInterval,
+		ScrubRate:        *scrubRate,
 		Logf:             log.Printf,
 	})
 

@@ -1,0 +1,206 @@
+//go:build unix
+
+package main
+
+// Process-level silent-fault smoke: the serving daemon's background
+// scrubber quarantining and healing a bit-flipped mmap'd artifact with
+// no corrupted answer ever served, and a replicated cluster outvoting
+// deterministically injected divergent replica responses while staying
+// depth-exact. The CI scrub-smoke job runs these at scale 14 under
+// -race.
+
+import (
+	"encoding/json"
+	"net/http"
+	"os"
+	"reflect"
+	"strconv"
+	"testing"
+	"time"
+
+	"fastbfs/graph/gen"
+	"fastbfs/internal/faultinject"
+)
+
+// flipFileByte XORs one byte of an artifact in place — bit rot, as dd
+// would inflict it.
+func flipFileByte(t *testing.T, path string, off int64) {
+	t.Helper()
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	var b [1]byte
+	if _, err := f.ReadAt(b[:], off); err != nil {
+		t.Fatal(err)
+	}
+	b[0] ^= 0xFF
+	if _, err := f.WriteAt(b[:], off); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// readyzState decodes /readyz regardless of its status code.
+func readyzState(t *testing.T, d *daemon) (ready bool, quarantined bool, scrubErr string) {
+	t.Helper()
+	resp, err := http.Get(d.url("/readyz"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var rs struct {
+		Ready  bool `json:"ready"`
+		Graphs []struct {
+			Quarantined bool   `json:"quarantined"`
+			ScrubError  string `json:"scrub_error"`
+		} `json:"graphs"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&rs); err != nil {
+		t.Fatal(err)
+	}
+	for _, g := range rs.Graphs {
+		if g.Quarantined {
+			return rs.Ready, true, g.ScrubError
+		}
+	}
+	return rs.Ready, false, ""
+}
+
+// TestServeScrubQuarantineHeal: a byte of a served mmap'd graph
+// artifact is flipped on disk behind the daemon's back. Within one
+// scrub interval the daemon must quarantine the graph (readyz down,
+// queries refused — never answered from the corrupt bytes) and, once
+// the file heals in place, lift the quarantine on its own.
+func TestServeScrubQuarantineHeal(t *testing.T) {
+	grid, err := gen.Grid2D(64, 64, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := saveGraphFile(t, grid, t.TempDir(), "grid.csr")
+	d := startDaemon(t, "-scrub-interval", "100ms", "-state-dir", t.TempDir())
+	d.waitReady(t)
+	d.loadGraph(t, "g", path, true)
+	want := d.allDepths(t, "g", 0)
+
+	// Flip the last payload byte: the 12-byte CRC footer after it still
+	// records what the bytes should hash to.
+	st, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	off := st.Size() - 13
+	flipFileByte(t, path, off)
+
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		ready, quarantined, scrubErr := readyzState(t, d)
+		if quarantined {
+			if ready {
+				t.Fatalf("daemon still ready while its only graph is quarantined; logs:\n%s", d.logs)
+			}
+			if scrubErr == "" {
+				t.Fatal("quarantined graph reports no scrub error detail")
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("corrupt artifact never quarantined; logs:\n%s", d.logs)
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+	req := map[string]any{"graph": "g", "source": 0, "all_depths": true}
+	if code := d.postJSON(t, "/query", req, nil); code != http.StatusServiceUnavailable {
+		t.Fatalf("query on quarantined graph: HTTP %d, want 503", code)
+	}
+
+	// Heal the artifact in place; the mmap aliases it, so the next pass
+	// verifies clean and reopens the graph without a restart.
+	flipFileByte(t, path, off)
+	deadline = time.Now().Add(15 * time.Second)
+	for {
+		ready, quarantined, _ := readyzState(t, d)
+		if ready && !quarantined {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("healed artifact never lifted the quarantine; logs:\n%s", d.logs)
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+	if got := d.allDepths(t, "g", 0); !reflect.DeepEqual(got, want) {
+		t.Fatal("depths after quarantine recovery differ from pre-corruption depths")
+	}
+}
+
+// TestClusterAuditOutvotesDivergence: a 2x3 replicated process cluster
+// under deterministic response corruption (-chaos-diverge-prob) must
+// detect every divergent reply, outvote it, and still answer with
+// exactly the serial depths. The seed is scanned so corruption stays a
+// per-group minority — the audit always has an honest quorum.
+func TestClusterAuditOutvotesDivergence(t *testing.T) {
+	const groups, replicas = 2, 3
+	const prob = 0.02
+	scale := clusterScale(t)
+	g := clusterGraph(t, scale)
+	want := serialClusterDepths(t, g, 1)
+	maxDepth := int32(0)
+	for _, dth := range want {
+		if dth > maxDepth {
+			maxDepth = dth
+		}
+	}
+	// Rounds 0..maxDepth+1 can carry expansions; require one corrupt
+	// reply inside the traversal and confine each group's firings to a
+	// single replica over a generous horizon (the first divergence
+	// evicts that replica, so the surviving majority stays unanimous).
+	maxRound := uint32(maxDepth) + 4
+	needBy := uint32(maxDepth)
+	seed := uint64(0)
+	for s := uint64(1); seed == 0 && s < 200000; s++ {
+		p := &faultinject.Plan{Seed: s, Rules: map[faultinject.Site]faultinject.Rule{
+			faultinject.SiteCoordDiverge: {FaultProb: prob},
+		}}
+		early := false
+		ok := true
+		for gid := 0; gid < groups && ok; gid++ {
+			liar := -1
+			for r := uint32(0); r < maxRound && ok; r++ {
+				for rep := 0; rep < replicas; rep++ {
+					u := gid*replicas + rep
+					if !p.Decide(faultinject.SiteCoordDiverge, uint64(u)<<32|uint64(r)).Fault() {
+						continue
+					}
+					if liar == -1 {
+						liar = rep
+					}
+					if rep != liar {
+						ok = false
+						break
+					}
+					if r < needBy {
+						early = true
+					}
+				}
+			}
+		}
+		if ok && early {
+			seed = s
+		}
+	}
+	if seed == 0 {
+		t.Fatal("no usable divergence seed found")
+	}
+
+	co, _ := startReplicaCluster(t, groups, replicas, scale, nil,
+		"-chaos-diverge-prob", strconv.FormatFloat(prob, 'f', -1, 64),
+		"-chaos-seed", strconv.FormatUint(seed, 10))
+	res, code := clusterBFS(t, co, 1, true)
+	if code != http.StatusOK {
+		t.Fatalf("cluster BFS: HTTP %d, want 200; logs:\n%s", code, co.logs)
+	}
+	assertClusterExact(t, res, want)
+	if res.Divergences == 0 {
+		t.Fatalf("injected corrupt replica responses but none were detected; logs:\n%s", co.logs)
+	}
+}

@@ -1,0 +1,119 @@
+package graph
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+)
+
+// Resident re-verification: the load-time CRC check (ReadFrom,
+// LoadMmap) proves an artifact was intact when it entered memory; these
+// helpers let a background scrubber keep proving it while it stays
+// resident. Checksum re-hashes the canonical bytes from the in-memory
+// arrays — for an mmap'd graph those alias the file, so a bit flipped
+// on disk after load is visible here; for a heap graph they catch
+// in-memory rot. FooterCRC reads what the artifact claims on disk.
+// VerifyResident compares the two.
+
+// Checksum recomputes the canonical CRC32 of the graph: the same bytes
+// WriteTo hashes before emitting the footer (magic, header, offsets,
+// neighbors). pace, when non-nil, is called with the byte count after
+// each chunk so a low-priority scrubber can rate-limit the walk.
+func (g *Graph) Checksum(pace func(bytes int)) uint32 {
+	crc := crc32.NewIEEE()
+	step := func(p []byte) {
+		crc.Write(p) // never errors
+		if pace != nil {
+			pace(len(p))
+		}
+	}
+	var hdr [headerLen]byte
+	copy(hdr[:], csrMagic)
+	binary.LittleEndian.PutUint64(hdr[len(csrMagic):], uint64(g.NumVertices()))
+	binary.LittleEndian.PutUint64(hdr[len(csrMagic)+8:], uint64(g.NumEdges()))
+	step(hdr[:])
+
+	buf := make([]byte, readChunk)
+	for off := 0; off < len(g.Offsets); {
+		n := min(len(g.Offsets)-off, readChunk/8)
+		for i := 0; i < n; i++ {
+			binary.LittleEndian.PutUint64(buf[8*i:], uint64(g.Offsets[off+i]))
+		}
+		step(buf[:8*n])
+		off += n
+	}
+	for off := 0; off < len(g.Neighbors); {
+		n := min(len(g.Neighbors)-off, readChunk/4)
+		for i := 0; i < n; i++ {
+			binary.LittleEndian.PutUint32(buf[4*i:], g.Neighbors[off+i])
+		}
+		step(buf[:4*n])
+		off += n
+	}
+	return crc.Sum32()
+}
+
+// FooterCRC reads the integrity footer of a CSR graph file without
+// loading the arrays. ok is false for a legacy footerless file (nothing
+// to verify against); any other shape mismatch between the header's
+// declared sizes and the file length is an error.
+func FooterCRC(path string) (crc uint32, ok bool, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, false, err
+	}
+	defer f.Close()
+	var hdr [headerLen]byte
+	if _, err := f.ReadAt(hdr[:], 0); err != nil {
+		return 0, false, fmt.Errorf("graph: reading header: %w", err)
+	}
+	if string(hdr[:len(csrMagic)]) != csrMagic {
+		return 0, false, fmt.Errorf("graph: bad magic %q", hdr[:len(csrMagic)])
+	}
+	v := binary.LittleEndian.Uint64(hdr[len(csrMagic):])
+	e := binary.LittleEndian.Uint64(hdr[len(csrMagic)+8:])
+	if v > MaxVertices || e > MaxStreamEdges {
+		return 0, false, fmt.Errorf("graph: header declares %d vertices / %d edges", v, e)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		return 0, false, err
+	}
+	need := int64(headerLen) + 8*int64(v+1) + 4*int64(e)
+	switch st.Size() {
+	case need:
+		return 0, false, nil // legacy footerless artifact
+	case need + int64(footerLen):
+		var foot [footerLen]byte
+		if _, err := f.ReadAt(foot[:], need); err != nil {
+			return 0, false, fmt.Errorf("graph: reading footer: %w", err)
+		}
+		if string(foot[4:]) != crcMagic {
+			return 0, false, fmt.Errorf("graph: unrecognized trailing data %q (corrupt checksum footer?)", foot[:])
+		}
+		return binary.LittleEndian.Uint32(foot[:4]), true, nil
+	default:
+		return 0, false, fmt.Errorf("graph: file is %d bytes but header implies %d (+%d footer)",
+			st.Size(), need, footerLen)
+	}
+}
+
+// VerifyResident checks a resident graph against its on-disk artifact's
+// CRC32 footer. A mismatch wraps ErrChecksum. Legacy footerless
+// artifacts verify vacuously (there is no recorded truth to compare);
+// pace is forwarded to Checksum for rate limiting.
+func VerifyResident(g *Graph, path string, pace func(int)) error {
+	want, ok, err := FooterCRC(path)
+	if err != nil {
+		return err
+	}
+	if !ok {
+		return nil
+	}
+	if got := g.Checksum(pace); got != want {
+		return fmt.Errorf("%w: artifact %s footer declares %#08x, resident arrays hash to %#08x",
+			ErrChecksum, path, want, got)
+	}
+	return nil
+}

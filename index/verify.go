@@ -1,0 +1,77 @@
+package index
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+)
+
+// Resident re-verification for index artifacts, mirroring the graph
+// package: Checksum re-hashes the canonical encoding of the resident
+// labeling, FooterCRC reads the artifact's recorded CRC, and
+// VerifyResident compares them so a background scrubber can detect
+// silent corruption of a mounted index. Index artifacts always carry a
+// footer (no legacy form), so there is no vacuous-verify case.
+
+// verifyChunk is the granularity at which Checksum feeds pace: small
+// enough that a rate-limited scrubber sleeps often, large enough that
+// the CRC loop stays vectorized.
+const verifyChunk = 1 << 20
+
+// Checksum recomputes the canonical CRC32 of the index: the same bytes
+// Encode hashes before emitting the footer. pace, when non-nil, is
+// called with the byte count after each chunk for rate limiting.
+func (ix *Index) Checksum(pace func(bytes int)) uint32 {
+	enc := ix.Encode()
+	body := enc[:len(enc)-idxFooterLen]
+	var crc uint32
+	for off := 0; off < len(body); off += verifyChunk {
+		end := min(off+verifyChunk, len(body))
+		crc = crc32.Update(crc, crc32.IEEETable, body[off:end])
+		if pace != nil {
+			pace(end - off)
+		}
+	}
+	return crc
+}
+
+// FooterCRC reads the integrity footer of an index artifact without
+// decoding it. Unlike graph files the footer is mandatory.
+func FooterCRC(path string) (uint32, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return 0, err
+	}
+	if st.Size() < int64(idxHeaderLen+idxFooterLen) {
+		return 0, fmt.Errorf("%w: %d bytes is smaller than header plus footer", ErrCorrupt, st.Size())
+	}
+	var foot [idxFooterLen]byte
+	if _, err := f.ReadAt(foot[:], st.Size()-int64(idxFooterLen)); err != nil {
+		return 0, fmt.Errorf("index: reading footer: %w", err)
+	}
+	if string(foot[4:]) != idxCRCMagic {
+		return 0, fmt.Errorf("%w: bad footer magic %q", ErrCorrupt, foot[4:])
+	}
+	return binary.LittleEndian.Uint32(foot[:4]), nil
+}
+
+// VerifyResident checks a resident index against its on-disk artifact's
+// CRC32 footer. A mismatch wraps ErrChecksum; pace is forwarded to
+// Checksum for rate limiting.
+func VerifyResident(ix *Index, path string, pace func(int)) error {
+	want, err := FooterCRC(path)
+	if err != nil {
+		return err
+	}
+	if got := ix.Checksum(pace); got != want {
+		return fmt.Errorf("%w: artifact %s footer declares %#08x, resident labeling hashes to %#08x",
+			ErrChecksum, path, want, got)
+	}
+	return nil
+}

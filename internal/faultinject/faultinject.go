@@ -76,6 +76,27 @@ const (
 	// request (a retryable 500, not a fencing rejection), delays slow
 	// admission to widen failover races.
 	SiteShardLease Site = "shard.lease"
+	// SiteCoordDiverge fires in the coordinator's replica receive path,
+	// after a replica's expand response decodes cleanly: a firing fault
+	// deterministically corrupts that one replica's response before the
+	// audit compares it against its siblings — the way to prove a
+	// divergent (silently corrupted) replica answer is never served.
+	SiteCoordDiverge Site = "coord.diverge"
+	// SiteShardStall fires in a shard's expand handler as a delay-only
+	// gray failure: the shard is alive and will eventually answer
+	// correctly, but slowly enough that an unhedged coordinator round
+	// would stall on it.
+	SiteShardStall Site = "shard.stall"
+	// SiteScrubCorrupt fires once per artifact per scrub pass in the
+	// serving tier's integrity scrubber: a firing fault makes the scrub
+	// report a checksum mismatch for that artifact, exercising the
+	// quarantine → remount/rebuild recovery path without touching disk.
+	SiteScrubCorrupt Site = "scrub.corrupt"
+	// SiteManifestAppend fires in the manifest journal's append path
+	// before the frame is written: errors simulate disk faults (ENOSPC,
+	// EIO) and flip the manifest into degraded non-durable mode until a
+	// probe append succeeds.
+	SiteManifestAppend Site = "manifest.append"
 )
 
 // ErrInjected is the default error carried by injected failures; chaos
@@ -214,15 +235,19 @@ func (v PanicValue) String() string {
 // site, so each site sees the deterministic key sequence 0, 1, 2, ...
 // regardless of how occurrences interleave across sites.
 type Sequencer struct {
-	engineStep    atomic.Uint64
-	acquire       atomic.Uint64
-	sweep         atomic.Uint64
-	graphLoad     atomic.Uint64
-	coordSend     atomic.Uint64
-	shardExpand   atomic.Uint64
-	coordFailover atomic.Uint64
-	shardLease    atomic.Uint64
-	other         atomic.Uint64
+	engineStep     atomic.Uint64
+	acquire        atomic.Uint64
+	sweep          atomic.Uint64
+	graphLoad      atomic.Uint64
+	coordSend      atomic.Uint64
+	shardExpand    atomic.Uint64
+	coordFailover  atomic.Uint64
+	shardLease     atomic.Uint64
+	coordDiverge   atomic.Uint64
+	shardStall     atomic.Uint64
+	scrubCorrupt   atomic.Uint64
+	manifestAppend atomic.Uint64
+	other          atomic.Uint64
 }
 
 // Next returns the next key for site.
@@ -244,6 +269,14 @@ func (s *Sequencer) Next(site Site) uint64 {
 		return s.coordFailover.Add(1) - 1
 	case SiteShardLease:
 		return s.shardLease.Add(1) - 1
+	case SiteCoordDiverge:
+		return s.coordDiverge.Add(1) - 1
+	case SiteShardStall:
+		return s.shardStall.Add(1) - 1
+	case SiteScrubCorrupt:
+		return s.scrubCorrupt.Add(1) - 1
+	case SiteManifestAppend:
+		return s.manifestAppend.Add(1) - 1
 	default:
 		return s.other.Add(1) - 1
 	}

@@ -48,6 +48,7 @@ type breaker struct {
 	consecutive int
 	openedAt    time.Time
 	probing     bool  // a half-open probe is in flight
+	forced      bool  // quarantined from outside (scrubber); no probes
 	opens       int64 // cumulative trips, for stats
 }
 
@@ -59,11 +60,17 @@ func newBreaker(threshold int, cooldown time.Duration) *breaker {
 // as the half-open probe whose outcome drives the state machine;
 // retryAfter is meaningful only when !ok.
 func (b *breaker) allow() (ok, probe bool, retryAfter time.Duration) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.forced {
+		// Quarantined: cooldown never admits a probe — only the party
+		// that forced the breaker open (the scrubber, once the artifact
+		// verifies again) can reclose it.
+		return false, false, b.cooldown
+	}
 	if b.threshold <= 0 {
 		return true, false, 0
 	}
-	b.mu.Lock()
-	defer b.mu.Unlock()
 	switch b.state {
 	case BreakerClosed:
 		return true, false, 0
@@ -135,6 +142,36 @@ func (b *breaker) onNeutral(probe bool) {
 	}
 }
 
+// forceOpen quarantines the breaker from outside the failure-streak
+// path (the integrity scrubber, on a checksum mismatch). It overrides a
+// disabled threshold — an artifact that fails its CRC must not serve
+// regardless of breaker config — and suppresses half-open probes: no
+// query outcome can reclose a forced-open breaker, only clearForced.
+func (b *breaker) forceOpen() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.forced {
+		return
+	}
+	b.forced = true
+	b.trip()
+}
+
+// clearForced lifts a forceOpen quarantine and recloses the breaker.
+// A no-op when the breaker was not forced (an organically open breaker
+// keeps its own cooldown state machine).
+func (b *breaker) clearForced() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if !b.forced {
+		return
+	}
+	b.forced = false
+	b.state = BreakerClosed
+	b.consecutive = 0
+	b.probing = false
+}
+
 // trip opens the breaker; callers hold b.mu.
 func (b *breaker) trip() {
 	b.state = BreakerOpen
@@ -146,11 +183,14 @@ func (b *breaker) trip() {
 
 // snapshot returns the current state name and cumulative trip count.
 func (b *breaker) snapshot() (state string, opens int64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.forced {
+		return BreakerOpen, b.opens
+	}
 	if b.threshold <= 0 {
 		return BreakerClosed, 0
 	}
-	b.mu.Lock()
-	defer b.mu.Unlock()
 	// An expired cooldown is still reported as open until a query
 	// arrives to claim the half-open probe; report it half-open so
 	// /readyz shows the breaker is willing to probe.

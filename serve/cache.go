@@ -68,6 +68,20 @@ func (c *lruCache) put(source uint32, tr *Traversal) {
 	}
 }
 
+// purge drops every entry. The scrubber calls this when it quarantines
+// a graph: rot precedes its detection by up to one scrub interval, so
+// traversals cached in that window may have read corrupted resident
+// bytes.
+func (c *lruCache) purge() {
+	if c.cap <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.ll.Init()
+	clear(c.items)
+}
+
 func (c *lruCache) len() int {
 	if c.cap <= 0 {
 		return 0

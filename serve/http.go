@@ -107,6 +107,7 @@ func NewHandler(s *Service) http.Handler {
 		}
 		info, err := s.LoadGraphOptions(req.Name, req.Path, LoadOptions{Mmap: req.Mmap, Tune: req.Tune})
 		if err != nil {
+			setRetryAfter(w, err)
 			writeError(w, statusFor(err), err.Error())
 			return
 		}
@@ -123,6 +124,7 @@ func NewHandler(s *Service) http.Handler {
 			return
 		}
 		if err := s.UnloadGraph(req.Name); err != nil {
+			setRetryAfter(w, err)
 			writeError(w, statusFor(err), err.Error())
 			return
 		}
@@ -185,6 +187,7 @@ func statusFor(err error) int {
 	case errors.Is(err, ErrBreakerOpen),
 		errors.Is(err, ErrDraining),
 		errors.Is(err, ErrNotRecovered),
+		errors.Is(err, ErrNotDurable),
 		errors.Is(err, bfs.ErrEngineBusy):
 		return http.StatusServiceUnavailable
 	case errors.Is(err, ErrWatchdog), errors.Is(err, context.DeadlineExceeded):
@@ -197,8 +200,10 @@ func statusFor(err error) int {
 }
 
 // setRetryAfter attaches a Retry-After hint to retryable rejections: the
-// breaker's own cooldown remainder when it is open, or a nominal second
-// for overload — long enough to let a dispatch round drain.
+// breaker's own cooldown remainder when it is open, a nominal second for
+// overload — long enough to let a dispatch round drain — and a few
+// seconds for the startup-recovery 503, since journal replay plus graph
+// reloads usually finish within that.
 func setRetryAfter(w http.ResponseWriter, err error) {
 	var boe *BreakerOpenError
 	switch {
@@ -207,6 +212,8 @@ func setRetryAfter(w http.ResponseWriter, err error) {
 		w.Header().Set("Retry-After", strconv.Itoa(secs))
 	case errors.Is(err, ErrOverloaded), errors.Is(err, ErrShed):
 		w.Header().Set("Retry-After", "1")
+	case errors.Is(err, ErrNotRecovered):
+		w.Header().Set("Retry-After", "5")
 	}
 }
 

@@ -243,6 +243,10 @@ func (s *Service) Recover() (RecoverySummary, error) {
 		s.mu.Unlock()
 		return RecoverySummary{}, err
 	}
+	// Thread the chaos injector into the journal before any append can
+	// happen: the manifest.append site is what drives degraded-
+	// durability tests deterministically.
+	m.inj, m.seqr = s.inj, &s.seq
 	s.manifest = m
 	s.mu.Unlock()
 
@@ -359,6 +363,13 @@ type GraphReady struct {
 	// live report card.
 	TunePredictedMTEPS float64 `json:"tune_predicted_mteps,omitempty"`
 	TuneMeasuredMTEPS  float64 `json:"tune_measured_mteps,omitempty"`
+	// Quarantined reports that the integrity scrubber found a checksum
+	// mismatch in this graph's resident bytes and forced its breaker
+	// open; ScrubError is the mismatch detail. The scrubber lifts the
+	// quarantine automatically once a remount (or the healed file)
+	// verifies again.
+	Quarantined bool   `json:"quarantined,omitempty"`
+	ScrubError  string `json:"scrub_error,omitempty"`
 }
 
 // ReadyState is the /readyz payload: Ready is the single bit a load
@@ -376,9 +387,15 @@ type ReadyState struct {
 	Recovering bool `json:"recovering,omitempty"`
 	// IndexBuilds is the number of index builds currently running.
 	// Builds are background work and do not gate Ready.
-	IndexBuilds   int          `json:"index_builds,omitempty"`
-	ResidentBytes int64        `json:"resident_bytes"`
-	Graphs        []GraphReady `json:"graphs"`
+	IndexBuilds   int   `json:"index_builds,omitempty"`
+	ResidentBytes int64 `json:"resident_bytes"`
+	// Durability is "durable" while journal appends succeed and
+	// "degraded" after a disk fault flipped the manifest read-only
+	// (mutating admin ops refused, queries still exact); empty on a
+	// stateless service. Degraded durability does not gate Ready —
+	// the graphs still serve exact answers.
+	Durability string       `json:"durability,omitempty"`
+	Graphs     []GraphReady `json:"graphs"`
 }
 
 // Ready reports whether the service should receive traffic.
@@ -392,6 +409,12 @@ func (s *Service) Ready() ReadyState {
 		ResidentBytes: s.resident,
 		Graphs:        make([]GraphReady, 0, len(s.graphs)),
 	}
+	if s.manifest != nil {
+		rs.Durability = DurabilityDurable
+		if degraded, _ := s.manifest.Degraded(); degraded {
+			rs.Durability = DurabilityDegraded
+		}
+	}
 	ready := !rs.Draining && rs.Loading == 0 && !rs.Recovering
 	for _, gs := range s.graphs {
 		state, opens := gs.breaker.snapshot()
@@ -401,7 +424,10 @@ func (s *Service) Ready() ReadyState {
 		if gs.idxState == IndexBuilding {
 			rs.IndexBuilds++
 		}
-		gr := GraphReady{Name: gs.name, Breaker: state, BreakerOpens: opens}
+		gr := GraphReady{
+			Name: gs.name, Breaker: state, BreakerOpens: opens,
+			Quarantined: gs.scrubQuarantined, ScrubError: gs.scrubErr,
+		}
 		if gs.profile != nil {
 			gr.Tune = gs.profile.Source
 			gr.TunePredictedMTEPS = gs.profile.PredictedMTEPS

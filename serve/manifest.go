@@ -41,6 +41,7 @@ import (
 	"sync"
 	"time"
 
+	"fastbfs/internal/faultinject"
 	"fastbfs/tune"
 )
 
@@ -67,6 +68,24 @@ const (
 	opIndex     = "index"
 	opDropIndex = "dropindex"
 	opTune      = "tune"
+	// opProbe is a durable no-op: appended to test whether the journal
+	// is writable again after a disk fault flipped the manifest into
+	// degraded mode. apply() skips it like any unknown op, so probe
+	// records are invisible to replay on every reader, old or new.
+	opProbe = "probe"
+)
+
+// ErrNotDurable rejects mutating admin operations while the manifest is
+// degraded: a journal append failed with a disk fault (ENOSPC, EIO), so
+// a mutation could not be made durable and is refused rather than
+// acknowledged-then-forgotten. Existing graphs keep serving; a
+// successful probe append (Probe) restores durability.
+var ErrNotDurable = errors.New("serve: manifest degraded: journal not writable")
+
+// Durability states, as reported by /readyz and /stats.
+const (
+	DurabilityDurable  = "durable"
+	DurabilityDegraded = "degraded"
 )
 
 // IndexSpec is one durable index registration: where the artifact lives
@@ -134,6 +153,13 @@ type ManifestStats struct {
 	// TornBytes counts journal bytes dropped at open because the tail
 	// was torn or corrupt (0 after a clean shutdown).
 	TornBytes int64 `json:"torn_bytes"`
+	// Durability is "durable" or "degraded"; DegradedReason carries the
+	// disk fault that degraded the journal, empty while durable.
+	// Degradations counts durable→degraded transitions over the
+	// manifest's lifetime (restored probes do not reset it).
+	Durability     string `json:"durability"`
+	DegradedReason string `json:"degraded_reason,omitempty"`
+	Degradations   int64  `json:"degradations,omitempty"`
 }
 
 // Manifest is the durable graph registry: an open journal plus the
@@ -156,6 +182,17 @@ type Manifest struct {
 	state    map[string]GraphSpec
 	closed   bool
 	compactE error // last compaction failure (appends still durable)
+
+	// Degraded durability: a failed append (real disk fault or injected
+	// manifest.append decision) sets degraded; mutating appends then
+	// fail fast with ErrNotDurable until a probe append succeeds.
+	degraded   bool
+	degReason  string
+	degradedCt int64 // cumulative degradations, for stats
+
+	// Fault injection (nil in production): consulted once per append.
+	inj  faultinject.Injector
+	seqr *faultinject.Sequencer
 }
 
 // OpenManifest opens (creating if needed) the durable manifest under
@@ -393,13 +430,20 @@ func (m *Manifest) State() []GraphSpec {
 func (m *Manifest) Stats() ManifestStats {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	return ManifestStats{
-		Seq:         m.seq,
-		Records:     m.records,
-		SnapshotSeq: m.snapSeq,
-		SnapshotAt:  m.snapAt,
-		TornBytes:   m.torn,
+	st := ManifestStats{
+		Seq:          m.seq,
+		Records:      m.records,
+		SnapshotSeq:  m.snapSeq,
+		SnapshotAt:   m.snapAt,
+		TornBytes:    m.torn,
+		Durability:   DurabilityDurable,
+		Degradations: m.degradedCt,
 	}
+	if m.degraded {
+		st.Durability = DurabilityDegraded
+		st.DegradedReason = m.degReason
+	}
+	return st
 }
 
 // AppendLoad durably records that spec's graph is (re)loaded. It
@@ -443,21 +487,54 @@ func (m *Manifest) append(rec manifestRecord) error {
 	if m.closed {
 		return errors.New("serve: manifest: closed")
 	}
+	if m.degraded {
+		// Fail fast: the journal already proved unwritable, so the
+		// mutation cannot be made durable. No disk touch here — the
+		// probe path owns re-testing the device.
+		return fmt.Errorf("%w: %s", ErrNotDurable, m.degReason)
+	}
+	return m.appendLocked(rec)
+}
+
+// appendLocked writes, fsyncs and applies one record; callers hold
+// m.mu. Any disk failure — real or injected at the manifest.append
+// site — degrades the manifest: the serving table keeps answering
+// queries exactly, but mutating operations are refused until a probe
+// append proves the journal writable again.
+func (m *Manifest) appendLocked(rec manifestRecord) error {
 	rec.Seq = m.seq + 1
 	payload, err := json.Marshal(rec)
 	if err != nil {
 		return fmt.Errorf("serve: manifest: %w", err)
+	}
+	if m.inj != nil {
+		var key uint64
+		if m.seqr != nil {
+			key = m.seqr.Next(faultinject.SiteManifestAppend)
+		}
+		d := faultinject.Decide(m.inj, faultinject.SiteManifestAppend, key)
+		if d.Delay > 0 {
+			time.Sleep(d.Delay)
+		}
+		if d.Err != nil {
+			m.degradeLocked(d.Err)
+			// Wrap ErrNotDurable so the op that discovered the disk
+			// fault is refused the same typed way as the ones after it.
+			return fmt.Errorf("%w: appending: %v", ErrNotDurable, d.Err)
+		}
 	}
 	frame := encodeFrame(nil, payload)
 	if _, err := m.f.WriteAt(frame, m.size); err != nil {
 		// Best effort: drop the partial frame so it cannot be mistaken
 		// for a torn tail of acknowledged data.
 		_ = m.f.Truncate(m.size)
-		return fmt.Errorf("serve: manifest: appending: %w", err)
+		m.degradeLocked(err)
+		return fmt.Errorf("%w: appending: %v", ErrNotDurable, err)
 	}
 	if err := m.f.Sync(); err != nil {
 		_ = m.f.Truncate(m.size)
-		return fmt.Errorf("serve: manifest: fsync: %w", err)
+		m.degradeLocked(err)
+		return fmt.Errorf("%w: fsync: %v", ErrNotDurable, err)
 	}
 	m.size += int64(len(frame))
 	m.seq = rec.Seq
@@ -469,6 +546,49 @@ func (m *Manifest) append(rec manifestRecord) error {
 		m.compactE = m.compactLocked()
 	}
 	return nil
+}
+
+// degradeLocked flips the manifest into non-durable mode; callers hold
+// m.mu. Idempotent: the first fault's reason sticks until restored.
+func (m *Manifest) degradeLocked(cause error) {
+	if m.degraded {
+		return
+	}
+	m.degraded = true
+	m.degReason = cause.Error()
+	m.degradedCt++
+}
+
+// Probe attempts a durable no-op append to test whether the journal is
+// writable again. On success a degraded manifest is restored to durable
+// mode; on a manifest that is already durable it is a no-op. The probe
+// record uses an op unknown to apply(), so it is invisible to replay.
+func (m *Manifest) Probe() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return errors.New("serve: manifest: closed")
+	}
+	if !m.degraded {
+		return nil
+	}
+	// A still-failing disk leaves the degraded state untouched
+	// (degradeLocked is idempotent); a clean write-and-fsync is proof
+	// of recovery.
+	if err := m.appendLocked(manifestRecord{Op: opProbe}); err != nil {
+		return err
+	}
+	m.degraded = false
+	m.degReason = ""
+	return nil
+}
+
+// Degraded reports whether the manifest is in non-durable mode, and the
+// disk fault that put it there.
+func (m *Manifest) Degraded() (bool, string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.degraded, m.degReason
 }
 
 // Compact forces snapshot compaction now (tests and ops tooling).

@@ -1,0 +1,254 @@
+// Background integrity scrubber: the load-time CRC check proves an
+// artifact was intact when it entered memory; the scrubber keeps
+// proving it while it stays resident. Every ScrubInterval it re-hashes
+// each resident graph and index against its on-disk CRC32 footer —
+// rate-limited so the walk stays low-priority next to query serving —
+// and drives recovery when the hashes stop matching:
+//
+//	graph mismatch  → quarantine (breaker forced open, /readyz not
+//	                  ready) → remount from disk; a remount that fails
+//	                  its own load-time CRC leaves the graph quarantined
+//	                  and is retried every pass until the file heals
+//	index mismatch  → unmount (queries fall back to the always-exact
+//	                  BFS path) → background rebuild with the journaled
+//	                  parameters, which rewrites the artifact
+//
+// For mmap'd artifacts the resident arrays alias the file, so disk bit
+// rot after load is visible in the resident hash; for heap artifacts
+// the walk catches in-memory rot (a pure disk flip under a heap graph
+// surfaces at the next load instead). The scrubber also doubles as the
+// durability prober: while the manifest is degraded after a disk
+// fault, each pass attempts the probe append that restores it.
+//
+// The scrub.corrupt faultinject site simulates a mismatch (once per
+// artifact per pass) without touching disk, which is how chaos tests
+// exercise the quarantine → remount path deterministically.
+package serve
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"fastbfs/graph"
+	"fastbfs/index"
+	"fastbfs/internal/faultinject"
+)
+
+// scrubLoop runs scrub passes until drain or hard shutdown.
+func (s *Service) scrubLoop() {
+	defer s.wg.Done()
+	t := time.NewTicker(s.cfg.ScrubInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			s.scrubPass()
+		case <-s.drained:
+			return
+		case <-s.baseCtx.Done():
+			return
+		}
+	}
+}
+
+// scrubPass re-verifies every resident artifact once and probes a
+// degraded manifest. Exported operations it triggers (remounts,
+// rebuilds) go through the same paths admin requests use.
+func (s *Service) scrubPass() {
+	// Probe the journal first: durability restores independently of
+	// artifact health.
+	s.mu.Lock()
+	m := s.manifest
+	s.mu.Unlock()
+	if m != nil {
+		if degraded, reason := m.Degraded(); degraded {
+			if err := m.Probe(); err == nil {
+				s.logf("serve: scrub: journal probe append succeeded; durability restored (was: %s)", reason)
+			}
+		}
+	}
+
+	// Snapshot the serving table; artifacts are visited in name order so
+	// the scrub.corrupt injection sequence is deterministic.
+	type scrubTarget struct {
+		gs   *graphState
+		ix   *index.Index
+		spec *IndexSpec
+	}
+	s.mu.Lock()
+	targets := make([]scrubTarget, 0, len(s.graphs))
+	for _, gs := range s.graphs {
+		t := scrubTarget{gs: gs}
+		if gs.idxState == IndexReady && gs.idxSpec != nil && gs.idxSpec.Path != "" {
+			if ix := gs.idx.Load(); ix != nil {
+				spec := *gs.idxSpec
+				t.ix, t.spec = ix, &spec
+			}
+		}
+		targets = append(targets, t)
+	}
+	s.mu.Unlock()
+	sort.Slice(targets, func(i, j int) bool { return targets[i].gs.name < targets[j].gs.name })
+
+	for _, t := range targets {
+		s.scrubGraph(t.gs)
+		if t.ix != nil {
+			s.scrubIndex(t.gs, t.ix, t.spec)
+		}
+	}
+	s.stats.scrubPasses.Add(1)
+}
+
+// scrubPace returns the rate-limit callback for one verify walk: it
+// accumulates hashed bytes and sleeps whenever the debt at ScrubRate
+// exceeds a scheduling-worthy quantum.
+func (s *Service) scrubPace() func(int) {
+	rate := s.cfg.ScrubRate
+	if rate <= 0 {
+		return nil
+	}
+	const quantum = time.Millisecond
+	var debt int64
+	return func(n int) {
+		debt += int64(n)
+		if owed := time.Duration(debt * int64(time.Second) / rate); owed >= quantum {
+			debt = 0
+			time.Sleep(owed)
+		}
+	}
+}
+
+// chaosScrubVerify consults the scrub.corrupt site for one artifact:
+// a firing fault stands in for a checksum mismatch.
+func (s *Service) chaosScrubVerify() error {
+	if s.inj == nil {
+		return nil
+	}
+	key := s.seq.Next(faultinject.SiteScrubCorrupt)
+	d := faultinject.Decide(s.inj, faultinject.SiteScrubCorrupt, key)
+	if d.Delay > 0 {
+		time.Sleep(d.Delay)
+	}
+	if d.Err != nil {
+		return fmt.Errorf("serve: scrub: injected checksum mismatch: %w", d.Err)
+	}
+	return nil
+}
+
+// scrubGraph re-verifies one resident graph and drives the quarantine /
+// remount state machine. Counters move only on transitions: one
+// corruption per quarantine, one recovery per return to serving.
+func (s *Service) scrubGraph(gs *graphState) {
+	if gs.path == "" {
+		return // in-process graph: no artifact recording what it should be
+	}
+	verr := graph.VerifyResident(gs.g, gs.path, s.scrubPace())
+	if verr == nil {
+		verr = s.chaosScrubVerify()
+	}
+
+	if verr == nil {
+		// Healthy — or healed: an mmap'd graph whose file was restored
+		// in place verifies again without a reload.
+		s.mu.Lock()
+		healed := s.graphs[gs.name] == gs && gs.scrubQuarantined
+		if healed {
+			gs.scrubQuarantined, gs.scrubErr = false, ""
+		}
+		s.mu.Unlock()
+		if healed {
+			gs.breaker.clearForced()
+			s.stats.scrubRecoveries.Add(1)
+			s.logf("serve: scrub: graph %q verifies again; quarantine lifted", gs.name)
+		}
+		return
+	}
+
+	s.mu.Lock()
+	if s.graphs[gs.name] != gs {
+		s.mu.Unlock()
+		return // replaced or unloaded mid-walk; the verdict is stale
+	}
+	fresh := !gs.scrubQuarantined
+	gs.scrubQuarantined = true
+	gs.scrubErr = verr.Error()
+	s.mu.Unlock()
+	gs.breaker.forceOpen()
+	if fresh {
+		// Drop cached traversals: any computed between the rot and its
+		// detection may embed the corruption.
+		gs.cache.purge()
+		s.stats.scrubCorruptions.Add(1)
+		s.logf("serve: scrub: graph %q failed integrity re-verify, quarantined: %v", gs.name, verr)
+	}
+	s.scrubRemount(gs)
+}
+
+// scrubRemount reloads a quarantined graph's artifact from disk; the
+// load re-runs the full CRC gauntlet, so only a healthy file replaces
+// the quarantined state. The tuning profile carries over (the graph
+// bytes are the same ones it was calibrated on) and a mounted index is
+// remounted — or rebuilt — the same way recovery does it.
+func (s *Service) scrubRemount(gs *graphState) {
+	g, err := s.loadGraphFile(gs.path, gs.mapped)
+	if err != nil {
+		s.logf("serve: scrub: graph %q: remount from %s failed, still quarantined: %v", gs.name, gs.path, err)
+		return
+	}
+	s.mu.Lock()
+	if s.graphs[gs.name] != gs {
+		s.mu.Unlock()
+		return
+	}
+	var idxSpec *IndexSpec
+	if gs.idxSpec != nil {
+		spec := *gs.idxSpec
+		idxSpec = &spec
+	}
+	// spec nil: the manifest already records this graph at this path.
+	err = s.registerGraphLocked(gs.name, g, true, gs.path, nil, gs.profile)
+	s.mu.Unlock()
+	if err != nil {
+		s.logf("serve: scrub: graph %q: reinstalling remounted graph failed: %v", gs.name, err)
+		return
+	}
+	s.stats.scrubRecoveries.Add(1)
+	s.logf("serve: scrub: graph %q remounted from disk; quarantine lifted", gs.name)
+	if idxSpec != nil {
+		if rerr := s.remountIndex(gs.name, g, *idxSpec); rerr != nil {
+			opt := IndexOptions{Landmarks: idxSpec.Landmarks, Policy: idxSpec.Policy, Seed: idxSpec.Seed, Force: true}
+			if _, berr := s.BuildIndex(gs.name, opt); berr != nil {
+				s.logf("serve: scrub: graph %q: index remount (%v) and rebuild (%v) both failed", gs.name, rerr, berr)
+			}
+		}
+	}
+}
+
+// scrubIndex re-verifies one mounted index. A mismatch is cheaper to
+// recover than a graph's: the labeling is an accelerator, so it is
+// unmounted on the spot — distance queries fall back to the always-
+// exact BFS path — and rebuilt in the background with the journaled
+// parameters, which rewrites the artifact.
+func (s *Service) scrubIndex(gs *graphState, ix *index.Index, spec *IndexSpec) {
+	verr := index.VerifyResident(ix, spec.Path, s.scrubPace())
+	if verr == nil {
+		verr = s.chaosScrubVerify()
+	}
+	if verr == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.graphs[gs.name] != gs || gs.idx.Load() != ix {
+		s.mu.Unlock()
+		return // the labeling was swapped mid-walk; the verdict is stale
+	}
+	s.unmountIndexLocked(gs)
+	s.mu.Unlock()
+	s.stats.scrubCorruptions.Add(1)
+	s.logf("serve: scrub: index for %q failed integrity re-verify, unmounted (exact-BFS fallback): %v", gs.name, verr)
+	opt := IndexOptions{Landmarks: spec.Landmarks, Policy: spec.Policy, Seed: spec.Seed, Force: true}
+	if _, err := s.BuildIndex(gs.name, opt); err != nil {
+		s.logf("serve: scrub: index rebuild for %q could not start: %v", gs.name, err)
+	}
+}

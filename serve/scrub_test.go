@@ -1,0 +1,376 @@
+package serve
+
+// Silent-fault defense tests for the serving tier: the background
+// integrity scrubber's quarantine / remount / heal state machine for
+// graphs, the unmount-and-rebuild path for index artifacts, and the
+// degraded-durability mode the manifest enters when its journal stops
+// accepting appends.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"reflect"
+	"testing"
+
+	"fastbfs/graph/gen"
+	"fastbfs/internal/faultinject"
+)
+
+// artifactFooterLen is the CRC32 + magic trailer both graph and index
+// artifacts end with (4 bytes of checksum, 8 of magic).
+const artifactFooterLen = 12
+
+// flipByte XORs one byte of a file in place, simulating bit rot.
+func flipByte(t *testing.T, path string, off int64) {
+	t.Helper()
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	var b [1]byte
+	if _, err := f.ReadAt(b[:], off); err != nil {
+		t.Fatal(err)
+	}
+	b[0] ^= 0xFF
+	if _, err := f.WriteAt(b[:], off); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func fileSize(t *testing.T, path string) int64 {
+	t.Helper()
+	st, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st.Size()
+}
+
+// TestScrubBitFlipQuarantinesThenHealsMmapGraph: a bit flipped on disk
+// under an mmap'd graph is visible in the resident arrays. The scrub
+// pass must quarantine the graph (breaker forced open, not ready, no
+// corrupted answers), keep it quarantined while the file stays bad
+// (the remount re-runs the load CRC and refuses the artifact), and
+// lift the quarantine on its own once the file heals in place.
+func TestScrubBitFlipQuarantinesThenHealsMmapGraph(t *testing.T) {
+	g, err := gen.Grid2D(16, 16, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := serialDepths(t, g, 0)
+	p := saveGraph(t, g, "g.csr")
+	mmap := true
+	s := New(Config{})
+	t.Cleanup(func() { _ = s.Shutdown(context.Background()) })
+	if _, err := s.LoadGraphOptions("g", p, LoadOptions{Mmap: &mmap}); err != nil {
+		t.Fatal(err)
+	}
+	// Prime the result cache: quarantine must fence cached answers too,
+	// not just fresh traversals.
+	if _, err := s.Query(context.Background(), Request{Graph: "g", Source: 0, AllDepths: true}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Flip the last neighbors byte: inside the payload, so the footer
+	// still records the honest checksum the resident bytes no longer
+	// hash to.
+	off := fileSize(t, p) - artifactFooterLen - 1
+	flipByte(t, p, off)
+	s.scrubPass()
+
+	st := s.Stats()
+	if st.ScrubPasses != 1 || st.ScrubCorruptions != 1 || st.ScrubRecoveries != 0 {
+		t.Fatalf("after corrupt pass: passes %d corruptions %d recoveries %d, want 1/1/0",
+			st.ScrubPasses, st.ScrubCorruptions, st.ScrubRecoveries)
+	}
+	rs := s.Ready()
+	if rs.Ready {
+		t.Fatal("service still ready while serving graph is quarantined")
+	}
+	if len(rs.Graphs) != 1 || !rs.Graphs[0].Quarantined || rs.Graphs[0].ScrubError == "" {
+		t.Fatalf("readyz graph state = %+v, want quarantined with a scrub error", rs.Graphs)
+	}
+	if _, err := s.Query(context.Background(), Request{Graph: "g", Source: 0, AllDepths: true}); !errors.Is(err, ErrBreakerOpen) {
+		t.Fatalf("query on quarantined graph: err = %v, want ErrBreakerOpen", err)
+	}
+
+	// A second pass with the file still bad must not double-count the
+	// corruption, and must keep refusing the remount.
+	s.scrubPass()
+	if st := s.Stats(); st.ScrubCorruptions != 1 || st.ScrubRecoveries != 0 {
+		t.Fatalf("second corrupt pass: corruptions %d recoveries %d, want 1/0", st.ScrubCorruptions, st.ScrubRecoveries)
+	}
+
+	// Heal the file in place: the mmap aliases it, so the next pass
+	// verifies the resident bytes again and lifts the quarantine
+	// without a reload.
+	flipByte(t, p, off)
+	s.scrubPass()
+	if st := s.Stats(); st.ScrubCorruptions != 1 || st.ScrubRecoveries != 1 {
+		t.Fatalf("after heal pass: corruptions %d recoveries %d, want 1/1", st.ScrubCorruptions, st.ScrubRecoveries)
+	}
+	if rs := s.Ready(); !rs.Ready || rs.Graphs[0].Quarantined {
+		t.Fatalf("after heal: ready state = %+v, want ready and unquarantined", rs)
+	}
+	resp, err := s.Query(context.Background(), Request{Graph: "g", Source: 0, AllDepths: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(resp.Depths, want) {
+		t.Fatal("depths after quarantine recovery differ from serial reference")
+	}
+}
+
+// TestScrubChaosQuarantineRemountsFromDisk: the scrub.corrupt site
+// simulates in-memory rot under a heap graph — the resident hash "goes
+// bad" while the artifact on disk stays honest. The same pass must
+// quarantine the graph and recover it by remounting from disk.
+func TestScrubChaosQuarantineRemountsFromDisk(t *testing.T) {
+	g, err := gen.Grid2D(16, 16, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := serialDepths(t, g, 0)
+	p := saveGraph(t, g, "g.csr")
+	s := New(Config{Injector: &faultinject.Plan{Seed: 1, Rules: map[faultinject.Site]faultinject.Rule{
+		faultinject.SiteScrubCorrupt: {FaultProb: 1},
+	}}})
+	t.Cleanup(func() { _ = s.Shutdown(context.Background()) })
+	if _, err := s.LoadGraph("g", p); err != nil {
+		t.Fatal(err)
+	}
+
+	s.scrubPass()
+	if st := s.Stats(); st.ScrubCorruptions != 1 || st.ScrubRecoveries != 1 {
+		t.Fatalf("chaos pass: corruptions %d recoveries %d, want 1/1 (quarantine then remount)",
+			st.ScrubCorruptions, st.ScrubRecoveries)
+	}
+	if rs := s.Ready(); !rs.Ready || rs.Graphs[0].Quarantined {
+		t.Fatalf("after remount: ready state = %+v, want ready and unquarantined", rs)
+	}
+
+	// With the injection off, the remounted graph passes a clean sweep.
+	s.inj = nil
+	s.scrubPass()
+	if st := s.Stats(); st.ScrubCorruptions != 1 {
+		t.Fatalf("clean pass after remount recorded %d corruptions, want 1", st.ScrubCorruptions)
+	}
+	resp, err := s.Query(context.Background(), Request{Graph: "g", Source: 0, AllDepths: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(resp.Depths, want) {
+		t.Fatal("depths after chaos remount differ from serial reference")
+	}
+}
+
+// TestScrubIndexMismatchUnmountsAndRebuilds: a corrupted index
+// artifact is cheaper than a corrupted graph — the labeling is only an
+// accelerator, so the scrubber unmounts it on the spot (queries fall
+// back to exact BFS) and rebuilds it in the background, which rewrites
+// the artifact.
+func TestScrubIndexMismatchUnmountsAndRebuilds(t *testing.T) {
+	g, err := gen.Grid2D(16, 16, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := serialDepths(t, g, 0)
+	p := saveGraph(t, g, "g.csr")
+	s := New(Config{})
+	t.Cleanup(func() { _ = s.Shutdown(context.Background()) })
+	if _, err := s.LoadGraph("g", p); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.BuildIndex("g", IndexOptions{Landmarks: 8}); err != nil {
+		t.Fatal(err)
+	}
+	st := waitIndexState(t, s, "g", IndexReady)
+	if st.Artifact == "" {
+		t.Fatal("index built from a pathed graph recorded no artifact")
+	}
+
+	// Flip a byte of the artifact's recorded CRC: the resident labeling
+	// no longer matches what the disk claims it should be.
+	flipByte(t, st.Artifact, fileSize(t, st.Artifact)-artifactFooterLen)
+	s.scrubPass()
+	if sn := s.Stats(); sn.ScrubCorruptions != 1 {
+		t.Fatalf("index mismatch pass recorded %d corruptions, want 1", sn.ScrubCorruptions)
+	}
+	// Queries stay exact throughout: with the labeling unmounted they
+	// ride the BFS path.
+	resp, err := s.Query(context.Background(), Request{Graph: "g", Source: 0, AllDepths: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(resp.Depths, want) {
+		t.Fatal("depths while index rebuilds differ from serial reference")
+	}
+
+	// The background rebuild remounts a fresh labeling and rewrites the
+	// artifact; the next sweep finds nothing wrong with it.
+	waitIndexState(t, s, "g", IndexReady)
+	s.scrubPass()
+	if sn := s.Stats(); sn.ScrubCorruptions != 1 {
+		t.Fatalf("rebuilt index failed its re-verify: %d corruptions, want 1", sn.ScrubCorruptions)
+	}
+}
+
+// TestManifestDegradeRestore: a failed journal append flips the
+// manifest read-only — mutating admin operations are refused with
+// ErrNotDurable while queries keep serving exactly — and a successful
+// probe append (driven by the scrub pass) restores durable mode. The
+// journal that results replays cleanly.
+func TestManifestDegradeRestore(t *testing.T) {
+	stateDir := t.TempDir()
+	g, err := gen.Grid2D(12, 12, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := serialDepths(t, g, 0)
+	pa := saveGraph(t, g, "a.csr")
+	pb := saveGraph(t, g, "b.csr")
+
+	s := New(Config{StateDir: stateDir})
+	if _, err := s.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.LoadGraph("a", pa); err != nil {
+		t.Fatal(err)
+	}
+
+	// Every append now hits a simulated disk fault.
+	s.manifest.inj = &faultinject.Plan{Seed: 1, Rules: map[faultinject.Site]faultinject.Rule{
+		faultinject.SiteManifestAppend: {FaultProb: 1},
+	}}
+	if _, err := s.LoadGraph("b", pb); err == nil {
+		t.Fatal("load succeeded although its journal append failed")
+	}
+	st := s.Stats()
+	if st.Durability != DurabilityDegraded || st.DegradedReason == "" || st.Degradations != 1 {
+		t.Fatalf("post-fault stats = durability %q reason %q degradations %d, want degraded/reason/1",
+			st.Durability, st.DegradedReason, st.Degradations)
+	}
+	if rs := s.Ready(); rs.Durability != DurabilityDegraded || !rs.Ready {
+		t.Fatalf("readyz = %+v, want ready with degraded durability (queries still exact)", rs)
+	}
+	// Fail fast now: no disk touch, typed refusal.
+	if _, err := s.LoadGraph("c", pb); !errors.Is(err, ErrNotDurable) {
+		t.Fatalf("mutation while degraded: err = %v, want ErrNotDurable", err)
+	}
+	resp, err := s.Query(context.Background(), Request{Graph: "a", Source: 0, AllDepths: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(resp.Depths, want) {
+		t.Fatal("depths while degraded differ from serial reference")
+	}
+
+	// The disk "heals": the scrub pass's probe append restores durable
+	// mode and mutations work again.
+	s.manifest.inj = nil
+	s.scrubPass()
+	if st := s.Stats(); st.Durability != DurabilityDurable || st.Degradations != 1 {
+		t.Fatalf("post-probe stats = durability %q degradations %d, want durable/1", st.Durability, st.Degradations)
+	}
+	if _, err := s.LoadGraph("b", pb); err != nil {
+		t.Fatalf("load after restore: %v", err)
+	}
+	shutdown(t, s)
+
+	// The journal the episode left behind replays to exactly the loads
+	// that were acknowledged.
+	s2 := New(Config{StateDir: stateDir})
+	defer shutdown(t, s2)
+	sum, err := s2.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(sum.Graphs, []string{"a", "b"}) {
+		t.Fatalf("recovered graphs = %v, want [a b]", sum.Graphs)
+	}
+}
+
+// TestHTTPDegradedDurabilityAndRetryAfter: the HTTP surface of the two
+// degraded modes. A load during startup recovery is a 503 with the
+// nominal Retry-After hint; a load against a degraded manifest is a
+// 503 whose /readyz shows "durability":"degraded" until the probe
+// restores it.
+func TestHTTPDegradedDurabilityAndRetryAfter(t *testing.T) {
+	stateDir := t.TempDir()
+	g, err := gen.Grid2D(12, 12, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := saveGraph(t, g, "g.csr")
+	s := New(Config{StateDir: stateDir})
+	t.Cleanup(func() { _ = s.Shutdown(context.Background()) })
+	ts := httptest.NewServer(NewHandler(s))
+	defer ts.Close()
+
+	load := func(name string) *http.Response {
+		t.Helper()
+		body, _ := json.Marshal(map[string]string{"name": name, "path": p})
+		resp, err := http.Post(ts.URL+"/graphs/load", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp
+	}
+	readyz := func() ReadyState {
+		t.Helper()
+		resp, err := http.Get(ts.URL + "/readyz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var rs ReadyState
+		if err := json.NewDecoder(resp.Body).Decode(&rs); err != nil {
+			t.Fatal(err)
+		}
+		return rs
+	}
+
+	// Before Recover: 503 plus a Retry-After so load balancers and
+	// operators back off instead of hammering the replaying journal.
+	if resp := load("g"); resp.StatusCode != http.StatusServiceUnavailable || resp.Header.Get("Retry-After") != "5" {
+		t.Fatalf("load before recovery: status %d Retry-After %q, want 503 with Retry-After 5",
+			resp.StatusCode, resp.Header.Get("Retry-After"))
+	}
+
+	if _, err := s.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	if resp := load("g"); resp.StatusCode != http.StatusOK {
+		t.Fatalf("load after recovery: status %d", resp.StatusCode)
+	}
+
+	s.manifest.inj = &faultinject.Plan{Seed: 1, Rules: map[faultinject.Site]faultinject.Rule{
+		faultinject.SiteManifestAppend: {FaultProb: 1},
+	}}
+	if resp := load("h"); resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("load with failing journal: status %d, want 503", resp.StatusCode)
+	}
+	if rs := readyz(); rs.Durability != DurabilityDegraded {
+		t.Fatalf("readyz durability = %q, want %q", rs.Durability, DurabilityDegraded)
+	}
+	// Degraded mode fails fast with the same typed 503.
+	if resp := load("h"); resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("load while degraded: status %d, want 503", resp.StatusCode)
+	}
+
+	s.manifest.inj = nil
+	s.scrubPass()
+	if rs := readyz(); rs.Durability != DurabilityDurable {
+		t.Fatalf("readyz durability after probe = %q, want %q", rs.Durability, DurabilityDurable)
+	}
+	if resp := load("h"); resp.StatusCode != http.StatusOK {
+		t.Fatalf("load after durability restored: status %d", resp.StatusCode)
+	}
+}

@@ -186,6 +186,21 @@ type Config struct {
 	// Mapped loads verify the same CRC footer and traverse to byte-
 	// identical results; warm restarts are bounded by page cache.
 	MmapLoads bool
+	// ScrubInterval, when positive, runs the background integrity
+	// scrubber: every interval each resident graph and index artifact is
+	// re-hashed against its on-disk CRC32 footer (for mmap'd artifacts
+	// the resident arrays alias the file, so disk bit rot is visible; for
+	// heap artifacts the walk catches in-memory rot). A mismatch
+	// quarantines the graph (its breaker is forced open, reported by
+	// /readyz) and the scrubber auto-remounts it from disk — or, for a
+	// corrupt index, drops the labeling back to exact-BFS fallback and
+	// triggers a rebuild with the journaled parameters. Zero (the
+	// default) disables scrubbing.
+	ScrubInterval time.Duration
+	// ScrubRate bounds the scrubber's hash throughput in bytes/sec so
+	// the re-verify walk stays low-priority next to query serving.
+	// Default 256 MiB/s; negative disables the rate limit.
+	ScrubRate int64
 	// AutoTune calibrates a tuning profile for every graph entering the
 	// serving table (see the tune package): a short model-driven pass
 	// picks the VIS variant, hybrid α/β, prefetch distance, batched
@@ -240,6 +255,9 @@ func (c Config) withDefaults() Config {
 	if c.SnapshotEvery <= 0 {
 		c.SnapshotEvery = DefaultSnapshotEvery
 	}
+	if c.ScrubRate == 0 {
+		c.ScrubRate = 256 << 20
+	}
 	return c
 }
 
@@ -258,6 +276,11 @@ type Service struct {
 	// Durable control plane (nil manifest in stateless mode).
 	recovering  atomic.Bool  // true from New until Recover completes
 	recoveryDur atomic.Int64 // wall nanos the last Recover took
+
+	// drained is closed by BeginDrain; background loops (the integrity
+	// scrubber) select on it so a graceful Shutdown's wg.Wait returns
+	// without needing the hard baseCancel.
+	drained chan struct{}
 
 	mu             sync.Mutex
 	manifest       *Manifest
@@ -312,6 +335,12 @@ type graphState struct {
 	idxResident  int64
 	idxMapped    bool // idxResident aliases a read-only file mapping
 
+	// Integrity-scrub state (guarded by Service.mu): quarantined means
+	// the scrubber found a checksum mismatch and forced the breaker open;
+	// scrubErr is the mismatch detail for /readyz.
+	scrubQuarantined bool
+	scrubErr         string
+
 	lastUsed    time.Time
 	flights     map[uint32]*flight // in-flight + queued, by source
 	pending     []*flight          // queued, dispatch order
@@ -349,6 +378,7 @@ func New(cfg Config) *Service {
 		opts:       opts,
 		baseCtx:    ctx,
 		baseCancel: cancel,
+		drained:    make(chan struct{}),
 		graphs:     make(map[string]*graphState),
 	}
 	if cfg.StateDir != "" {
@@ -365,6 +395,10 @@ func New(cfg Config) *Service {
 			}
 			s.chaosStepHook(step)
 		}
+	}
+	if cfg.ScrubInterval > 0 {
+		s.wg.Add(1)
+		go s.scrubLoop()
 	}
 	return s
 }
@@ -566,7 +600,10 @@ func (s *Service) ResidentBytes() int64 {
 // mounted into a draining table anyway.
 func (s *Service) BeginDrain() {
 	s.mu.Lock()
-	s.draining = true
+	if !s.draining {
+		s.draining = true
+		close(s.drained) // wake background loops so Shutdown's wait returns
+	}
 	for _, gs := range s.graphs {
 		if gs.idxCancel != nil {
 			gs.idxCancel()
@@ -616,8 +653,10 @@ func (s *Service) Query(ctx context.Context, req Request) (*Response, error) {
 		return nil, ErrDraining
 	}
 	gs := s.graphs[req.Graph]
+	var quarantined bool
 	if gs != nil {
 		gs.lastUsed = time.Now()
+		quarantined = gs.scrubQuarantined
 	}
 	s.mu.Unlock()
 	if gs == nil {
@@ -627,19 +666,25 @@ func (s *Service) Query(ctx context.Context, req Request) (*Response, error) {
 		return nil, err
 	}
 
-	// Distance-only queries try the landmark oracle first: a certified
-	// answer costs two label merge-joins per target instead of any
-	// traversal at all. Uncertified answers fall through to the exact
-	// BFS path below (cache, then flight).
-	if req.DistanceOnly {
-		if resp := s.answerFromIndex(gs, req); resp != nil {
-			return resp, nil
+	// A quarantined graph answers nothing, not even from the oracle or
+	// the cache: both were built from resident bytes that may have been
+	// rotten for up to one scrub interval before detection. Falling
+	// through to the flight path yields the breaker's typed rejection.
+	if !quarantined {
+		// Distance-only queries try the landmark oracle first: a
+		// certified answer costs two label merge-joins per target
+		// instead of any traversal at all. Uncertified answers fall
+		// through to the exact BFS path below (cache, then flight).
+		if req.DistanceOnly {
+			if resp := s.answerFromIndex(gs, req); resp != nil {
+				return resp, nil
+			}
 		}
-	}
 
-	if tr, ok := gs.cache.get(req.Source); ok {
-		s.stats.cacheHits.Add(1)
-		return buildResponse(gs, req, tr, true)
+		if tr, ok := gs.cache.get(req.Source); ok {
+			s.stats.cacheHits.Add(1)
+			return buildResponse(gs, req, tr, true)
+		}
 	}
 
 	s.mu.Lock()

@@ -31,6 +31,10 @@ type stats struct {
 	indexFallbacks    atomic.Int64
 
 	tuneCalibrations atomic.Int64
+
+	scrubPasses      atomic.Int64
+	scrubCorruptions atomic.Int64
+	scrubRecoveries  atomic.Int64
 }
 
 // StatsSnapshot is a point-in-time copy of the service counters.
@@ -89,6 +93,15 @@ type StatsSnapshot struct {
 	// predicted-vs-measured MTEPS.
 	TuneCalibrations int64        `json:"tune_calibrations,omitempty"`
 	Tunings          []TuneStatus `json:"tunings,omitempty"`
+	// Integrity scrubbing: ScrubPasses counts completed scrub sweeps;
+	// ScrubCorruptions the artifacts that failed re-verification (each
+	// quarantine or index-drop transition counts once, however many
+	// passes the fault persists); ScrubRecoveries the graphs restored to
+	// serving (remounted from disk, or re-verified in place after the
+	// underlying file healed).
+	ScrubPasses      int64 `json:"scrub_passes,omitempty"`
+	ScrubCorruptions int64 `json:"scrub_corruptions,omitempty"`
+	ScrubRecoveries  int64 `json:"scrub_recoveries,omitempty"`
 	// QueueDepth is the current admitted-but-unresolved count.
 	QueueDepth int  `json:"queue_depth"`
 	Draining   bool `json:"draining"`
@@ -102,6 +115,13 @@ type StatsSnapshot struct {
 	JournalRecords int    `json:"journal_records,omitempty"`
 	SnapshotSeq    uint64 `json:"snapshot_seq,omitempty"`
 	RecoveryMS     int64  `json:"recovery_ms,omitempty"`
+	// Durability is "durable" while journal appends succeed, "degraded"
+	// after a disk fault (appends refused, queries still exact) until a
+	// probe append restores it; empty in stateless mode. DegradedReason
+	// carries the fault; Degradations counts lifetime transitions.
+	Durability     string `json:"durability,omitempty"`
+	DegradedReason string `json:"degraded_reason,omitempty"`
+	Degradations   int64  `json:"degradations,omitempty"`
 }
 
 // Stats returns a snapshot of the service counters.
@@ -135,6 +155,9 @@ func (s *Service) Stats() StatsSnapshot {
 		IndexFallbacks:      s.stats.indexFallbacks.Load(),
 		Indexes:             s.IndexStatuses(),
 		TuneCalibrations:    s.stats.tuneCalibrations.Load(),
+		ScrubPasses:         s.stats.scrubPasses.Load(),
+		ScrubCorruptions:    s.stats.scrubCorruptions.Load(),
+		ScrubRecoveries:     s.stats.scrubRecoveries.Load(),
 		Tunings:             s.TuneStatuses(),
 		ResidentBytes:       s.ResidentBytes(),
 		ResidentMappedBytes: mapped,
@@ -148,6 +171,9 @@ func (s *Service) Stats() StatsSnapshot {
 		snap.JournalSeq = ms.Seq
 		snap.JournalRecords = ms.Records
 		snap.SnapshotSeq = ms.SnapshotSeq
+		snap.Durability = ms.Durability
+		snap.DegradedReason = ms.DegradedReason
+		snap.Degradations = ms.Degradations
 	}
 	return snap
 }
